@@ -1,0 +1,72 @@
+// Shared infrastructure for the figure/table reproduction harnesses: common
+// CLI flags, the MI100-node cluster description, one-stop training of the
+// reuse-bound regression model, and table output helpers.
+//
+// Every bench accepts:
+//   --gpus=N       number of simulated devices (default 8, the paper's node)
+//   --vectors=N    vectors per stream (default 10, Table V's setting)
+//   --batch=N      batch width per hadron node (default 16)
+//   --samples=N    tuner corpus size for the regression model (default 300)
+//   --seed=N       experiment seed (default 2022)
+//   --csv-dir=DIR  also write each figure's series as CSV into DIR
+//   --quick        shrink everything for smoke runs
+#pragma once
+
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/bounds_model.hpp"
+#include "core/experiment.hpp"
+#include "workload/synthetic.hpp"
+
+namespace micco::bench {
+
+struct Env {
+  int gpus = 8;
+  std::int64_t vectors = 10;
+  std::int64_t batch = 16;
+  int samples = 300;
+  std::uint64_t seed = 2022;
+  bool quick = false;
+  std::string csv_dir;  ///< empty = no CSV output
+
+  ClusterConfig cluster(std::uint64_t capacity = 32ULL << 30) const {
+    ClusterConfig c;
+    c.num_devices = gpus;
+    c.device_capacity_bytes = capacity;
+    return c;
+  }
+};
+
+/// Parses the shared flags and warns on typos; exits on malformed input.
+Env parse_env(const CliArgs& args);
+
+/// Prints the bench banner with the paper artefact it regenerates.
+void print_header(const std::string& title, const std::string& paper_ref);
+
+/// Warns about unrecognised flags (call after all get()s).
+void warn_unused(const CliArgs& args);
+
+/// Trains the production Random Forest bounds model on the standard tuner
+/// corpus (Section IV-C: 300 samples, bounds searched on [0,2]^3). In
+/// --quick mode the corpus shrinks for smoke runs.
+TrainedBoundsModel train_model(const Env& env);
+
+/// The standard synthetic config used across Figs. 7-11, with the paper's
+/// defaults (tensor size 384, repeated rate 50 %, Uniform).
+SyntheticConfig base_synth(const Env& env);
+
+/// Formats GFLOPS / speedups for table cells.
+std::string fmt_gflops(double gflops);
+std::string fmt_speedup(double speedup);
+std::string fmt_bytes_gb(std::uint64_t bytes);
+
+/// Writes `csv` as <csv_dir>/<name>.csv when --csv-dir was given (no-op
+/// otherwise); prints the destination path.
+void maybe_write_csv(const Env& env, const std::string& name,
+                     const CsvWriter& csv);
+
+}  // namespace micco::bench

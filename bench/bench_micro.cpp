@@ -1,0 +1,173 @@
+// Scheduler hot-path microbenchmarks (google-benchmark).
+//
+// Backs Table V's "scheduling overhead is negligible" claim with per-call
+// latencies: pair classification, a full MiccoScheduler::assign (including
+// maps and candidate selection), the Groute baseline's assignment, online
+// characteristics extraction, Random-Forest bound inference, and the
+// simulator's own per-task bookkeeping.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "core/bounds_model.hpp"
+#include "core/experiment.hpp"
+#include "sched/reuse_pattern.hpp"
+#include "workload/synthetic.hpp"
+
+namespace micco {
+namespace {
+
+WorkloadStream micro_stream(std::int64_t vector_size = 64) {
+  SyntheticConfig cfg;
+  cfg.num_vectors = 10;
+  cfg.vector_size = vector_size;
+  cfg.tensor_extent = 384;
+  cfg.batch = 16;
+  cfg.repeated_rate = 0.5;
+  cfg.seed = 99;
+  return generate_synthetic(cfg);
+}
+
+ClusterConfig micro_cluster(int gpus = 8) {
+  ClusterConfig c;
+  c.num_devices = gpus;
+  return c;
+}
+
+/// A simulator pre-warmed with the first vectors so residency maps are
+/// populated (the hot-path state the scheduler actually queries).
+ClusterSimulator warmed_simulator(const WorkloadStream& stream, int gpus) {
+  ClusterSimulator sim(micro_cluster(gpus));
+  MiccoScheduler sched;
+  for (const VectorWorkload& vec : stream.vectors) {
+    sched.begin_vector(vec, sim);
+    for (const ContractionTask& task : vec.tasks) {
+      sim.execute(task, sched.assign(task, sim));
+    }
+    sim.barrier();
+  }
+  return sim;
+}
+
+void BM_ClassifyPair(benchmark::State& state) {
+  const WorkloadStream stream = micro_stream();
+  ClusterSimulator sim = warmed_simulator(stream, 8);
+  const VectorWorkload& vec = stream.vectors.back();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        classify_pair(vec.tasks[i % vec.tasks.size()], sim));
+    ++i;
+  }
+}
+BENCHMARK(BM_ClassifyPair);
+
+void BM_MiccoAssign(benchmark::State& state) {
+  const WorkloadStream stream = micro_stream();
+  ClusterSimulator sim = warmed_simulator(stream, static_cast<int>(state.range(0)));
+  MiccoScheduler sched;
+  const VectorWorkload& vec = stream.vectors.back();
+  sched.begin_vector(vec, sim);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.assign(vec.tasks[i % vec.tasks.size()], sim));
+    ++i;
+  }
+}
+BENCHMARK(BM_MiccoAssign)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_GrouteAssign(benchmark::State& state) {
+  const WorkloadStream stream = micro_stream();
+  ClusterSimulator sim = warmed_simulator(stream, 8);
+  GrouteScheduler sched;
+  const VectorWorkload& vec = stream.vectors.back();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.assign(vec.tasks[i % vec.tasks.size()], sim));
+    ++i;
+  }
+}
+BENCHMARK(BM_GrouteAssign);
+
+void BM_ExtractCharacteristics(benchmark::State& state) {
+  const WorkloadStream stream = micro_stream(state.range(0));
+  ClusterSimulator sim = warmed_simulator(stream, 8);
+  const VectorWorkload& vec = stream.vectors.back();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extract_characteristics(vec, sim));
+  }
+}
+BENCHMARK(BM_ExtractCharacteristics)->Arg(8)->Arg(64);
+
+void BM_BoundInference(benchmark::State& state) {
+  TunerConfig tuner;
+  tuner.samples = 40;
+  tuner.num_vectors = 4;
+  tuner.batch = 2;
+  tuner.vector_sizes = {8, 16};
+  tuner.tensor_extents = {128, 384};
+  TrainedBoundsModel model = train_default_model(tuner);
+  DataCharacteristics c;
+  c.vector_size = 64;
+  c.tensor_extent = 384;
+  c.distribution_bias = 0.3;
+  c.repeated_rate = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.provider->bounds_for(c));
+  }
+}
+BENCHMARK(BM_BoundInference);
+
+void BM_SimulatorExecute(benchmark::State& state) {
+  const WorkloadStream stream = micro_stream();
+  std::size_t v = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ClusterSimulator sim(micro_cluster(8));
+    MiccoScheduler sched;
+    const VectorWorkload& vec = stream.vectors[v % stream.vectors.size()];
+    sched.begin_vector(vec, sim);
+    state.ResumeTiming();
+    for (const ContractionTask& task : vec.tasks) {
+      sim.execute(task, sched.assign(task, sim));
+    }
+    sim.barrier();
+    ++v;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(
+                              stream.vectors[0].tasks.size()));
+}
+BENCHMARK(BM_SimulatorExecute);
+
+void BM_FullPipelineTenVectors(benchmark::State& state) {
+  const WorkloadStream stream = micro_stream();
+  for (auto _ : state) {
+    MiccoScheduler sched;
+    benchmark::DoNotOptimize(
+        run_stream(stream, sched, micro_cluster(8)));
+  }
+}
+BENCHMARK(BM_FullPipelineTenVectors);
+
+}  // namespace
+}  // namespace micco
+
+// Tolerant main: the other harnesses share flags like --quick that
+// google-benchmark would reject; pass through only --benchmark_* flags so
+// `for b in build/bench/*; do $b --quick; done` works uniformly.
+int main(int argc, char** argv) {
+  std::vector<char*> filtered;
+  filtered.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark", 0) == 0) {
+      filtered.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(filtered.size());
+  benchmark::Initialize(&filtered_argc, filtered.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

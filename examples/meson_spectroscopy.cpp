@@ -1,0 +1,86 @@
+// Meson spectroscopy end-to-end: build a two-particle correlation function
+// with the mini-Redstar frontend (operators -> Wick contraction ->
+// contraction graphs -> staged workload), verify the plan numerically with
+// the executing kernels, then schedule it on the simulated cluster.
+//
+//   ./meson_spectroscopy [--time-slices=6] [--extent=24] [--gpus=4]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "core/experiment.hpp"
+#include "core/verify.hpp"
+#include "redstar/correlator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace micco;
+  const CliArgs args(argc, argv);
+
+  // 1. Define the physical system: a rho meson that can also appear as a
+  //    pi-pi two-particle state (the classic avoided-level-crossing setup).
+  redstar::CorrelatorSpec spec;
+  spec.name = "rho_pipi";
+  const redstar::MesonOp rho{"rho+", redstar::Flavor::kUp,
+                             redstar::Flavor::kDown, 0};
+  const redstar::MesonOp pi_plus{"pi+", redstar::Flavor::kUp,
+                                 redstar::Flavor::kDown, 0};
+  const redstar::MesonOp pi_zero{"pi0", redstar::Flavor::kUp,
+                                 redstar::Flavor::kUp, 0};
+  redstar::Construction single;
+  single.hadrons = {rho};
+  redstar::Construction two_particle;
+  redstar::MesonOp pi_p = pi_plus;
+  pi_p.momentum = 1;
+  redstar::MesonOp pi_m = pi_zero;
+  pi_m.momentum = -1;
+  two_particle.hadrons = {pi_p, pi_m};
+  spec.source.constructions = {single, two_particle};
+  spec.sink.constructions = {single, two_particle};
+  spec.time_slices = static_cast<int>(args.get_int("time-slices", 6));
+  spec.extent = args.get_int("extent", 24);  // small: we execute for real
+  spec.batch = 2;
+
+  // 2. Wick contraction + dependency analysis -> staged contraction plan.
+  const redstar::CorrelatorWorkload workload = redstar::build_workload(spec);
+  std::printf("correlator %s: %zu unique diagrams, %zu hadron contractions "
+              "in %zu stages (%zu shared sub-reductions deduplicated)\n",
+              spec.name.c_str(), workload.stats.diagrams,
+              workload.stats.contractions, workload.stats.stages,
+              workload.stats.deduplicated);
+  std::printf("hadron nodes: %zu originals + %zu intermediates, %.2f GiB\n",
+              workload.stats.original_nodes,
+              workload.stats.intermediate_nodes,
+              static_cast<double>(workload.stats.total_bytes) /
+                  (1024.0 * 1024.0 * 1024.0));
+
+  // 3. Structural + numeric verification: the staged plan must be a valid
+  //    dependency order, and executing it with real tensor data yields a
+  //    schedule-independent digest.
+  const std::string structural = validate_stream_structure(workload.stream);
+  if (!structural.empty()) {
+    std::fprintf(stderr, "structural validation FAILED: %s\n",
+                 structural.c_str());
+    return 1;
+  }
+  const NumericResult numeric = execute_numerically(workload.stream);
+  std::printf("numeric verification: %zu contractions executed, digest "
+              "%.6e, peak live data %.1f MiB\n",
+              numeric.tasks_executed, numeric.digest,
+              static_cast<double>(numeric.peak_bytes) / (1024.0 * 1024.0));
+
+  // 4. Schedule the same plan on the simulated cluster with both policies.
+  ClusterConfig cluster;
+  cluster.num_devices = static_cast<int>(args.get_int("gpus", 4));
+  const auto entries = compare_schedulers(
+      workload.stream, cluster,
+      {SchedulerKind::kGroute, SchedulerKind::kMiccoNaive});
+  for (const ComparisonEntry& e : entries) {
+    std::printf("%-14s %8.0f GFLOPS, %llu reuse hits\n", e.name.c_str(),
+                e.gflops(),
+                static_cast<unsigned long long>(
+                    e.result.metrics.reused_operands));
+  }
+  std::printf("MICCO speedup over Groute: %.2fx\n",
+              speedup_of(entries, SchedulerKind::kMiccoNaive,
+                         SchedulerKind::kGroute));
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Quickstart: schedule a synthetic many-body-correlation workload on a
+// simulated 4-GPU node with MICCO and with the load-balance-only baseline,
+// and compare the resulting execution metrics.
+//
+//   ./quickstart [--gpus=4] [--vector-size=32] [--repeat=0.75] [--gaussian]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "core/experiment.hpp"
+#include "workload/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace micco;
+  const CliArgs args(argc, argv);
+
+  // 1. Describe the workload: a stream of vectors of independent tensor
+  //    pairs, with repeated hadron-node tensors across vectors.
+  SyntheticConfig workload;
+  workload.num_vectors = 10;
+  workload.vector_size = args.get_int("vector-size", 32);
+  workload.tensor_extent = 384;
+  workload.batch = 32;
+  workload.repeated_rate = args.get_double("repeat", 0.75);
+  workload.distribution = args.get_bool("gaussian", false)
+                              ? DataDistribution::kGaussian
+                              : DataDistribution::kUniform;
+  workload.seed = 1;
+  const WorkloadStream stream = generate_synthetic(workload);
+
+  std::printf("workload: %zu vectors x %zu pairs, tensor %lldx%lld, "
+              "%.0f%% repeats (%s), footprint %.1f GiB\n\n",
+              stream.vectors.size(), stream.vectors[0].tasks.size(),
+              static_cast<long long>(workload.tensor_extent),
+              static_cast<long long>(workload.tensor_extent),
+              workload.repeated_rate * 100, to_string(workload.distribution),
+              static_cast<double>(stream.total_distinct_bytes()) /
+                  (1024.0 * 1024.0 * 1024.0));
+
+  // 2. Describe the cluster (an MI100-class simulated node).
+  ClusterConfig cluster;
+  cluster.num_devices = static_cast<int>(args.get_int("gpus", 4));
+
+  // 3. Run both schedulers on identical fresh clusters.
+  for (const SchedulerKind kind :
+       {SchedulerKind::kGroute, SchedulerKind::kMiccoNaive}) {
+    const std::unique_ptr<Scheduler> scheduler = make_scheduler(kind);
+    const RunResult result = run_stream(stream, *scheduler, cluster);
+    const ExecutionMetrics& m = result.metrics;
+    std::printf("%-14s  %8.0f GFLOPS  makespan %7.1f ms  reuse hits %llu  "
+                "H2D %.1f GiB  evictions %llu\n",
+                to_string(kind), m.gflops(), m.makespan_s * 1e3,
+                static_cast<unsigned long long>(m.reused_operands),
+                static_cast<double>(m.h2d_bytes) / (1024.0 * 1024.0 * 1024.0),
+                static_cast<unsigned long long>(m.evictions));
+  }
+
+  std::printf(
+      "\nMICCO's data-centric placement turns repeated tensors into reuse "
+      "hits, cutting host transfers; see scheduler_comparison and "
+      "autotune_bounds for the full framework.\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Contract-checking macros in the style of the C++ Core Guidelines (I.6/I.8).
+//
+// MICCO_EXPECTS checks preconditions, MICCO_ENSURES postconditions and
+// MICCO_ASSERT internal invariants. All three abort with a source location
+// and message on violation; they stay enabled in release builds because the
+// scheduler and simulator are deterministic and cheap to check relative to
+// the simulated work.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace micco::detail {
+
+[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
+                                            const char* file, int line,
+                                            const char* msg) {
+  std::fprintf(stderr, "micco: %s violation: (%s) at %s:%d%s%s\n", kind, expr,
+               file, line, msg[0] != '\0' ? " - " : "", msg);
+  std::abort();
+}
+
+}  // namespace micco::detail
+
+#define MICCO_CONTRACT_IMPL(kind, cond, msg)                                \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::micco::detail::contract_violation(kind, #cond, __FILE__, __LINE__,  \
+                                          msg);                             \
+    }                                                                       \
+  } while (false)
+
+#define MICCO_EXPECTS(cond) MICCO_CONTRACT_IMPL("precondition", cond, "")
+#define MICCO_EXPECTS_MSG(cond, msg) MICCO_CONTRACT_IMPL("precondition", cond, msg)
+#define MICCO_ENSURES(cond) MICCO_CONTRACT_IMPL("postcondition", cond, "")
+#define MICCO_ASSERT(cond) MICCO_CONTRACT_IMPL("invariant", cond, "")
+#define MICCO_ASSERT_MSG(cond, msg) MICCO_CONTRACT_IMPL("invariant", cond, msg)

@@ -1,0 +1,37 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace micco {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void log_message(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) > static_cast<int>(log_level())) return;
+  std::fprintf(stderr, "[micco:%s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace micco

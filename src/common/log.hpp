@@ -1,0 +1,46 @@
+// Leveled logging to stderr. The simulator and schedulers are silent by
+// default; benches raise the level with --verbose for debugging runs.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace micco {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Global log threshold; messages above it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line ("[level] message") to stderr when enabled.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::kError); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::kDebug); }
+
+}  // namespace micco

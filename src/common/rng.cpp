@@ -1,0 +1,34 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace micco {
+
+double Pcg32::gaussian(double mean, double stddev) {
+  MICCO_EXPECTS(stddev >= 0.0);
+  // Box-Muller transform; u1 is kept away from zero so log() is finite.
+  double u1 = uniform01();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform01();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  return mean + stddev * radius * std::cos(theta);
+}
+
+std::vector<std::size_t> Pcg32::sample_without_replacement(std::size_t n,
+                                                           std::size_t k) {
+  MICCO_EXPECTS(k <= n);
+  // Partial Fisher-Yates over an index array: O(n) setup, O(k) draws.
+  std::vector<std::size_t> indices(n);
+  for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j =
+        i + uniform_below(static_cast<std::uint32_t>(n - i));
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+}  // namespace micco

@@ -1,0 +1,32 @@
+// Wall-clock stopwatch used to measure the *scheduler's own* overhead
+// (Table V separates scheduling time from simulated execution time).
+#pragma once
+
+#include <chrono>
+
+namespace micco {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/restart, in milliseconds.
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds.
+  double elapsed_us() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace micco

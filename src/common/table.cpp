@@ -1,0 +1,95 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace micco {
+
+void TextTable::add_column(std::string header, Align align) {
+  MICCO_EXPECTS_MSG(rows_.empty(), "declare all columns before adding rows");
+  headers_.push_back(std::move(header));
+  aligns_.push_back(align);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  MICCO_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(Row{std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::add_rule() { pending_rule_ = true; }
+
+namespace {
+
+void append_cell(std::string& out, const std::string& text, std::size_t width,
+                 Align align) {
+  const std::size_t pad = width - std::min(width, text.size());
+  if (align == Align::kRight) out.append(pad, ' ');
+  out += text;
+  if (align == Align::kLeft) out.append(pad, ' ');
+}
+
+std::string horizontal_rule(const std::vector<std::size_t>& widths) {
+  std::string line = "+";
+  for (const std::size_t w : widths) {
+    line.append(w + 2, '-');
+    line += '+';
+  }
+  line += '\n';
+  return line;
+}
+
+}  // namespace
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  std::string out = horizontal_rule(widths);
+  out += "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out += ' ';
+    append_cell(out, headers_[c], widths[c], Align::kLeft);
+    out += " |";
+  }
+  out += '\n';
+  out += horizontal_rule(widths);
+
+  for (const Row& row : rows_) {
+    if (row.rule_before) out += horizontal_rule(widths);
+    out += "|";
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      out += ' ';
+      append_cell(out, row.cells[c], widths[c], aligns_[c]);
+      out += " |";
+    }
+    out += '\n';
+  }
+  out += horizontal_rule(widths);
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table) {
+  return os << table.render();
+}
+
+std::string banner(const std::string& title) {
+  std::ostringstream os;
+  os << "\n=== " << title << " ";
+  const std::size_t fill = title.size() < 70 ? 70 - title.size() : 4;
+  for (std::size_t i = 0; i < fill; ++i) os << '=';
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace micco

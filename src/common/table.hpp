@@ -1,0 +1,53 @@
+// ASCII table rendering for the benchmark harnesses: every figure/table in
+// the paper is regenerated as a set of aligned rows so the output can be
+// compared against the publication side by side.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace micco {
+
+/// Column alignment inside a rendered table cell.
+enum class Align { kLeft, kRight };
+
+/// A simple fixed-schema text table. Columns are declared up front; rows are
+/// appended as pre-formatted strings (use stats::format for numbers).
+class TextTable {
+ public:
+  /// Declares a column. All rows added later must carry exactly one cell per
+  /// declared column.
+  void add_column(std::string header, Align align = Align::kRight);
+
+  /// Appends a row; cell count must equal the declared column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal rule before the next appended row.
+  void add_rule();
+
+  /// Renders with column auto-sizing, a header rule and outer borders.
+  std::string render() const;
+
+  /// Renders straight to a stream (bench main() convenience).
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+/// Prints a section banner used between benchmark sub-experiments.
+std::string banner(const std::string& title);
+
+}  // namespace micco

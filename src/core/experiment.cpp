@@ -1,0 +1,79 @@
+#include "core/experiment.hpp"
+
+#include "common/assert.hpp"
+
+namespace micco {
+
+const char* to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kGroute: return "Groute";
+    case SchedulerKind::kRoundRobin: return "RoundRobin";
+    case SchedulerKind::kDataReuseOnly: return "DataReuseOnly";
+    case SchedulerKind::kLoadBalanceOnly: return "LoadBalanceOnly";
+    case SchedulerKind::kDmda: return "dmda";
+    case SchedulerKind::kMiccoNaive: return "MICCO-naive";
+    case SchedulerKind::kMiccoOptimal: return "MICCO-optimal";
+  }
+  return "?";
+}
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
+                                          std::uint64_t seed) {
+  switch (kind) {
+    case SchedulerKind::kGroute:
+      return std::make_unique<GrouteScheduler>();
+    case SchedulerKind::kRoundRobin:
+      return std::make_unique<RoundRobinScheduler>();
+    case SchedulerKind::kDataReuseOnly:
+      return std::make_unique<DataReuseOnlyScheduler>();
+    case SchedulerKind::kLoadBalanceOnly:
+      return std::make_unique<LoadBalanceOnlyScheduler>();
+    case SchedulerKind::kDmda:
+      return std::make_unique<DmdaScheduler>();
+    case SchedulerKind::kMiccoNaive:
+    case SchedulerKind::kMiccoOptimal: {
+      MiccoSchedulerOptions options;
+      options.seed = seed;
+      return std::make_unique<MiccoScheduler>(options);
+    }
+  }
+  MICCO_ASSERT_MSG(false, "unreachable scheduler kind");
+  return nullptr;
+}
+
+std::vector<ComparisonEntry> compare_schedulers(
+    const WorkloadStream& stream, const ClusterConfig& cluster,
+    const std::vector<SchedulerKind>& kinds, BoundsProvider* optimal_bounds) {
+  std::vector<ComparisonEntry> entries;
+  entries.reserve(kinds.size());
+  for (const SchedulerKind kind : kinds) {
+    if (kind == SchedulerKind::kMiccoOptimal && optimal_bounds == nullptr) {
+      continue;
+    }
+    const std::unique_ptr<Scheduler> scheduler = make_scheduler(kind);
+    BoundsProvider* bounds =
+        kind == SchedulerKind::kMiccoOptimal ? optimal_bounds : nullptr;
+    ComparisonEntry entry;
+    entry.kind = kind;
+    entry.name = to_string(kind);
+    entry.result = run_stream(stream, *scheduler, cluster, bounds);
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+double speedup_of(const std::vector<ComparisonEntry>& entries,
+                  SchedulerKind which, SchedulerKind baseline) {
+  const ComparisonEntry* target = nullptr;
+  const ComparisonEntry* base = nullptr;
+  for (const ComparisonEntry& e : entries) {
+    if (e.kind == which) target = &e;
+    if (e.kind == baseline) base = &e;
+  }
+  MICCO_EXPECTS_MSG(target != nullptr && base != nullptr,
+                    "speedup_of: scheduler missing from comparison");
+  MICCO_EXPECTS(base->result.metrics.makespan_s > 0.0);
+  return base->result.metrics.makespan_s / target->result.metrics.makespan_s;
+}
+
+}  // namespace micco

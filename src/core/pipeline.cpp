@@ -1,0 +1,124 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/stopwatch.hpp"
+#include "sched/reuse_pattern.hpp"
+
+namespace micco {
+
+const char* to_string(PairOrdering ordering) {
+  switch (ordering) {
+    case PairOrdering::kAsGiven: return "as-given";
+    case PairOrdering::kReuseTierFirst: return "reuse-tier-first";
+    case PairOrdering::kLargestFirst: return "largest-first";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Task visit order for one vector under the configured ordering policy.
+/// Reuse-tier ordering is computed against residency at vector entry (the
+/// classification drifts as assignments execute, but a stable order keeps
+/// the policy deterministic and cheap).
+std::vector<std::size_t> visit_order(const VectorWorkload& vec,
+                                     const ClusterView& view,
+                                     PairOrdering ordering) {
+  std::vector<std::size_t> order(vec.tasks.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  switch (ordering) {
+    case PairOrdering::kAsGiven:
+      break;
+    case PairOrdering::kReuseTierFirst: {
+      std::vector<int> tier(vec.tasks.size());
+      for (std::size_t i = 0; i < vec.tasks.size(); ++i) {
+        tier[i] = static_cast<int>(classify_pair(vec.tasks[i], view));
+      }
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return tier[a] < tier[b];
+                       });
+      break;
+    }
+    case PairOrdering::kLargestFirst:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return vec.tasks[a].flops() > vec.tasks[b].flops();
+                       });
+      break;
+  }
+  return order;
+}
+
+}  // namespace
+
+RunResult run_stream(const WorkloadStream& stream, Scheduler& scheduler,
+                     const ClusterConfig& cluster,
+                     const RunOptions& options) {
+  ClusterSimulator sim(cluster);
+  sim.set_trace(options.trace);
+  RunResult result;
+  result.scheduler_name = scheduler.name();
+  result.per_vector_characteristics.reserve(stream.vectors.size());
+
+  auto* micco_sched = dynamic_cast<MiccoScheduler*>(&scheduler);
+  double overhead_us = 0.0;
+
+  for (const VectorWorkload& vec : stream.vectors) {
+    if (vec.tasks.empty()) continue;
+
+    Stopwatch watch;
+    const DataCharacteristics characteristics =
+        extract_characteristics(vec, sim);
+    if (options.bounds != nullptr && micco_sched != nullptr) {
+      micco_sched->set_reuse_bounds(
+          options.bounds->bounds_for(characteristics));
+    }
+    scheduler.begin_vector(vec, sim);
+    const std::vector<std::size_t> order =
+        visit_order(vec, sim, options.ordering);
+    overhead_us += watch.elapsed_us();
+    result.per_vector_characteristics.push_back(characteristics);
+
+    for (const std::size_t index : order) {
+      const ContractionTask& task = vec.tasks[index];
+      watch.restart();
+      const DeviceId dev = scheduler.assign(task, sim);
+      overhead_us += watch.elapsed_us();
+      sim.execute(task, dev);
+    }
+
+    watch.restart();
+    scheduler.end_vector();
+    overhead_us += watch.elapsed_us();
+    sim.barrier();
+  }
+
+  result.metrics = sim.metrics();
+  result.scheduling_overhead_ms = overhead_us / 1000.0;
+  result.total_time_ms = result.metrics.makespan_s * 1000.0;
+  return result;
+}
+
+RunResult run_stream(const WorkloadStream& stream, Scheduler& scheduler,
+                     const ClusterConfig& cluster, BoundsProvider* bounds) {
+  RunOptions options;
+  options.bounds = bounds;
+  return run_stream(stream, scheduler, cluster, options);
+}
+
+std::uint64_t capacity_for_oversubscription(const WorkloadStream& stream,
+                                            int num_devices, double rate,
+                                            std::uint64_t min_capacity) {
+  MICCO_EXPECTS(num_devices >= 1);
+  MICCO_EXPECTS(rate > 0.0);
+  const std::uint64_t footprint = stream.total_distinct_bytes();
+  const auto share =
+      static_cast<double>(footprint) / static_cast<double>(num_devices);
+  const auto capacity = static_cast<std::uint64_t>(share / rate);
+  return std::max(capacity, min_capacity);
+}
+
+}  // namespace micco

@@ -1,0 +1,93 @@
+// The MICCO execution pipeline (Fig. 6).
+//
+// Drives one workload stream through a scheduler and the simulated cluster:
+// per vector, (1) extract data characteristics, (2) obtain reuse bounds from
+// the bounds provider (regression model, fixed triple, or none for
+// baselines), (3) assign tensor pairs one by one, executing each assignment
+// immediately, then barrier. Scheduler wall-clock is metered separately so
+// Table V's overhead split can be reproduced.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gpusim/cluster.hpp"
+#include "sched/micco_scheduler.hpp"
+#include "sched/scheduler.hpp"
+#include "workload/characteristics.hpp"
+#include "workload/task.hpp"
+
+namespace micco {
+
+/// Supplies reuse bounds for each incoming vector.
+class BoundsProvider {
+ public:
+  virtual ~BoundsProvider() = default;
+  virtual ReuseBounds bounds_for(const DataCharacteristics& c) = 0;
+};
+
+/// Always returns the same triple (MICCO-naive uses the zero triple; Fig. 8
+/// sweeps fixed triples).
+class FixedBounds final : public BoundsProvider {
+ public:
+  explicit FixedBounds(ReuseBounds bounds) : bounds_(bounds) {}
+  ReuseBounds bounds_for(const DataCharacteristics&) override {
+    return bounds_;
+  }
+
+ private:
+  ReuseBounds bounds_;
+};
+
+struct RunResult {
+  std::string scheduler_name;
+  ExecutionMetrics metrics;
+  /// Wall-clock spent inside scheduler + bounds-provider calls (Table V's
+  /// "Scheduling Overhead"), milliseconds.
+  double scheduling_overhead_ms = 0.0;
+  /// Simulated execution time, milliseconds (Table V's "Total Time").
+  double total_time_ms = 0.0;
+  /// Characteristics observed per vector (diagnostics, training data).
+  std::vector<DataCharacteristics> per_vector_characteristics;
+};
+
+/// Order in which a vector's pairs are fed to the scheduler. The paper
+/// processes pairs "one after another" in arrival order; the alternatives
+/// are ablations on that design choice.
+enum class PairOrdering {
+  kAsGiven,         ///< arrival order (the paper's setting)
+  kReuseTierFirst,  ///< pairs with resident operands first (greedy locality)
+  kLargestFirst,    ///< LPT on kernel FLOPs (classic makespan heuristic)
+};
+
+const char* to_string(PairOrdering ordering);
+
+struct RunOptions {
+  BoundsProvider* bounds = nullptr;  ///< per-vector reuse bounds (Fig. 6)
+  PairOrdering ordering = PairOrdering::kAsGiven;
+  TraceRecorder* trace = nullptr;    ///< optional timeline recording
+};
+
+/// Runs `stream` with `scheduler` on a fresh simulated cluster. When
+/// `options.bounds` is non-null and the scheduler is a MiccoScheduler,
+/// bounds are refreshed per vector from the provider (step 2 of Fig. 6).
+RunResult run_stream(const WorkloadStream& stream, Scheduler& scheduler,
+                     const ClusterConfig& cluster, const RunOptions& options);
+
+/// Back-compat convenience: default options with an optional provider.
+RunResult run_stream(const WorkloadStream& stream, Scheduler& scheduler,
+                     const ClusterConfig& cluster,
+                     BoundsProvider* bounds = nullptr);
+
+/// Sizes device capacity so the run is at the given memory oversubscription
+/// rate: rate = (per-device share of the distinct-tensor footprint) /
+/// capacity. rate 1.0 means the workload exactly fits; 2.0 means each
+/// device can hold half its share (Fig. 11's 200%). The result is floored
+/// at `min_capacity` so a single task's working set always fits.
+std::uint64_t capacity_for_oversubscription(const WorkloadStream& stream,
+                                            int num_devices, double rate,
+                                            std::uint64_t min_capacity);
+
+}  // namespace micco

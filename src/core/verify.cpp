@@ -1,0 +1,112 @@
+#include "core/verify.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+
+namespace micco {
+
+std::string validate_stream_structure(const WorkloadStream& stream) {
+  std::unordered_set<TensorId> produced;     // outputs seen so far (any stage)
+  std::unordered_set<TensorId> ready;        // usable as operands
+  std::unordered_set<TensorId> ever_output;  // for originals detection
+
+  // First pass: collect every output id so originals can be identified.
+  for (const VectorWorkload& vec : stream.vectors) {
+    for (const ContractionTask& task : vec.tasks) {
+      if (!ever_output.insert(task.out.id).second) {
+        std::ostringstream os;
+        os << "output tensor " << task.out.id << " produced twice";
+        return os.str();
+      }
+    }
+  }
+
+  for (std::size_t stage = 0; stage < stream.vectors.size(); ++stage) {
+    const VectorWorkload& vec = stream.vectors[stage];
+    std::vector<TensorId> stage_outputs;
+    for (const ContractionTask& task : vec.tasks) {
+      for (const TensorDesc* operand : {&task.a, &task.b}) {
+        if (!operand->valid()) return "invalid operand descriptor";
+        const bool is_original = !ever_output.contains(operand->id);
+        if (!is_original && !ready.contains(operand->id)) {
+          std::ostringstream os;
+          os << "stage " << stage << " consumes tensor " << operand->id
+             << " before the stage producing it has completed";
+          return os.str();
+        }
+      }
+      if ((task.a.rank != 2 && task.a.rank != 3) ||
+          (task.b.rank != 2 && task.b.rank != 3)) {
+        return "operand ranks must be 2 or 3";
+      }
+      if (task.a.extent != task.b.extent || task.a.batch != task.b.batch) {
+        return "operand shapes are not contractable";
+      }
+      if (task.out.rank != contraction_result_rank(task.a.rank, task.b.rank)) {
+        return "output rank does not match the contraction rules";
+      }
+      stage_outputs.push_back(task.out.id);
+      produced.insert(task.out.id);
+    }
+    // Outputs become usable only after the stage barrier.
+    for (const TensorId id : stage_outputs) ready.insert(id);
+  }
+  return "";
+}
+
+Tensor materialize_original(const TensorDesc& desc) {
+  MICCO_EXPECTS(desc.valid());
+  const Shape shape = desc.rank == 2 ? Shape::matrix(desc.batch, desc.extent)
+                                     : Shape::rank3(desc.batch, desc.extent);
+  // Seeded by the tensor's identity: every appearance of a repeated hadron
+  // node materialises identical data, wherever and whenever it is fetched.
+  Pcg32 rng(desc.id * 0x9e3779b97f4a7c15ULL + 1ULL);
+  return Tensor::random(shape, rng);
+}
+
+NumericResult execute_numerically(const WorkloadStream& stream,
+                                  std::uint64_t byte_limit) {
+  const std::string structural_error = validate_stream_structure(stream);
+  MICCO_EXPECTS_MSG(structural_error.empty(),
+                    "stream failed structural validation");
+
+  std::unordered_map<TensorId, Tensor> live;
+  NumericResult result;
+  std::uint64_t live_bytes = 0;
+
+  const auto obtain = [&](const TensorDesc& desc) -> const Tensor& {
+    const auto it = live.find(desc.id);
+    if (it != live.end()) return it->second;
+    Tensor t = materialize_original(desc);
+    live_bytes += t.bytes();
+    MICCO_EXPECTS_MSG(live_bytes <= byte_limit,
+                      "numeric execution exceeds the byte limit");
+    return live.emplace(desc.id, std::move(t)).first->second;
+  };
+
+  for (const VectorWorkload& vec : stream.vectors) {
+    for (const ContractionTask& task : vec.tasks) {
+      const Tensor& a = obtain(task.a);
+      const Tensor& b = obtain(task.b);
+      Tensor out = [&] {
+        if (task.a.rank == 2 && task.b.rank == 2) return contract_meson(a, b);
+        if (task.a.rank == 3 && task.b.rank == 3) return contract_baryon(a, b);
+        // Mixed: orient so the matrix comes first.
+        return task.a.rank == 2 ? contract_mixed(a, b)
+                                : contract_mixed(b, a);
+      }();
+      result.digest += out.frobenius_norm();
+      live_bytes += out.bytes();
+      MICCO_EXPECTS_MSG(live_bytes <= byte_limit,
+                        "numeric execution exceeds the byte limit");
+      live.emplace(task.out.id, std::move(out));
+      ++result.tasks_executed;
+      result.peak_bytes = std::max(result.peak_bytes, live_bytes);
+    }
+  }
+  return result;
+}
+
+}  // namespace micco

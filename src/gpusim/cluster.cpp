@@ -1,0 +1,291 @@
+#include "gpusim/cluster.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace micco {
+
+ClusterSimulator::ClusterSimulator(ClusterConfig config)
+    : config_(config), cost_model_(config.cost) {
+  MICCO_EXPECTS(config_.num_devices >= 1);
+  MICCO_EXPECTS(config_.device_capacity_bytes > 0);
+  devices_.reserve(static_cast<std::size_t>(config_.num_devices));
+  for (int i = 0; i < config_.num_devices; ++i) {
+    devices_.emplace_back(config_.device_capacity_bytes);
+  }
+}
+
+ClusterSimulator::DeviceState& ClusterSimulator::device(DeviceId dev) {
+  MICCO_EXPECTS(dev >= 0 && dev < num_devices());
+  return devices_[static_cast<std::size_t>(dev)];
+}
+
+const ClusterSimulator::DeviceState& ClusterSimulator::device(
+    DeviceId dev) const {
+  MICCO_EXPECTS(dev >= 0 && dev < num_devices());
+  return devices_[static_cast<std::size_t>(dev)];
+}
+
+int ClusterSimulator::num_devices() const {
+  return static_cast<int>(devices_.size());
+}
+
+std::vector<DeviceId> ClusterSimulator::devices_holding(TensorId id) const {
+  const auto it = residency_.find(id);
+  return it == residency_.end() ? std::vector<DeviceId>{} : it->second;
+}
+
+bool ClusterSimulator::resident_on(DeviceId dev, TensorId id) const {
+  return device(dev).memory.resident(id);
+}
+
+std::uint64_t ClusterSimulator::memory_used(DeviceId dev) const {
+  return device(dev).memory.used();
+}
+
+std::uint64_t ClusterSimulator::memory_capacity(DeviceId dev) const {
+  return device(dev).memory.capacity();
+}
+
+double ClusterSimulator::busy_time(DeviceId dev) const {
+  const DeviceState& d = device(dev);
+  return std::max(d.compute_free_s, d.copy_free_s);
+}
+
+int ClusterSimulator::node_of(DeviceId dev) const {
+  MICCO_EXPECTS(dev >= 0 && dev < num_devices());
+  if (config_.devices_per_node <= 0) return 0;
+  return dev / config_.devices_per_node;
+}
+
+bool ClusterSimulator::resident_anywhere(TensorId id) const {
+  const auto it = residency_.find(id);
+  return it != residency_.end() && !it->second.empty();
+}
+
+bool ClusterSimulator::host_resident(TensorId id) const {
+  // Originals are staged in host memory by the frontend; intermediates
+  // gain a host copy only via eviction write-back.
+  if (!produced_.contains(id)) return true;
+  return host_copies_.contains(id);
+}
+
+void ClusterSimulator::index_add(TensorId id, DeviceId dev) {
+  std::vector<DeviceId>& holders = residency_[id];
+  MICCO_ASSERT(std::find(holders.begin(), holders.end(), dev) ==
+               holders.end());
+  holders.push_back(dev);
+}
+
+void ClusterSimulator::index_remove(TensorId id, DeviceId dev) {
+  const auto it = residency_.find(id);
+  MICCO_ASSERT(it != residency_.end());
+  auto& holders = it->second;
+  const auto pos = std::find(holders.begin(), holders.end(), dev);
+  MICCO_ASSERT(pos != holders.end());
+  holders.erase(pos);
+  if (holders.empty()) residency_.erase(it);
+}
+
+double ClusterSimulator::make_room(DeviceId dev, std::uint64_t bytes) {
+  DeviceState& d = device(dev);
+  MICCO_EXPECTS_MSG(bytes <= d.memory.capacity(),
+                    "a single tensor exceeds device capacity");
+  double cost = 0.0;
+  while (!d.memory.fits(bytes)) {
+    const std::optional<Eviction> ev = d.memory.evict_lru();
+    MICCO_ASSERT_MSG(ev.has_value(),
+                     "task working set exceeds device capacity (all "
+                     "resident tensors pinned)");
+    index_remove(ev->id, dev);
+    ++metrics_.evictions;
+    cost += cost_model_.free_time();
+    // Oversubscribed executions run UVM-style: an evicted frame migrates to
+    // host memory whether or not it is dirty (pages move, they are not
+    // dropped), which is what makes evictions the dominant cost of Fig. 11.
+    const double eviction_cost =
+        cost_model_.free_time() + cost_model_.d2h_time(ev->bytes);
+    metrics_.writeback_bytes += ev->bytes;
+    cost += cost_model_.d2h_time(ev->bytes);
+    if (ev->dirty) ++metrics_.dirty_evictions;
+    if (produced_.contains(ev->id)) host_copies_.insert(ev->id);
+    if (trace_ != nullptr) {
+      pending_ops_.push_back(
+          PendingOp{TraceEventKind::kEviction, ev->id, eviction_cost});
+    }
+  }
+  return cost;
+}
+
+double ClusterSimulator::fetch_operand(const TensorDesc& desc, DeviceId dev) {
+  DeviceState& d = device(dev);
+  if (d.memory.resident(desc.id)) {
+    d.memory.touch(desc.id);
+    d.memory.pin(desc.id);
+    ++metrics_.reused_operands;
+    return 0.0;
+  }
+
+  // Dataflow invariant: the payload must exist SOMEWHERE to be fetched.
+  MICCO_ASSERT_MSG(host_resident(desc.id) || resident_anywhere(desc.id),
+                   "fetch of a lost intermediate (no host or device copy)");
+
+  const std::uint64_t bytes = desc.bytes();
+  double cost = make_room(dev, bytes);
+  const double room_cost = cost;  // trace: fetch = alloc + transfer
+  cost += cost_model_.alloc_time();
+  ++metrics_.allocations;
+
+  // Prefer a peer copy over the host link when a replica exists and P2P is
+  // enabled; the source device's timeline is not charged (DMA engines).
+  const std::vector<DeviceId> holders = devices_holding(desc.id);
+  TraceEventKind fetch_kind;
+  if (config_.p2p_enabled && !holders.empty()) {
+    // Prefer an intra-node replica; fall back to the inter-node link.
+    const bool same_node = std::any_of(
+        holders.begin(), holders.end(),
+        [&](DeviceId holder) { return node_of(holder) == node_of(dev); });
+    if (same_node) {
+      cost += cost_model_.p2p_time(bytes);
+      ++metrics_.p2p_transfers;
+      metrics_.p2p_bytes += bytes;
+    } else {
+      cost += cost_model_.internode_time(bytes);
+      ++metrics_.internode_transfers;
+      metrics_.internode_bytes += bytes;
+    }
+    fetch_kind = TraceEventKind::kFetchP2P;
+  } else {
+    cost += cost_model_.h2d_time(bytes);
+    ++metrics_.h2d_transfers;
+    metrics_.h2d_bytes += bytes;
+    fetch_kind = TraceEventKind::kFetchH2D;
+  }
+  if (trace_ != nullptr) {
+    pending_ops_.push_back(PendingOp{fetch_kind, desc.id, cost - room_cost});
+  }
+
+  d.memory.allocate(desc.id, bytes, /*dirty=*/false);
+  d.memory.pin(desc.id);
+  index_add(desc.id, dev);
+  ++metrics_.fetched_operands;
+  return cost;
+}
+
+void ClusterSimulator::execute(const ContractionTask& task, DeviceId dev) {
+  MICCO_EXPECTS(task.a.valid() && task.b.valid() && task.out.valid());
+  DeviceState& d = device(dev);
+
+  pending_ops_.clear();
+  double copy_cost = 0.0;
+
+  // Pin operands that are already resident before any eviction can run, so
+  // making room for one operand never evicts the other. A task may use the
+  // same tensor for both operands (self-contraction); pin it once.
+  const bool same_operand = task.a.id == task.b.id;
+  copy_cost += fetch_operand(task.a, dev);
+  if (!same_operand) copy_cost += fetch_operand(task.b, dev);
+
+  // Output allocation (kernels never run in place).
+  MICCO_EXPECTS_MSG(!d.memory.resident(task.out.id),
+                    "output tensor already resident on target device");
+  const std::uint64_t out_bytes = task.out.bytes();
+  copy_cost += make_room(dev, out_bytes);
+  copy_cost += cost_model_.alloc_time();
+  if (trace_ != nullptr) {
+    pending_ops_.push_back(PendingOp{TraceEventKind::kOutputAlloc,
+                                     task.out.id, cost_model_.alloc_time()});
+  }
+  d.memory.allocate(task.out.id, out_bytes, /*dirty=*/true);
+  index_add(task.out.id, dev);
+  produced_.insert(task.out.id);
+  ++metrics_.allocations;
+
+  const double kernel_cost = cost_model_.kernel_time(task);
+
+  double copy_window_start = 0.0;
+  double kernel_start = 0.0;
+  if (config_.overlap_transfers) {
+    // Dual-engine model: the copy engine streams operands while the compute
+    // engine may still be working on the previous kernel.
+    copy_window_start = d.copy_free_s;
+    const double copy_done = d.copy_free_s + copy_cost;
+    kernel_start = std::max(d.compute_free_s, copy_done);
+    d.copy_free_s = copy_done;
+    d.compute_free_s = kernel_start + kernel_cost;
+  } else {
+    // The evaluated system issues copies and kernels on one stream.
+    const double start = std::max(d.compute_free_s, d.copy_free_s);
+    copy_window_start = start;
+    kernel_start = start + copy_cost;
+    const double done = start + copy_cost + kernel_cost;
+    d.compute_free_s = done;
+    d.copy_free_s = done;
+  }
+
+  if (trace_ != nullptr) {
+    // Memory operations run back-to-back in the copy window; the kernel
+    // follows (or overlaps, in dual-engine mode).
+    double cursor = copy_window_start;
+    for (const PendingOp& op : pending_ops_) {
+      trace_->record(
+          TraceEvent{op.kind, dev, op.tensor, cursor, op.duration_s});
+      cursor += op.duration_s;
+    }
+    trace_->record(TraceEvent{TraceEventKind::kKernel, dev, task.out.id,
+                              kernel_start, kernel_cost});
+  }
+
+  d.memory.unpin(task.a.id);
+  if (!same_operand) d.memory.unpin(task.b.id);
+
+  d.work_s += copy_cost + kernel_cost;
+  metrics_.total_flops += task.flops();
+  metrics_.kernel_time_s += kernel_cost;
+  metrics_.transfer_time_s += copy_cost;
+  metrics_.makespan_s = std::max(metrics_.makespan_s, busy_time(dev));
+}
+
+void ClusterSimulator::barrier() {
+  double t_max = 0.0;
+  for (int dev = 0; dev < num_devices(); ++dev) {
+    t_max = std::max(t_max, busy_time(dev));
+  }
+  for (int dev = 0; dev < num_devices(); ++dev) {
+    DeviceState& d = devices_[static_cast<std::size_t>(dev)];
+    const double busy = std::max(d.compute_free_s, d.copy_free_s);
+    metrics_.barrier_idle_s += t_max - busy;
+    if (trace_ != nullptr && t_max > busy) {
+      trace_->record(TraceEvent{TraceEventKind::kBarrier, dev,
+                                kInvalidTensor, busy, t_max - busy});
+    }
+    d.compute_free_s = t_max;
+    d.copy_free_s = t_max;
+  }
+  metrics_.makespan_s = std::max(metrics_.makespan_s, t_max);
+}
+
+void ClusterSimulator::discard(TensorId id) {
+  const std::vector<DeviceId> holders = devices_holding(id);
+  for (const DeviceId dev : holders) {
+    DeviceState& d = device(dev);
+    d.memory.release(id);
+    index_remove(id, dev);
+    const double start = std::max(d.compute_free_s, d.copy_free_s);
+    d.compute_free_s = start + cost_model_.free_time();
+    d.copy_free_s = d.compute_free_s;
+  }
+}
+
+std::vector<double> ClusterSimulator::utilization() const {
+  std::vector<double> result;
+  result.reserve(devices_.size());
+  const double makespan = metrics_.makespan_s;
+  for (const DeviceState& d : devices_) {
+    result.push_back(makespan > 0.0 ? d.work_s / makespan : 0.0);
+  }
+  return result;
+}
+
+}  // namespace micco

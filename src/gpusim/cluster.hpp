@@ -1,0 +1,193 @@
+// Simulated multi-GPU cluster.
+//
+// The cluster is the execution substrate substituting for the paper's 8x
+// MI100 node (see DESIGN.md). It owns per-device memory managers and
+// timelines, executes scheduler-assigned contraction tasks by pricing each
+// induced event (allocation, H2D/P2P fetch, eviction write-back, kernel),
+// and exposes the read-only ClusterView the schedulers consult: residency,
+// memory headroom and accumulated device busy time.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "gpusim/cost_model.hpp"
+#include "gpusim/memory.hpp"
+#include "gpusim/trace.hpp"
+#include "workload/characteristics.hpp"
+#include "workload/task.hpp"
+
+namespace micco {
+
+using DeviceId = int;
+constexpr DeviceId kNoDevice = -1;
+
+/// Read-only cluster state offered to schedulers. Doubles as the residency
+/// oracle for data-characteristics extraction.
+class ClusterView : public ResidencyOracle {
+ public:
+  virtual int num_devices() const = 0;
+
+  /// Devices currently holding the tensor (unordered, possibly empty).
+  virtual std::vector<DeviceId> devices_holding(TensorId id) const = 0;
+
+  virtual bool resident_on(DeviceId dev, TensorId id) const = 0;
+  virtual std::uint64_t memory_used(DeviceId dev) const = 0;
+  virtual std::uint64_t memory_capacity(DeviceId dev) const = 0;
+
+  /// Accumulated busy time of the device's timeline, in seconds. "Earliest
+  /// available device" baselines key off this.
+  virtual double busy_time(DeviceId dev) const = 0;
+};
+
+/// Aggregated execution metrics for one simulated run.
+struct ExecutionMetrics {
+  double makespan_s = 0.0;
+  std::uint64_t total_flops = 0;
+
+  std::uint64_t h2d_transfers = 0;
+  std::uint64_t h2d_bytes = 0;
+  std::uint64_t p2p_transfers = 0;
+  std::uint64_t p2p_bytes = 0;
+  std::uint64_t internode_transfers = 0;
+  std::uint64_t internode_bytes = 0;
+  std::uint64_t writeback_bytes = 0;
+
+  std::uint64_t allocations = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t dirty_evictions = 0;
+
+  /// Reused operand slots: an operand that was already resident on the
+  /// executing device (no fetch needed).
+  std::uint64_t reused_operands = 0;
+  std::uint64_t fetched_operands = 0;
+
+  /// Total device-seconds lost at vector barriers (load imbalance).
+  double barrier_idle_s = 0.0;
+
+  double kernel_time_s = 0.0;
+  double transfer_time_s = 0.0;
+
+  /// Simulated throughput over the whole run.
+  double gflops() const {
+    return makespan_s > 0.0
+               ? static_cast<double>(total_flops) / makespan_s / 1.0e9
+               : 0.0;
+  }
+};
+
+struct ClusterConfig {
+  int num_devices = 8;
+  std::uint64_t device_capacity_bytes = 32ULL << 30;  ///< MI100: 32 GiB
+  /// Peer-to-peer fetches of replicas. The evaluated system stages hadron
+  /// tensors through host memory, so this is off by default and exposed as
+  /// an extension/ablation (bench flag --p2p).
+  bool p2p_enabled = false;
+  /// When true, fetches overlap with kernel execution via a separate copy
+  /// engine per device (the paper's future-work "asynchronous data copy";
+  /// off by default to match the evaluated system).
+  bool overlap_transfers = false;
+  /// Multi-node extension (the paper's future work): devices are grouped
+  /// into nodes of this size; peer fetches across nodes use the slower
+  /// inter-node link. 0 means a single node holds every device.
+  int devices_per_node = 0;
+  CostModelConfig cost;
+};
+
+class ClusterSimulator final : public ClusterView {
+ public:
+  explicit ClusterSimulator(ClusterConfig config);
+
+  // -- ClusterView -----------------------------------------------------
+  int num_devices() const override;
+  std::vector<DeviceId> devices_holding(TensorId id) const override;
+  bool resident_on(DeviceId dev, TensorId id) const override;
+  std::uint64_t memory_used(DeviceId dev) const override;
+  std::uint64_t memory_capacity(DeviceId dev) const override;
+  double busy_time(DeviceId dev) const override;
+  bool resident_anywhere(TensorId id) const override;
+
+  // -- Execution --------------------------------------------------------
+  /// Executes one contraction on the given device: fetches absent operands
+  /// (P2P when available and enabled, otherwise H2D), allocates the output,
+  /// evicts LRU tensors on capacity pressure and advances the device
+  /// timeline. Aborts if a single task's working set cannot fit.
+  void execute(const ContractionTask& task, DeviceId dev);
+
+  /// Stage barrier: devices synchronise to the slowest timeline; the idle
+  /// gap is recorded as load imbalance.
+  void barrier();
+
+  /// Releases a tensor from every device (e.g. a Redstar intermediate whose
+  /// last consumer has run). Free latency is charged to each holder.
+  void discard(TensorId id);
+
+  const ExecutionMetrics& metrics() const { return metrics_; }
+  const CostModel& cost_model() const { return cost_model_; }
+  const ClusterConfig& config() const { return config_; }
+
+  /// Attaches an event recorder (nullptr detaches). The simulator does not
+  /// own it; it must outlive all execute()/barrier() calls.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
+  /// Node index of a device under the configured topology.
+  int node_of(DeviceId dev) const;
+
+  /// True when a host copy of the tensor exists: original inputs always
+  /// (Redstar stages them in host memory), produced intermediates only
+  /// after an eviction migrated them back. Fetching a produced tensor with
+  /// neither a device replica nor a host copy is a lost-intermediate bug
+  /// and aborts.
+  bool host_resident(TensorId id) const;
+
+  /// Fraction of each device's pre-barrier busy time over the makespan so
+  /// far; used by scalability diagnostics and tests.
+  std::vector<double> utilization() const;
+
+ private:
+  struct DeviceState {
+    explicit DeviceState(std::uint64_t capacity) : memory(capacity) {}
+    DeviceMemory memory;
+    double compute_free_s = 0.0;  ///< when the compute engine frees up
+    double copy_free_s = 0.0;     ///< when the copy engine frees up
+    double work_s = 0.0;          ///< accumulated non-idle device time
+  };
+
+  DeviceState& device(DeviceId dev);
+  const DeviceState& device(DeviceId dev) const;
+
+  /// Makes room for `bytes` on `dev`, charging eviction costs; operands of
+  /// the in-flight task must already be pinned.
+  double make_room(DeviceId dev, std::uint64_t bytes);
+
+  /// Ensures `desc` is resident on `dev`; returns the copy-engine time spent
+  /// and updates metrics. Pins the tensor.
+  double fetch_operand(const TensorDesc& desc, DeviceId dev);
+
+  void index_add(TensorId id, DeviceId dev);
+  void index_remove(TensorId id, DeviceId dev);
+
+  /// One priced memory operation of the in-flight task, kept so the trace
+  /// can assign exact start offsets once the task's window is known.
+  struct PendingOp {
+    TraceEventKind kind;
+    TensorId tensor;
+    double duration_s;
+  };
+
+  ClusterConfig config_;
+  CostModel cost_model_;
+  std::vector<DeviceState> devices_;
+  std::unordered_map<TensorId, std::vector<DeviceId>> residency_;
+  /// Tensors ever produced by a kernel (everything else is an original).
+  std::unordered_set<TensorId> produced_;
+  /// Produced tensors with a live host copy (eviction write-backs).
+  std::unordered_set<TensorId> host_copies_;
+  ExecutionMetrics metrics_;
+  TraceRecorder* trace_ = nullptr;
+  std::vector<PendingOp> pending_ops_;
+};
+
+}  // namespace micco

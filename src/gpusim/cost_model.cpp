@@ -1,0 +1,70 @@
+#include "gpusim/cost_model.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace micco {
+
+namespace {
+constexpr double kGiga = 1.0e9;
+}
+
+CostModel::CostModel(CostModelConfig config) : config_(config) {
+  MICCO_EXPECTS(config_.peak_gflops > 0.0);
+  MICCO_EXPECTS(config_.sustained_fraction > 0.0 &&
+                config_.sustained_fraction <= 1.0);
+  MICCO_EXPECTS(config_.saturating_extent >= 1);
+  MICCO_EXPECTS(config_.min_occupancy > 0.0 && config_.min_occupancy <= 1.0);
+  MICCO_EXPECTS(config_.hbm_bandwidth_gbs > 0.0);
+  MICCO_EXPECTS(config_.h2d_bandwidth_gbs > 0.0);
+  MICCO_EXPECTS(config_.d2h_bandwidth_gbs > 0.0);
+  MICCO_EXPECTS(config_.p2p_bandwidth_gbs > 0.0);
+  MICCO_EXPECTS(config_.internode_bandwidth_gbs > 0.0);
+}
+
+double CostModel::occupancy(std::int64_t extent) const {
+  MICCO_EXPECTS(extent >= 1);
+  const double ratio = static_cast<double>(extent) /
+                       static_cast<double>(config_.saturating_extent);
+  return std::clamp(ratio, config_.min_occupancy, 1.0);
+}
+
+double CostModel::kernel_time(const ContractionTask& task) const {
+  const double flops = static_cast<double>(task.flops());
+  const double bytes = static_cast<double>(task.kernel_bytes());
+
+  const double effective_rate = config_.peak_gflops * kGiga *
+                                config_.sustained_fraction *
+                                occupancy(task.a.extent);
+  const double compute_time = flops / effective_rate;
+  const double memory_time = bytes / (config_.hbm_bandwidth_gbs * kGiga);
+  return std::max(compute_time, memory_time) + config_.kernel_launch_latency_s;
+}
+
+double CostModel::h2d_time(std::uint64_t bytes) const {
+  return static_cast<double>(bytes) / (config_.h2d_bandwidth_gbs * kGiga) +
+         config_.transfer_latency_s;
+}
+
+double CostModel::d2h_time(std::uint64_t bytes) const {
+  return static_cast<double>(bytes) / (config_.d2h_bandwidth_gbs * kGiga) +
+         config_.transfer_latency_s;
+}
+
+double CostModel::p2p_time(std::uint64_t bytes) const {
+  return static_cast<double>(bytes) / (config_.p2p_bandwidth_gbs * kGiga) +
+         config_.transfer_latency_s;
+}
+
+double CostModel::internode_time(std::uint64_t bytes) const {
+  return static_cast<double>(bytes) /
+             (config_.internode_bandwidth_gbs * kGiga) +
+         config_.transfer_latency_s;
+}
+
+double CostModel::alloc_time() const { return config_.alloc_latency_s; }
+
+double CostModel::free_time() const { return config_.free_latency_s; }
+
+}  // namespace micco

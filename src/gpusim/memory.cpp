@@ -1,0 +1,106 @@
+#include "gpusim/memory.hpp"
+
+#include "common/assert.hpp"
+
+namespace micco {
+
+DeviceMemory::DeviceMemory(std::uint64_t capacity_bytes)
+    : capacity_(capacity_bytes) {
+  MICCO_EXPECTS(capacity_bytes > 0);
+}
+
+DeviceMemory::DeviceMemory(const DeviceMemory& other)
+    : capacity_(other.capacity_), used_(other.used_), lru_(other.lru_) {
+  // Entries must point into OUR list, not the source's.
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    Entry entry = other.entries_.at(*it);
+    entry.lru_pos = it;
+    entries_.emplace(*it, entry);
+  }
+}
+
+DeviceMemory& DeviceMemory::operator=(const DeviceMemory& other) {
+  if (this == &other) return *this;
+  DeviceMemory copy(other);
+  capacity_ = copy.capacity_;
+  used_ = copy.used_;
+  lru_ = std::move(copy.lru_);
+  entries_ = std::move(copy.entries_);
+  return *this;
+}
+
+void DeviceMemory::allocate(TensorId id, std::uint64_t bytes, bool dirty) {
+  MICCO_EXPECTS_MSG(!resident(id), "double allocation of a tensor");
+  MICCO_EXPECTS_MSG(fits(bytes), "allocate() requires prior eviction");
+  lru_.push_back(id);
+  Entry entry;
+  entry.bytes = bytes;
+  entry.dirty = dirty;
+  entry.pinned = false;
+  entry.lru_pos = std::prev(lru_.end());
+  entries_.emplace(id, entry);
+  used_ += bytes;
+}
+
+void DeviceMemory::release(TensorId id) {
+  const auto it = entries_.find(id);
+  MICCO_EXPECTS_MSG(it != entries_.end(), "release of a non-resident tensor");
+  used_ -= it->second.bytes;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+}
+
+void DeviceMemory::touch(TensorId id) {
+  const auto it = entries_.find(id);
+  MICCO_EXPECTS_MSG(it != entries_.end(), "touch of a non-resident tensor");
+  lru_.erase(it->second.lru_pos);
+  lru_.push_back(id);
+  it->second.lru_pos = std::prev(lru_.end());
+}
+
+void DeviceMemory::set_dirty(TensorId id, bool dirty) {
+  const auto it = entries_.find(id);
+  MICCO_EXPECTS(it != entries_.end());
+  it->second.dirty = dirty;
+}
+
+bool DeviceMemory::is_dirty(TensorId id) const {
+  const auto it = entries_.find(id);
+  MICCO_EXPECTS(it != entries_.end());
+  return it->second.dirty;
+}
+
+void DeviceMemory::pin(TensorId id) {
+  const auto it = entries_.find(id);
+  MICCO_EXPECTS(it != entries_.end());
+  it->second.pinned = true;
+}
+
+void DeviceMemory::unpin(TensorId id) {
+  const auto it = entries_.find(id);
+  MICCO_EXPECTS(it != entries_.end());
+  it->second.pinned = false;
+}
+
+std::optional<Eviction> DeviceMemory::evict_lru() {
+  for (const TensorId id : lru_) {
+    const Entry& entry = entries_.at(id);
+    if (entry.pinned) continue;
+    Eviction ev{id, entry.bytes, entry.dirty};
+    release(id);
+    return ev;
+  }
+  return std::nullopt;
+}
+
+std::vector<TensorId> DeviceMemory::resident_ids() const {
+  std::vector<TensorId> ids;
+  ids.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) {
+    (void)entry;
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace micco

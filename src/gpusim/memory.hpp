@@ -1,0 +1,91 @@
+// Per-device memory manager.
+//
+// Tracks which tensors are resident in one simulated device memory, with
+// capacity accounting, pinning (current kernel operands must not be evicted
+// from under the kernel) and LRU victim selection for the oversubscription
+// experiments (Fig. 11). Dirty tensors (kernel outputs not yet on the host)
+// must be written back on eviction; clean cached inputs can be dropped.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "workload/task.hpp"
+
+namespace micco {
+
+/// Outcome of one eviction: what was removed and whether write-back applies.
+struct Eviction {
+  TensorId id = kInvalidTensor;
+  std::uint64_t bytes = 0;
+  bool dirty = false;
+};
+
+class DeviceMemory {
+ public:
+  explicit DeviceMemory(std::uint64_t capacity_bytes);
+
+  // Deep copies rebuild the LRU iterators held inside entries (the oracle
+  // search clones whole simulators per candidate assignment).
+  DeviceMemory(const DeviceMemory& other);
+  DeviceMemory& operator=(const DeviceMemory& other);
+  DeviceMemory(DeviceMemory&&) = default;
+  DeviceMemory& operator=(DeviceMemory&&) = default;
+  ~DeviceMemory() = default;
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t used() const { return used_; }
+  std::uint64_t free_bytes() const { return capacity_ - used_; }
+
+  bool resident(TensorId id) const { return entries_.contains(id); }
+  std::size_t resident_count() const { return entries_.size(); }
+
+  /// True when `bytes` more can be allocated without eviction.
+  bool fits(std::uint64_t bytes) const { return used_ + bytes <= capacity_; }
+
+  /// Allocates a tensor (must not already be resident, must fit). Newly
+  /// allocated tensors are the most recently used.
+  void allocate(TensorId id, std::uint64_t bytes, bool dirty);
+
+  /// Releases a resident tensor.
+  void release(TensorId id);
+
+  /// Marks a resident tensor as most recently used (a kernel touched it).
+  void touch(TensorId id);
+
+  /// Marks a resident tensor dirty (it became a kernel output) or clean
+  /// (it was written back to the host).
+  void set_dirty(TensorId id, bool dirty);
+  bool is_dirty(TensorId id) const;
+
+  /// Pins/unpins a tensor against eviction for the duration of a kernel.
+  void pin(TensorId id);
+  void unpin(TensorId id);
+
+  /// Evicts the least-recently-used unpinned tensor. Returns nullopt when
+  /// every resident tensor is pinned (caller must treat this as a scheduling
+  /// bug: a single task's working set exceeded device capacity).
+  std::optional<Eviction> evict_lru();
+
+  /// All resident tensor ids (unspecified order); used by tests and by the
+  /// cluster's residency map rebuilds.
+  std::vector<TensorId> resident_ids() const;
+
+ private:
+  struct Entry {
+    std::uint64_t bytes = 0;
+    bool dirty = false;
+    bool pinned = false;
+    std::list<TensorId>::iterator lru_pos;  // position in lru_ (front = LRU)
+  };
+
+  std::uint64_t capacity_ = 0;
+  std::uint64_t used_ = 0;
+  std::list<TensorId> lru_;  // least recently used at the front
+  std::unordered_map<TensorId, Entry> entries_;
+};
+
+}  // namespace micco

@@ -1,0 +1,69 @@
+#include "gpusim/trace.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/assert.hpp"
+
+namespace micco {
+
+const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kFetchH2D: return "fetch_h2d";
+    case TraceEventKind::kFetchP2P: return "fetch_p2p";
+    case TraceEventKind::kOutputAlloc: return "output_alloc";
+    case TraceEventKind::kEviction: return "eviction";
+    case TraceEventKind::kKernel: return "kernel";
+    case TraceEventKind::kBarrier: return "barrier";
+  }
+  return "?";
+}
+
+TraceSummary TraceRecorder::summarize(TraceEventKind kind) const {
+  TraceSummary s;
+  for (const TraceEvent& e : events_) {
+    if (e.kind != kind) continue;
+    ++s.count;
+    s.total_s += e.duration_s;
+  }
+  return s;
+}
+
+std::vector<TraceEvent> TraceRecorder::window(double from_s,
+                                              double to_s) const {
+  MICCO_EXPECTS(from_s <= to_s);
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.start_s < to_s && e.start_s + e.duration_s > from_s) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+void TraceRecorder::write_chrome_json(std::ostream& out) const {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << to_string(e.kind) << "\"";
+    if (e.tensor != kInvalidTensor) {
+      out << ",\"args\":{\"tensor\":" << e.tensor << "}";
+    }
+    out << ",\"ph\":\"X\",\"pid\":0,\"tid\":" << e.device
+        << ",\"ts\":" << e.start_s * 1e6 << ",\"dur\":" << e.duration_s * 1e6
+        << "}";
+  }
+  out << "]}\n";
+}
+
+void TraceRecorder::write_chrome_json_file(const std::string& path) const {
+  std::ofstream out(path);
+  MICCO_EXPECTS_MSG(out.good(), "cannot open trace file for writing");
+  write_chrome_json(out);
+  out.flush();
+  MICCO_EXPECTS_MSG(out.good(), "trace file write failed");
+}
+
+}  // namespace micco

@@ -1,0 +1,71 @@
+// Execution tracing.
+//
+// Optionally attached to the cluster simulator, the recorder captures every
+// priced event (operand fetches, output allocations, eviction write-backs,
+// kernels, barriers) with its device and simulated time interval. Traces
+// export to the Chrome trace-event JSON format (chrome://tracing, Perfetto)
+// so a schedule's timeline — the load imbalance and transfer storms the
+// paper's figures aggregate — can be inspected visually.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/task.hpp"
+
+namespace micco {
+
+enum class TraceEventKind : std::uint8_t {
+  kFetchH2D,
+  kFetchP2P,
+  kOutputAlloc,
+  kEviction,
+  kKernel,
+  kBarrier,
+};
+
+const char* to_string(TraceEventKind kind);
+
+struct TraceEvent {
+  TraceEventKind kind;
+  int device = -1;
+  TensorId tensor = kInvalidTensor;  ///< operand/output/victim; unused: barrier
+  double start_s = 0.0;
+  double duration_s = 0.0;
+};
+
+/// Per-kind aggregate used by trace summaries and tests.
+struct TraceSummary {
+  std::size_t count = 0;
+  double total_s = 0.0;
+};
+
+class TraceRecorder {
+ public:
+  void record(TraceEvent event) { events_.push_back(event); }
+  void clear() { events_.clear(); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+
+  /// Aggregate duration/count for one event kind.
+  TraceSummary summarize(TraceEventKind kind) const;
+
+  /// Events overlapping [from_s, to_s), preserving order.
+  std::vector<TraceEvent> window(double from_s, double to_s) const;
+
+  /// Chrome trace-event JSON ("traceEvents" array of X-phase events, one
+  /// track per device). Times are emitted in microseconds as the format
+  /// requires.
+  void write_chrome_json(std::ostream& out) const;
+
+  /// Convenience: writes the JSON to a file; aborts on I/O failure.
+  void write_chrome_json_file(const std::string& path) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace micco

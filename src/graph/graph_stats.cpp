@@ -1,0 +1,115 @@
+#include "graph/graph_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace micco {
+
+GraphSetStats analyze_graphs(const std::vector<ContractionGraph>& graphs) {
+  GraphSetStats stats;
+  stats.graphs = graphs.size();
+
+  std::unordered_map<TensorId, std::size_t> appearances;
+  for (const ContractionGraph& g : graphs) {
+    stats.total_nodes += g.node_count();
+    stats.total_edges += g.edge_count();
+
+    std::unordered_set<TensorId> in_this_graph;
+    for (const TensorDesc& n : g.nodes()) in_this_graph.insert(n.id);
+    for (const TensorId id : in_this_graph) ++appearances[id];
+
+    std::vector<std::size_t> degree(g.node_count(), 0);
+    for (const auto& [u, v] : g.edges()) {
+      ++degree[u];
+      ++degree[v];
+    }
+    for (const std::size_t d : degree) ++stats.degree_histogram[d];
+  }
+
+  stats.distinct_tensors = appearances.size();
+  if (!appearances.empty()) {
+    std::size_t total_appearances = 0;
+    for (const auto& [id, count] : appearances) {
+      (void)id;
+      total_appearances += count;
+      stats.max_sharing = std::max(stats.max_sharing, count);
+    }
+    stats.sharing_factor = static_cast<double>(total_appearances) /
+                           static_cast<double>(appearances.size());
+  }
+  if (!graphs.empty()) {
+    stats.mean_nodes_per_graph = static_cast<double>(stats.total_nodes) /
+                                 static_cast<double>(graphs.size());
+    stats.mean_edges_per_graph = static_cast<double>(stats.total_edges) /
+                                 static_cast<double>(graphs.size());
+  }
+  return stats;
+}
+
+StreamStats analyze_stream(const WorkloadStream& stream) {
+  StreamStats stats;
+  stats.stages = stream.vectors.size();
+
+  std::unordered_map<TensorId, std::size_t> input_uses;
+  std::unordered_set<TensorId> outputs;
+  std::size_t operand_slots = 0;
+  std::size_t intermediate_slots = 0;
+
+  // First pass: collect outputs so operands can be classified.
+  for (const VectorWorkload& vec : stream.vectors) {
+    for (const ContractionTask& t : vec.tasks) outputs.insert(t.out.id);
+  }
+
+  for (const VectorWorkload& vec : stream.vectors) {
+    stats.tasks += vec.tasks.size();
+    stats.stage_widths.push_back(vec.tasks.size());
+    for (const ContractionTask& t : vec.tasks) {
+      for (const TensorDesc* operand : {&t.a, &t.b}) {
+        ++operand_slots;
+        ++input_uses[operand->id];
+        if (outputs.contains(operand->id)) ++intermediate_slots;
+      }
+    }
+  }
+
+  stats.distinct_inputs = input_uses.size();
+  if (!input_uses.empty()) {
+    stats.input_reuse_factor = static_cast<double>(operand_slots) /
+                               static_cast<double>(input_uses.size());
+  }
+  if (!stats.stage_widths.empty()) {
+    stats.widest_stage =
+        *std::max_element(stats.stage_widths.begin(), stats.stage_widths.end());
+  }
+  if (operand_slots > 0) {
+    stats.intermediate_operand_fraction =
+        static_cast<double>(intermediate_slots) /
+        static_cast<double>(operand_slots);
+  }
+  return stats;
+}
+
+std::string to_string(const GraphSetStats& stats) {
+  std::ostringstream os;
+  os << stats.graphs << " graphs, " << stats.distinct_tensors
+     << " distinct hadron nodes (sharing x" << stats.sharing_factor
+     << ", max x" << stats.max_sharing << "), avg "
+     << stats.mean_nodes_per_graph << " nodes / "
+     << stats.mean_edges_per_graph << " edges per graph";
+  return os.str();
+}
+
+std::string to_string(const StreamStats& stats) {
+  std::ostringstream os;
+  os << stats.tasks << " contractions in " << stats.stages
+     << " stages (widest " << stats.widest_stage << "), "
+     << stats.distinct_inputs << " distinct inputs used x"
+     << stats.input_reuse_factor << " each, "
+     << stats.intermediate_operand_fraction * 100.0
+     << "% intermediate operands";
+  return os.str();
+}
+
+}  // namespace micco

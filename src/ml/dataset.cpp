@@ -1,0 +1,63 @@
+#include "ml/dataset.hpp"
+
+#include "common/stats.hpp"
+
+namespace micco::ml {
+
+void Dataset::add(std::span<const double> features, double target) {
+  MICCO_EXPECTS(features.size() == n_features_);
+  features_.insert(features_.end(), features.begin(), features.end());
+  targets_.push_back(target);
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out(n_features_);
+  for (const std::size_t i : indices) out.add(row(i), target(i));
+  return out;
+}
+
+SplitResult train_test_split(const Dataset& data, double test_fraction,
+                             Pcg32& rng) {
+  MICCO_EXPECTS(test_fraction > 0.0 && test_fraction < 1.0);
+  MICCO_EXPECTS(data.size() >= 2);
+
+  std::vector<std::size_t> order(data.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+
+  auto n_test = static_cast<std::size_t>(
+      static_cast<double>(data.size()) * test_fraction);
+  n_test = std::max<std::size_t>(1, std::min(n_test, data.size() - 1));
+
+  const std::span<const std::size_t> test_idx{order.data(), n_test};
+  const std::span<const std::size_t> train_idx{order.data() + n_test,
+                                               order.size() - n_test};
+  return SplitResult{data.subset(train_idx), data.subset(test_idx)};
+}
+
+double r2_score(std::span<const double> truth,
+                std::span<const double> predicted) {
+  MICCO_EXPECTS(truth.size() == predicted.size());
+  MICCO_EXPECTS(!truth.empty());
+  const double mean = stats::mean(truth);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - predicted[i]) * (truth[i] - predicted[i]);
+    ss_tot += (truth[i] - mean) * (truth[i] - mean);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double mse(std::span<const double> truth, std::span<const double> predicted) {
+  MICCO_EXPECTS(truth.size() == predicted.size());
+  MICCO_EXPECTS(!truth.empty());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    acc += (truth[i] - predicted[i]) * (truth[i] - predicted[i]);
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+}  // namespace micco::ml

@@ -1,0 +1,65 @@
+#include "ml/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace micco::ml {
+
+RandomForest::RandomForest(ForestConfig config) : config_(config) {
+  MICCO_EXPECTS(config.n_trees >= 1);
+  MICCO_EXPECTS(config.sample_fraction > 0.0 &&
+                config.sample_fraction <= 1.0);
+}
+
+void RandomForest::fit(const Dataset& data) {
+  MICCO_EXPECTS(!data.empty());
+  trees_.clear();
+  trees_.reserve(static_cast<std::size_t>(config_.n_trees));
+
+  Pcg32 rng(config_.seed, /*stream=*/0xf00df00dULL);
+  const auto sample_size = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config_.sample_fraction *
+                                  static_cast<double>(data.size())));
+
+  // Regression forests default to considering every feature per split (the
+  // scikit-learn convention): with bagging alone decorrelating the trees,
+  // this keeps individual trees strong on low-dimensional feature spaces
+  // like the 4-feature bounds problem.
+  TreeConfig tree_cfg = config_.tree;
+  if (tree_cfg.max_features == 0) {
+    tree_cfg.max_features = data.n_features();
+  }
+
+  for (int t = 0; t < config_.n_trees; ++t) {
+    // Bootstrap: sample with replacement.
+    std::vector<std::size_t> indices(sample_size);
+    for (std::size_t i = 0; i < sample_size; ++i) {
+      indices[i] =
+          rng.uniform_below(static_cast<std::uint32_t>(data.size()));
+    }
+    const Dataset boot = data.subset(indices);
+
+    tree_cfg.seed = static_cast<std::uint64_t>(rng.uniform_int(0, (1LL << 62)));
+    RegressionTree tree(tree_cfg);
+    tree.fit(boot);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+RandomForest RandomForest::from_trees(std::vector<RegressionTree> trees,
+                                      ForestConfig config) {
+  MICCO_EXPECTS(!trees.empty());
+  config.n_trees = static_cast<int>(trees.size());
+  RandomForest forest(config);
+  forest.trees_ = std::move(trees);
+  return forest;
+}
+
+double RandomForest::predict(std::span<const double> features) const {
+  MICCO_EXPECTS_MSG(!trees_.empty(), "predict before fit");
+  double acc = 0.0;
+  for (const RegressionTree& tree : trees_) acc += tree.predict(features);
+  return acc / static_cast<double>(trees_.size());
+}
+
+}  // namespace micco::ml

@@ -1,0 +1,52 @@
+#include "ml/regressor.hpp"
+
+#include "common/assert.hpp"
+
+namespace micco::ml {
+
+std::vector<double> Regressor::predict_all(const Dataset& data) const {
+  std::vector<double> out;
+  out.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out.push_back(predict(data.row(i)));
+  }
+  return out;
+}
+
+MultiOutputRegressor::MultiOutputRegressor(RegressorFactory factory,
+                                           std::size_t n_outputs)
+    : factory_(std::move(factory)) {
+  MICCO_EXPECTS(n_outputs >= 1);
+  models_.resize(n_outputs);
+}
+
+void MultiOutputRegressor::fit(std::span<const Dataset> per_output_data) {
+  MICCO_EXPECTS(per_output_data.size() == models_.size());
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    models_[i] = factory_();
+    models_[i]->fit(per_output_data[i]);
+  }
+  fitted_ = true;
+}
+
+MultiOutputRegressor MultiOutputRegressor::from_models(
+    std::vector<std::unique_ptr<Regressor>> models) {
+  MICCO_EXPECTS(!models.empty());
+  for (const auto& m : models) MICCO_EXPECTS(m != nullptr);
+  MultiOutputRegressor out([]() -> std::unique_ptr<Regressor> { return nullptr; },
+                           models.size());
+  out.models_ = std::move(models);
+  out.fitted_ = true;
+  return out;
+}
+
+std::vector<double> MultiOutputRegressor::predict(
+    std::span<const double> features) const {
+  MICCO_EXPECTS_MSG(fitted_, "predict before fit");
+  std::vector<double> out;
+  out.reserve(models_.size());
+  for (const auto& model : models_) out.push_back(model->predict(features));
+  return out;
+}
+
+}  // namespace micco::ml

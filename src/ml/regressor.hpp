@@ -1,0 +1,59 @@
+// Common single-output regressor interface plus the multi-output wrapper
+// that predicts the three reuse bounds jointly (one underlying model per
+// bound, as the paper trains "optimal reuse bound setting" labels).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace micco::ml {
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Fits on the full dataset. May be called again to refit.
+  virtual void fit(const Dataset& data) = 0;
+
+  /// Predicts a single sample; requires fit() to have run.
+  virtual double predict(std::span<const double> features) const = 0;
+
+  /// Convenience batch prediction.
+  std::vector<double> predict_all(const Dataset& data) const;
+};
+
+/// Factory signature so model-comparison code (Table IV) can instantiate
+/// fresh regressors per output and per trial.
+using RegressorFactory = std::function<std::unique_ptr<Regressor>()>;
+
+/// Trains one regressor per output column; targets are supplied as one
+/// Dataset per output sharing the same feature rows.
+class MultiOutputRegressor {
+ public:
+  MultiOutputRegressor(RegressorFactory factory, std::size_t n_outputs);
+
+  void fit(std::span<const Dataset> per_output_data);
+  std::vector<double> predict(std::span<const double> features) const;
+
+  /// Assembles a multi-output model from already-fitted per-output models
+  /// (deserialization path). All entries must be non-null.
+  static MultiOutputRegressor from_models(
+      std::vector<std::unique_ptr<Regressor>> models);
+
+  std::size_t n_outputs() const { return models_.size(); }
+  const Regressor& model(std::size_t i) const { return *models_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<Regressor>> models_;
+  RegressorFactory factory_;
+  bool fitted_ = false;
+};
+
+}  // namespace micco::ml

@@ -1,0 +1,190 @@
+#include "redstar/correlator.hpp"
+
+#include <set>
+
+#include "common/assert.hpp"
+
+namespace micco::redstar {
+
+CorrelatorWorkload build_workload(const CorrelatorSpec& spec) {
+  MICCO_EXPECTS(spec.time_slices >= 1);
+  MICCO_EXPECTS(!spec.source.constructions.empty());
+  MICCO_EXPECTS(!spec.sink.constructions.empty());
+
+  NodeRegistry registry(spec.extent, spec.batch);
+  ContractionPlanner planner(registry);
+
+  std::set<std::string> seen_graphs;
+  std::size_t diagrams = 0;
+
+  for (int t = 1; t <= spec.time_slices; ++t) {
+    for (const Construction& src : spec.source.constructions) {
+      for (const Construction& snk : spec.sink.constructions) {
+        const std::vector<ContractionGraph> graphs = enumerate_diagrams(
+            src, snk, t, registry, spec.max_diagrams_per_pair);
+        for (const ContractionGraph& g : graphs) {
+          // Distinct (source, sink) pairs can reach identical propagator
+          // graphs (shared hadron content); plan each unique graph once.
+          if (!seen_graphs.insert(g.signature()).second) continue;
+          ++diagrams;
+          planner.add_graph(g);
+        }
+      }
+    }
+  }
+
+  CorrelatorWorkload out;
+  out.stream.vectors = planner.stages();
+  out.stream.tensor_extent = spec.extent;
+  out.stream.batch = spec.batch;
+  // Real correlators have no single generator-level vector size or repeated
+  // rate; record the widest stage for reference. The online pipeline
+  // re-derives per-vector characteristics anyway.
+  for (const VectorWorkload& v : out.stream.vectors) {
+    out.stream.vector_size =
+        std::max(out.stream.vector_size, v.tensor_count());
+  }
+
+  out.stats.diagrams = diagrams;
+  out.stats.contractions = planner.task_count();
+  out.stats.deduplicated = planner.deduplicated();
+  out.stats.original_nodes = registry.original_count();
+  out.stats.intermediate_nodes = registry.intermediate_count();
+  out.stats.stages = out.stream.vectors.size();
+  out.stats.total_bytes = out.stream.total_distinct_bytes();
+  return out;
+}
+
+namespace {
+
+MesonOp meson(std::string name, Flavor q, Flavor qbar, int p) {
+  return MesonOp{std::move(name), q, qbar, p};
+}
+
+/// Two-particle construction m1(p) m2(-p).
+Construction pair_construction(const MesonOp& m1, const MesonOp& m2, int p) {
+  Construction c;
+  MesonOp a = m1;
+  a.momentum = p;
+  MesonOp b = m2;
+  b.momentum = -p;
+  c.hadrons = {a, b};
+  return c;
+}
+
+Construction single_construction(const MesonOp& m) {
+  Construction c;
+  c.hadrons = {m};
+  return c;
+}
+
+/// Shared builder: one single-particle operator plus `momenta` two-particle
+/// variants, identical basis at source and sink (the usual symmetric
+/// correlation matrix).
+CorrelatorSpec make_meson_system(std::string name, const MesonOp& single,
+                                 const MesonOp& two_a, const MesonOp& two_b,
+                                 int momenta, std::int64_t extent,
+                                 std::int64_t batch) {
+  CorrelatorSpec spec;
+  spec.name = std::move(name);
+  spec.extent = extent;
+  spec.batch = batch;
+  spec.time_slices = 16;
+
+  OperatorBasis basis;
+  basis.constructions.push_back(single_construction(single));
+  for (int p = 0; p < momenta; ++p) {
+    basis.constructions.push_back(pair_construction(two_a, two_b, p + 1));
+  }
+  spec.source = basis;
+  spec.sink = basis;
+  return spec;
+}
+
+}  // namespace
+
+CorrelatorSpec make_a1_rhopi() {
+  // a1+ -> rho+ pi0 in the a1 system: one single-particle a1 operator and
+  // two rho-pi momentum constructions. Tensor size 128 (Table VI); batch
+  // sized so the distinct input+intermediate footprint lands in the ~56 GB
+  // regime the paper reports.
+  return make_meson_system(
+      "a1_rhopi", meson("a1+", Flavor::kUp, Flavor::kDown, 0),
+      meson("rho+", Flavor::kUp, Flavor::kDown, 0),
+      meson("pi0", Flavor::kUp, Flavor::kUp, 0),
+      /*momenta=*/2, /*extent=*/128, /*batch=*/160);
+}
+
+CorrelatorSpec make_f0d2() {
+  // f0 system with two pi+ pi- momentum constructions. Tensor size 256;
+  // batch sized to push the footprint into the multi-TB oversubscription
+  // regime of Table VI.
+  return make_meson_system(
+      "f0d2", meson("f0", Flavor::kUp, Flavor::kUp, 0),
+      meson("pi+", Flavor::kUp, Flavor::kDown, 0),
+      meson("pi-", Flavor::kDown, Flavor::kUp, 0),
+      /*momenta=*/2, /*extent=*/256, /*batch=*/2400);
+}
+
+CorrelatorSpec make_f0d4() {
+  // Same system with four two-particle momentum variants: more diagrams,
+  // slightly smaller per-tensor batch.
+  return make_meson_system(
+      "f0d4", meson("f0", Flavor::kUp, Flavor::kUp, 0),
+      meson("pi+", Flavor::kUp, Flavor::kDown, 0),
+      meson("pi-", Flavor::kDown, Flavor::kUp, 0),
+      /*momenta=*/4, /*extent=*/256, /*batch=*/1000);
+}
+
+namespace {
+
+BaryonOp nucleon(int momentum) {
+  return BaryonOp{"N+", {Flavor::kUp, Flavor::kUp, Flavor::kDown}, momentum};
+}
+
+}  // namespace
+
+CorrelatorSpec make_nucleon_2pt() {
+  CorrelatorSpec spec;
+  spec.name = "nucleon_2pt";
+  spec.extent = 96;  // rank-3 nodes are extent^3: keep the footprint sane
+  spec.batch = 8;
+  spec.time_slices = 16;
+  // Three momentum variants give the scheduler a real correlation matrix
+  // (9 source-sink pairs per time slice) rather than a single diagram.
+  for (int p = 0; p <= 2; ++p) {
+    Construction single;
+    single.baryons = {nucleon(p)};
+    spec.source.constructions.push_back(single);
+    spec.sink.constructions.push_back(single);
+  }
+  return spec;
+}
+
+CorrelatorSpec make_nn_system() {
+  CorrelatorSpec spec;
+  spec.name = "nn_system";
+  spec.extent = 64;
+  spec.batch = 4;
+  spec.time_slices = 8;
+  for (int p = 1; p <= 2; ++p) {
+    Construction two;
+    two.baryons = {nucleon(p), nucleon(-p)};
+    spec.source.constructions.push_back(two);
+    spec.sink.constructions.push_back(two);
+  }
+  spec.max_diagrams_per_pair = 128;
+  return spec;
+}
+
+CorrelatorSpec real_function(const std::string& name) {
+  if (name == "a1_rhopi") return make_a1_rhopi();
+  if (name == "f0d2") return make_f0d2();
+  if (name == "f0d4") return make_f0d4();
+  if (name == "nucleon_2pt") return make_nucleon_2pt();
+  if (name == "nn_system") return make_nn_system();
+  MICCO_EXPECTS_MSG(false, "unknown real correlation function");
+  return {};
+}
+
+}  // namespace micco::redstar

@@ -1,0 +1,57 @@
+// Correlator -> staged workload translation: the Redstar pipeline of Fig. 1.
+//
+// For every sink time slice and every (source construction, sink
+// construction) pair, Wick enumeration produces contraction graphs; the
+// planner reduces them into dependency stages, deduplicating shared
+// sub-reductions through the node registry. Source hadron nodes are shared
+// by every time slice — the dominant cross-graph reuse in real correlators.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/contraction_graph.hpp"
+#include "redstar/operators.hpp"
+#include "redstar/wick.hpp"
+#include "workload/task.hpp"
+
+namespace micco::redstar {
+
+/// Build statistics reported alongside Table VI.
+struct CorrelatorStats {
+  std::size_t diagrams = 0;        ///< unique contraction graphs
+  std::size_t contractions = 0;    ///< hadron contractions emitted
+  std::size_t deduplicated = 0;    ///< sub-reductions shared across graphs
+  std::size_t original_nodes = 0;  ///< distinct original hadron tensors
+  std::size_t intermediate_nodes = 0;
+  std::size_t stages = 0;
+  std::uint64_t total_bytes = 0;  ///< distinct input+intermediate footprint
+};
+
+struct CorrelatorWorkload {
+  WorkloadStream stream;
+  CorrelatorStats stats;
+};
+
+/// Translates a correlation-function specification into a staged workload.
+CorrelatorWorkload build_workload(const CorrelatorSpec& spec);
+
+/// The three real-world correlation functions of Table VI, sized to match
+/// the paper's reported tensor sizes (a1_rhopi: 128; f0d2/f0d4: 256) and to
+/// land in the reported total-device-memory regime.
+CorrelatorSpec make_a1_rhopi();
+CorrelatorSpec make_f0d2();
+CorrelatorSpec make_f0d4();
+
+/// Baryon-system demonstrators (the paper's "batched tensor contractions
+/// for a baryon system"; not part of Table VI): a nucleon two-point
+/// function (direct + exchange diagrams over rank-3 nodes) and a
+/// two-nucleon system whose diagram count shows the factorial growth.
+CorrelatorSpec make_nucleon_2pt();
+CorrelatorSpec make_nn_system();
+
+/// Looks a spec up by name ("a1_rhopi", "f0d2", "f0d4", "nucleon_2pt",
+/// "nn_system"); aborts on unknown names.
+CorrelatorSpec real_function(const std::string& name);
+
+}  // namespace micco::redstar

@@ -1,0 +1,57 @@
+#include "redstar/operators.hpp"
+
+#include <array>
+#include <sstream>
+
+namespace micco::redstar {
+
+const char* to_string(Flavor f) {
+  switch (f) {
+    case Flavor::kUp: return "u";
+    case Flavor::kDown: return "d";
+    case Flavor::kStrange: return "s";
+    case Flavor::kCharm: return "c";
+  }
+  return "?";
+}
+
+std::string MesonOp::key(int time_slice) const {
+  std::ostringstream os;
+  os << name << "(" << to_string(quark) << to_string(antiquark)
+     << ",p=" << momentum << ",t=" << time_slice << ")";
+  return os.str();
+}
+
+std::string BaryonOp::key(int time_slice) const {
+  std::ostringstream os;
+  os << name << "(";
+  for (const Flavor f : quarks) os << to_string(f);
+  os << ",p=" << momentum << ",t=" << time_slice << ")";
+  return os.str();
+}
+
+bool flavor_balanced(const Construction& source, const Construction& sink) {
+  // The source enters the correlator as a creation operator (conjugated), so
+  // its quark content flips: <sink(t) source^dagger(0)>.
+  std::array<int, 4> balance{0, 0, 0, 0};
+  for (const MesonOp& op : source.hadrons) {
+    --balance[static_cast<std::size_t>(op.quark)];
+    ++balance[static_cast<std::size_t>(op.antiquark)];
+  }
+  for (const BaryonOp& op : source.baryons) {
+    for (const Flavor f : op.quarks) --balance[static_cast<std::size_t>(f)];
+  }
+  for (const MesonOp& op : sink.hadrons) {
+    ++balance[static_cast<std::size_t>(op.quark)];
+    --balance[static_cast<std::size_t>(op.antiquark)];
+  }
+  for (const BaryonOp& op : sink.baryons) {
+    for (const Flavor f : op.quarks) ++balance[static_cast<std::size_t>(f)];
+  }
+  for (const int v : balance) {
+    if (v != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace micco::redstar

@@ -1,0 +1,123 @@
+#include "sched/baselines.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace micco {
+
+// ---------------------------------------------------------------- Groute --
+
+void GrouteScheduler::begin_vector(const VectorWorkload&, const ClusterView&) {
+}
+
+DeviceId GrouteScheduler::assign(const ContractionTask&,
+                                 const ClusterView& view) {
+  DeviceId best = 0;
+  double best_time = std::numeric_limits<double>::infinity();
+  for (DeviceId dev = 0; dev < view.num_devices(); ++dev) {
+    const double t = view.busy_time(dev);
+    if (t < best_time) {
+      best_time = t;
+      best = dev;
+    }
+  }
+  return best;
+}
+
+// ------------------------------------------------------------ RoundRobin --
+
+void RoundRobinScheduler::begin_vector(const VectorWorkload&,
+                                       const ClusterView&) {}
+
+DeviceId RoundRobinScheduler::assign(const ContractionTask&,
+                                     const ClusterView& view) {
+  const DeviceId dev = next_;
+  next_ = (next_ + 1) % view.num_devices();
+  return dev;
+}
+
+// --------------------------------------------------------- DataReuseOnly --
+
+void DataReuseOnlyScheduler::begin_vector(const VectorWorkload&,
+                                          const ClusterView&) {}
+
+DeviceId DataReuseOnlyScheduler::assign(const ContractionTask& task,
+                                        const ClusterView& view) {
+  const std::vector<DeviceId> holders_a = view.devices_holding(task.a.id);
+  const std::vector<DeviceId> holders_b = view.devices_holding(task.b.id);
+
+  // Prefer a device with both operands, then one with either.
+  for (const DeviceId dev : holders_a) {
+    if (std::find(holders_b.begin(), holders_b.end(), dev) !=
+        holders_b.end()) {
+      last_ = dev;
+      return dev;
+    }
+  }
+  if (!holders_a.empty()) {
+    last_ = holders_a.front();
+    return last_;
+  }
+  if (!holders_b.empty()) {
+    last_ = holders_b.front();
+    return last_;
+  }
+  // All-new pair: stick with the previous device so future repeats of these
+  // tensors keep hitting one memory (maximal reuse, no balance).
+  return last_;
+}
+
+// ---------------------------------------------------------------- dmda ---
+
+void DmdaScheduler::begin_vector(const VectorWorkload&, const ClusterView&) {}
+
+DeviceId DmdaScheduler::assign(const ContractionTask& task,
+                               const ClusterView& view) {
+  DeviceId best = 0;
+  double best_finish = std::numeric_limits<double>::infinity();
+  for (DeviceId dev = 0; dev < view.num_devices(); ++dev) {
+    double transfer = 0.0;
+    // Absent operands would stream from the host; resident ones are free.
+    for (const TensorDesc* operand : {&task.a, &task.b}) {
+      if (operand == &task.b && task.a.id == task.b.id) break;
+      if (!view.resident_on(dev, operand->id)) {
+        transfer += cost_.alloc_time() + cost_.h2d_time(operand->bytes());
+      }
+    }
+    transfer += cost_.alloc_time();  // output frame
+    const double finish =
+        view.busy_time(dev) + transfer + cost_.kernel_time(task);
+    if (finish < best_finish) {
+      best_finish = finish;
+      best = dev;
+    }
+  }
+  return best;
+}
+
+// ------------------------------------------------------- LoadBalanceOnly --
+
+void LoadBalanceOnlyScheduler::begin_vector(const VectorWorkload&,
+                                            const ClusterView& view) {
+  pair_counts_.assign(static_cast<std::size_t>(view.num_devices()), 0);
+}
+
+DeviceId LoadBalanceOnlyScheduler::assign(const ContractionTask&,
+                                          const ClusterView& view) {
+  MICCO_EXPECTS(!pair_counts_.empty());
+  DeviceId best = 0;
+  std::int64_t best_count = std::numeric_limits<std::int64_t>::max();
+  for (DeviceId dev = 0; dev < view.num_devices(); ++dev) {
+    const std::int64_t c = pair_counts_[static_cast<std::size_t>(dev)];
+    if (c < best_count) {
+      best_count = c;
+      best = dev;
+    }
+  }
+  ++pair_counts_[static_cast<std::size_t>(best)];
+  return best;
+}
+
+}  // namespace micco

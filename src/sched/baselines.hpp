@@ -1,0 +1,96 @@
+// Comparator schedulers.
+//
+// GrouteScheduler reproduces the assignment rule the paper attributes to
+// Groute and similar multi-GPU frameworks: "assigns jobs and associated data
+// on the earliest available device to achieve good load balance" — i.e. pick
+// the device whose timeline frees up first, blind to data residency.
+//
+// The remaining schedulers are the two degenerate corners of Fig. 2 used as
+// ablations: pure data reuse (case 1) and pure load balance (case 2), plus a
+// round-robin strawman.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/cost_model.hpp"
+#include "sched/scheduler.hpp"
+
+namespace micco {
+
+/// Earliest-available-device assignment (load balance only).
+class GrouteScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "Groute"; }
+  void begin_vector(const VectorWorkload& vec,
+                    const ClusterView& view) override;
+  DeviceId assign(const ContractionTask& task,
+                  const ClusterView& view) override;
+};
+
+/// Cyclic assignment, ignoring both load and residency.
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "RoundRobin"; }
+  void begin_vector(const VectorWorkload& vec,
+                    const ClusterView& view) override;
+  DeviceId assign(const ContractionTask& task,
+                  const ClusterView& view) override;
+
+ private:
+  DeviceId next_ = 0;
+};
+
+/// Case 1 of Fig. 2: always chase data reuse — place the pair on a device
+/// already holding its tensors no matter how unbalanced that gets; fresh
+/// pairs go wherever the most recent placement went (maximising future
+/// locality, minimising balance).
+class DataReuseOnlyScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "DataReuseOnly"; }
+  void begin_vector(const VectorWorkload& vec,
+                    const ClusterView& view) override;
+  DeviceId assign(const ContractionTask& task,
+                  const ClusterView& view) override;
+
+ private:
+  DeviceId last_ = 0;
+};
+
+/// StarPU-style deque-model-data-aware (dmda) assignment: estimate each
+/// device's completion time for the incoming task — current availability
+/// plus the transfers its absent operands would need plus the kernel — and
+/// pick the minimum. This is the strongest of the general data-aware
+/// schedulers the related-work section discusses (Augonnet et al.): it sees
+/// locality through the cost model but knows nothing about reuse bounds or
+/// eviction pressure.
+class DmdaScheduler final : public Scheduler {
+ public:
+  explicit DmdaScheduler(CostModelConfig cost = {}) : cost_(cost) {}
+
+  std::string name() const override { return "dmda"; }
+  void begin_vector(const VectorWorkload& vec,
+                    const ClusterView& view) override;
+  DeviceId assign(const ContractionTask& task,
+                  const ClusterView& view) override;
+
+ private:
+  CostModel cost_;
+};
+
+/// Case 2 of Fig. 2: perfect pair-count balance, blind to residency (unlike
+/// Groute it counts pairs instead of timeline time, so it stays exactly
+/// balanced even when kernels vary).
+class LoadBalanceOnlyScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "LoadBalanceOnly"; }
+  void begin_vector(const VectorWorkload& vec,
+                    const ClusterView& view) override;
+  DeviceId assign(const ContractionTask& task,
+                  const ClusterView& view) override;
+
+ private:
+  std::vector<std::int64_t> pair_counts_;
+};
+
+}  // namespace micco

@@ -1,0 +1,161 @@
+#include "sched/micco_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace micco {
+
+MiccoScheduler::MiccoScheduler(MiccoSchedulerOptions options)
+    : options_(options), bounds_(options.bounds), rng_(options.seed) {}
+
+std::string MiccoScheduler::name() const { return "MICCO"; }
+
+void MiccoScheduler::begin_vector(const VectorWorkload& vec,
+                                  const ClusterView& view) {
+  const auto num_devices = static_cast<std::size_t>(view.num_devices());
+  vector_assigned_.assign(num_devices, {});
+  if (compute_cost_.size() != num_devices) {
+    compute_cost_.assign(num_devices, 0.0);
+  }
+  // balanceNum is the per-device share of *distinct* tensors, matching what
+  // mapGPUTensor.at(dev).size() counts. Real correlator stages share hadron
+  // nodes across many pairs of one vector; dividing raw slot counts instead
+  // would inflate the share and let the data-centric tier concentrate the
+  // whole stage onto the few devices holding the hot nodes.
+  balance_num_ = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(vec.unique_inputs().size()) /
+             static_cast<std::int64_t>(num_devices));
+}
+
+std::int64_t MiccoScheduler::assigned_count(DeviceId dev) const {
+  MICCO_EXPECTS(dev >= 0 &&
+                static_cast<std::size_t>(dev) < vector_assigned_.size());
+  return static_cast<std::int64_t>(
+      vector_assigned_[static_cast<std::size_t>(dev)].size());
+}
+
+bool MiccoScheduler::available(DeviceId dev, std::size_t bound_index) const {
+  return assigned_count(dev) < bounds_[bound_index] + balance_num_;
+}
+
+namespace {
+
+void push_unique(std::vector<DeviceId>& queue, DeviceId dev) {
+  if (std::find(queue.begin(), queue.end(), dev) == queue.end()) {
+    queue.push_back(dev);
+  }
+}
+
+}  // namespace
+
+DeviceId MiccoScheduler::assign(const ContractionTask& task,
+                                const ClusterView& view) {
+  MICCO_EXPECTS_MSG(!vector_assigned_.empty(),
+                    "begin_vector must run before assign");
+  const std::vector<DeviceId> holders_a = view.devices_holding(task.a.id);
+  const std::vector<DeviceId> holders_b = view.devices_holding(task.b.id);
+
+  std::vector<DeviceId> candidates;
+
+  // Step I — data-centric, TwoRepeatedSame tier: devices holding BOTH
+  // tensors, gated by reuse bound 0 (Alg. 1, lines 4-7).
+  for (const DeviceId dev : holders_a) {
+    const bool holds_both =
+        std::find(holders_b.begin(), holders_b.end(), dev) != holders_b.end();
+    if (holds_both && available(dev, 0)) push_unique(candidates, dev);
+  }
+
+  // Step II — one-reused tier: devices holding either tensor, gated by
+  // reuse bound 1 (Alg. 1, lines 8-14). Entered both for the
+  // TwoRepeatedDiff / OneRepeated patterns and when every TwoRepeatedSame
+  // device failed its availability test.
+  if (candidates.empty() && (!holders_a.empty() || !holders_b.empty())) {
+    for (const DeviceId dev : holders_a) {
+      if (available(dev, 1)) push_unique(candidates, dev);
+    }
+    for (const DeviceId dev : holders_b) {
+      if (available(dev, 1)) push_unique(candidates, dev);
+    }
+  }
+
+  // Step II' — TwoNew tier: any device under reuse bound 2 (lines 15-18).
+  if (candidates.empty()) {
+    for (DeviceId dev = 0; dev < view.num_devices(); ++dev) {
+      if (available(dev, 2)) push_unique(candidates, dev);
+    }
+  }
+
+  // Fallback the pseudocode leaves implicit: when every device exceeds even
+  // the TwoNew bound (possible late in a vector with small bounds and an
+  // uneven tensor count), consider all devices so the pair is still placed.
+  if (candidates.empty()) {
+    for (DeviceId dev = 0; dev < view.num_devices(); ++dev) {
+      candidates.push_back(dev);
+    }
+  }
+
+  const DeviceId chosen = select_from_candidates(candidates, task, view);
+
+  // Step IV — update mapGPUTensor / mapGPUCom (Alg. 1, line 20).
+  auto& assigned = vector_assigned_[static_cast<std::size_t>(chosen)];
+  assigned.insert(task.a.id);
+  assigned.insert(task.b.id);
+  compute_cost_[static_cast<std::size_t>(chosen)] +=
+      static_cast<double>(task.flops());
+  return chosen;
+}
+
+DeviceId MiccoScheduler::select_from_candidates(
+    const std::vector<DeviceId>& candidates, const ContractionTask& task,
+    const ClusterView& view) {
+  MICCO_EXPECTS(!candidates.empty());
+
+  // Step III — detect oversubscription among the candidates (Alg. 2,
+  // lines 3-5): would placing this pair push any candidate past capacity?
+  bool evict_risk = false;
+  if (options_.eviction_sensitive) {
+    for (const DeviceId dev : candidates) {
+      const std::uint64_t needed = bytes_needed_on(task, dev, view);
+      if (view.memory_used(dev) + needed > view.memory_capacity(dev)) {
+        evict_risk = true;
+        break;
+      }
+    }
+  }
+
+  // Primary/secondary keys swap between the computation-centric policy
+  // (least-loaded device, then most free memory) and the memory-eviction-
+  // sensitive policy (most free memory, then least-loaded). Exact ties on
+  // both keys break randomly (Alg. 2, lines 9/15). Load is the device's
+  // accumulated timeline (mapGPUCom): kernels plus the memory operations
+  // earlier assignments induced — balancing on raw FLOPs alone would let
+  // transfer-heavy devices fall behind and waste the stage barrier.
+  const auto compute_key = [&](DeviceId dev) {
+    return view.busy_time(dev);
+  };
+  const auto memory_key = [&](DeviceId dev) {
+    return static_cast<double>(view.memory_used(dev));
+  };
+
+  std::vector<DeviceId> best;
+  double best_primary = std::numeric_limits<double>::infinity();
+  double best_secondary = std::numeric_limits<double>::infinity();
+  for (const DeviceId dev : candidates) {
+    const double primary = evict_risk ? memory_key(dev) : compute_key(dev);
+    const double secondary = evict_risk ? compute_key(dev) : memory_key(dev);
+    if (primary < best_primary ||
+        (primary == best_primary && secondary < best_secondary)) {
+      best_primary = primary;
+      best_secondary = secondary;
+      best.clear();
+      best.push_back(dev);
+    } else if (primary == best_primary && secondary == best_secondary) {
+      best.push_back(dev);
+    }
+  }
+
+  if (best.size() == 1) return best.front();
+  return best[rng_.uniform_below(static_cast<std::uint32_t>(best.size()))];
+}
+
+}  // namespace micco

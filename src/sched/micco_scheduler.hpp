@@ -1,0 +1,79 @@
+// The MICCO heuristic scheduler (Section IV-B, Algorithms 1 and 2).
+//
+// Toggles among three policies per incoming tensor pair:
+//   * data-centric      — restrict candidates to devices already holding the
+//                         pair's tensors (tiered by local reuse pattern,
+//                         gated by the per-tier reuse bounds);
+//   * computation-centric — among candidates, pick the least-loaded device;
+//   * memory-eviction-sensitive — if any candidate would oversubscribe,
+//                         pick the device with the most free memory instead.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sched/reuse_bounds.hpp"
+#include "sched/reuse_pattern.hpp"
+#include "sched/scheduler.hpp"
+
+namespace micco {
+
+struct MiccoSchedulerOptions {
+  /// Initial reuse bounds; the driver typically overrides them per vector
+  /// with the regression model's prediction (MICCO-optimal) or leaves the
+  /// zero triple in place (MICCO-naive).
+  ReuseBounds bounds = ReuseBounds::naive();
+
+  /// Disables the memory-eviction-sensitive policy (ablation for Fig. 11).
+  bool eviction_sensitive = true;
+
+  /// Tie-break RNG seed (Alg. 2 breaks exact ties randomly).
+  std::uint64_t seed = 7;
+};
+
+class MiccoScheduler final : public Scheduler {
+ public:
+  explicit MiccoScheduler(MiccoSchedulerOptions options = {});
+
+  std::string name() const override;
+  void begin_vector(const VectorWorkload& vec,
+                    const ClusterView& view) override;
+  DeviceId assign(const ContractionTask& task,
+                  const ClusterView& view) override;
+
+  /// Installs the reuse bounds used from the next assignment on; the online
+  /// pipeline calls this right after the regression model's inference (step
+  /// 2 of Fig. 6).
+  void set_reuse_bounds(ReuseBounds bounds) { bounds_ = bounds; }
+  ReuseBounds reuse_bounds() const { return bounds_; }
+
+  /// Distinct input tensors assigned to `dev` within the current vector
+  /// (the paper's mapGPUTensor.at(dev).size()); exposed for tests.
+  std::int64_t assigned_count(DeviceId dev) const;
+
+  std::int64_t balance_num() const { return balance_num_; }
+
+ private:
+  /// Device passes the availability test for tier `bound_index`.
+  bool available(DeviceId dev, std::size_t bound_index) const;
+
+  /// Alg. 2: selects from the candidate queue, switching between the
+  /// computation-centric and memory-eviction-sensitive policies.
+  DeviceId select_from_candidates(const std::vector<DeviceId>& candidates,
+                                  const ContractionTask& task,
+                                  const ClusterView& view);
+
+  MiccoSchedulerOptions options_;
+  ReuseBounds bounds_;
+  Pcg32 rng_;
+
+  std::int64_t balance_num_ = 1;
+  /// Per-device distinct input tensors assigned in the current vector.
+  std::vector<std::unordered_set<TensorId>> vector_assigned_;
+  /// Per-device cumulative assigned kernel FLOPs (mapGPUCom).
+  std::vector<double> compute_cost_;
+};
+
+}  // namespace micco

@@ -1,0 +1,50 @@
+// Offline oracle search.
+//
+// For small vectors, exhaustively (or beam-limited) searches the device-
+// assignment space of a whole vector against a simulator clone, returning
+// the assignment with the smallest end-of-vector makespan. This is the
+// "exhaustive search ... easy to be proved an NP problem" the paper rules
+// out for production (Section III-B.1) — here it serves as a measuring
+// stick: how close does MICCO's greedy heuristic get to the per-vector
+// optimum?
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/cluster.hpp"
+#include "workload/task.hpp"
+
+namespace micco {
+
+struct OracleOptions {
+  /// Exact exhaustive search up to this many tasks per vector
+  /// (devices^tasks leaves); larger vectors fall back to beam search.
+  std::size_t exhaustive_task_limit = 8;
+  /// Beam width for larger vectors (per task step, the best `beam` partial
+  /// assignments by projected makespan survive).
+  std::size_t beam_width = 64;
+};
+
+/// Result of one oracle vector search.
+struct OracleAssignment {
+  std::vector<DeviceId> devices;  ///< one per task, in vector order
+  double makespan_s = 0.0;        ///< end-of-vector makespan of the best plan
+  std::uint64_t evaluated = 0;    ///< simulator evaluations performed
+  bool exhaustive = false;        ///< true when the search was exact
+};
+
+/// Searches assignments of `vec` starting from the cluster state captured in
+/// `base` (the search clones it per candidate; `base` is not modified).
+OracleAssignment oracle_search(const VectorWorkload& vec,
+                               const ClusterSimulator& base,
+                               const OracleOptions& options = {});
+
+/// Runs a whole stream with per-vector oracle search, committing each
+/// vector's best assignment before moving on. Returns the end metrics.
+/// Exponential in vector size unless beam-limited - keep workloads small.
+ExecutionMetrics run_oracle(const WorkloadStream& stream,
+                            const ClusterConfig& cluster,
+                            const OracleOptions& options = {});
+
+}  // namespace micco

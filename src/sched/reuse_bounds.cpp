@@ -1,0 +1,52 @@
+#include "sched/reuse_bounds.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace micco {
+
+std::string ReuseBounds::to_string() const {
+  std::ostringstream os;
+  os << "(" << values[0] << "," << values[1] << "," << values[2] << ")";
+  return os.str();
+}
+
+const std::array<ReuseBounds, 13>& fig8_bound_sweep() {
+  // The thirteen triples measured in Fig. 8: the all-zero baseline plus the
+  // axis-aligned and diagonal combinations of {0,1,2}.
+  static const std::array<ReuseBounds, 13> kSweep{{
+      {0, 0, 0},
+      {1, 0, 0},
+      {2, 0, 0},
+      {0, 1, 0},
+      {0, 2, 0},
+      {0, 0, 1},
+      {0, 0, 2},
+      {1, 1, 0},
+      {0, 1, 1},
+      {1, 0, 1},
+      {1, 1, 1},
+      {2, 2, 0},
+      {0, 2, 2},
+  }};
+  return kSweep;
+}
+
+std::vector<ReuseBounds> bound_grid(std::int64_t max_component) {
+  MICCO_EXPECTS(max_component >= 0);
+  std::vector<ReuseBounds> grid;
+  grid.reserve(static_cast<std::size_t>((max_component + 1) *
+                                        (max_component + 1) *
+                                        (max_component + 1)));
+  for (std::int64_t b0 = 0; b0 <= max_component; ++b0) {
+    for (std::int64_t b1 = 0; b1 <= max_component; ++b1) {
+      for (std::int64_t b2 = 0; b2 <= max_component; ++b2) {
+        grid.push_back(ReuseBounds{b0, b1, b2});
+      }
+    }
+  }
+  return grid;
+}
+
+}  // namespace micco

@@ -1,0 +1,51 @@
+// Local reuse patterns (Section III-B.1, Fig. 4).
+//
+// Every incoming tensor pair is classified against current device residency
+// into one of four patterns; together with the chosen device this fixes the
+// memory-operation cost of the assignment (the seven canonical mappings).
+#pragma once
+
+#include <string>
+
+#include "gpusim/cluster.hpp"
+#include "workload/task.hpp"
+
+namespace micco {
+
+enum class LocalReusePattern {
+  kTwoRepeatedSame,  ///< both tensors resident on at least one common device
+  kTwoRepeatedDiff,  ///< both resident, but on disjoint device sets
+  kOneRepeated,      ///< exactly one tensor resident somewhere
+  kTwoNew,           ///< neither tensor resident on any device
+};
+
+const char* to_string(LocalReusePattern p);
+
+/// Classifies a pair against the cluster's residency state.
+LocalReusePattern classify_pair(const ContractionTask& task,
+                                const ClusterView& view);
+
+/// Cost class of assigning `task` to `dev` — the collapse of Fig. 4's seven
+/// mappings by their memory-operation cost: mapping (1) reuses both
+/// operands, (2)/(3) reuse one, (4)-(7) reuse none.
+enum class MappingClass {
+  kBothReused = 1,    ///< mapping (1): no fetches
+  kFirstReused = 2,   ///< mapping (2): fetch operand B only
+  kSecondReused = 3,  ///< mapping (3): fetch operand A only
+  kNoneReused = 4,    ///< mappings (4)-(7): fetch both operands
+};
+
+MappingClass classify_mapping(const ContractionTask& task, DeviceId dev,
+                              const ClusterView& view);
+
+/// Number of operand fetches (memory allocation + communication pairs) the
+/// mapping incurs, i.e. the yellow-bar cost of Fig. 4.
+int fetches_for(MappingClass m);
+
+/// Bytes that must move onto `dev` to run `task` there (absent operands plus
+/// the output allocation). The eviction-sensitive policy compares this
+/// against the device's headroom.
+std::uint64_t bytes_needed_on(const ContractionTask& task, DeviceId dev,
+                              const ClusterView& view);
+
+}  // namespace micco

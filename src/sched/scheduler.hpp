@@ -1,0 +1,39 @@
+// Scheduler interface.
+//
+// Scheduling is online: the driver announces each incoming vector, then asks
+// for a device assignment pair by pair, executing each assignment on the
+// simulator (or real backend) before requesting the next. Schedulers
+// therefore always see residency state that reflects every earlier decision,
+// including evictions — exactly the dynamic setting the paper targets
+// ("(partial) contraction graphs are generated dynamically").
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "gpusim/cluster.hpp"
+#include "workload/task.hpp"
+
+namespace micco {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Human-readable name for bench tables ("Groute", "MICCO-optimal", ...).
+  virtual std::string name() const = 0;
+
+  /// Announces the next vector before its pairs are assigned. Schedulers
+  /// reset their per-vector accounting (balanceNum, assigned-tensor maps).
+  virtual void begin_vector(const VectorWorkload& vec,
+                            const ClusterView& view) = 0;
+
+  /// Picks the device for one tensor pair. Called once per task, in order.
+  virtual DeviceId assign(const ContractionTask& task,
+                          const ClusterView& view) = 0;
+
+  /// Announces that the vector's tasks all executed (barrier follows).
+  virtual void end_vector() {}
+};
+
+}  // namespace micco

@@ -1,0 +1,74 @@
+// Tensor shapes for hadron-node data.
+//
+// A hadron node in a meson system carries a batch of square matrices
+// (rank 2); in a baryon system, a batch of rank-3 tensors. Shapes are a
+// leading batch dimension plus up to three spatial extents; the paper calls
+// the spatial extent the "tensor size" (e.g. 384).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace micco {
+
+/// Shape of a batched tensor: `batch` independent tensors of rank
+/// `rank` with extents `dims[0..rank)`.
+class Shape {
+ public:
+  static constexpr int kMaxRank = 3;
+
+  Shape() = default;
+
+  Shape(std::int64_t batch, std::initializer_list<std::int64_t> dims)
+      : batch_(batch), rank_(static_cast<int>(dims.size())) {
+    MICCO_EXPECTS(batch >= 1);
+    MICCO_EXPECTS(rank_ >= 1 && rank_ <= kMaxRank);
+    int i = 0;
+    for (const std::int64_t d : dims) {
+      MICCO_EXPECTS(d >= 1);
+      dims_[static_cast<std::size_t>(i++)] = d;
+    }
+  }
+
+  /// Batch of square matrices (meson hadron node).
+  static Shape matrix(std::int64_t batch, std::int64_t extent) {
+    return Shape(batch, {extent, extent});
+  }
+
+  /// Batch of cubical rank-3 tensors (baryon hadron node).
+  static Shape rank3(std::int64_t batch, std::int64_t extent) {
+    return Shape(batch, {extent, extent, extent});
+  }
+
+  std::int64_t batch() const { return batch_; }
+  int rank() const { return rank_; }
+
+  std::int64_t dim(int axis) const {
+    MICCO_EXPECTS(axis >= 0 && axis < rank_);
+    return dims_[static_cast<std::size_t>(axis)];
+  }
+
+  /// Elements in a single batch entry.
+  std::int64_t elements_per_batch() const {
+    std::int64_t n = 1;
+    for (int i = 0; i < rank_; ++i) n *= dims_[static_cast<std::size_t>(i)];
+    return n;
+  }
+
+  /// Total element count across the batch.
+  std::int64_t elements() const { return batch_ * elements_per_batch(); }
+
+  bool operator==(const Shape& other) const = default;
+
+  std::string to_string() const;
+
+ private:
+  std::int64_t batch_ = 0;
+  int rank_ = 0;
+  std::array<std::int64_t, kMaxRank> dims_{};
+};
+
+}  // namespace micco

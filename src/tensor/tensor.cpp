@@ -1,0 +1,43 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace micco {
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << "[batch=" << batch_ << "; ";
+  for (int i = 0; i < rank_; ++i) {
+    if (i > 0) os << "x";
+    os << dims_[static_cast<std::size_t>(i)];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor Tensor::random(Shape shape, Pcg32& rng) {
+  Tensor t(shape);
+  for (cplx& v : t.data_) {
+    v = cplx{rng.uniform_real(-1.0, 1.0), rng.uniform_real(-1.0, 1.0)};
+  }
+  return t;
+}
+
+double Tensor::max_abs_diff(const Tensor& other) const {
+  MICCO_EXPECTS(same_shape(other));
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+  }
+  return worst;
+}
+
+double Tensor::frobenius_norm() const {
+  double acc = 0.0;
+  for (const cplx& v : data_) acc += std::norm(v);
+  return std::sqrt(acc);
+}
+
+}  // namespace micco

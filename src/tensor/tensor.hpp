@@ -1,0 +1,99 @@
+// Dense complex tensors backing hadron nodes, plus element access helpers.
+//
+// This is the *executing* substrate: tests and examples contract real data
+// through it to prove any schedule MICCO emits is numerically equivalent to
+// the sequential reference. The benchmark harnesses use the analytic cost
+// model in gpusim instead (see DESIGN.md, hardware substitution).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/shape.hpp"
+
+namespace micco {
+
+/// Complex scalar used throughout the numeric path. Double precision keeps
+/// cross-schedule comparisons bit-exact for the contraction orders we use.
+using cplx = std::complex<double>;
+
+/// A dense batched tensor in row-major layout:
+/// index (b, i[, j[, k]]) linearises as ((b*d0 + i)*d1 + j)*d2 + k.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates a zero-initialised tensor of the given shape.
+  explicit Tensor(Shape shape)
+      : shape_(shape),
+        data_(static_cast<std::size_t>(shape.elements()), cplx{0.0, 0.0}) {}
+
+  /// Fills with uniform random complex values in the unit square; the
+  /// deterministic RNG keeps test fixtures reproducible.
+  static Tensor random(Shape shape, Pcg32& rng);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t elements() const { return shape_.elements(); }
+
+  /// Payload size in bytes (what a device allocation would occupy).
+  std::uint64_t bytes() const {
+    return static_cast<std::uint64_t>(shape_.elements()) * sizeof(cplx);
+  }
+
+  std::span<cplx> data() { return data_; }
+  std::span<const cplx> data() const { return data_; }
+
+  /// Rank-2 element access (batch b, row i, column j).
+  cplx& at(std::int64_t b, std::int64_t i, std::int64_t j) {
+    return data_[index2(b, i, j)];
+  }
+  const cplx& at(std::int64_t b, std::int64_t i, std::int64_t j) const {
+    return data_[index2(b, i, j)];
+  }
+
+  /// Rank-3 element access.
+  cplx& at(std::int64_t b, std::int64_t i, std::int64_t j, std::int64_t k) {
+    return data_[index3(b, i, j, k)];
+  }
+  const cplx& at(std::int64_t b, std::int64_t i, std::int64_t j,
+                 std::int64_t k) const {
+    return data_[index3(b, i, j, k)];
+  }
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// Max absolute elementwise difference; tests use it for tolerance checks.
+  double max_abs_diff(const Tensor& other) const;
+
+  /// Frobenius norm across the whole batch.
+  double frobenius_norm() const;
+
+ private:
+  std::size_t index2(std::int64_t b, std::int64_t i, std::int64_t j) const {
+    MICCO_EXPECTS(shape_.rank() == 2);
+    MICCO_EXPECTS(b >= 0 && b < shape_.batch());
+    MICCO_EXPECTS(i >= 0 && i < shape_.dim(0));
+    MICCO_EXPECTS(j >= 0 && j < shape_.dim(1));
+    return static_cast<std::size_t>((b * shape_.dim(0) + i) * shape_.dim(1) +
+                                    j);
+  }
+
+  std::size_t index3(std::int64_t b, std::int64_t i, std::int64_t j,
+                     std::int64_t k) const {
+    MICCO_EXPECTS(shape_.rank() == 3);
+    MICCO_EXPECTS(b >= 0 && b < shape_.batch());
+    MICCO_EXPECTS(i >= 0 && i < shape_.dim(0));
+    MICCO_EXPECTS(j >= 0 && j < shape_.dim(1));
+    MICCO_EXPECTS(k >= 0 && k < shape_.dim(2));
+    return static_cast<std::size_t>(
+        ((b * shape_.dim(0) + i) * shape_.dim(1) + j) * shape_.dim(2) + k);
+  }
+
+  Shape shape_;
+  std::vector<cplx> data_;
+};
+
+}  // namespace micco

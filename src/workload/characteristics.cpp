@@ -1,0 +1,55 @@
+#include "workload/characteristics.hpp"
+
+#include <unordered_map>
+
+namespace micco {
+
+double multiplicity_skew(const VectorWorkload& vec) {
+  std::unordered_map<TensorId, std::int64_t> counts;
+  std::int64_t slots = 0;
+  for (const ContractionTask& t : vec.tasks) {
+    ++counts[t.a.id];
+    ++counts[t.b.id];
+    slots += 2;
+  }
+  if (slots == 0 || counts.empty()) return 0.0;
+
+  // Herfindahl-style concentration of slot occupancy, rescaled so that an
+  // all-distinct vector scores 0 and a single-tensor vector scores 1.
+  const double n = static_cast<double>(counts.size());
+  double hhi = 0.0;
+  for (const auto& [id, c] : counts) {
+    (void)id;
+    const double share = static_cast<double>(c) / static_cast<double>(slots);
+    hhi += share * share;
+  }
+  const double uniform_floor = 1.0 / n;  // HHI when all multiplicities equal
+  if (n <= 1.0) return 1.0;
+  const double skew = (hhi - uniform_floor) / (1.0 - uniform_floor);
+  return skew < 0.0 ? 0.0 : (skew > 1.0 ? 1.0 : skew);
+}
+
+DataCharacteristics extract_characteristics(const VectorWorkload& vec,
+                                            const ResidencyOracle& residency) {
+  DataCharacteristics c;
+  c.vector_size = static_cast<double>(vec.tensor_count());
+  if (!vec.tasks.empty()) {
+    c.tensor_extent = static_cast<double>(vec.tasks.front().a.extent);
+  }
+
+  std::int64_t resident_slots = 0;
+  for (const ContractionTask& t : vec.tasks) {
+    if (residency.resident_anywhere(t.a.id)) ++resident_slots;
+    if (residency.resident_anywhere(t.b.id)) ++resident_slots;
+  }
+  const std::int64_t slots = vec.tensor_count();
+  c.repeated_rate =
+      slots == 0 ? 0.0
+                 : static_cast<double>(resident_slots) /
+                       static_cast<double>(slots);
+
+  c.distribution_bias = multiplicity_skew(vec);
+  return c;
+}
+
+}  // namespace micco

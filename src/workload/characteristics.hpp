@@ -1,0 +1,59 @@
+// Per-vector data characteristics (Table I): the feature vector MICCO's
+// regression model consumes. The online path re-derives repeated rate and
+// distribution bias from the incoming vector and the current device
+// residency, mirroring "repeated rate is calculated dynamically for each
+// vector" in Section IV-C.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/task.hpp"
+
+namespace micco {
+
+/// Abstract residency query the extractor needs; the GPU simulator's cluster
+/// state implements it. Kept minimal so workload does not depend on gpusim.
+class ResidencyOracle {
+ public:
+  virtual ~ResidencyOracle() = default;
+  /// True when the tensor currently lives in at least one device memory.
+  virtual bool resident_anywhere(TensorId id) const = 0;
+};
+
+/// Trivial oracle for workloads with no devices attached yet (first vector,
+/// unit tests): nothing is resident.
+class EmptyResidency final : public ResidencyOracle {
+ public:
+  bool resident_anywhere(TensorId) const override { return false; }
+};
+
+/// The regression model's feature vector.
+struct DataCharacteristics {
+  double vector_size = 0.0;    ///< tensor slots in the vector
+  double tensor_extent = 0.0;  ///< the paper's "tensor size"
+  double distribution_bias = 0.0;  ///< 0 = uniform, 1 = strongly biased
+  double repeated_rate = 0.0;  ///< fraction of slots already device-resident
+
+  /// Fixed feature order for the ML pipeline.
+  static constexpr int kFeatureCount = 4;
+  void to_features(double out[kFeatureCount]) const {
+    out[0] = vector_size;
+    out[1] = tensor_extent;
+    out[2] = distribution_bias;
+    out[3] = repeated_rate;
+  }
+};
+
+/// Extracts the characteristics of one incoming vector given the current
+/// residency state. Distribution bias is estimated from the skew of tensor
+/// multiplicities inside the vector (a hot set repeated many times reads as
+/// biased; evenly spread repeats read as uniform).
+DataCharacteristics extract_characteristics(const VectorWorkload& vec,
+                                            const ResidencyOracle& residency);
+
+/// The multiplicity-skew statistic used for the bias estimate, exposed for
+/// testing: 0 when every distinct input appears once, approaching 1 as a
+/// single tensor dominates the slots.
+double multiplicity_skew(const VectorWorkload& vec);
+
+}  // namespace micco

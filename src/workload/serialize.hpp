@@ -1,0 +1,34 @@
+// Workload stream (de)serialization.
+//
+// A captured stream — synthetic, or emitted by a Redstar-style frontend —
+// can be written to a portable text file and replayed later against any
+// scheduler/cluster configuration, which is how real scheduling workloads
+// get shared and regression-tested. Line-oriented, versioned:
+//   micco-workload v1
+//   meta <vector_size> <extent> <batch> <repeated_rate> <distribution>
+//   vectors <count>
+//   vector <task_count>
+//   task <a.id> <a.rank> <a.extent> <a.batch> <b...> <out...>   (one per line)
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "workload/task.hpp"
+
+namespace micco {
+
+/// Writes a stream; aborts on I/O failure (programmer-controlled sink).
+void save_stream(const WorkloadStream& stream, std::ostream& out);
+void save_stream_file(const WorkloadStream& stream, const std::string& path);
+
+/// Reads a stream back. Returns nullopt and sets `error` on malformed
+/// input (external data: never aborts). The loaded stream passes the same
+/// structural validation the generators guarantee.
+std::optional<WorkloadStream> load_stream(std::istream& in,
+                                          std::string* error = nullptr);
+std::optional<WorkloadStream> load_stream_file(const std::string& path,
+                                               std::string* error = nullptr);
+
+}  // namespace micco

@@ -1,0 +1,64 @@
+#include "workload/task.hpp"
+
+namespace micco {
+
+const char* to_string(DataDistribution d) {
+  switch (d) {
+    case DataDistribution::kUniform: return "Uniform";
+    case DataDistribution::kGaussian: return "Gaussian";
+  }
+  return "?";
+}
+
+std::unordered_set<TensorId> VectorWorkload::unique_inputs() const {
+  std::unordered_set<TensorId> ids;
+  ids.reserve(tasks.size() * 2);
+  for (const ContractionTask& t : tasks) {
+    ids.insert(t.a.id);
+    ids.insert(t.b.id);
+  }
+  return ids;
+}
+
+std::uint64_t VectorWorkload::total_flops() const {
+  std::uint64_t acc = 0;
+  for (const ContractionTask& t : tasks) acc += t.flops();
+  return acc;
+}
+
+std::uint64_t VectorWorkload::unique_input_bytes() const {
+  std::unordered_set<TensorId> seen;
+  std::uint64_t acc = 0;
+  for (const ContractionTask& t : tasks) {
+    if (seen.insert(t.a.id).second) acc += t.a.bytes();
+    if (seen.insert(t.b.id).second) acc += t.b.bytes();
+  }
+  return acc;
+}
+
+std::uint64_t VectorWorkload::output_bytes() const {
+  std::uint64_t acc = 0;
+  for (const ContractionTask& t : tasks) acc += t.out.bytes();
+  return acc;
+}
+
+std::uint64_t WorkloadStream::total_flops() const {
+  std::uint64_t acc = 0;
+  for (const VectorWorkload& v : vectors) acc += v.total_flops();
+  return acc;
+}
+
+std::uint64_t WorkloadStream::total_distinct_bytes() const {
+  std::unordered_set<TensorId> seen;
+  std::uint64_t acc = 0;
+  for (const VectorWorkload& v : vectors) {
+    for (const ContractionTask& t : v.tasks) {
+      if (seen.insert(t.a.id).second) acc += t.a.bytes();
+      if (seen.insert(t.b.id).second) acc += t.b.bytes();
+      if (seen.insert(t.out.id).second) acc += t.out.bytes();
+    }
+  }
+  return acc;
+}
+
+}  // namespace micco

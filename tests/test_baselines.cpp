@@ -1,0 +1,134 @@
+#include "sched/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gpusim/cluster.hpp"
+
+namespace micco {
+namespace {
+
+TensorDesc make_desc(TensorId id, std::int64_t extent = 16) {
+  return TensorDesc{id, 2, extent, 1};
+}
+
+ContractionTask make_task(TensorId a, TensorId b, TensorId out,
+                          std::int64_t extent = 16) {
+  ContractionTask t;
+  t.a = make_desc(a, extent);
+  t.b = make_desc(b, extent);
+  t.out = make_desc(out, extent);
+  return t;
+}
+
+ClusterConfig cluster_of(int devices) {
+  ClusterConfig c;
+  c.num_devices = devices;
+  c.device_capacity_bytes = 64u << 20;
+  return c;
+}
+
+TEST(Groute, PicksEarliestAvailableDevice) {
+  GrouteScheduler sched;
+  ClusterSimulator sim(cluster_of(2));
+  // Load device 0 heavily.
+  sim.execute(make_task(0, 1, 2, 128), 0);
+  EXPECT_EQ(sched.assign(make_task(3, 4, 5), sim), 1);
+}
+
+TEST(Groute, SpreadsInitialAssignments) {
+  GrouteScheduler sched;
+  ClusterSimulator sim(cluster_of(4));
+  std::set<DeviceId> used;
+  for (TensorId i = 0; i < 8; i += 2) {
+    const ContractionTask t = make_task(i, i + 1, 100 + i);
+    const DeviceId d = sched.assign(t, sim);
+    sim.execute(t, d);
+    used.insert(d);
+  }
+  EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(Groute, IgnoresResidency) {
+  // Tensors 0, 1 sit on device 0, but device 1 is idle -> Groute picks the
+  // idle device even though it must re-fetch everything (its defining
+  // blindness to the data dimension).
+  GrouteScheduler sched;
+  ClusterSimulator sim(cluster_of(2));
+  sim.execute(make_task(0, 1, 2, 128), 0);
+  EXPECT_EQ(sched.assign(make_task(0, 1, 3), sim), 1);
+}
+
+TEST(RoundRobin, CyclesThroughDevices) {
+  RoundRobinScheduler sched;
+  ClusterSimulator sim(cluster_of(3));
+  EXPECT_EQ(sched.assign(make_task(0, 1, 10), sim), 0);
+  EXPECT_EQ(sched.assign(make_task(2, 3, 11), sim), 1);
+  EXPECT_EQ(sched.assign(make_task(4, 5, 12), sim), 2);
+  EXPECT_EQ(sched.assign(make_task(6, 7, 13), sim), 0);
+}
+
+TEST(DataReuseOnly, FollowsDataWhereverItIs) {
+  DataReuseOnlyScheduler sched;
+  ClusterSimulator sim(cluster_of(2));
+  sim.execute(make_task(0, 1, 2), 1);
+  // Both operands on device 1 -> must go there, regardless of balance.
+  EXPECT_EQ(sched.assign(make_task(0, 1, 3), sim), 1);
+  // One operand on device 1 -> still follows it.
+  EXPECT_EQ(sched.assign(make_task(0, 9, 4), sim), 1);
+}
+
+TEST(DataReuseOnly, FreshPairsStickToLastDevice) {
+  DataReuseOnlyScheduler sched;
+  ClusterSimulator sim(cluster_of(4));
+  const DeviceId first = sched.assign(make_task(0, 1, 10), sim);
+  sim.execute(make_task(0, 1, 10), first);
+  // Fresh pair: stays on the same device (no balancing at all).
+  EXPECT_EQ(sched.assign(make_task(2, 3, 11), sim), first);
+}
+
+TEST(DataReuseOnly, PrefersDeviceWithBothOperands) {
+  DataReuseOnlyScheduler sched;
+  ClusterSimulator sim(cluster_of(3));
+  sim.execute(make_task(0, 5, 6), 1);  // tensor 0 on device 1
+  sim.execute(make_task(0, 1, 7), 2);  // tensors 0 and 1 on device 2
+  EXPECT_EQ(sched.assign(make_task(0, 1, 8), sim), 2);
+}
+
+TEST(LoadBalanceOnly, PerfectPairCounts) {
+  LoadBalanceOnlyScheduler sched;
+  ClusterSimulator sim(cluster_of(2));
+  VectorWorkload v;
+  for (TensorId i = 0; i < 8; i += 2) v.tasks.push_back(make_task(i, i + 1, 50 + i));
+  sched.begin_vector(v, sim);
+  std::vector<int> counts(2, 0);
+  for (const ContractionTask& t : v.tasks) {
+    const DeviceId d = sched.assign(t, sim);
+    ++counts[static_cast<std::size_t>(d)];
+    sim.execute(t, d);
+  }
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 2);
+}
+
+TEST(LoadBalanceOnly, ResetsEachVector) {
+  LoadBalanceOnlyScheduler sched;
+  ClusterSimulator sim(cluster_of(2));
+  VectorWorkload v;
+  v.tasks = {make_task(0, 1, 10)};
+  sched.begin_vector(v, sim);
+  EXPECT_EQ(sched.assign(v.tasks[0], sim), 0);
+  sched.begin_vector(v, sim);
+  EXPECT_EQ(sched.assign(v.tasks[0], sim), 0);  // counts reset, device 0 again
+}
+
+TEST(Baselines, NamesAreStable) {
+  EXPECT_EQ(GrouteScheduler{}.name(), "Groute");
+  EXPECT_EQ(RoundRobinScheduler{}.name(), "RoundRobin");
+  EXPECT_EQ(DataReuseOnlyScheduler{}.name(), "DataReuseOnly");
+  EXPECT_EQ(LoadBalanceOnlyScheduler{}.name(), "LoadBalanceOnly");
+}
+
+}  // namespace
+}  // namespace micco

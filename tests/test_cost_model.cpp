@@ -1,0 +1,119 @@
+#include "gpusim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace micco {
+namespace {
+
+ContractionTask make_task(std::int64_t extent, std::int64_t batch = 4,
+                          int rank = 2) {
+  ContractionTask t;
+  t.a = TensorDesc{0, rank, extent, batch};
+  t.b = TensorDesc{1, rank, extent, batch};
+  t.out = TensorDesc{2, 2, extent, batch};
+  return t;
+}
+
+TEST(CostModel, OccupancyRampsWithExtent) {
+  CostModel m;
+  EXPECT_LT(m.occupancy(128), m.occupancy(384));
+  EXPECT_LT(m.occupancy(384), m.occupancy(512));
+  EXPECT_DOUBLE_EQ(m.occupancy(512), 1.0);
+  EXPECT_DOUBLE_EQ(m.occupancy(4096), 1.0);  // clamped at saturation
+}
+
+TEST(CostModel, OccupancyHasFloor) {
+  CostModel m;
+  EXPECT_DOUBLE_EQ(m.occupancy(1), m.config().min_occupancy);
+}
+
+TEST(CostModel, KernelTimeGrowsWithExtent) {
+  CostModel m;
+  EXPECT_LT(m.kernel_time(make_task(128)), m.kernel_time(make_task(256)));
+  EXPECT_LT(m.kernel_time(make_task(256)), m.kernel_time(make_task(768)));
+}
+
+TEST(CostModel, KernelTimeGrowsWithBatch) {
+  CostModel m;
+  EXPECT_LT(m.kernel_time(make_task(256, 2)), m.kernel_time(make_task(256, 8)));
+}
+
+TEST(CostModel, KernelIncludesLaunchLatency) {
+  CostModel m;
+  EXPECT_GE(m.kernel_time(make_task(1, 1)),
+            m.config().kernel_launch_latency_s);
+}
+
+TEST(CostModel, BaryonKernelsCostMoreThanMeson) {
+  CostModel m;
+  EXPECT_GT(m.kernel_time(make_task(64, 4, 3)),
+            m.kernel_time(make_task(64, 4, 2)));
+}
+
+TEST(CostModel, LargerKernelsAchieveBetterEfficiency) {
+  // GFLOP rate (flops / kernel time) must improve with tensor size, which
+  // is what makes Fig. 10's absolute numbers climb with extent.
+  CostModel m;
+  const auto rate = [&](std::int64_t extent) {
+    const ContractionTask t = make_task(extent, 8);
+    return static_cast<double>(t.flops()) / m.kernel_time(t);
+  };
+  EXPECT_LT(rate(128), rate(384));
+  EXPECT_LT(rate(384), rate(768));
+}
+
+TEST(CostModel, TransferTimesScaleWithBytes) {
+  CostModel m;
+  EXPECT_LT(m.h2d_time(1 << 20), m.h2d_time(1 << 24));
+  EXPECT_LT(m.p2p_time(1 << 20), m.p2p_time(1 << 24));
+  EXPECT_LT(m.d2h_time(1 << 20), m.d2h_time(1 << 24));
+}
+
+TEST(CostModel, P2PFasterThanH2DForLargeTransfers) {
+  // xGMI links outrun PCIe: the premise behind preferring peer copies.
+  CostModel m;
+  constexpr std::uint64_t kBytes = 256ull << 20;
+  EXPECT_LT(m.p2p_time(kBytes), m.h2d_time(kBytes));
+}
+
+TEST(CostModel, TransfersIncludeLatencyFloor) {
+  CostModel m;
+  EXPECT_GE(m.h2d_time(1), m.config().transfer_latency_s);
+  EXPECT_GE(m.p2p_time(1), m.config().transfer_latency_s);
+}
+
+TEST(CostModel, AllocAndFreeArePositive) {
+  CostModel m;
+  EXPECT_GT(m.alloc_time(), 0.0);
+  EXPECT_GT(m.free_time(), 0.0);
+  EXPECT_LT(m.free_time(), m.alloc_time());
+}
+
+TEST(CostModel, KernelTimeIsRooflineMaxPlusLaunch) {
+  CostModelConfig cfg;
+  CostModel m(cfg);
+  for (const std::int64_t extent : {16, 64, 384, 1024}) {
+    const ContractionTask t = make_task(extent, 4);
+    const double compute_term =
+        static_cast<double>(t.flops()) /
+        (cfg.peak_gflops * 1e9 * cfg.sustained_fraction *
+         m.occupancy(extent));
+    const double mem_term = static_cast<double>(t.kernel_bytes()) /
+                            (cfg.hbm_bandwidth_gbs * 1e9);
+    EXPECT_NEAR(m.kernel_time(t),
+                std::max(compute_term, mem_term) +
+                    cfg.kernel_launch_latency_s,
+                1e-15 + 1e-9 * m.kernel_time(t));
+  }
+}
+
+TEST(CostModel, RejectsNonsenseConfig) {
+  CostModelConfig cfg;
+  cfg.peak_gflops = -1.0;
+  EXPECT_DEATH(CostModel{cfg}, "peak_gflops");
+}
+
+}  // namespace
+}  // namespace micco

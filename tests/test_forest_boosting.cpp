@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "ml/gradient_boosting.hpp"
+#include "ml/linear_regression.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/regressor.hpp"
+
+namespace micco::ml {
+namespace {
+
+/// Nonlinear interaction surface resembling the bounds landscape: value
+/// depends on thresholds and feature interplay, not a linear combination.
+Dataset nonlinear_data(int n, std::uint64_t seed) {
+  Dataset d(3);
+  Pcg32 rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const double a = rng.uniform_real(0, 1);
+    const double b = rng.uniform_real(0, 1);
+    const double c = rng.uniform_real(0, 1);
+    const double features[3] = {a, b, c};
+    const double y =
+        (a > 0.5 ? 2.0 : 0.0) + std::sin(6.0 * b) * (c > 0.3 ? 1.0 : -1.0);
+    d.add(features, y);
+  }
+  return d;
+}
+
+TEST(RandomForest, FitsNonlinearSurfaceWell) {
+  const Dataset train = nonlinear_data(400, 1);
+  const Dataset test = nonlinear_data(100, 2);
+  ForestConfig cfg;
+  cfg.n_trees = 60;
+  RandomForest forest(cfg);
+  forest.fit(train);
+  EXPECT_GT(r2_score(test.targets(), forest.predict_all(test)), 0.7);
+}
+
+TEST(RandomForest, OutperformsLinearOnNonlinearData) {
+  // The Table IV ordering: RandomForest >> LinearRegression here.
+  const Dataset train = nonlinear_data(400, 3);
+  const Dataset test = nonlinear_data(100, 4);
+
+  ForestConfig cfg;
+  cfg.n_trees = 60;
+  RandomForest forest(cfg);
+  forest.fit(train);
+  LinearRegression linear;
+  linear.fit(train);
+
+  const double r2_forest =
+      r2_score(test.targets(), forest.predict_all(test));
+  const double r2_linear =
+      r2_score(test.targets(), linear.predict_all(test));
+  EXPECT_GT(r2_forest, r2_linear + 0.2);
+}
+
+TEST(RandomForest, TreeCountMatchesConfig) {
+  ForestConfig cfg;
+  cfg.n_trees = 10;
+  RandomForest forest(cfg);
+  forest.fit(nonlinear_data(50, 5));
+  EXPECT_EQ(forest.tree_count(), 10u);
+}
+
+TEST(RandomForest, DeterministicForFixedSeed) {
+  const Dataset d = nonlinear_data(100, 6);
+  ForestConfig cfg;
+  cfg.n_trees = 15;
+  cfg.seed = 42;
+  RandomForest f1(cfg), f2(cfg);
+  f1.fit(d);
+  f2.fit(d);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(f1.predict(d.row(i)), f2.predict(d.row(i)));
+  }
+}
+
+TEST(RandomForest, DifferentSeedsDifferentModels) {
+  const Dataset d = nonlinear_data(100, 7);
+  ForestConfig c1;
+  c1.n_trees = 15;
+  c1.seed = 1;
+  ForestConfig c2 = c1;
+  c2.seed = 2;
+  RandomForest f1(c1), f2(c2);
+  f1.fit(d);
+  f2.fit(d);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 20 && !any_diff; ++i) {
+    any_diff = f1.predict(d.row(i)) != f2.predict(d.row(i));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomForest, PredictBeforeFitAborts) {
+  RandomForest forest;
+  const double probe[3] = {0, 0, 0};
+  EXPECT_DEATH((void)forest.predict(probe), "fit");
+}
+
+TEST(GradientBoosting, FitsNonlinearSurfaceWell) {
+  const Dataset train = nonlinear_data(400, 8);
+  const Dataset test = nonlinear_data(100, 9);
+  BoostingConfig cfg;
+  cfg.n_stages = 80;
+  GradientBoosting gbm(cfg);
+  gbm.fit(train);
+  EXPECT_GT(r2_score(test.targets(), gbm.predict_all(test)), 0.7);
+}
+
+TEST(GradientBoosting, MoreStagesReduceTrainingError) {
+  const Dataset train = nonlinear_data(300, 10);
+  BoostingConfig few;
+  few.n_stages = 5;
+  BoostingConfig many;
+  many.n_stages = 100;
+  GradientBoosting g_few(few), g_many(many);
+  g_few.fit(train);
+  g_many.fit(train);
+  EXPECT_LT(mse(train.targets(), g_many.predict_all(train)),
+            mse(train.targets(), g_few.predict_all(train)));
+}
+
+TEST(GradientBoosting, StageCountMatchesConfig) {
+  BoostingConfig cfg;
+  cfg.n_stages = 12;
+  GradientBoosting gbm(cfg);
+  gbm.fit(nonlinear_data(60, 11));
+  EXPECT_EQ(gbm.stage_count(), 12u);
+}
+
+TEST(GradientBoosting, ConstantTargetPredictsConstant) {
+  Dataset d(1);
+  for (int i = 0; i < 20; ++i) {
+    const double features[1] = {static_cast<double>(i)};
+    d.add(features, 3.5);
+  }
+  GradientBoosting gbm;
+  gbm.fit(d);
+  const double probe[1] = {100.0};
+  EXPECT_NEAR(gbm.predict(probe), 3.5, 1e-9);
+}
+
+TEST(MultiOutput, TrainsOneModelPerOutput) {
+  // Output 0 = a, output 1 = b: each per-output model must learn its own
+  // column.
+  Dataset d0(2), d1(2);
+  Pcg32 rng(12);
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform_real(0, 1);
+    const double b = rng.uniform_real(0, 1);
+    const double features[2] = {a, b};
+    d0.add(features, a);
+    d1.add(features, b);
+  }
+  MultiOutputRegressor model(
+      [] { return std::make_unique<LinearRegression>(); }, 2);
+  const std::array<Dataset, 2> sets{d0, d1};
+  model.fit(std::span<const Dataset>(sets.data(), 2));
+  const double probe[2] = {0.3, 0.8};
+  const std::vector<double> out = model.predict(probe);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NEAR(out[0], 0.3, 1e-6);
+  EXPECT_NEAR(out[1], 0.8, 1e-6);
+}
+
+TEST(MultiOutput, PredictBeforeFitAborts) {
+  MultiOutputRegressor model(
+      [] { return std::make_unique<LinearRegression>(); }, 2);
+  const double probe[2] = {0, 0};
+  EXPECT_DEATH((void)model.predict(probe), "fit");
+}
+
+}  // namespace
+}  // namespace micco::ml

@@ -1,0 +1,127 @@
+#include "graph/graph_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "redstar/correlator.hpp"
+#include "workload/synthetic.hpp"
+
+namespace micco {
+namespace {
+
+TEST(GraphSetStats, EmptySetIsAllZero) {
+  const GraphSetStats stats = analyze_graphs({});
+  EXPECT_EQ(stats.graphs, 0u);
+  EXPECT_EQ(stats.distinct_tensors, 0u);
+  EXPECT_DOUBLE_EQ(stats.sharing_factor, 0.0);
+}
+
+TEST(GraphSetStats, SingleGraphCounts) {
+  NodeRegistry reg(8, 1);
+  ContractionGraph g;
+  const auto a = g.add_node(reg.original("a"));
+  const auto b = g.add_node(reg.original("b"));
+  const auto c = g.add_node(reg.original("c"));
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+
+  const GraphSetStats stats = analyze_graphs({g});
+  EXPECT_EQ(stats.graphs, 1u);
+  EXPECT_EQ(stats.total_nodes, 3u);
+  EXPECT_EQ(stats.total_edges, 2u);
+  EXPECT_EQ(stats.distinct_tensors, 3u);
+  EXPECT_DOUBLE_EQ(stats.sharing_factor, 1.0);
+  EXPECT_EQ(stats.max_sharing, 1u);
+  // Degrees: a=1, b=2, c=1.
+  EXPECT_EQ(stats.degree_histogram.at(1), 2u);
+  EXPECT_EQ(stats.degree_histogram.at(2), 1u);
+}
+
+TEST(GraphSetStats, SharingAcrossGraphs) {
+  NodeRegistry reg(8, 1);
+  const TensorDesc shared = reg.original("shared");
+  ContractionGraph g1, g2;
+  g1.add_edge(g1.add_node(shared), g1.add_node(reg.original("x")));
+  g2.add_edge(g2.add_node(shared), g2.add_node(reg.original("y")));
+
+  const GraphSetStats stats = analyze_graphs({g1, g2});
+  EXPECT_EQ(stats.distinct_tensors, 3u);
+  EXPECT_EQ(stats.max_sharing, 2u);
+  EXPECT_NEAR(stats.sharing_factor, 4.0 / 3.0, 1e-12);
+}
+
+TEST(GraphSetStats, RealCorrelatorSharesNodesHeavily) {
+  redstar::CorrelatorSpec spec = redstar::make_a1_rhopi();
+  spec.time_slices = 4;
+  spec.extent = 8;
+  spec.batch = 1;
+  NodeRegistry reg(spec.extent, spec.batch);
+  std::vector<ContractionGraph> graphs;
+  for (int t = 1; t <= spec.time_slices; ++t) {
+    for (const auto& src : spec.source.constructions) {
+      for (const auto& snk : spec.sink.constructions) {
+        for (auto& g : redstar::enumerate_diagrams(src, snk, t, reg, 64)) {
+          graphs.push_back(std::move(g));
+        }
+      }
+    }
+  }
+  const GraphSetStats stats = analyze_graphs(graphs);
+  EXPECT_GT(stats.graphs, 10u);
+  // Source hadrons appear in diagrams of every time slice.
+  EXPECT_GT(stats.sharing_factor, 2.0);
+  EXPECT_GE(stats.max_sharing, static_cast<std::size_t>(spec.time_slices));
+}
+
+TEST(StreamStats, SyntheticStreamShape) {
+  SyntheticConfig cfg;
+  cfg.num_vectors = 5;
+  cfg.vector_size = 8;
+  cfg.tensor_extent = 8;
+  cfg.batch = 1;
+  cfg.repeated_rate = 0.5;
+  const StreamStats stats = analyze_stream(generate_synthetic(cfg));
+  EXPECT_EQ(stats.stages, 5u);
+  EXPECT_EQ(stats.tasks, 20u);
+  EXPECT_EQ(stats.widest_stage, 4u);
+  ASSERT_EQ(stats.stage_widths.size(), 5u);
+  for (const std::size_t w : stats.stage_widths) EXPECT_EQ(w, 4u);
+  // Repeats mean fewer distinct inputs than slots.
+  EXPECT_LT(stats.distinct_inputs, 40u);
+  EXPECT_GT(stats.input_reuse_factor, 1.0);
+  // Synthetic streams never feed outputs back in.
+  EXPECT_DOUBLE_EQ(stats.intermediate_operand_fraction, 0.0);
+}
+
+TEST(StreamStats, RedstarStreamHasIntermediateOperands) {
+  redstar::CorrelatorSpec spec = redstar::make_a1_rhopi();
+  spec.time_slices = 3;
+  spec.extent = 8;
+  spec.batch = 1;
+  const auto workload = redstar::build_workload(spec);
+  const StreamStats stats = analyze_stream(workload.stream);
+  EXPECT_GT(stats.intermediate_operand_fraction, 0.0);
+  EXPECT_GT(stats.input_reuse_factor, 1.0);
+}
+
+TEST(StreamStats, ZeroRepeatStreamHasUnitReuse) {
+  SyntheticConfig cfg;
+  cfg.num_vectors = 3;
+  cfg.vector_size = 8;
+  cfg.tensor_extent = 8;
+  cfg.batch = 1;
+  cfg.repeated_rate = 0.0;
+  const StreamStats stats = analyze_stream(generate_synthetic(cfg));
+  EXPECT_DOUBLE_EQ(stats.input_reuse_factor, 1.0);
+}
+
+TEST(StatsToString, MentionsKeyNumbers) {
+  NodeRegistry reg(8, 1);
+  ContractionGraph g;
+  g.add_edge(g.add_node(reg.original("a")), g.add_node(reg.original("b")));
+  const std::string s = to_string(analyze_graphs({g}));
+  EXPECT_NE(s.find("1 graphs"), std::string::npos);
+  EXPECT_NE(s.find("2 distinct"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace micco

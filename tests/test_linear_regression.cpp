@@ -1,0 +1,115 @@
+#include "ml/linear_regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace micco::ml {
+namespace {
+
+TEST(SolveLinearSystem, Identity) {
+  const std::vector<double> a{1, 0, 0, 1};
+  const std::vector<double> b{3, 4};
+  const std::vector<double> x = solve_linear_system(a, b);
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], 4.0);
+}
+
+TEST(SolveLinearSystem, KnownSystem) {
+  // 2x + y = 5; x + 3y = 10 -> x = 1, y = 3
+  const std::vector<double> a{2, 1, 1, 3};
+  const std::vector<double> b{5, 10};
+  const std::vector<double> x = solve_linear_system(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, RequiresPivoting) {
+  // Zero on the initial diagonal; partial pivoting must handle it.
+  const std::vector<double> a{0, 1, 1, 0};
+  const std::vector<double> b{2, 3};
+  const std::vector<double> x = solve_linear_system(a, b);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, SingularAborts) {
+  const std::vector<double> a{1, 1, 1, 1};
+  const std::vector<double> b{1, 2};
+  EXPECT_DEATH((void)solve_linear_system(a, b), "singular");
+}
+
+TEST(LinearRegression, RecoversExactLinearRelation) {
+  Dataset d(2);
+  Pcg32 rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const double x0 = rng.uniform_real(-5, 5);
+    const double x1 = rng.uniform_real(-5, 5);
+    const double features[2] = {x0, x1};
+    d.add(features, 2.0 + 3.0 * x0 - 1.5 * x1);
+  }
+  LinearRegression lr;
+  lr.fit(d);
+  ASSERT_EQ(lr.weights().size(), 3u);
+  EXPECT_NEAR(lr.weights()[0], 2.0, 1e-6);
+  EXPECT_NEAR(lr.weights()[1], 3.0, 1e-6);
+  EXPECT_NEAR(lr.weights()[2], -1.5, 1e-6);
+
+  const double probe[2] = {1.0, 2.0};
+  EXPECT_NEAR(lr.predict(probe), 2.0 + 3.0 - 3.0, 1e-6);
+}
+
+TEST(LinearRegression, HighR2OnNoisyLinearData) {
+  Dataset d(1);
+  Pcg32 rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform_real(0, 10);
+    const double features[1] = {x};
+    d.add(features, 4.0 * x + rng.gaussian(0.0, 0.1));
+  }
+  LinearRegression lr;
+  lr.fit(d);
+  const std::vector<double> pred = lr.predict_all(d);
+  EXPECT_GT(r2_score(d.targets(), pred), 0.99);
+}
+
+TEST(LinearRegression, PoorFitOnStrongNonlinearity) {
+  // The Table IV story: linear models cannot capture the bounds surface.
+  Dataset d(1);
+  for (int i = -20; i <= 20; ++i) {
+    const double x = static_cast<double>(i);
+    const double features[1] = {x};
+    d.add(features, x * x);  // symmetric parabola: slope ~ 0
+  }
+  LinearRegression lr;
+  lr.fit(d);
+  const std::vector<double> pred = lr.predict_all(d);
+  EXPECT_LT(r2_score(d.targets(), pred), 0.1);
+}
+
+TEST(LinearRegression, CollinearFeaturesSurviveViaRidge) {
+  Dataset d(2);
+  Pcg32 rng(3);
+  for (int i = 0; i < 30; ++i) {
+    const double x = rng.uniform_real(0, 1);
+    const double features[2] = {x, 2.0 * x};  // perfectly collinear
+    d.add(features, 5.0 * x);
+  }
+  LinearRegression lr(1e-6);
+  lr.fit(d);  // must not abort
+  const double probe[2] = {0.5, 1.0};
+  EXPECT_NEAR(lr.predict(probe), 2.5, 1e-3);
+}
+
+TEST(LinearRegression, PredictBeforeFitAborts) {
+  LinearRegression lr;
+  const double probe[1] = {1.0};
+  EXPECT_DEATH((void)lr.predict(probe), "fit");
+}
+
+TEST(LinearRegression, Name) {
+  EXPECT_EQ(LinearRegression{}.name(), "LinearRegression");
+}
+
+}  // namespace
+}  // namespace micco::ml

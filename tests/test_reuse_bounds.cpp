@@ -1,0 +1,78 @@
+#include "sched/reuse_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace micco {
+namespace {
+
+TEST(ReuseBounds, DefaultIsZeroTriple) {
+  const ReuseBounds b;
+  EXPECT_EQ(b[0], 0);
+  EXPECT_EQ(b[1], 0);
+  EXPECT_EQ(b[2], 0);
+  EXPECT_EQ(b, ReuseBounds::naive());
+}
+
+TEST(ReuseBounds, ConstructionAndIndexing) {
+  ReuseBounds b{1, 2, 3};
+  EXPECT_EQ(b[0], 1);
+  EXPECT_EQ(b[1], 2);
+  EXPECT_EQ(b[2], 3);
+  b[1] = 7;
+  EXPECT_EQ(b[1], 7);
+}
+
+TEST(ReuseBounds, EqualityAndToString) {
+  EXPECT_EQ((ReuseBounds{0, 2, 0}), (ReuseBounds{0, 2, 0}));
+  EXPECT_NE((ReuseBounds{0, 2, 0}), (ReuseBounds{0, 2, 2}));
+  EXPECT_EQ((ReuseBounds{0, 2, 0}).to_string(), "(0,2,0)");
+}
+
+TEST(Fig8Sweep, HasThirteenDistinctTriples) {
+  const auto& sweep = fig8_bound_sweep();
+  EXPECT_EQ(sweep.size(), 13u);
+  std::set<std::string> unique;
+  for (const ReuseBounds& b : sweep) unique.insert(b.to_string());
+  EXPECT_EQ(unique.size(), 13u);
+}
+
+TEST(Fig8Sweep, ComponentsWithinPaperRange) {
+  for (const ReuseBounds& b : fig8_bound_sweep()) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_GE(b[i], 0);
+      EXPECT_LE(b[i], 2);
+    }
+  }
+}
+
+TEST(Fig8Sweep, IncludesZeroAndPaperOptima) {
+  const auto& sweep = fig8_bound_sweep();
+  const auto contains = [&](ReuseBounds b) {
+    for (const ReuseBounds& s : sweep) {
+      if (s == b) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains(ReuseBounds{0, 0, 0}));
+  EXPECT_TRUE(contains(ReuseBounds{0, 2, 0}));  // Fig. 8(a) best for Case 1
+  EXPECT_TRUE(contains(ReuseBounds{0, 2, 2}));  // Fig. 8(b) best for Case 3
+}
+
+TEST(BoundGrid, EnumeratesFullCube) {
+  const auto grid = bound_grid(2);
+  EXPECT_EQ(grid.size(), 27u);
+  std::set<std::string> unique;
+  for (const ReuseBounds& b : grid) unique.insert(b.to_string());
+  EXPECT_EQ(unique.size(), 27u);
+}
+
+TEST(BoundGrid, ZeroWidthIsSingleton) {
+  const auto grid = bound_grid(0);
+  ASSERT_EQ(grid.size(), 1u);
+  EXPECT_EQ(grid[0], ReuseBounds::naive());
+}
+
+}  // namespace
+}  // namespace micco

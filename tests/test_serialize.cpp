@@ -1,0 +1,166 @@
+#include "ml/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace micco::ml {
+namespace {
+
+Dataset training_data(int n, std::uint64_t seed) {
+  Dataset d(2);
+  Pcg32 rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const double a = rng.uniform_real(0, 1);
+    const double b = rng.uniform_real(0, 1);
+    const double features[2] = {a, b};
+    d.add(features, (a > 0.5 ? 2.0 : 0.0) + b * b);
+  }
+  return d;
+}
+
+/// Round-trips a model through the text format and checks predictions are
+/// bit-identical on every training row.
+void expect_roundtrip_identical(const Regressor& model, const Dataset& data) {
+  std::stringstream buffer;
+  save_regressor(model, buffer);
+  std::string error;
+  const std::unique_ptr<Regressor> loaded = load_regressor(buffer, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_DOUBLE_EQ(model.predict(data.row(i)), loaded->predict(data.row(i)))
+        << "row " << i;
+  }
+}
+
+TEST(Serialize, TreeRoundTrip) {
+  const Dataset d = training_data(100, 1);
+  RegressionTree tree;
+  tree.fit(d);
+  expect_roundtrip_identical(tree, d);
+}
+
+TEST(Serialize, ForestRoundTrip) {
+  const Dataset d = training_data(100, 2);
+  ForestConfig cfg;
+  cfg.n_trees = 12;
+  RandomForest forest(cfg);
+  forest.fit(d);
+  expect_roundtrip_identical(forest, d);
+}
+
+TEST(Serialize, BoostingRoundTrip) {
+  const Dataset d = training_data(100, 3);
+  BoostingConfig cfg;
+  cfg.n_stages = 20;
+  GradientBoosting gbm(cfg);
+  gbm.fit(d);
+  expect_roundtrip_identical(gbm, d);
+}
+
+TEST(Serialize, LinearRoundTrip) {
+  const Dataset d = training_data(50, 4);
+  LinearRegression lr;
+  lr.fit(d);
+  expect_roundtrip_identical(lr, d);
+}
+
+TEST(Serialize, LoadedForestHasSameTreeCount) {
+  const Dataset d = training_data(60, 5);
+  ForestConfig cfg;
+  cfg.n_trees = 7;
+  RandomForest forest(cfg);
+  forest.fit(d);
+  std::stringstream buffer;
+  save_regressor(forest, buffer);
+  const auto loaded = load_regressor(buffer);
+  const auto* loaded_forest = dynamic_cast<RandomForest*>(loaded.get());
+  ASSERT_NE(loaded_forest, nullptr);
+  EXPECT_EQ(loaded_forest->tree_count(), 7u);
+}
+
+TEST(Serialize, RejectsGarbageInput) {
+  std::stringstream buffer("not a model at all");
+  std::string error;
+  EXPECT_EQ(load_regressor(buffer, &error), nullptr);
+  EXPECT_NE(error.find("not a micco model"), std::string::npos);
+}
+
+TEST(Serialize, RejectsUnknownVersion) {
+  std::stringstream buffer("micco-model v99 forest 1");
+  std::string error;
+  EXPECT_EQ(load_regressor(buffer, &error), nullptr);
+  EXPECT_NE(error.find("version"), std::string::npos);
+}
+
+TEST(Serialize, RejectsUnknownType) {
+  std::stringstream buffer("micco-model v1 neuralnet");
+  std::string error;
+  EXPECT_EQ(load_regressor(buffer, &error), nullptr);
+  EXPECT_NE(error.find("unknown model type"), std::string::npos);
+}
+
+TEST(Serialize, RejectsTruncatedTree) {
+  std::stringstream buffer("micco-model v1 tree\ntree 3\n-1 0 1.5 -1 -1\n");
+  std::string error;
+  EXPECT_EQ(load_regressor(buffer, &error), nullptr);
+  EXPECT_NE(error.find("truncated"), std::string::npos);
+}
+
+TEST(Serialize, RejectsOutOfRangeChildIndices) {
+  std::stringstream buffer(
+      "micco-model v1 tree\ntree 1\n0 0.5 0 7 8\n");
+  std::string error;
+  EXPECT_EQ(load_regressor(buffer, &error), nullptr);
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+}
+
+TEST(Serialize, RejectsBadBoostingLearningRate) {
+  std::stringstream buffer("micco-model v1 boosting 1 0.0 7.5\n");
+  std::string error;
+  EXPECT_EQ(load_regressor(buffer, &error), nullptr);
+  EXPECT_NE(error.find("boosting header"), std::string::npos);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const Dataset d = training_data(60, 6);
+  LinearRegression lr;
+  lr.fit(d);
+  const std::string path = "/tmp/micco_test_model.txt";
+  save_regressor_file(lr, path);
+  std::string error;
+  const auto loaded = load_regressor_file(path, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  EXPECT_DOUBLE_EQ(lr.predict(d.row(0)), loaded->predict(d.row(0)));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileReportsError) {
+  std::string error;
+  EXPECT_EQ(load_regressor_file("/nonexistent/model.txt", &error), nullptr);
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(Serialize, SavingUnfittedModelAborts) {
+  std::stringstream buffer;
+  RandomForest forest;
+  EXPECT_DEATH(save_regressor(forest, buffer), "unfitted");
+}
+
+TEST(TreeExport, NodesRoundTripStructurally) {
+  const Dataset d = training_data(80, 7);
+  RegressionTree tree;
+  tree.fit(d);
+  const auto nodes = tree.export_nodes();
+  EXPECT_EQ(nodes.size(), tree.node_count());
+  const RegressionTree rebuilt = RegressionTree::import_nodes(nodes);
+  EXPECT_EQ(rebuilt.node_count(), tree.node_count());
+  EXPECT_EQ(rebuilt.depth(), tree.depth());
+}
+
+}  // namespace
+}  // namespace micco::ml

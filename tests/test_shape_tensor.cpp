@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hpp"
+
+namespace micco {
+namespace {
+
+TEST(Shape, MatrixFactory) {
+  const Shape s = Shape::matrix(4, 16);
+  EXPECT_EQ(s.batch(), 4);
+  EXPECT_EQ(s.rank(), 2);
+  EXPECT_EQ(s.dim(0), 16);
+  EXPECT_EQ(s.dim(1), 16);
+  EXPECT_EQ(s.elements_per_batch(), 256);
+  EXPECT_EQ(s.elements(), 1024);
+}
+
+TEST(Shape, Rank3Factory) {
+  const Shape s = Shape::rank3(2, 5);
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.elements(), 2 * 125);
+}
+
+TEST(Shape, RectangularDims) {
+  const Shape s(3, {4, 7});
+  EXPECT_EQ(s.dim(0), 4);
+  EXPECT_EQ(s.dim(1), 7);
+  EXPECT_EQ(s.elements(), 3 * 28);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(Shape::matrix(2, 8), Shape::matrix(2, 8));
+  EXPECT_NE(Shape::matrix(2, 8), Shape::matrix(2, 9));
+  EXPECT_NE(Shape::matrix(2, 8), Shape::rank3(2, 8));
+}
+
+TEST(Shape, ToStringMentionsDims) {
+  const std::string s = Shape::matrix(2, 8).to_string();
+  EXPECT_NE(s.find("batch=2"), std::string::npos);
+  EXPECT_NE(s.find("8x8"), std::string::npos);
+}
+
+TEST(Tensor, ZeroInitialised) {
+  Tensor t(Shape::matrix(2, 3));
+  for (const cplx& v : t.data()) {
+    EXPECT_EQ(v, (cplx{0.0, 0.0}));
+  }
+}
+
+TEST(Tensor, BytesMatchElementCount) {
+  Tensor t(Shape::matrix(2, 3));
+  EXPECT_EQ(t.bytes(), 2u * 9u * sizeof(cplx));
+}
+
+TEST(Tensor, ElementAccessRank2RoundTrip) {
+  Tensor t(Shape::matrix(2, 3));
+  t.at(1, 2, 0) = cplx{1.5, -2.5};
+  EXPECT_EQ(t.at(1, 2, 0), (cplx{1.5, -2.5}));
+  // Neighbours untouched.
+  EXPECT_EQ(t.at(1, 1, 2), (cplx{0.0, 0.0}));
+  EXPECT_EQ(t.at(0, 2, 0), (cplx{0.0, 0.0}));
+}
+
+TEST(Tensor, ElementAccessRank3RoundTrip) {
+  Tensor t(Shape::rank3(2, 3));
+  t.at(1, 0, 2, 1) = cplx{3.0, 4.0};
+  EXPECT_EQ(t.at(1, 0, 2, 1), (cplx{3.0, 4.0}));
+}
+
+TEST(Tensor, RowMajorLayoutRank2) {
+  Tensor t(Shape::matrix(1, 2));
+  t.at(0, 0, 0) = cplx{1, 0};
+  t.at(0, 0, 1) = cplx{2, 0};
+  t.at(0, 1, 0) = cplx{3, 0};
+  t.at(0, 1, 1) = cplx{4, 0};
+  const auto d = t.data();
+  EXPECT_EQ(d[0].real(), 1.0);
+  EXPECT_EQ(d[1].real(), 2.0);
+  EXPECT_EQ(d[2].real(), 3.0);
+  EXPECT_EQ(d[3].real(), 4.0);
+}
+
+TEST(Tensor, RandomIsDeterministicPerRngState) {
+  Pcg32 rng1(99), rng2(99);
+  const Tensor a = Tensor::random(Shape::matrix(2, 4), rng1);
+  const Tensor b = Tensor::random(Shape::matrix(2, 4), rng2);
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 0.0);
+}
+
+TEST(Tensor, RandomValuesInUnitSquare) {
+  Pcg32 rng(1);
+  const Tensor t = Tensor::random(Shape::matrix(4, 8), rng);
+  for (const cplx& v : t.data()) {
+    EXPECT_GE(v.real(), -1.0);
+    EXPECT_LT(v.real(), 1.0);
+    EXPECT_GE(v.imag(), -1.0);
+    EXPECT_LT(v.imag(), 1.0);
+  }
+}
+
+TEST(Tensor, MaxAbsDiffDetectsChange) {
+  Pcg32 rng(3);
+  Tensor a = Tensor::random(Shape::matrix(1, 4), rng);
+  Tensor b = a;
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 0.0);
+  b.at(0, 2, 2) += cplx{0.5, 0.0};
+  EXPECT_NEAR(a.max_abs_diff(b), 0.5, 1e-15);
+}
+
+TEST(Tensor, FrobeniusNormKnownValue) {
+  Tensor t(Shape::matrix(1, 2));
+  t.at(0, 0, 0) = cplx{3.0, 0.0};
+  t.at(0, 1, 1) = cplx{0.0, 4.0};
+  EXPECT_NEAR(t.frobenius_norm(), 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace micco

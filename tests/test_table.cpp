@@ -1,0 +1,87 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace micco {
+namespace {
+
+TEST(TextTable, RendersHeadersAndRows) {
+  TextTable t;
+  t.add_column("name", Align::kLeft);
+  t.add_column("value");
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAutoSizeToWidestCell) {
+  TextTable t;
+  t.add_column("h");
+  t.add_row({"wide-cell-content"});
+  const std::string out = t.render();
+  // Every rendered line has the same width.
+  std::istringstream is(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(TextTable, RightAlignmentPadsLeft) {
+  TextTable t;
+  t.add_column("col", Align::kRight);
+  t.add_row({"x"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("  x |"), std::string::npos);
+}
+
+TEST(TextTable, RuleInsertedBetweenRows) {
+  TextTable t;
+  t.add_column("c");
+  t.add_row({"a"});
+  t.add_rule();
+  t.add_row({"b"});
+  const std::string out = t.render();
+  // 2 border rules + header rule + mid rule = 4 lines starting with '+'.
+  int rules = 0;
+  std::istringstream is(out);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line[0] == '+') ++rules;
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(TextTable, CountsRowsAndColumns) {
+  TextTable t;
+  t.add_column("a");
+  t.add_column("b");
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.columns(), 2u);
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(TextTable, StreamOperatorMatchesRender) {
+  TextTable t;
+  t.add_column("x");
+  t.add_row({"1"});
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), t.render());
+}
+
+TEST(Banner, ContainsTitle) {
+  const std::string b = banner("Fig. 7");
+  EXPECT_NE(b.find("Fig. 7"), std::string::npos);
+  EXPECT_NE(b.find("==="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace micco

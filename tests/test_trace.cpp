@@ -1,0 +1,157 @@
+#include "gpusim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gpusim/cluster.hpp"
+
+namespace micco {
+namespace {
+
+TensorDesc make_desc(TensorId id) { return TensorDesc{id, 2, 16, 1}; }
+
+ContractionTask make_task(TensorId a, TensorId b, TensorId out) {
+  ContractionTask t;
+  t.a = make_desc(a);
+  t.b = make_desc(b);
+  t.out = make_desc(out);
+  return t;
+}
+
+ClusterConfig small_cluster(std::uint64_t capacity = 1u << 20) {
+  ClusterConfig c;
+  c.num_devices = 2;
+  c.device_capacity_bytes = capacity;
+  return c;
+}
+
+TEST(Trace, RecordsFetchAllocAndKernelPerTask) {
+  TraceRecorder trace;
+  ClusterSimulator sim(small_cluster());
+  sim.set_trace(&trace);
+  sim.execute(make_task(0, 1, 2), 0);
+
+  EXPECT_EQ(trace.summarize(TraceEventKind::kFetchH2D).count, 2u);
+  EXPECT_EQ(trace.summarize(TraceEventKind::kOutputAlloc).count, 1u);
+  EXPECT_EQ(trace.summarize(TraceEventKind::kKernel).count, 1u);
+  EXPECT_EQ(trace.summarize(TraceEventKind::kEviction).count, 0u);
+}
+
+TEST(Trace, ReuseHitsEmitNoFetchEvents) {
+  TraceRecorder trace;
+  ClusterSimulator sim(small_cluster());
+  sim.set_trace(&trace);
+  sim.execute(make_task(0, 1, 2), 0);
+  trace.clear();
+  sim.execute(make_task(0, 1, 3), 0);
+  EXPECT_EQ(trace.summarize(TraceEventKind::kFetchH2D).count, 0u);
+  EXPECT_EQ(trace.summarize(TraceEventKind::kKernel).count, 1u);
+}
+
+TEST(Trace, EvictionEventsUnderPressure) {
+  const std::uint64_t tensor_bytes = make_desc(0).bytes();
+  TraceRecorder trace;
+  ClusterConfig cfg = small_cluster(3 * tensor_bytes);
+  cfg.num_devices = 1;
+  ClusterSimulator sim(cfg);
+  sim.set_trace(&trace);
+  sim.execute(make_task(0, 1, 2), 0);
+  sim.execute(make_task(3, 4, 5), 0);
+  EXPECT_GT(trace.summarize(TraceEventKind::kEviction).count, 0u);
+}
+
+TEST(Trace, EventsOnCorrectDeviceTrack) {
+  TraceRecorder trace;
+  ClusterSimulator sim(small_cluster());
+  sim.set_trace(&trace);
+  sim.execute(make_task(0, 1, 2), 1);
+  for (const TraceEvent& e : trace.events()) {
+    EXPECT_EQ(e.device, 1);
+  }
+}
+
+TEST(Trace, TimelineIsContiguousWithinTask) {
+  TraceRecorder trace;
+  ClusterSimulator sim(small_cluster());
+  sim.set_trace(&trace);
+  sim.execute(make_task(0, 1, 2), 0);
+
+  // Events run back-to-back from t=0 to the device's busy time.
+  double cursor = 0.0;
+  for (const TraceEvent& e : trace.events()) {
+    EXPECT_NEAR(e.start_s, cursor, 1e-12);
+    cursor += e.duration_s;
+  }
+  EXPECT_NEAR(cursor, sim.busy_time(0), 1e-12);
+}
+
+TEST(Trace, BarrierEmitsIdleGaps) {
+  TraceRecorder trace;
+  ClusterSimulator sim(small_cluster());
+  sim.set_trace(&trace);
+  sim.execute(make_task(0, 1, 2), 0);  // device 1 stays idle
+  sim.barrier();
+  const TraceSummary idle = trace.summarize(TraceEventKind::kBarrier);
+  EXPECT_EQ(idle.count, 1u);
+  EXPECT_NEAR(idle.total_s, sim.metrics().barrier_idle_s, 1e-12);
+}
+
+TEST(Trace, WindowFiltersByInterval) {
+  TraceRecorder trace;
+  trace.record(TraceEvent{TraceEventKind::kKernel, 0, 1, 0.0, 1.0});
+  trace.record(TraceEvent{TraceEventKind::kKernel, 0, 2, 2.0, 1.0});
+  EXPECT_EQ(trace.window(0.5, 1.5).size(), 1u);
+  EXPECT_EQ(trace.window(0.0, 5.0).size(), 2u);
+  EXPECT_EQ(trace.window(1.2, 1.8).size(), 0u);
+}
+
+TEST(Trace, ChromeJsonIsWellFormedish) {
+  TraceRecorder trace;
+  ClusterSimulator sim(small_cluster());
+  sim.set_trace(&trace);
+  sim.execute(make_task(0, 1, 2), 0);
+  sim.barrier();
+
+  std::ostringstream os;
+  trace.write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"kernel\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Balanced braces (cheap structural check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(Trace, DetachStopsRecording) {
+  TraceRecorder trace;
+  ClusterSimulator sim(small_cluster());
+  sim.set_trace(&trace);
+  sim.execute(make_task(0, 1, 2), 0);
+  const std::size_t before = trace.size();
+  sim.set_trace(nullptr);
+  sim.execute(make_task(3, 4, 5), 0);
+  EXPECT_EQ(trace.size(), before);
+}
+
+TEST(Trace, TracingDoesNotPerturbTiming) {
+  ClusterSimulator traced_sim(small_cluster());
+  TraceRecorder trace;
+  traced_sim.set_trace(&trace);
+  ClusterSimulator plain_sim(small_cluster());
+  for (TensorId i = 0; i < 12; i += 3) {
+    traced_sim.execute(make_task(i, i + 1, i + 2), 0);
+    plain_sim.execute(make_task(i, i + 1, i + 2), 0);
+  }
+  EXPECT_DOUBLE_EQ(traced_sim.busy_time(0), plain_sim.busy_time(0));
+}
+
+TEST(Trace, KindNamesAreStable) {
+  EXPECT_STREQ(to_string(TraceEventKind::kFetchH2D), "fetch_h2d");
+  EXPECT_STREQ(to_string(TraceEventKind::kKernel), "kernel");
+  EXPECT_STREQ(to_string(TraceEventKind::kBarrier), "barrier");
+}
+
+}  // namespace
+}  // namespace micco

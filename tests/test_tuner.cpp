@@ -1,0 +1,116 @@
+#include "core/tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace micco {
+namespace {
+
+TunerConfig tiny_tuner() {
+  TunerConfig c;
+  c.samples = 6;
+  c.vector_sizes = {8, 16};
+  c.tensor_extents = {64};
+  c.repeated_rates = {0.5, 1.0};
+  c.num_vectors = 4;
+  c.batch = 1;
+  c.num_devices = 2;
+  c.max_bound = 1;  // 8 grid points per sample
+  c.seed = 99;
+  return c;
+}
+
+TEST(Tuner, ProducesRequestedSamples) {
+  const TuningData data = generate_tuning_data(tiny_tuner());
+  EXPECT_EQ(data.samples.size(), 6u);
+  // Each sample swept the full (max_bound+1)^3 grid.
+  EXPECT_EQ(data.records.size(), 6u * 8u);
+}
+
+TEST(Tuner, BestBoundsComeFromGrid) {
+  const TunerConfig cfg = tiny_tuner();
+  const TuningData data = generate_tuning_data(cfg);
+  for (const TrainingSample& s : data.samples) {
+    for (std::size_t b = 0; b < 3; ++b) {
+      EXPECT_GE(s.best_bounds[b], 0);
+      EXPECT_LE(s.best_bounds[b], cfg.max_bound);
+    }
+    EXPECT_GT(s.best_gflops, 0.0);
+    EXPECT_GE(s.best_gflops, s.worst_gflops);
+  }
+}
+
+TEST(Tuner, BestLabelMatchesBestRecord) {
+  const TuningData data = generate_tuning_data(tiny_tuner());
+  // For the first sample, the labelled best must equal the max over its
+  // records.
+  const TrainingSample& s = data.samples[0];
+  double best = 0.0;
+  for (std::size_t r = 0; r < 8; ++r) {
+    best = std::max(best, data.records[r].gflops);
+  }
+  EXPECT_DOUBLE_EQ(s.best_gflops, best);
+}
+
+TEST(Tuner, FeaturesComeFromOnlineExtraction) {
+  // Features must be what the online extractor would report: vector size
+  // and extent are exact; bias and repeated rate are measured estimates.
+  const TunerConfig cfg = tiny_tuner();
+  const TuningData data = generate_tuning_data(cfg);
+  for (const TrainingSample& s : data.samples) {
+    EXPECT_TRUE(s.characteristics.vector_size == 8.0 ||
+                s.characteristics.vector_size == 16.0);
+    EXPECT_DOUBLE_EQ(s.characteristics.tensor_extent, 64.0);
+    EXPECT_GE(s.characteristics.repeated_rate, 0.0);
+    EXPECT_LE(s.characteristics.repeated_rate, 1.0);
+    EXPECT_GE(s.characteristics.distribution_bias, 0.0);
+    EXPECT_LE(s.characteristics.distribution_bias, 1.0);
+  }
+  // Across the corpus the measured repeated rates must spread (configs use
+  // 0.5 and 1.0 requested rates).
+  double lo = 1.0, hi = 0.0;
+  for (const TrainingSample& s : data.samples) {
+    lo = std::min(lo, s.characteristics.repeated_rate);
+    hi = std::max(hi, s.characteristics.repeated_rate);
+  }
+  EXPECT_LT(lo, hi);
+}
+
+TEST(Tuner, DeterministicInSeed) {
+  const TuningData a = generate_tuning_data(tiny_tuner());
+  const TuningData b = generate_tuning_data(tiny_tuner());
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.records[i].gflops, b.records[i].gflops);
+    EXPECT_EQ(a.records[i].bounds, b.records[i].bounds);
+  }
+}
+
+TEST(Tuner, MeasureGflopsPositiveAndBoundsSensitive) {
+  // A biased (Gaussian) repeat pattern concentrates the hot tensors, so
+  // loosening the bounds must change the assignment and hence GFLOPS.
+  SyntheticConfig synth;
+  synth.num_vectors = 8;
+  synth.vector_size = 16;
+  synth.tensor_extent = 64;
+  synth.batch = 1;
+  synth.repeated_rate = 0.75;
+  synth.distribution = DataDistribution::kGaussian;
+  synth.seed = 3;
+  const WorkloadStream stream = generate_synthetic(synth);
+  ClusterConfig cluster;
+  cluster.num_devices = 4;
+
+  std::set<double> distinct;
+  for (const ReuseBounds& b : bound_grid(2)) {
+    const double gflops = measure_gflops(stream, b, cluster);
+    EXPECT_GT(gflops, 0.0);
+    distinct.insert(gflops);
+  }
+  EXPECT_GE(distinct.size(), 2u);  // bounds must matter somewhere on the grid
+}
+
+}  // namespace
+}  // namespace micco

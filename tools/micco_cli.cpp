@@ -1,0 +1,245 @@
+// micco — command-line front door to the framework.
+//
+// Subcommands:
+//   generate   synthesize a workload stream and write it to a file
+//   run        schedule a workload file on the simulated cluster
+//   train      sweep the tuner and write a trained bounds model
+//   inspect    describe a workload or model file
+//
+// Examples:
+//   micco generate --out=w.mw --vector-size=64 --repeat=0.75 --gaussian
+//   micco train --out=model.mm --samples=120 --gpus=8
+//   micco run w.mw --scheduler=micco --model=model.mm --gpus=8 --trace=t.json
+//   micco inspect w.mw
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "core/bounds_model.hpp"
+#include "core/experiment.hpp"
+#include "core/verify.hpp"
+#include "graph/graph_stats.hpp"
+#include "ml/serialize.hpp"
+#include "workload/serialize.hpp"
+#include "workload/synthetic.hpp"
+
+namespace micco::cli {
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: micco <generate|run|train|inspect> [flags]\n"
+               "  generate --out=FILE [--vectors=10 --vector-size=64 "
+               "--tensor=384 --batch=32 --repeat=0.5 --gaussian --seed=N]\n"
+               "  run FILE [--scheduler=groute|dmda|micco|roundrobin] "
+               "[--model=FILE] [--gpus=8] [--oversub=R] [--trace=FILE]\n"
+               "  train --out=FILE [--samples=120 --gpus=8 --seed=N]\n"
+               "  inspect FILE\n");
+  return 2;
+}
+
+int cmd_generate(const CliArgs& args) {
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "generate: --out is required\n");
+    return 2;
+  }
+  SyntheticConfig cfg;
+  cfg.num_vectors = args.get_int("vectors", 10);
+  cfg.vector_size = args.get_int("vector-size", 64);
+  cfg.tensor_extent = args.get_int("tensor", 384);
+  cfg.batch = args.get_int("batch", 32);
+  cfg.repeated_rate = args.get_double("repeat", 0.5);
+  cfg.distribution = args.get_bool("gaussian", false)
+                         ? DataDistribution::kGaussian
+                         : DataDistribution::kUniform;
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const WorkloadStream stream = generate_synthetic(cfg);
+  save_stream_file(stream, out);
+  std::printf("wrote %zu vectors (%llu contractions, %.2f GiB footprint) to "
+              "%s\n",
+              stream.vectors.size(),
+              static_cast<unsigned long long>(analyze_stream(stream).tasks),
+              static_cast<double>(stream.total_distinct_bytes()) /
+                  (1024.0 * 1024.0 * 1024.0),
+              out.c_str());
+  return 0;
+}
+
+int cmd_run(const CliArgs& args) {
+  if (args.positional().size() < 2) {
+    std::fprintf(stderr, "run: workload file required\n");
+    return 2;
+  }
+  std::string error;
+  const auto stream = load_stream_file(args.positional()[1], &error);
+  if (!stream) {
+    std::fprintf(stderr, "run: %s\n", error.c_str());
+    return 1;
+  }
+  const std::string structural = validate_stream_structure(*stream);
+  if (!structural.empty()) {
+    std::fprintf(stderr, "run: invalid workload: %s\n", structural.c_str());
+    return 1;
+  }
+
+  ClusterConfig cluster;
+  cluster.num_devices = static_cast<int>(args.get_int("gpus", 8));
+  cluster.p2p_enabled = args.get_bool("p2p", false);
+  cluster.overlap_transfers = args.get_bool("async-copy", false);
+  cluster.devices_per_node =
+      static_cast<int>(args.get_int("devices-per-node", 0));
+  const double oversub = args.get_double("oversub", 0.0);
+  if (oversub > 0.0) {
+    cluster.device_capacity_bytes = capacity_for_oversubscription(
+        *stream, cluster.num_devices, oversub,
+        8 * stream->vectors.at(0).tasks.at(0).a.bytes());
+  }
+
+  const std::string which = args.get("scheduler", "micco");
+  std::unique_ptr<Scheduler> scheduler;
+  if (which == "groute") {
+    scheduler = make_scheduler(SchedulerKind::kGroute);
+  } else if (which == "dmda") {
+    scheduler = make_scheduler(SchedulerKind::kDmda);
+  } else if (which == "roundrobin") {
+    scheduler = make_scheduler(SchedulerKind::kRoundRobin);
+  } else if (which == "micco") {
+    scheduler = make_scheduler(SchedulerKind::kMiccoNaive);
+  } else {
+    std::fprintf(stderr, "run: unknown scheduler '%s'\n", which.c_str());
+    return 2;
+  }
+
+  // Optional pre-trained bounds model (only meaningful for MICCO). The
+  // model file stores three regressors, one per bound.
+  std::unique_ptr<RegressionBoundsProvider> provider;
+  const std::string model_path = args.get("model", "");
+  if (!model_path.empty()) {
+    // A bounds model file is three concatenated per-bound regressors.
+    std::ifstream in(model_path);
+    if (!in.good()) {
+      std::fprintf(stderr, "run: cannot open model %s\n", model_path.c_str());
+      return 1;
+    }
+    std::vector<std::unique_ptr<ml::Regressor>> models;
+    for (int b = 0; b < 3; ++b) {
+      auto model = ml::load_regressor(in, &error);
+      if (!model) {
+        std::fprintf(stderr, "run: bad model file: %s\n", error.c_str());
+        return 1;
+      }
+      models.push_back(std::move(model));
+    }
+    provider = std::make_unique<RegressionBoundsProvider>(
+        ml::MultiOutputRegressor::from_models(std::move(models)), 2);
+  }
+
+  TraceRecorder trace;
+  RunOptions options;
+  options.bounds = provider.get();
+  options.trace = args.has("trace") ? &trace : nullptr;
+
+  const RunResult result = run_stream(*stream, *scheduler, cluster, options);
+  const ExecutionMetrics& m = result.metrics;
+  std::printf("%s: %.0f GFLOPS, makespan %.2f ms, %llu reuse hits, "
+              "%llu fetches, %llu evictions, scheduling %.3f ms\n",
+              result.scheduler_name.c_str(), m.gflops(), m.makespan_s * 1e3,
+              static_cast<unsigned long long>(m.reused_operands),
+              static_cast<unsigned long long>(m.fetched_operands),
+              static_cast<unsigned long long>(m.evictions),
+              result.scheduling_overhead_ms);
+
+  const std::string trace_path = args.get("trace", "");
+  if (!trace_path.empty()) {
+    trace.write_chrome_json_file(trace_path);
+    std::printf("timeline written to %s (chrome://tracing)\n",
+                trace_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_train(const CliArgs& args) {
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "train: --out is required\n");
+    return 2;
+  }
+  TunerConfig tuner;
+  tuner.samples = static_cast<int>(args.get_int("samples", 120));
+  tuner.num_devices = static_cast<int>(args.get_int("gpus", 8));
+  tuner.batch = args.get_int("batch", 32);
+  tuner.seed = static_cast<std::uint64_t>(args.get_int("seed", 2022));
+  std::printf("sweeping %d samples x 27 bound triples...\n", tuner.samples);
+  const TuningData data = generate_tuning_data(tuner);
+  const TrainedBoundsModel trained = train_bounds_model(
+      data.samples, random_forest_factory(), "RandomForest", tuner.max_bound);
+  std::printf("RandomForest held-out R^2 = %.2f\n", trained.report.mean_r2);
+
+  // Persist: three concatenated per-bound regressors, refit on ALL samples
+  // for deployment (the report above used the 80/20 split).
+  const auto sets = build_bound_datasets(data.samples);
+  std::ofstream file(out);
+  if (!file.good()) {
+    std::fprintf(stderr, "train: cannot open %s\n", out.c_str());
+    return 1;
+  }
+  for (int b = 0; b < 3; ++b) {
+    const auto forest_factory = random_forest_factory();
+    const auto model = forest_factory();
+    model->fit(sets[static_cast<std::size_t>(b)]);
+    ml::save_regressor(*model, file);
+  }
+  std::printf("model written to %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_inspect(const CliArgs& args) {
+  if (args.positional().size() < 2) {
+    std::fprintf(stderr, "inspect: file required\n");
+    return 2;
+  }
+  const std::string path = args.positional()[1];
+  std::string error;
+  if (const auto stream = load_stream_file(path, &error)) {
+    const StreamStats stats = analyze_stream(*stream);
+    std::printf("workload: %s\n", to_string(stats).c_str());
+    std::printf("footprint: %.2f GiB, %llu total GFLOP\n",
+                static_cast<double>(stream->total_distinct_bytes()) /
+                    (1024.0 * 1024.0 * 1024.0),
+                static_cast<unsigned long long>(stream->total_flops() / 1000000000ull));
+    const std::string structural = validate_stream_structure(*stream);
+    std::printf("structure: %s\n",
+                structural.empty() ? "valid" : structural.c_str());
+    return 0;
+  }
+  std::ifstream in(path);
+  std::string model_error;
+  if (const auto model = ml::load_regressor(in, &model_error)) {
+    std::printf("model: %s\n", model->name().c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "inspect: %s / %s\n", error.c_str(),
+               model_error.c_str());
+  return 1;
+}
+
+int dispatch(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const CliArgs args(argc, argv);
+  const std::string command = argv[1];
+  if (command == "generate") return cmd_generate(args);
+  if (command == "run") return cmd_run(args);
+  if (command == "train") return cmd_train(args);
+  if (command == "inspect") return cmd_inspect(args);
+  return usage();
+}
+
+}  // namespace
+}  // namespace micco::cli
+
+int main(int argc, char** argv) { return micco::cli::dispatch(argc, argv); }
