@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overall.dir/bench_overall.cpp.o"
+  "CMakeFiles/bench_overall.dir/bench_overall.cpp.o.d"
+  "bench_overall"
+  "bench_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_redstar.dir/bench_redstar.cpp.o"
+  "CMakeFiles/bench_redstar.dir/bench_redstar.cpp.o.d"
+  "bench_redstar"
+  "bench_redstar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_redstar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

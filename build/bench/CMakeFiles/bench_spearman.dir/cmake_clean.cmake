@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spearman.dir/bench_spearman.cpp.o"
+  "CMakeFiles/bench_spearman.dir/bench_spearman.cpp.o.d"
+  "bench_spearman"
+  "bench_spearman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spearman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

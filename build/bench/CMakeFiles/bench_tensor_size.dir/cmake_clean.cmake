@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tensor_size.dir/bench_tensor_size.cpp.o"
+  "CMakeFiles/bench_tensor_size.dir/bench_tensor_size.cpp.o.d"
+  "bench_tensor_size"
+  "bench_tensor_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tensor_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

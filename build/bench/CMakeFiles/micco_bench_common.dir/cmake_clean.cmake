@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micco_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/micco_bench_common.dir/bench_common.cpp.o.d"
+  "libmicco_bench_common.a"
+  "libmicco_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micco_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmicco_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_bounds.dir/autotune_bounds.cpp.o"
+  "CMakeFiles/autotune_bounds.dir/autotune_bounds.cpp.o.d"
+  "autotune_bounds"
+  "autotune_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

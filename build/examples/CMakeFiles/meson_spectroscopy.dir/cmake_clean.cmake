@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meson_spectroscopy.dir/meson_spectroscopy.cpp.o"
+  "CMakeFiles/meson_spectroscopy.dir/meson_spectroscopy.cpp.o.d"
+  "meson_spectroscopy"
+  "meson_spectroscopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meson_spectroscopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

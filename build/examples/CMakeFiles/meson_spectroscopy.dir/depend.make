@@ -1,0 +1,2 @@
+# Empty dependencies file for meson_spectroscopy.
+# This may be replaced when dependencies are built.

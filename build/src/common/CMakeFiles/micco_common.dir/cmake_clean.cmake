@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micco_common.dir/cli.cpp.o"
+  "CMakeFiles/micco_common.dir/cli.cpp.o.d"
+  "CMakeFiles/micco_common.dir/csv.cpp.o"
+  "CMakeFiles/micco_common.dir/csv.cpp.o.d"
+  "CMakeFiles/micco_common.dir/log.cpp.o"
+  "CMakeFiles/micco_common.dir/log.cpp.o.d"
+  "CMakeFiles/micco_common.dir/rng.cpp.o"
+  "CMakeFiles/micco_common.dir/rng.cpp.o.d"
+  "CMakeFiles/micco_common.dir/stats.cpp.o"
+  "CMakeFiles/micco_common.dir/stats.cpp.o.d"
+  "CMakeFiles/micco_common.dir/table.cpp.o"
+  "CMakeFiles/micco_common.dir/table.cpp.o.d"
+  "libmicco_common.a"
+  "libmicco_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micco_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micco_core.dir/bounds_model.cpp.o"
+  "CMakeFiles/micco_core.dir/bounds_model.cpp.o.d"
+  "CMakeFiles/micco_core.dir/experiment.cpp.o"
+  "CMakeFiles/micco_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/micco_core.dir/pipeline.cpp.o"
+  "CMakeFiles/micco_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/micco_core.dir/tuner.cpp.o"
+  "CMakeFiles/micco_core.dir/tuner.cpp.o.d"
+  "CMakeFiles/micco_core.dir/verify.cpp.o"
+  "CMakeFiles/micco_core.dir/verify.cpp.o.d"
+  "libmicco_core.a"
+  "libmicco_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micco_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

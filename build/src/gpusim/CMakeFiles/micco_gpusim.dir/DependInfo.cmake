@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/cluster.cpp" "src/gpusim/CMakeFiles/micco_gpusim.dir/cluster.cpp.o" "gcc" "src/gpusim/CMakeFiles/micco_gpusim.dir/cluster.cpp.o.d"
+  "/root/repo/src/gpusim/cost_model.cpp" "src/gpusim/CMakeFiles/micco_gpusim.dir/cost_model.cpp.o" "gcc" "src/gpusim/CMakeFiles/micco_gpusim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/gpusim/memory.cpp" "src/gpusim/CMakeFiles/micco_gpusim.dir/memory.cpp.o" "gcc" "src/gpusim/CMakeFiles/micco_gpusim.dir/memory.cpp.o.d"
+  "/root/repo/src/gpusim/trace.cpp" "src/gpusim/CMakeFiles/micco_gpusim.dir/trace.cpp.o" "gcc" "src/gpusim/CMakeFiles/micco_gpusim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/micco_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/micco_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/micco_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

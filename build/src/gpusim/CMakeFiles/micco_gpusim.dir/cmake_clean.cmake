@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micco_gpusim.dir/cluster.cpp.o"
+  "CMakeFiles/micco_gpusim.dir/cluster.cpp.o.d"
+  "CMakeFiles/micco_gpusim.dir/cost_model.cpp.o"
+  "CMakeFiles/micco_gpusim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/micco_gpusim.dir/memory.cpp.o"
+  "CMakeFiles/micco_gpusim.dir/memory.cpp.o.d"
+  "CMakeFiles/micco_gpusim.dir/trace.cpp.o"
+  "CMakeFiles/micco_gpusim.dir/trace.cpp.o.d"
+  "libmicco_gpusim.a"
+  "libmicco_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micco_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micco_graph.dir/contraction_graph.cpp.o"
+  "CMakeFiles/micco_graph.dir/contraction_graph.cpp.o.d"
+  "CMakeFiles/micco_graph.dir/graph_stats.cpp.o"
+  "CMakeFiles/micco_graph.dir/graph_stats.cpp.o.d"
+  "libmicco_graph.a"
+  "libmicco_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micco_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

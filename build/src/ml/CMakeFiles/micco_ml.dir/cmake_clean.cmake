@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micco_ml.dir/dataset.cpp.o"
+  "CMakeFiles/micco_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/micco_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/micco_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/micco_ml.dir/gradient_boosting.cpp.o"
+  "CMakeFiles/micco_ml.dir/gradient_boosting.cpp.o.d"
+  "CMakeFiles/micco_ml.dir/linear_regression.cpp.o"
+  "CMakeFiles/micco_ml.dir/linear_regression.cpp.o.d"
+  "CMakeFiles/micco_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/micco_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/micco_ml.dir/regressor.cpp.o"
+  "CMakeFiles/micco_ml.dir/regressor.cpp.o.d"
+  "CMakeFiles/micco_ml.dir/serialize.cpp.o"
+  "CMakeFiles/micco_ml.dir/serialize.cpp.o.d"
+  "libmicco_ml.a"
+  "libmicco_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micco_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/redstar/correlator.cpp" "src/redstar/CMakeFiles/micco_redstar.dir/correlator.cpp.o" "gcc" "src/redstar/CMakeFiles/micco_redstar.dir/correlator.cpp.o.d"
+  "/root/repo/src/redstar/operators.cpp" "src/redstar/CMakeFiles/micco_redstar.dir/operators.cpp.o" "gcc" "src/redstar/CMakeFiles/micco_redstar.dir/operators.cpp.o.d"
+  "/root/repo/src/redstar/wick.cpp" "src/redstar/CMakeFiles/micco_redstar.dir/wick.cpp.o" "gcc" "src/redstar/CMakeFiles/micco_redstar.dir/wick.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/micco_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/micco_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/micco_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/micco_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micco_redstar.dir/correlator.cpp.o"
+  "CMakeFiles/micco_redstar.dir/correlator.cpp.o.d"
+  "CMakeFiles/micco_redstar.dir/operators.cpp.o"
+  "CMakeFiles/micco_redstar.dir/operators.cpp.o.d"
+  "CMakeFiles/micco_redstar.dir/wick.cpp.o"
+  "CMakeFiles/micco_redstar.dir/wick.cpp.o.d"
+  "libmicco_redstar.a"
+  "libmicco_redstar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micco_redstar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/baselines.cpp" "src/sched/CMakeFiles/micco_sched.dir/baselines.cpp.o" "gcc" "src/sched/CMakeFiles/micco_sched.dir/baselines.cpp.o.d"
+  "/root/repo/src/sched/micco_scheduler.cpp" "src/sched/CMakeFiles/micco_sched.dir/micco_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/micco_sched.dir/micco_scheduler.cpp.o.d"
+  "/root/repo/src/sched/oracle.cpp" "src/sched/CMakeFiles/micco_sched.dir/oracle.cpp.o" "gcc" "src/sched/CMakeFiles/micco_sched.dir/oracle.cpp.o.d"
+  "/root/repo/src/sched/reuse_bounds.cpp" "src/sched/CMakeFiles/micco_sched.dir/reuse_bounds.cpp.o" "gcc" "src/sched/CMakeFiles/micco_sched.dir/reuse_bounds.cpp.o.d"
+  "/root/repo/src/sched/reuse_pattern.cpp" "src/sched/CMakeFiles/micco_sched.dir/reuse_pattern.cpp.o" "gcc" "src/sched/CMakeFiles/micco_sched.dir/reuse_pattern.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpusim/CMakeFiles/micco_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/micco_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/micco_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/micco_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micco_sched.dir/baselines.cpp.o"
+  "CMakeFiles/micco_sched.dir/baselines.cpp.o.d"
+  "CMakeFiles/micco_sched.dir/micco_scheduler.cpp.o"
+  "CMakeFiles/micco_sched.dir/micco_scheduler.cpp.o.d"
+  "CMakeFiles/micco_sched.dir/oracle.cpp.o"
+  "CMakeFiles/micco_sched.dir/oracle.cpp.o.d"
+  "CMakeFiles/micco_sched.dir/reuse_bounds.cpp.o"
+  "CMakeFiles/micco_sched.dir/reuse_bounds.cpp.o.d"
+  "CMakeFiles/micco_sched.dir/reuse_pattern.cpp.o"
+  "CMakeFiles/micco_sched.dir/reuse_pattern.cpp.o.d"
+  "libmicco_sched.a"
+  "libmicco_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micco_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmicco_sched.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micco_tensor.dir/contraction.cpp.o"
+  "CMakeFiles/micco_tensor.dir/contraction.cpp.o.d"
+  "CMakeFiles/micco_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/micco_tensor.dir/tensor.cpp.o.d"
+  "libmicco_tensor.a"
+  "libmicco_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micco_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

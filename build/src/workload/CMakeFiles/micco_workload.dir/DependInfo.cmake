@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/characteristics.cpp" "src/workload/CMakeFiles/micco_workload.dir/characteristics.cpp.o" "gcc" "src/workload/CMakeFiles/micco_workload.dir/characteristics.cpp.o.d"
+  "/root/repo/src/workload/serialize.cpp" "src/workload/CMakeFiles/micco_workload.dir/serialize.cpp.o" "gcc" "src/workload/CMakeFiles/micco_workload.dir/serialize.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/workload/CMakeFiles/micco_workload.dir/synthetic.cpp.o" "gcc" "src/workload/CMakeFiles/micco_workload.dir/synthetic.cpp.o.d"
+  "/root/repo/src/workload/task.cpp" "src/workload/CMakeFiles/micco_workload.dir/task.cpp.o" "gcc" "src/workload/CMakeFiles/micco_workload.dir/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/micco_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/micco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micco_workload.dir/characteristics.cpp.o"
+  "CMakeFiles/micco_workload.dir/characteristics.cpp.o.d"
+  "CMakeFiles/micco_workload.dir/serialize.cpp.o"
+  "CMakeFiles/micco_workload.dir/serialize.cpp.o.d"
+  "CMakeFiles/micco_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/micco_workload.dir/synthetic.cpp.o.d"
+  "CMakeFiles/micco_workload.dir/task.cpp.o"
+  "CMakeFiles/micco_workload.dir/task.cpp.o.d"
+  "libmicco_workload.a"
+  "libmicco_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micco_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baryon.cpp" "tests/CMakeFiles/micco_tests.dir/test_baryon.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_baryon.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/micco_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_bounds_model.cpp" "tests/CMakeFiles/micco_tests.dir/test_bounds_model.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_bounds_model.cpp.o.d"
+  "/root/repo/tests/test_characteristics.cpp" "tests/CMakeFiles/micco_tests.dir/test_characteristics.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_characteristics.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/micco_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/micco_tests.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_contraction.cpp" "tests/CMakeFiles/micco_tests.dir/test_contraction.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_contraction.cpp.o.d"
+  "/root/repo/tests/test_correlator.cpp" "tests/CMakeFiles/micco_tests.dir/test_correlator.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_correlator.cpp.o.d"
+  "/root/repo/tests/test_cost_model.cpp" "tests/CMakeFiles/micco_tests.dir/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_cost_model.cpp.o.d"
+  "/root/repo/tests/test_csv.cpp" "tests/CMakeFiles/micco_tests.dir/test_csv.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_csv.cpp.o.d"
+  "/root/repo/tests/test_decision_tree.cpp" "tests/CMakeFiles/micco_tests.dir/test_decision_tree.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_decision_tree.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/micco_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_forest_boosting.cpp" "tests/CMakeFiles/micco_tests.dir/test_forest_boosting.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_forest_boosting.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/micco_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_graph_stats.cpp" "tests/CMakeFiles/micco_tests.dir/test_graph_stats.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_graph_stats.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/micco_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_linear_regression.cpp" "tests/CMakeFiles/micco_tests.dir/test_linear_regression.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_linear_regression.cpp.o.d"
+  "/root/repo/tests/test_memory.cpp" "tests/CMakeFiles/micco_tests.dir/test_memory.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_memory.cpp.o.d"
+  "/root/repo/tests/test_micco_scheduler.cpp" "tests/CMakeFiles/micco_tests.dir/test_micco_scheduler.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_micco_scheduler.cpp.o.d"
+  "/root/repo/tests/test_ml_dataset.cpp" "tests/CMakeFiles/micco_tests.dir/test_ml_dataset.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_ml_dataset.cpp.o.d"
+  "/root/repo/tests/test_oracle.cpp" "tests/CMakeFiles/micco_tests.dir/test_oracle.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_oracle.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/micco_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/micco_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_reuse_bounds.cpp" "tests/CMakeFiles/micco_tests.dir/test_reuse_bounds.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_reuse_bounds.cpp.o.d"
+  "/root/repo/tests/test_reuse_pattern.cpp" "tests/CMakeFiles/micco_tests.dir/test_reuse_pattern.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_reuse_pattern.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/micco_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_scheduler_properties2.cpp" "tests/CMakeFiles/micco_tests.dir/test_scheduler_properties2.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_scheduler_properties2.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/micco_tests.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_shape_tensor.cpp" "tests/CMakeFiles/micco_tests.dir/test_shape_tensor.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_shape_tensor.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/micco_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_synthetic.cpp" "tests/CMakeFiles/micco_tests.dir/test_synthetic.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_synthetic.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/micco_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_task.cpp" "tests/CMakeFiles/micco_tests.dir/test_task.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_task.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/micco_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_tuner.cpp" "tests/CMakeFiles/micco_tests.dir/test_tuner.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_tuner.cpp.o.d"
+  "/root/repo/tests/test_verify.cpp" "tests/CMakeFiles/micco_tests.dir/test_verify.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_verify.cpp.o.d"
+  "/root/repo/tests/test_wick.cpp" "tests/CMakeFiles/micco_tests.dir/test_wick.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_wick.cpp.o.d"
+  "/root/repo/tests/test_workload_serialize.cpp" "tests/CMakeFiles/micco_tests.dir/test_workload_serialize.cpp.o" "gcc" "tests/CMakeFiles/micco_tests.dir/test_workload_serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/micco_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/redstar/CMakeFiles/micco_redstar.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/micco_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/micco_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/micco_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/micco_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/micco_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/micco_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/micco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

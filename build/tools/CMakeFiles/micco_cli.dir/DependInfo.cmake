@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/micco_cli.cpp" "tools/CMakeFiles/micco_cli.dir/micco_cli.cpp.o" "gcc" "tools/CMakeFiles/micco_cli.dir/micco_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/micco_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/redstar/CMakeFiles/micco_redstar.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/micco_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/micco_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/micco_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/micco_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/micco_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/micco_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/micco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

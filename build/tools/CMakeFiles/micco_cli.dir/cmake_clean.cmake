@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micco_cli.dir/micco_cli.cpp.o"
+  "CMakeFiles/micco_cli.dir/micco_cli.cpp.o.d"
+  "micco"
+  "micco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micco_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
