@@ -23,6 +23,7 @@ Env parse_env(const CliArgs& args) {
   env.samples = static_cast<int>(args.get_int("samples", env.quick ? 40 : 300));
   env.seed = static_cast<std::uint64_t>(args.get_int("seed", 2022));
   env.csv_dir = args.get("csv-dir", "");
+  env.report_dir = args.get("report-dir", "");
   if (args.get_bool("verbose", false)) set_log_level(LogLevel::kInfo);
 
   if (env.gpus < 1 || env.vectors < 1 || env.batch < 1 || env.samples < 5) {
@@ -91,6 +92,22 @@ void maybe_write_csv(const Env& env, const std::string& name,
   const std::string path = env.csv_dir + "/" + name + ".csv";
   csv.write_file(path);
   std::printf("series written to %s\n", path.c_str());
+}
+
+void maybe_write_report(const Env& env, const std::string& name,
+                        const WorkloadStream& stream,
+                        const ClusterConfig& cluster, SchedulerKind kind,
+                        BoundsProvider* bounds) {
+  if (env.report_dir.empty()) return;
+  const std::unique_ptr<Scheduler> scheduler = make_scheduler(kind);
+  obs::Telemetry telemetry;
+  RunOptions options;
+  options.bounds = bounds;
+  options.telemetry = &telemetry;
+  const RunResult result = run_stream(stream, *scheduler, cluster, options);
+  const std::string path = env.report_dir + "/" + name + ".json";
+  obs::write_report_file(make_run_report(result, telemetry), path);
+  std::printf("run report written to %s\n", path.c_str());
 }
 
 std::string fmt_bytes_gb(std::uint64_t bytes) {

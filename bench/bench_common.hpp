@@ -9,6 +9,7 @@
 //   --samples=N    tuner corpus size for the regression model (default 300)
 //   --seed=N       experiment seed (default 2022)
 //   --csv-dir=DIR  also write each figure's series as CSV into DIR
+//   --report-dir=DIR  also write a telemetry run report (JSON) into DIR
 //   --quick        shrink everything for smoke runs
 #pragma once
 
@@ -31,7 +32,8 @@ struct Env {
   int samples = 300;
   std::uint64_t seed = 2022;
   bool quick = false;
-  std::string csv_dir;  ///< empty = no CSV output
+  std::string csv_dir;     ///< empty = no CSV output
+  std::string report_dir;  ///< empty = no run-report output
 
   ClusterConfig cluster(std::uint64_t capacity = 32ULL << 30) const {
     ClusterConfig c;
@@ -68,5 +70,14 @@ std::string fmt_bytes_gb(std::uint64_t bytes);
 /// otherwise); prints the destination path.
 void maybe_write_csv(const Env& env, const std::string& name,
                      const CsvWriter& csv);
+
+/// When --report-dir was given, reruns `stream` under `kind` with telemetry
+/// attached and writes the machine-readable run report (obs/report.hpp) as
+/// <report_dir>/<name>.json; no-op otherwise. The rerun keeps telemetry off
+/// the measured runs so instrumentation can never skew a figure.
+void maybe_write_report(const Env& env, const std::string& name,
+                        const WorkloadStream& stream,
+                        const ClusterConfig& cluster, SchedulerKind kind,
+                        BoundsProvider* bounds = nullptr);
 
 }  // namespace micco::bench

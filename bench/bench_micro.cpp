@@ -12,6 +12,8 @@
 
 #include "core/bounds_model.hpp"
 #include "core/experiment.hpp"
+#include "obs/events.hpp"
+#include "obs/telemetry.hpp"
 #include "sched/reuse_pattern.hpp"
 #include "workload/synthetic.hpp"
 
@@ -76,6 +78,28 @@ void BM_MiccoAssign(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MiccoAssign)->Arg(2)->Arg(4)->Arg(8);
+
+/// Same hot path with the telemetry bundle attached (counters + decision
+/// sink). Compare against BM_MiccoAssign/8 to read off the instrumentation
+/// cost; with telemetry detached the two must be indistinguishable.
+void BM_MiccoAssignTelemetry(benchmark::State& state) {
+  const WorkloadStream stream = micro_stream();
+  ClusterSimulator sim = warmed_simulator(stream, 8);
+  MiccoScheduler sched;
+  obs::Telemetry telemetry;
+  obs::MemoryEventSink sink;
+  telemetry.sink = &sink;
+  sched.set_telemetry(&telemetry);
+  const VectorWorkload& vec = stream.vectors.back();
+  sched.begin_vector(vec, sim);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.assign(vec.tasks[i % vec.tasks.size()], sim));
+    if (sink.decisions().size() >= 4096) sink.clear();
+    ++i;
+  }
+}
+BENCHMARK(BM_MiccoAssignTelemetry);
 
 void BM_GrouteAssign(benchmark::State& state) {
   const WorkloadStream stream = micro_stream();

@@ -84,6 +84,16 @@ int run(const CliArgs& args) {
                 fmt_speedup(stats::max(speedups)).c_str());
   }
   maybe_write_csv(env, "fig7_overall", csv);
+  {
+    // Telemetry deep-dive on the paper's headline point (Uniform, vector
+    // size 64, 50 % repeated): full decision counters + device rollups.
+    SyntheticConfig cfg = base_synth(env);
+    ClusterConfig cluster = env.cluster();
+    cluster.p2p_enabled = p2p;
+    maybe_write_report(env, "fig7_overall_micco", generate_synthetic(cfg),
+                       cluster, SchedulerKind::kMiccoOptimal,
+                       model.provider.get());
+  }
   std::printf(
       "paper shape: MICCO-optimal wins everywhere; geomean 1.57x (Uniform) "
       "and 1.65x (Gaussian), max 2.25x;\nbest repeated rate 75%% for "

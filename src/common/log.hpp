@@ -20,19 +20,25 @@ namespace detail {
 
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level) {}
+  explicit LogLine(LogLevel level)
+      : level_(level), enabled_(level <= log_level()) {}
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
-  ~LogLine() { log_message(level_, stream_.str()); }
+  ~LogLine() {
+    if (enabled_) log_message(level_, stream_.str());
+  }
 
+  // Short-circuits before formatting: a suppressed line never stringifies
+  // its operands, so log_debug() in hot paths costs one level check.
   template <typename T>
   LogLine& operator<<(const T& value) {
-    stream_ << value;
+    if (enabled_) stream_ << value;
     return *this;
   }
 
  private:
   LogLevel level_;
+  bool enabled_;
   std::ostringstream stream_;
 };
 

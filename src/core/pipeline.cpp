@@ -59,6 +59,8 @@ RunResult run_stream(const WorkloadStream& stream, Scheduler& scheduler,
                      const RunOptions& options) {
   ClusterSimulator sim(cluster);
   sim.set_trace(options.trace);
+  sim.set_telemetry(options.telemetry);
+  scheduler.set_telemetry(options.telemetry);
   RunResult result;
   result.scheduler_name = scheduler.name();
   result.per_vector_characteristics.reserve(stream.vectors.size());
@@ -66,7 +68,9 @@ RunResult run_stream(const WorkloadStream& stream, Scheduler& scheduler,
   auto* micco_sched = dynamic_cast<MiccoScheduler*>(&scheduler);
   double overhead_us = 0.0;
 
+  std::int64_t vector_index = -1;
   for (const VectorWorkload& vec : stream.vectors) {
+    ++vector_index;
     if (vec.tasks.empty()) continue;
 
     Stopwatch watch;
@@ -84,6 +88,12 @@ RunResult run_stream(const WorkloadStream& stream, Scheduler& scheduler,
 
     for (const std::size_t index : order) {
       const ContractionTask& task = vec.tasks[index];
+      if (options.telemetry != nullptr) {
+        // Decision-log cursor: pair_index is the pair's position in the
+        // vector as given, stable across ordering ablations.
+        options.telemetry->vector_index = vector_index;
+        options.telemetry->pair_index = static_cast<std::int64_t>(index);
+      }
       watch.restart();
       const DeviceId dev = scheduler.assign(task, sim);
       overhead_us += watch.elapsed_us();
@@ -96,10 +106,76 @@ RunResult run_stream(const WorkloadStream& stream, Scheduler& scheduler,
     sim.barrier();
   }
 
+  // Detach so the scheduler never outlives a caller-owned telemetry bundle
+  // with a dangling pointer; the next run_stream reattaches.
+  scheduler.set_telemetry(nullptr);
+
   result.metrics = sim.metrics();
   result.scheduling_overhead_ms = overhead_us / 1000.0;
   result.total_time_ms = result.metrics.makespan_s * 1000.0;
+
+  result.num_devices = sim.num_devices();
+  result.device_utilization = sim.utilization();
+  result.device_busy_s.reserve(result.device_utilization.size());
+  for (const double u : result.device_utilization) {
+    result.device_busy_s.push_back(u * result.metrics.makespan_s);
+  }
+  if (options.telemetry != nullptr) {
+    obs::MetricsRegistry& reg = options.telemetry->registry;
+    for (int dev = 0; dev < result.num_devices; ++dev) {
+      const auto i = static_cast<std::size_t>(dev);
+      const std::string prefix =
+          "cluster.device." + std::to_string(dev) + ".";
+      reg.gauge(prefix + "utilization").set(result.device_utilization[i]);
+      reg.gauge(prefix + "busy_s").set(result.device_busy_s[i]);
+    }
+  }
   return result;
+}
+
+obs::JsonValue make_run_report(const RunResult& result,
+                               const obs::Telemetry& telemetry) {
+  obs::ReportInputs in;
+  in.scheduler = result.scheduler_name;
+  in.num_devices = result.num_devices;
+  in.metrics = to_json(result.metrics);
+  in.makespan_s = result.metrics.makespan_s;
+  in.gflops = result.metrics.gflops();
+  in.scheduling_overhead_ms = result.scheduling_overhead_ms;
+  in.reuse_rate = result.metrics.reuse_rate();
+
+  double busy_max = 0.0;
+  double busy_sum = 0.0;
+  for (std::size_t i = 0; i < result.device_busy_s.size(); ++i) {
+    const double busy = result.device_busy_s[i];
+    busy_max = std::max(busy_max, busy);
+    busy_sum += busy;
+    obs::DeviceRollup rollup;
+    rollup.device = static_cast<int>(i);
+    rollup.busy_s = busy;
+    rollup.utilization = result.device_utilization[i];
+    in.devices.push_back(rollup);
+  }
+  const double busy_mean =
+      result.device_busy_s.empty()
+          ? 0.0
+          : busy_sum / static_cast<double>(result.device_busy_s.size());
+  in.imbalance_ratio = busy_mean > 0.0 ? busy_max / busy_mean : 0.0;
+
+  obs::JsonValue report = obs::build_report(in, telemetry.registry);
+
+  // Per-vector rollup: the observed characteristics the bounds model ran on.
+  obs::JsonValue vectors = obs::JsonValue::array();
+  for (const DataCharacteristics& c : result.per_vector_characteristics) {
+    obs::JsonValue entry = obs::JsonValue::object();
+    entry.set("vector_size", c.vector_size);
+    entry.set("tensor_extent", c.tensor_extent);
+    entry.set("distribution_bias", c.distribution_bias);
+    entry.set("repeated_rate", c.repeated_rate);
+    vectors.push_back(std::move(entry));
+  }
+  report.set("vectors", std::move(vectors));
+  return report;
 }
 
 RunResult run_stream(const WorkloadStream& stream, Scheduler& scheduler,

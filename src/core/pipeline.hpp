@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "gpusim/cluster.hpp"
+#include "obs/report.hpp"
+#include "obs/telemetry.hpp"
 #include "sched/micco_scheduler.hpp"
 #include "sched/scheduler.hpp"
 #include "workload/characteristics.hpp"
@@ -51,6 +53,13 @@ struct RunResult {
   double total_time_ms = 0.0;
   /// Characteristics observed per vector (diagnostics, training data).
   std::vector<DataCharacteristics> per_vector_characteristics;
+
+  // -- Per-device rollups captured before the simulator is torn down ------
+  int num_devices = 0;
+  /// Busy fraction of the makespan, per device.
+  std::vector<double> device_utilization;
+  /// Accumulated non-idle seconds, per device.
+  std::vector<double> device_busy_s;
 };
 
 /// Order in which a vector's pairs are fed to the scheduler. The paper
@@ -68,6 +77,10 @@ struct RunOptions {
   BoundsProvider* bounds = nullptr;  ///< per-vector reuse bounds (Fig. 6)
   PairOrdering ordering = PairOrdering::kAsGiven;
   TraceRecorder* trace = nullptr;    ///< optional timeline recording
+  /// Optional telemetry bundle: attached to both the scheduler (decision
+  /// log, assignment counters) and the simulator (memory events) for the
+  /// duration of the run; the driver maintains its decision-log cursor.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Runs `stream` with `scheduler` on a fresh simulated cluster. When
@@ -80,6 +93,12 @@ RunResult run_stream(const WorkloadStream& stream, Scheduler& scheduler,
 RunResult run_stream(const WorkloadStream& stream, Scheduler& scheduler,
                      const ClusterConfig& cluster,
                      BoundsProvider* bounds = nullptr);
+
+/// Assembles the versioned run-report JSON (obs/report.hpp) from a finished
+/// run and the telemetry gathered during it: ExecutionMetrics flattened,
+/// per-device rollups, derived ratios and the registry snapshot.
+obs::JsonValue make_run_report(const RunResult& result,
+                               const obs::Telemetry& telemetry);
 
 /// Sizes device capacity so the run is at the given memory oversubscription
 /// rate: rate = (per-device share of the distinct-tensor footprint) /

@@ -88,7 +88,30 @@ void ClusterSimulator::index_remove(TensorId id, DeviceId dev) {
   if (holders.empty()) residency_.erase(it);
 }
 
-double ClusterSimulator::make_room(DeviceId dev, std::uint64_t bytes) {
+void ClusterSimulator::set_telemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) {
+    fetch_bytes_hist_ = nullptr;
+    victim_age_hist_ = nullptr;
+    barrier_idle_hist_ = nullptr;
+    return;
+  }
+  obs::MetricsRegistry& reg = telemetry_->registry;
+  // Bucket bounds span hadron-node payloads (KiB..GiB) and simulated times
+  // (us..minutes) on a log scale; the overflow bucket catches the rest.
+  fetch_bytes_hist_ = &reg.histogram(
+      "cluster.fetch.bytes",
+      {1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 4e9});
+  victim_age_hist_ = &reg.histogram(
+      "cluster.eviction.victim_age_s",
+      {1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0});
+  barrier_idle_hist_ = &reg.histogram(
+      "cluster.barrier.idle_s",
+      {1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0});
+}
+
+double ClusterSimulator::make_room(DeviceId dev, std::uint64_t bytes,
+                                   EvictionCause cause) {
   DeviceState& d = device(dev);
   MICCO_EXPECTS_MSG(bytes <= d.memory.capacity(),
                     "a single tensor exceeds device capacity");
@@ -110,9 +133,17 @@ double ClusterSimulator::make_room(DeviceId dev, std::uint64_t bytes) {
     cost += cost_model_.d2h_time(ev->bytes);
     if (ev->dirty) ++metrics_.dirty_evictions;
     if (produced_.contains(ev->id)) host_copies_.insert(ev->id);
-    if (trace_ != nullptr) {
-      pending_ops_.push_back(
-          PendingOp{TraceEventKind::kEviction, ev->id, eviction_cost});
+    if (observing()) {
+      double age = 0.0;
+      if (telemetry_ != nullptr) {
+        const auto it = d.alloc_time.find(ev->id);
+        if (it != d.alloc_time.end()) {
+          age = std::max(0.0, busy_time(dev) - it->second);
+          d.alloc_time.erase(it);
+        }
+      }
+      pending_ops_.push_back(PendingOp{TraceEventKind::kEviction, ev->id,
+                                       eviction_cost, ev->bytes, cause, age});
     }
   }
   return cost;
@@ -132,7 +163,7 @@ double ClusterSimulator::fetch_operand(const TensorDesc& desc, DeviceId dev) {
                    "fetch of a lost intermediate (no host or device copy)");
 
   const std::uint64_t bytes = desc.bytes();
-  double cost = make_room(dev, bytes);
+  double cost = make_room(dev, bytes, EvictionCause::kOperandFetch);
   const double room_cost = cost;  // trace: fetch = alloc + transfer
   cost += cost_model_.alloc_time();
   ++metrics_.allocations;
@@ -162,13 +193,15 @@ double ClusterSimulator::fetch_operand(const TensorDesc& desc, DeviceId dev) {
     metrics_.h2d_bytes += bytes;
     fetch_kind = TraceEventKind::kFetchH2D;
   }
-  if (trace_ != nullptr) {
-    pending_ops_.push_back(PendingOp{fetch_kind, desc.id, cost - room_cost});
+  if (observing()) {
+    pending_ops_.push_back(
+        PendingOp{fetch_kind, desc.id, cost - room_cost, bytes});
   }
 
   d.memory.allocate(desc.id, bytes, /*dirty=*/false);
   d.memory.pin(desc.id);
   index_add(desc.id, dev);
+  if (telemetry_ != nullptr) d.alloc_time[desc.id] = busy_time(dev);
   ++metrics_.fetched_operands;
   return cost;
 }
@@ -191,14 +224,16 @@ void ClusterSimulator::execute(const ContractionTask& task, DeviceId dev) {
   MICCO_EXPECTS_MSG(!d.memory.resident(task.out.id),
                     "output tensor already resident on target device");
   const std::uint64_t out_bytes = task.out.bytes();
-  copy_cost += make_room(dev, out_bytes);
+  copy_cost += make_room(dev, out_bytes, EvictionCause::kOutputAlloc);
   copy_cost += cost_model_.alloc_time();
-  if (trace_ != nullptr) {
+  if (observing()) {
     pending_ops_.push_back(PendingOp{TraceEventKind::kOutputAlloc,
-                                     task.out.id, cost_model_.alloc_time()});
+                                     task.out.id, cost_model_.alloc_time(),
+                                     out_bytes});
   }
   d.memory.allocate(task.out.id, out_bytes, /*dirty=*/true);
   index_add(task.out.id, dev);
+  if (telemetry_ != nullptr) d.alloc_time[task.out.id] = busy_time(dev);
   produced_.insert(task.out.id);
   ++metrics_.allocations;
 
@@ -224,17 +259,8 @@ void ClusterSimulator::execute(const ContractionTask& task, DeviceId dev) {
     d.copy_free_s = done;
   }
 
-  if (trace_ != nullptr) {
-    // Memory operations run back-to-back in the copy window; the kernel
-    // follows (or overlaps, in dual-engine mode).
-    double cursor = copy_window_start;
-    for (const PendingOp& op : pending_ops_) {
-      trace_->record(
-          TraceEvent{op.kind, dev, op.tensor, cursor, op.duration_s});
-      cursor += op.duration_s;
-    }
-    trace_->record(TraceEvent{TraceEventKind::kKernel, dev, task.out.id,
-                              kernel_start, kernel_cost});
+  if (observing()) {
+    emit_task_events(dev, task, copy_window_start, kernel_start, kernel_cost);
   }
 
   d.memory.unpin(task.a.id);
@@ -245,6 +271,47 @@ void ClusterSimulator::execute(const ContractionTask& task, DeviceId dev) {
   metrics_.kernel_time_s += kernel_cost;
   metrics_.transfer_time_s += copy_cost;
   metrics_.makespan_s = std::max(metrics_.makespan_s, busy_time(dev));
+}
+
+void ClusterSimulator::emit_task_events(DeviceId dev,
+                                        const ContractionTask& task,
+                                        double copy_window_start,
+                                        double kernel_start,
+                                        double kernel_cost) {
+  // Memory operations run back-to-back in the copy window; the kernel
+  // follows (or overlaps, in dual-engine mode).
+  double cursor = copy_window_start;
+  for (const PendingOp& op : pending_ops_) {
+    if (trace_ != nullptr) {
+      trace_->record(TraceEvent{op.kind, dev, op.tensor, cursor,
+                                op.duration_s, op.bytes, op.cause});
+    }
+    if (telemetry_ != nullptr &&
+        op.kind != TraceEventKind::kOutputAlloc) {  // allocs stay trace-only
+      obs::ClusterEvent ev;
+      ev.device = dev;
+      ev.tensor = op.tensor;
+      ev.bytes = op.bytes;
+      ev.time_s = cursor + op.duration_s;
+      ev.duration_s = op.duration_s;
+      if (op.kind == TraceEventKind::kEviction) {
+        victim_age_hist_->observe(op.victim_age_s);
+        ev.kind = obs::ClusterEventKind::kEviction;
+        ev.detail = to_string(op.cause);
+        ev.victim_age_s = op.victim_age_s;
+      } else {
+        fetch_bytes_hist_->observe(static_cast<double>(op.bytes));
+        ev.kind = obs::ClusterEventKind::kFetch;
+        ev.detail = op.kind == TraceEventKind::kFetchH2D ? "h2d" : "p2p";
+      }
+      telemetry_->emit(ev);
+    }
+    cursor += op.duration_s;
+  }
+  if (trace_ != nullptr) {
+    trace_->record(TraceEvent{TraceEventKind::kKernel, dev, task.out.id,
+                              kernel_start, kernel_cost, task.kernel_bytes()});
+  }
 }
 
 void ClusterSimulator::barrier() {
@@ -260,6 +327,17 @@ void ClusterSimulator::barrier() {
       trace_->record(TraceEvent{TraceEventKind::kBarrier, dev,
                                 kInvalidTensor, busy, t_max - busy});
     }
+    if (telemetry_ != nullptr) {
+      barrier_idle_hist_->observe(t_max - busy);
+      if (t_max > busy) {
+        obs::ClusterEvent idle;
+        idle.kind = obs::ClusterEventKind::kBarrier;
+        idle.device = dev;
+        idle.time_s = t_max;
+        idle.duration_s = t_max - busy;
+        telemetry_->emit(idle);
+      }
+    }
     d.compute_free_s = t_max;
     d.copy_free_s = t_max;
   }
@@ -271,11 +349,34 @@ void ClusterSimulator::discard(TensorId id) {
   for (const DeviceId dev : holders) {
     DeviceState& d = device(dev);
     d.memory.release(id);
+    d.alloc_time.erase(id);
     index_remove(id, dev);
     const double start = std::max(d.compute_free_s, d.copy_free_s);
     d.compute_free_s = start + cost_model_.free_time();
     d.copy_free_s = d.compute_free_s;
   }
+}
+
+obs::JsonValue to_json(const ExecutionMetrics& m) {
+  obs::JsonValue out = obs::JsonValue::object();
+  out.set("makespan_s", m.makespan_s);
+  out.set("total_flops", m.total_flops);
+  out.set("h2d_transfers", m.h2d_transfers);
+  out.set("h2d_bytes", m.h2d_bytes);
+  out.set("p2p_transfers", m.p2p_transfers);
+  out.set("p2p_bytes", m.p2p_bytes);
+  out.set("internode_transfers", m.internode_transfers);
+  out.set("internode_bytes", m.internode_bytes);
+  out.set("writeback_bytes", m.writeback_bytes);
+  out.set("allocations", m.allocations);
+  out.set("evictions", m.evictions);
+  out.set("dirty_evictions", m.dirty_evictions);
+  out.set("reused_operands", m.reused_operands);
+  out.set("fetched_operands", m.fetched_operands);
+  out.set("barrier_idle_s", m.barrier_idle_s);
+  out.set("kernel_time_s", m.kernel_time_s);
+  out.set("transfer_time_s", m.transfer_time_s);
+  return out;
 }
 
 std::vector<double> ClusterSimulator::utilization() const {

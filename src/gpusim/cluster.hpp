@@ -16,6 +16,7 @@
 #include "gpusim/cost_model.hpp"
 #include "gpusim/memory.hpp"
 #include "gpusim/trace.hpp"
+#include "obs/telemetry.hpp"
 #include "workload/characteristics.hpp"
 #include "workload/task.hpp"
 
@@ -76,7 +77,19 @@ struct ExecutionMetrics {
                ? static_cast<double>(total_flops) / makespan_s / 1.0e9
                : 0.0;
   }
+
+  /// Operand reuse rate: resident hits over all operand lookups.
+  double reuse_rate() const {
+    const std::uint64_t lookups = reused_operands + fetched_operands;
+    return lookups > 0
+               ? static_cast<double>(reused_operands) /
+                     static_cast<double>(lookups)
+               : 0.0;
+  }
 };
+
+/// Flat JSON object of every ExecutionMetrics field (run-report "metrics").
+obs::JsonValue to_json(const ExecutionMetrics& metrics);
 
 struct ClusterConfig {
   int num_devices = 8;
@@ -132,6 +145,11 @@ class ClusterSimulator final : public ClusterView {
   /// own it; it must outlive all execute()/barrier() calls.
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
 
+  /// Attaches the telemetry bundle (nullptr detaches): memory events flow to
+  /// its sink, fetch/eviction/barrier distributions into its registry.
+  /// Attach before the first execute(); the simulator does not own it.
+  void set_telemetry(obs::Telemetry* telemetry);
+
   /// Node index of a device under the configured topology.
   int node_of(DeviceId dev) const;
 
@@ -153,14 +171,18 @@ class ClusterSimulator final : public ClusterView {
     double compute_free_s = 0.0;  ///< when the compute engine frees up
     double copy_free_s = 0.0;     ///< when the copy engine frees up
     double work_s = 0.0;          ///< accumulated non-idle device time
+    /// Allocation timestamp per resident tensor; maintained only while
+    /// telemetry is attached (feeds the eviction-victim-age histogram).
+    std::unordered_map<TensorId, double> alloc_time;
   };
 
   DeviceState& device(DeviceId dev);
   const DeviceState& device(DeviceId dev) const;
 
   /// Makes room for `bytes` on `dev`, charging eviction costs; operands of
-  /// the in-flight task must already be pinned.
-  double make_room(DeviceId dev, std::uint64_t bytes);
+  /// the in-flight task must already be pinned. `cause` labels any induced
+  /// evictions in traces and telemetry.
+  double make_room(DeviceId dev, std::uint64_t bytes, EvictionCause cause);
 
   /// Ensures `desc` is resident on `dev`; returns the copy-engine time spent
   /// and updates metrics. Pins the tensor.
@@ -170,12 +192,27 @@ class ClusterSimulator final : public ClusterView {
   void index_remove(TensorId id, DeviceId dev);
 
   /// One priced memory operation of the in-flight task, kept so the trace
-  /// can assign exact start offsets once the task's window is known.
+  /// and telemetry sink can assign exact start offsets once the task's
+  /// window is known.
   struct PendingOp {
     TraceEventKind kind;
     TensorId tensor;
     double duration_s;
+    std::uint64_t bytes = 0;
+    EvictionCause cause = EvictionCause::kNone;
+    double victim_age_s = 0.0;  ///< evictions only
   };
+
+  /// True when any observer needs per-operation records buffered.
+  bool observing() const {
+    return trace_ != nullptr || telemetry_ != nullptr;
+  }
+
+  /// Flushes pending_ops_ (and the kernel) to the trace and telemetry sink
+  /// once the copy window and kernel slot are known.
+  void emit_task_events(DeviceId dev, const ContractionTask& task,
+                        double copy_window_start, double kernel_start,
+                        double kernel_cost);
 
   ClusterConfig config_;
   CostModel cost_model_;
@@ -187,6 +224,11 @@ class ClusterSimulator final : public ClusterView {
   std::unordered_set<TensorId> host_copies_;
   ExecutionMetrics metrics_;
   TraceRecorder* trace_ = nullptr;
+  obs::Telemetry* telemetry_ = nullptr;
+  /// Registry instruments resolved once at set_telemetry (hot-path cheap).
+  obs::Histogram* fetch_bytes_hist_ = nullptr;
+  obs::Histogram* victim_age_hist_ = nullptr;
+  obs::Histogram* barrier_idle_hist_ = nullptr;
   std::vector<PendingOp> pending_ops_;
 };
 

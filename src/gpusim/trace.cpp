@@ -19,6 +19,15 @@ const char* to_string(TraceEventKind kind) {
   return "?";
 }
 
+const char* to_string(EvictionCause cause) {
+  switch (cause) {
+    case EvictionCause::kNone: return "none";
+    case EvictionCause::kOperandFetch: return "operand_fetch";
+    case EvictionCause::kOutputAlloc: return "output_alloc";
+  }
+  return "?";
+}
+
 TraceSummary TraceRecorder::summarize(TraceEventKind kind) const {
   TraceSummary s;
   for (const TraceEvent& e : events_) {
@@ -33,6 +42,9 @@ std::vector<TraceEvent> TraceRecorder::window(double from_s,
                                               double to_s) const {
   MICCO_EXPECTS(from_s <= to_s);
   std::vector<TraceEvent> out;
+  // [t, t) is the empty interval: it overlaps nothing, even events that
+  // span t.
+  if (from_s >= to_s) return out;
   for (const TraceEvent& e : events_) {
     if (e.start_s < to_s && e.start_s + e.duration_s > from_s) {
       out.push_back(e);
@@ -48,8 +60,15 @@ void TraceRecorder::write_chrome_json(std::ostream& out) const {
     if (!first) out << ",";
     first = false;
     out << "{\"name\":\"" << to_string(e.kind) << "\"";
+    // Perfetto surfaces `args` in the tooltip; keep the top-level schema
+    // fields (name/ph/pid/tid/ts/dur) untouched for existing tooling.
     if (e.tensor != kInvalidTensor) {
-      out << ",\"args\":{\"tensor\":" << e.tensor << "}";
+      out << ",\"args\":{\"tensor\":" << e.tensor;
+      if (e.bytes > 0) out << ",\"bytes\":" << e.bytes;
+      if (e.cause != EvictionCause::kNone) {
+        out << ",\"cause\":\"" << to_string(e.cause) << "\"";
+      }
+      out << "}";
     }
     out << ",\"ph\":\"X\",\"pid\":0,\"tid\":" << e.device
         << ",\"ts\":" << e.start_s * 1e6 << ",\"dur\":" << e.duration_s * 1e6

@@ -28,12 +28,23 @@ enum class TraceEventKind : std::uint8_t {
 
 const char* to_string(TraceEventKind kind);
 
+/// What forced an eviction (carried as Perfetto `args.cause`).
+enum class EvictionCause : std::uint8_t {
+  kNone,         ///< not an eviction event
+  kOperandFetch, ///< making room for an incoming operand
+  kOutputAlloc,  ///< making room for the kernel's output
+};
+
+const char* to_string(EvictionCause cause);
+
 struct TraceEvent {
   TraceEventKind kind;
   int device = -1;
   TensorId tensor = kInvalidTensor;  ///< operand/output/victim; unused: barrier
   double start_s = 0.0;
   double duration_s = 0.0;
+  std::uint64_t bytes = 0;           ///< payload moved/freed (0: none)
+  EvictionCause cause = EvictionCause::kNone;  ///< eviction events only
 };
 
 /// Per-kind aggregate used by trace summaries and tests.

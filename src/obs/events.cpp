@@ -1,0 +1,65 @@
+#include "obs/events.hpp"
+
+#include <ostream>
+
+namespace micco::obs {
+
+const char* to_string(ClusterEventKind kind) {
+  switch (kind) {
+    case ClusterEventKind::kFetch: return "fetch";
+    case ClusterEventKind::kEviction: return "eviction";
+    case ClusterEventKind::kBarrier: return "barrier";
+  }
+  return "?";
+}
+
+JsonValue DecisionEvent::to_json() const {
+  JsonValue out = JsonValue::object();
+  out.set("event", "decision");
+  out.set("seq", seq);
+  out.set("vector", vector_index);
+  out.set("pair", pair_index);
+  out.set("scheduler", scheduler);
+  out.set("a", tensor_a);
+  out.set("b", tensor_b);
+  out.set("out", tensor_out);
+  out.set("pattern", pattern);
+  JsonValue cands = JsonValue::array();
+  for (const int dev : candidates) cands.push_back(dev);
+  out.set("candidates", std::move(cands));
+  out.set("chosen", chosen);
+  out.set("mapping", mapping);
+  out.set("bound_tier", bound_tier);
+  out.set("bound_value", bound_value);
+  out.set("balance_num", balance_num);
+  out.set("fallback", fallback);
+  out.set("evict_risk", evict_risk);
+  return out;
+}
+
+JsonValue ClusterEvent::to_json() const {
+  JsonValue out = JsonValue::object();
+  out.set("event", to_string(kind));
+  out.set("device", device);
+  if (kind != ClusterEventKind::kBarrier) {
+    out.set("tensor", tensor);
+    out.set("bytes", bytes);
+  }
+  out.set("t_s", time_s);
+  out.set("dur_s", duration_s);
+  if (!detail.empty()) out.set("detail", detail);
+  if (kind == ClusterEventKind::kEviction) {
+    out.set("victim_age_s", victim_age_s);
+  }
+  return out;
+}
+
+void JsonlEventSink::decision(const DecisionEvent& event) {
+  out_ << event.to_json().dump() << '\n';
+}
+
+void JsonlEventSink::cluster(const ClusterEvent& event) {
+  out_ << event.to_json().dump() << '\n';
+}
+
+}  // namespace micco::obs

@@ -1,0 +1,119 @@
+// Structured telemetry events and sinks.
+//
+// The event half of the observability layer records *why* the system did
+// what it did, one record per occurrence: every scheduler decision (which
+// reuse pattern the pair classified as, which devices were considered, which
+// reuse-bound tier admitted the winner, whether the fallback fired) and
+// every notable cluster event (operand fetch, eviction with victim and
+// cause, stage barrier). Sinks are pluggable; the JSONL sink writes one
+// compact JSON object per line so logs diff, grep and replay deterministically
+// — no wall-clock timestamps, only simulated time and sequence numbers.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace micco::obs {
+
+/// One scheduler decision (Alg. 1 + Alg. 2 outcome for one tensor pair).
+struct DecisionEvent {
+  std::uint64_t seq = 0;          ///< global decision number within the run
+  std::int64_t vector_index = -1; ///< vector ordinal in the stream
+  std::int64_t pair_index = -1;   ///< pair ordinal within the vector
+  std::uint64_t tensor_a = 0;
+  std::uint64_t tensor_b = 0;
+  std::uint64_t tensor_out = 0;
+  std::string scheduler;          ///< scheduler name ("MICCO", "Groute", ...)
+  std::string pattern;            ///< local reuse pattern ("TwoRepeatedSame"…)
+  std::vector<int> candidates;    ///< devices that survived the tier filters
+  int chosen = -1;
+  std::string mapping;            ///< Fig. 4 mapping class of the final choice
+  /// Reuse-bound tier that produced the candidate set: 0 = TwoRepeatedSame
+  /// bound, 1 = one-reused bound, 2 = TwoNew bound, -1 = scheduler has no
+  /// tiers (baselines).
+  int bound_tier = -1;
+  std::int64_t bound_value = -1;  ///< the gating bound's value (-1: none)
+  std::int64_t balance_num = -1;  ///< balanceNum in force (-1: none)
+  bool fallback = false;          ///< every tier was exhausted (implicit rule)
+  bool evict_risk = false;        ///< memory-eviction-sensitive policy fired
+
+  JsonValue to_json() const;
+};
+
+/// Kinds of cluster-side events worth a log record.
+enum class ClusterEventKind : std::uint8_t {
+  kFetch,     ///< operand materialised on a device (H2D or P2P)
+  kEviction,  ///< LRU victim pushed out under capacity pressure
+  kBarrier,   ///< stage barrier; one record per idle device
+};
+
+const char* to_string(ClusterEventKind kind);
+
+struct ClusterEvent {
+  ClusterEventKind kind = ClusterEventKind::kFetch;
+  int device = -1;
+  std::uint64_t tensor = 0;  ///< fetched operand / eviction victim; 0: barrier
+  std::uint64_t bytes = 0;
+  double time_s = 0.0;       ///< simulated time the event completed
+  double duration_s = 0.0;   ///< priced duration (barrier: idle gap)
+  std::string detail;        ///< fetch: "h2d"/"p2p"; eviction: cause
+  double victim_age_s = 0.0; ///< eviction only: residency age of the victim
+
+  JsonValue to_json() const;
+};
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void decision(const DecisionEvent& event) = 0;
+  virtual void cluster(const ClusterEvent& event) = 0;
+};
+
+/// Swallows everything (telemetry attached for the registry alone).
+class NullEventSink final : public EventSink {
+ public:
+  void decision(const DecisionEvent&) override {}
+  void cluster(const ClusterEvent&) override {}
+};
+
+/// Writes one compact JSON object per event per line ("JSON Lines"). The
+/// stream is borrowed and must outlive the sink.
+class JsonlEventSink final : public EventSink {
+ public:
+  explicit JsonlEventSink(std::ostream& out) : out_(out) {}
+  void decision(const DecisionEvent& event) override;
+  void cluster(const ClusterEvent& event) override;
+
+ private:
+  std::ostream& out_;
+};
+
+/// Buffers events in memory; used by tests and the CLI's pretty printer.
+class MemoryEventSink final : public EventSink {
+ public:
+  void decision(const DecisionEvent& event) override {
+    decisions_.push_back(event);
+  }
+  void cluster(const ClusterEvent& event) override {
+    cluster_events_.push_back(event);
+  }
+
+  const std::vector<DecisionEvent>& decisions() const { return decisions_; }
+  const std::vector<ClusterEvent>& cluster_events() const {
+    return cluster_events_;
+  }
+  void clear() {
+    decisions_.clear();
+    cluster_events_.clear();
+  }
+
+ private:
+  std::vector<DecisionEvent> decisions_;
+  std::vector<ClusterEvent> cluster_events_;
+};
+
+}  // namespace micco::obs

@@ -1,0 +1,82 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace micco::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      counts_(bounds_.size() + 1, 0) {
+  MICCO_EXPECTS_MSG(!bounds_.empty(), "histogram needs at least one bucket");
+  MICCO_EXPECTS_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                    "histogram bounds must be ascending");
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += value;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram(std::move(upper_bounds)))
+      .first->second;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+JsonValue MetricsRegistry::snapshot() const {
+  JsonValue out = JsonValue::object();
+  JsonValue& counters = out.set("counters", JsonValue::object());
+  for (const auto& [name, c] : counters_) {
+    counters.set(name, c.value());
+  }
+  JsonValue& gauges = out.set("gauges", JsonValue::object());
+  for (const auto& [name, g] : gauges_) {
+    gauges.set(name, g.value());
+  }
+  JsonValue& histograms = out.set("histograms", JsonValue::object());
+  for (const auto& [name, h] : histograms_) {
+    JsonValue entry = JsonValue::object();
+    JsonValue bounds = JsonValue::array();
+    for (const double b : h.upper_bounds()) bounds.push_back(b);
+    entry.set("upper_bounds", std::move(bounds));
+    JsonValue counts = JsonValue::array();
+    for (const std::uint64_t c : h.bucket_counts()) counts.push_back(c);
+    entry.set("counts", std::move(counts));
+    entry.set("count", h.count());
+    entry.set("sum", h.sum());
+    histograms.set(name, std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace micco::obs

@@ -1,0 +1,93 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms.
+//
+// The registry is the aggregate half of the observability layer (the event
+// sink is the per-decision half). Instrumentation points resolve a metric
+// once — counter()/gauge()/histogram() return references that stay valid for
+// the registry's lifetime — and then update it with a single add/set/observe,
+// so a hot loop never does a name lookup. Everything snapshots to JSON with
+// deterministic (sorted-name) ordering for golden tests and run reports.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace micco::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i]; one
+/// implicit overflow bucket counts the rest. Bounds are set at creation and
+/// immutable afterwards (re-requesting the histogram ignores the bounds
+/// argument), so concurrent instrumentation points cannot disagree.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value);
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// Per-bucket counts; size is upper_bounds().size() + 1 (overflow last).
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Finds or creates the named metric. References remain valid until the
+  /// registry is destroyed (node-based map storage).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+
+  /// Lookup without creation; nullptr when absent.
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+  /// {"upper_bounds": [...], "counts": [...], "count": n, "sum": s}}} with
+  /// names in sorted order.
+  JsonValue snapshot() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace micco::obs

@@ -1,0 +1,38 @@
+// Telemetry bundle: the one handle instrumented components share.
+//
+// A Telemetry object pairs the metrics registry (aggregates) with an
+// optional event sink (per-occurrence records) plus the decision-log cursor
+// the driver maintains (vector/pair position, monotone sequence number).
+// Components hold a `Telemetry*` that is nullptr by default; every
+// instrumentation point is guarded by that single pointer test, so a run
+// without telemetry pays one predictable branch per site and nothing else.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+
+namespace micco::obs {
+
+struct Telemetry {
+  MetricsRegistry registry;
+  /// Optional per-event sink; not owned, may be nullptr (registry-only).
+  EventSink* sink = nullptr;
+
+  // -- Decision-log cursor, advanced by the pipeline driver --------------
+  std::uint64_t next_seq = 0;
+  std::int64_t vector_index = -1;
+  std::int64_t pair_index = -1;
+
+  bool has_sink() const { return sink != nullptr; }
+
+  void emit(const DecisionEvent& event) {
+    if (sink != nullptr) sink->decision(event);
+  }
+  void emit(const ClusterEvent& event) {
+    if (sink != nullptr) sink->cluster(event);
+  }
+};
+
+}  // namespace micco::obs

@@ -7,12 +7,25 @@
 
 namespace micco {
 
+namespace {
+
+/// Baselines with no candidate filtering consider every device.
+std::vector<DeviceId> all_devices(const ClusterView& view) {
+  std::vector<DeviceId> devices(static_cast<std::size_t>(view.num_devices()));
+  for (DeviceId dev = 0; dev < view.num_devices(); ++dev) {
+    devices[static_cast<std::size_t>(dev)] = dev;
+  }
+  return devices;
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------- Groute --
 
 void GrouteScheduler::begin_vector(const VectorWorkload&, const ClusterView&) {
 }
 
-DeviceId GrouteScheduler::assign(const ContractionTask&,
+DeviceId GrouteScheduler::assign(const ContractionTask& task,
                                  const ClusterView& view) {
   DeviceId best = 0;
   double best_time = std::numeric_limits<double>::infinity();
@@ -23,6 +36,9 @@ DeviceId GrouteScheduler::assign(const ContractionTask&,
       best = dev;
     }
   }
+  if (telemetry_ != nullptr) {
+    record_decision(task, view, all_devices(view), best);
+  }
   return best;
 }
 
@@ -31,10 +47,11 @@ DeviceId GrouteScheduler::assign(const ContractionTask&,
 void RoundRobinScheduler::begin_vector(const VectorWorkload&,
                                        const ClusterView&) {}
 
-DeviceId RoundRobinScheduler::assign(const ContractionTask&,
+DeviceId RoundRobinScheduler::assign(const ContractionTask& task,
                                      const ClusterView& view) {
   const DeviceId dev = next_;
   next_ = (next_ + 1) % view.num_devices();
+  if (telemetry_ != nullptr) record_decision(task, view, {dev}, dev);
   return dev;
 }
 
@@ -48,25 +65,24 @@ DeviceId DataReuseOnlyScheduler::assign(const ContractionTask& task,
   const std::vector<DeviceId> holders_a = view.devices_holding(task.a.id);
   const std::vector<DeviceId> holders_b = view.devices_holding(task.b.id);
 
+  const auto chose = [&](DeviceId dev) {
+    last_ = dev;
+    if (telemetry_ != nullptr) record_decision(task, view, {dev}, dev);
+    return dev;
+  };
+
   // Prefer a device with both operands, then one with either.
   for (const DeviceId dev : holders_a) {
     if (std::find(holders_b.begin(), holders_b.end(), dev) !=
         holders_b.end()) {
-      last_ = dev;
-      return dev;
+      return chose(dev);
     }
   }
-  if (!holders_a.empty()) {
-    last_ = holders_a.front();
-    return last_;
-  }
-  if (!holders_b.empty()) {
-    last_ = holders_b.front();
-    return last_;
-  }
+  if (!holders_a.empty()) return chose(holders_a.front());
+  if (!holders_b.empty()) return chose(holders_b.front());
   // All-new pair: stick with the previous device so future repeats of these
   // tensors keep hitting one memory (maximal reuse, no balance).
-  return last_;
+  return chose(last_);
 }
 
 // ---------------------------------------------------------------- dmda ---
@@ -94,6 +110,9 @@ DeviceId DmdaScheduler::assign(const ContractionTask& task,
       best = dev;
     }
   }
+  if (telemetry_ != nullptr) {
+    record_decision(task, view, all_devices(view), best);
+  }
   return best;
 }
 
@@ -104,7 +123,7 @@ void LoadBalanceOnlyScheduler::begin_vector(const VectorWorkload&,
   pair_counts_.assign(static_cast<std::size_t>(view.num_devices()), 0);
 }
 
-DeviceId LoadBalanceOnlyScheduler::assign(const ContractionTask&,
+DeviceId LoadBalanceOnlyScheduler::assign(const ContractionTask& task,
                                           const ClusterView& view) {
   MICCO_EXPECTS(!pair_counts_.empty());
   DeviceId best = 0;
@@ -117,6 +136,9 @@ DeviceId LoadBalanceOnlyScheduler::assign(const ContractionTask&,
     }
   }
   ++pair_counts_[static_cast<std::size_t>(best)];
+  if (telemetry_ != nullptr) {
+    record_decision(task, view, all_devices(view), best);
+  }
   return best;
 }
 

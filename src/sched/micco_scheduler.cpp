@@ -10,6 +10,15 @@ MiccoScheduler::MiccoScheduler(MiccoSchedulerOptions options)
 
 std::string MiccoScheduler::name() const { return "MICCO"; }
 
+void MiccoScheduler::set_telemetry(obs::Telemetry* telemetry) {
+  Scheduler::set_telemetry(telemetry);
+  slack_hist_ = telemetry == nullptr
+                    ? nullptr
+                    : &telemetry->registry.histogram(
+                          "sched.bound_slack",
+                          {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0});
+}
+
 void MiccoScheduler::begin_vector(const VectorWorkload& vec,
                                   const ClusterView& view) {
   const auto num_devices = static_cast<std::size_t>(view.num_devices());
@@ -56,6 +65,8 @@ DeviceId MiccoScheduler::assign(const ContractionTask& task,
   const std::vector<DeviceId> holders_b = view.devices_holding(task.b.id);
 
   std::vector<DeviceId> candidates;
+  int tier = -1;        ///< reuse-bound tier that produced the candidates
+  bool fallback = false;
 
   // Step I — data-centric, TwoRepeatedSame tier: devices holding BOTH
   // tensors, gated by reuse bound 0 (Alg. 1, lines 4-7).
@@ -64,6 +75,7 @@ DeviceId MiccoScheduler::assign(const ContractionTask& task,
         std::find(holders_b.begin(), holders_b.end(), dev) != holders_b.end();
     if (holds_both && available(dev, 0)) push_unique(candidates, dev);
   }
+  if (!candidates.empty()) tier = 0;
 
   // Step II — one-reused tier: devices holding either tensor, gated by
   // reuse bound 1 (Alg. 1, lines 8-14). Entered both for the
@@ -76,6 +88,7 @@ DeviceId MiccoScheduler::assign(const ContractionTask& task,
     for (const DeviceId dev : holders_b) {
       if (available(dev, 1)) push_unique(candidates, dev);
     }
+    if (!candidates.empty()) tier = 1;
   }
 
   // Step II' — TwoNew tier: any device under reuse bound 2 (lines 15-18).
@@ -83,18 +96,30 @@ DeviceId MiccoScheduler::assign(const ContractionTask& task,
     for (DeviceId dev = 0; dev < view.num_devices(); ++dev) {
       if (available(dev, 2)) push_unique(candidates, dev);
     }
+    if (!candidates.empty()) tier = 2;
   }
 
   // Fallback the pseudocode leaves implicit: when every device exceeds even
   // the TwoNew bound (possible late in a vector with small bounds and an
   // uneven tensor count), consider all devices so the pair is still placed.
   if (candidates.empty()) {
+    fallback = true;
     for (DeviceId dev = 0; dev < view.num_devices(); ++dev) {
       candidates.push_back(dev);
     }
   }
 
   const DeviceId chosen = select_from_candidates(candidates, task, view);
+
+  if (telemetry_ != nullptr) {
+    // Slack the winner had already consumed beyond its balanced share when
+    // it won; how deep into the reuse bounds the schedule actually runs.
+    slack_hist_->observe(
+        static_cast<double>(assigned_count(chosen) - balance_num_));
+    record_decision(task, view, candidates, chosen, tier,
+                    tier >= 0 ? bounds_[static_cast<std::size_t>(tier)] : -1,
+                    balance_num_, fallback, last_evict_risk_);
+  }
 
   // Step IV — update mapGPUTensor / mapGPUCom (Alg. 1, line 20).
   auto& assigned = vector_assigned_[static_cast<std::size_t>(chosen)];
@@ -122,6 +147,7 @@ DeviceId MiccoScheduler::select_from_candidates(
       }
     }
   }
+  last_evict_risk_ = evict_risk;
 
   // Primary/secondary keys swap between the computation-centric policy
   // (least-loaded device, then most free memory) and the memory-eviction-

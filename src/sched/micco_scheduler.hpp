@@ -42,6 +42,7 @@ class MiccoScheduler final : public Scheduler {
                     const ClusterView& view) override;
   DeviceId assign(const ContractionTask& task,
                   const ClusterView& view) override;
+  void set_telemetry(obs::Telemetry* telemetry) override;
 
   /// Installs the reuse bounds used from the next assignment on; the online
   /// pipeline calls this right after the regression model's inference (step
@@ -68,6 +69,12 @@ class MiccoScheduler final : public Scheduler {
   MiccoSchedulerOptions options_;
   ReuseBounds bounds_;
   Pcg32 rng_;
+
+  /// Whether the last select_from_candidates ran the memory-eviction-
+  /// sensitive policy (surfaced into the decision log).
+  bool last_evict_risk_ = false;
+  /// Bound-slack utilization histogram (resolved at set_telemetry).
+  obs::Histogram* slack_hist_ = nullptr;
 
   std::int64_t balance_num_ = 1;
   /// Per-device distinct input tensors assigned in the current vector.

@@ -34,6 +34,16 @@ LocalReusePattern classify_pair(const ContractionTask& task,
                  : LocalReusePattern::kTwoRepeatedDiff;
 }
 
+const char* to_string(MappingClass m) {
+  switch (m) {
+    case MappingClass::kBothReused: return "BothReused";
+    case MappingClass::kFirstReused: return "FirstReused";
+    case MappingClass::kSecondReused: return "SecondReused";
+    case MappingClass::kNoneReused: return "NoneReused";
+  }
+  return "?";
+}
+
 MappingClass classify_mapping(const ContractionTask& task, DeviceId dev,
                               const ClusterView& view) {
   const bool a_here = view.resident_on(dev, task.a.id);

@@ -35,6 +35,8 @@ enum class MappingClass {
   kNoneReused = 4,    ///< mappings (4)-(7): fetch both operands
 };
 
+const char* to_string(MappingClass m);
+
 MappingClass classify_mapping(const ContractionTask& task, DeviceId dev,
                               const ClusterView& view);
 

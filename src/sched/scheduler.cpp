@@ -1,0 +1,88 @@
+#include "sched/scheduler.hpp"
+
+#include "sched/reuse_pattern.hpp"
+
+namespace micco {
+
+namespace {
+
+/// Registry names; indices match the LocalReusePattern / MappingClass /
+/// tier enumerations.
+constexpr const char* kPatternCounter[4] = {
+    "sched.pattern.two_repeated_same", "sched.pattern.two_repeated_diff",
+    "sched.pattern.one_repeated", "sched.pattern.two_new"};
+constexpr const char* kMappingCounter[4] = {
+    "sched.mapping.both_reused", "sched.mapping.first_reused",
+    "sched.mapping.second_reused", "sched.mapping.none_reused"};
+constexpr const char* kTierCounter[3] = {
+    "sched.tier.two_repeated_same", "sched.tier.one_reused",
+    "sched.tier.two_new"};
+
+}  // namespace
+
+void Scheduler::set_telemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) {
+    instruments_ = DecisionInstruments{};
+    return;
+  }
+  obs::MetricsRegistry& reg = telemetry_->registry;
+  instruments_.decisions = &reg.counter("sched.decisions");
+  for (int i = 0; i < 4; ++i) {
+    instruments_.pattern[i] = &reg.counter(kPatternCounter[i]);
+    instruments_.mapping[i] = &reg.counter(kMappingCounter[i]);
+  }
+  for (int i = 0; i < 3; ++i) {
+    instruments_.tier[i] = &reg.counter(kTierCounter[i]);
+  }
+  instruments_.fallback = &reg.counter("sched.fallback");
+  instruments_.evict_risk = &reg.counter("sched.evict_risk");
+}
+
+void Scheduler::record_decision(const ContractionTask& task,
+                                const ClusterView& view,
+                                const std::vector<DeviceId>& candidates,
+                                DeviceId chosen, int bound_tier,
+                                std::int64_t bound_value,
+                                std::int64_t balance_num, bool fallback,
+                                bool evict_risk) {
+  if (telemetry_ == nullptr) return;
+
+  // The mapping is classified against residency *before* execution mutates
+  // it, which is exactly the state the decision was made on.
+  const LocalReusePattern pattern = classify_pair(task, view);
+  const MappingClass mapping = classify_mapping(task, chosen, view);
+
+  instruments_.decisions->add();
+  instruments_.pattern[static_cast<int>(pattern)]->add();
+  instruments_.mapping[static_cast<int>(mapping) - 1]->add();
+  if (bound_tier >= 0 && bound_tier < 3) {
+    instruments_.tier[bound_tier]->add();
+  }
+  if (fallback) instruments_.fallback->add();
+  if (evict_risk) instruments_.evict_risk->add();
+
+  const std::uint64_t seq = telemetry_->next_seq++;
+  if (!telemetry_->has_sink()) return;
+
+  obs::DecisionEvent event;
+  event.seq = seq;
+  event.vector_index = telemetry_->vector_index;
+  event.pair_index = telemetry_->pair_index;
+  event.tensor_a = task.a.id;
+  event.tensor_b = task.b.id;
+  event.tensor_out = task.out.id;
+  event.scheduler = name();
+  event.pattern = to_string(pattern);
+  event.candidates.assign(candidates.begin(), candidates.end());
+  event.chosen = chosen;
+  event.mapping = to_string(mapping);
+  event.bound_tier = bound_tier;
+  event.bound_value = bound_value;
+  event.balance_num = balance_num;
+  event.fallback = fallback;
+  event.evict_risk = evict_risk;
+  telemetry_->emit(event);
+}
+
+}  // namespace micco

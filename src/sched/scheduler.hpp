@@ -12,6 +12,7 @@
 #include <string>
 
 #include "gpusim/cluster.hpp"
+#include "obs/telemetry.hpp"
 #include "workload/task.hpp"
 
 namespace micco {
@@ -34,6 +35,40 @@ class Scheduler {
 
   /// Announces that the vector's tasks all executed (barrier follows).
   virtual void end_vector() {}
+
+  /// Attaches the telemetry bundle (nullptr detaches). Implementations log
+  /// one DecisionEvent per assign() and bump registry counters; unattached
+  /// schedulers pay one pointer test per assignment. Overrides must call the
+  /// base to keep the shared instruments resolved.
+  virtual void set_telemetry(obs::Telemetry* telemetry);
+
+ protected:
+  /// Logs one decision to the attached telemetry: classifies the pair,
+  /// classifies the chosen mapping, bumps the shared counters and — when a
+  /// sink is attached — emits the DecisionEvent. The tier/bound/fallback
+  /// fields are the MICCO-specific extras; baselines keep the defaults.
+  /// No-op when telemetry is detached.
+  void record_decision(const ContractionTask& task, const ClusterView& view,
+                       const std::vector<DeviceId>& candidates,
+                       DeviceId chosen, int bound_tier = -1,
+                       std::int64_t bound_value = -1,
+                       std::int64_t balance_num = -1, bool fallback = false,
+                       bool evict_risk = false);
+
+  obs::Telemetry* telemetry_ = nullptr;
+
+ private:
+  /// Registry instruments resolved once at attach time so record_decision
+  /// never does a name lookup on the hot path.
+  struct DecisionInstruments {
+    obs::Counter* decisions = nullptr;
+    obs::Counter* pattern[4] = {};
+    obs::Counter* mapping[4] = {};
+    obs::Counter* tier[3] = {};
+    obs::Counter* fallback = nullptr;
+    obs::Counter* evict_risk = nullptr;
+  };
+  DecisionInstruments instruments_;
 };
 
 }  // namespace micco

@@ -1,0 +1,65 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace micco {
+namespace {
+
+/// Counts how often it is streamed; proves suppressed lines never format.
+struct FormatProbe {
+  mutable int* formats;
+};
+
+std::ostream& operator<<(std::ostream& os, const FormatProbe& probe) {
+  ++*probe.formats;
+  return os << "probe";
+}
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = log_level(); }
+  void TearDown() override { set_log_level(previous_); }
+
+ private:
+  LogLevel previous_;
+};
+
+TEST_F(LogTest, SuppressedLineSkipsFormattingEntirely) {
+  set_log_level(LogLevel::kError);
+  int formats = 0;
+  log_debug() << "expensive: " << FormatProbe{&formats};
+  EXPECT_EQ(formats, 0);
+}
+
+TEST_F(LogTest, EnabledLineFormatsOnce) {
+  set_log_level(LogLevel::kDebug);
+  int formats = 0;
+  ::testing::internal::CaptureStderr();
+  log_debug() << FormatProbe{&formats};
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(formats, 1);
+  EXPECT_NE(err.find("probe"), std::string::npos);
+}
+
+TEST_F(LogTest, LevelThresholdIsInclusive) {
+  set_log_level(LogLevel::kWarn);
+  int warn_formats = 0;
+  int info_formats = 0;
+  ::testing::internal::CaptureStderr();
+  log_warn() << FormatProbe{&warn_formats};
+  log_info() << FormatProbe{&info_formats};
+  ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(warn_formats, 1);
+  EXPECT_EQ(info_formats, 0);
+}
+
+TEST_F(LogTest, LinePrefixNamesTheLevel) {
+  set_log_level(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  log_info() << "ready";
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[micco:info] ready"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace micco

@@ -1,0 +1,107 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace micco::obs {
+namespace {
+
+TEST(ObsJson, ScalarKindsAndAccessors) {
+  EXPECT_TRUE(JsonValue().is_null());
+  EXPECT_EQ(JsonValue(true).as_bool(), true);
+  EXPECT_EQ(JsonValue(std::int64_t{-7}).as_int(), -7);
+  EXPECT_DOUBLE_EQ(JsonValue(2.5).as_double(), 2.5);
+  EXPECT_EQ(JsonValue("hi").as_string(), "hi");
+  // as_double accepts both number kinds.
+  EXPECT_DOUBLE_EQ(JsonValue(3).as_double(), 3.0);
+}
+
+TEST(ObsJson, ObjectKeepsInsertionOrder) {
+  JsonValue obj = JsonValue::object();
+  obj.set("zeta", 1);
+  obj.set("alpha", 2);
+  obj.set("mid", 3);
+  EXPECT_EQ(obj.dump(), "{\"zeta\":1,\"alpha\":2,\"mid\":3}");
+  // Overwrite keeps first-insertion position.
+  obj.set("alpha", 9);
+  EXPECT_EQ(obj.dump(), "{\"zeta\":1,\"alpha\":9,\"mid\":3}");
+}
+
+TEST(ObsJson, NullAutoPromotesOnSetAndPushBack) {
+  JsonValue obj;
+  obj.set("k", "v");
+  EXPECT_EQ(obj.kind(), JsonValue::Kind::kObject);
+  JsonValue arr;
+  arr.push_back(1);
+  arr.push_back(2);
+  EXPECT_EQ(arr.dump(), "[1,2]");
+}
+
+TEST(ObsJson, FindAndAt) {
+  JsonValue obj = JsonValue::object();
+  obj.set("present", 42);
+  ASSERT_NE(obj.find("present"), nullptr);
+  EXPECT_EQ(obj.find("present")->as_int(), 42);
+  EXPECT_EQ(obj.find("absent"), nullptr);
+  EXPECT_EQ(obj.at("present").as_int(), 42);
+  EXPECT_EQ(JsonValue(1).find("x"), nullptr);  // non-object: no members
+}
+
+TEST(ObsJson, EscapesControlCharactersAndQuotes) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(ObsJson, NumberFormattingIsDeterministic) {
+  EXPECT_EQ(json_number(1.0), "1");
+  EXPECT_EQ(json_number(-3.0), "-3");
+  EXPECT_EQ(JsonValue(0.5).dump(), "0.5");
+  // Round-trips the shortest form.
+  const std::string text = json_number(0.1);
+  EXPECT_DOUBLE_EQ(std::stod(text), 0.1);
+}
+
+TEST(ObsJson, DumpParseRoundTrip) {
+  JsonValue doc = JsonValue::object();
+  doc.set("name", "run");
+  doc.set("n", 3);
+  doc.set("ratio", 1.25);
+  doc.set("ok", true);
+  doc.set("missing", JsonValue());
+  JsonValue arr = JsonValue::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  JsonValue nested = JsonValue::object();
+  nested.set("deep", -1);
+  arr.push_back(std::move(nested));
+  doc.set("items", std::move(arr));
+
+  std::string error;
+  const auto parsed = parse_json(doc.dump(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(*parsed, doc);
+  // Pretty output parses back to the same document too.
+  const auto reparsed = parse_json(doc.dump_pretty(), &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  EXPECT_EQ(*reparsed, doc);
+}
+
+TEST(ObsJson, ParseRejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(parse_json("{", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(parse_json("[1,]", &error).has_value());
+  EXPECT_FALSE(parse_json("{\"a\":1} trailing", &error).has_value());
+  EXPECT_FALSE(parse_json("nul", &error).has_value());
+  EXPECT_FALSE(parse_json("\"unterminated", &error).has_value());
+}
+
+TEST(ObsJson, NumericEqualityCrossesIntAndDouble) {
+  EXPECT_EQ(JsonValue(2), JsonValue(2.0));
+  EXPECT_FALSE(JsonValue(2) == JsonValue(2.5));
+  EXPECT_FALSE(JsonValue(2) == JsonValue("2"));
+}
+
+}  // namespace
+}  // namespace micco::obs

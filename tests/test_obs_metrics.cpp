@@ -1,0 +1,102 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace micco::obs {
+namespace {
+
+TEST(ObsMetrics, CounterAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+}
+
+TEST(ObsMetrics, GaugeKeepsLastValue) {
+  Gauge g;
+  g.set(1.5);
+  g.set(-2.0);
+  EXPECT_DOUBLE_EQ(g.value(), -2.0);
+}
+
+TEST(ObsMetrics, HistogramBucketsByUpperBound) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1
+  h.observe(1.0);    // <= 1 (bound is inclusive)
+  h.observe(5.0);    // <= 10
+  h.observe(1000.0); // overflow
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 0u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1006.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 1006.5 / 4.0);
+}
+
+TEST(ObsMetrics, EmptyHistogramMeanIsZero) {
+  Histogram h({1.0});
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(ObsMetrics, RegistryReturnsStableReferences) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("a");
+  a.add(3);
+  // Creating more metrics must not invalidate the first reference.
+  for (int i = 0; i < 100; ++i) {
+    std::string name = "c";
+    name += std::to_string(i);
+    reg.counter(name);
+  }
+  EXPECT_EQ(&reg.counter("a"), &a);
+  EXPECT_EQ(reg.counter("a").value(), 3u);
+}
+
+TEST(ObsMetrics, HistogramBoundsFixedAtCreation) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", {1.0, 2.0});
+  // Re-request with different bounds returns the original histogram.
+  Histogram& again = reg.histogram("h", {99.0});
+  EXPECT_EQ(&again, &h);
+  EXPECT_EQ(again.upper_bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(ObsMetrics, FindDoesNotCreate) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.find_counter("nope"), nullptr);
+  EXPECT_EQ(reg.find_gauge("nope"), nullptr);
+  EXPECT_EQ(reg.find_histogram("nope"), nullptr);
+  EXPECT_EQ(reg.size(), 0u);
+  reg.counter("yes");
+  EXPECT_NE(reg.find_counter("yes"), nullptr);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(ObsMetrics, SnapshotSortsNamesAndCarriesHistogramShape) {
+  MetricsRegistry reg;
+  reg.counter("z.count").add(2);
+  reg.counter("a.count").add(1);
+  reg.gauge("g").set(0.25);
+  reg.histogram("h", {1.0, 2.0}).observe(1.5);
+
+  const JsonValue snap = reg.snapshot();
+  const JsonValue& counters = snap.at("counters");
+  ASSERT_EQ(counters.members().size(), 2u);
+  EXPECT_EQ(counters.members()[0].first, "a.count");  // sorted
+  EXPECT_EQ(counters.members()[1].first, "z.count");
+  EXPECT_DOUBLE_EQ(snap.at("gauges").at("g").as_double(), 0.25);
+
+  const JsonValue& hist = snap.at("histograms").at("h");
+  EXPECT_EQ(hist.at("upper_bounds").items().size(), 2u);
+  EXPECT_EQ(hist.at("counts").items().size(), 3u);  // bounds + overflow
+  EXPECT_EQ(hist.at("counts").items()[1].as_int(), 1);
+  EXPECT_EQ(hist.at("count").as_int(), 1);
+  EXPECT_DOUBLE_EQ(hist.at("sum").as_double(), 1.5);
+}
+
+}  // namespace
+}  // namespace micco::obs

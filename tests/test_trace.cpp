@@ -151,6 +151,85 @@ TEST(Trace, KindNamesAreStable) {
   EXPECT_STREQ(to_string(TraceEventKind::kFetchH2D), "fetch_h2d");
   EXPECT_STREQ(to_string(TraceEventKind::kKernel), "kernel");
   EXPECT_STREQ(to_string(TraceEventKind::kBarrier), "barrier");
+  EXPECT_STREQ(to_string(EvictionCause::kOperandFetch), "operand_fetch");
+  EXPECT_STREQ(to_string(EvictionCause::kOutputAlloc), "output_alloc");
+}
+
+TEST(Trace, EmptyRecorderSummarizesAndWindowsToNothing) {
+  const TraceRecorder trace;
+  const TraceSummary s = trace.summarize(TraceEventKind::kKernel);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.total_s, 0.0);
+  EXPECT_TRUE(trace.window(0.0, 100.0).empty());
+
+  std::ostringstream os;
+  trace.write_chrome_json(os);
+  EXPECT_EQ(os.str(), "{\"traceEvents\":[]}\n");
+}
+
+TEST(Trace, ZeroLengthWindowMatchesNoHalfOpenInterval) {
+  TraceRecorder trace;
+  trace.record(TraceEvent{TraceEventKind::kKernel, 0, 1, 0.0, 1.0});
+  // [t, t) is empty by the half-open convention, even inside an event.
+  EXPECT_TRUE(trace.window(0.5, 0.5).empty());
+  EXPECT_TRUE(trace.window(0.0, 0.0).empty());
+}
+
+TEST(Trace, ChromeJsonCarriesArgsForPayloadEvents) {
+  TraceRecorder trace;
+  ClusterSimulator sim(small_cluster());
+  sim.set_trace(&trace);
+  sim.execute(make_task(0, 1, 2), 0);
+
+  std::ostringstream os;
+  trace.write_chrome_json(os);
+  const std::string json = os.str();
+  // Fetches carry the tensor id and the bytes moved.
+  EXPECT_NE(json.find("\"args\":{\"tensor\":0,\"bytes\":"), std::string::npos);
+  // No eviction happened, so no cause is attached anywhere.
+  EXPECT_EQ(json.find("\"cause\""), std::string::npos);
+}
+
+TEST(Trace, ChromeJsonNamesEvictionCause) {
+  const std::uint64_t tensor_bytes = make_desc(0).bytes();
+  TraceRecorder trace;
+  ClusterConfig cfg = small_cluster(3 * tensor_bytes);
+  cfg.num_devices = 1;
+  ClusterSimulator sim(cfg);
+  sim.set_trace(&trace);
+  sim.execute(make_task(0, 1, 2), 0);
+  sim.execute(make_task(3, 4, 5), 0);
+
+  bool saw_cause = false;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.kind != TraceEventKind::kEviction) continue;
+    EXPECT_NE(e.cause, EvictionCause::kNone);
+    EXPECT_GT(e.bytes, 0u);
+    saw_cause = true;
+  }
+  ASSERT_TRUE(saw_cause);
+
+  std::ostringstream os;
+  trace.write_chrome_json(os);
+  EXPECT_NE(os.str().find("\"cause\":\""), std::string::npos);
+}
+
+TEST(Trace, BarrierEventsCarryNoArgs) {
+  TraceRecorder trace;
+  ClusterSimulator sim(small_cluster());
+  sim.set_trace(&trace);
+  sim.execute(make_task(0, 1, 2), 0);
+  sim.barrier();
+
+  std::ostringstream os;
+  trace.write_chrome_json(os);
+  const std::string json = os.str();
+  // The barrier line (device 1 idle) has no tensor, hence no args block.
+  const std::size_t barrier_pos = json.find("\"name\":\"barrier\"");
+  ASSERT_NE(barrier_pos, std::string::npos);
+  const std::size_t args_after = json.find("\"args\"", barrier_pos);
+  const std::size_t close_after = json.find("}", barrier_pos);
+  EXPECT_TRUE(args_after == std::string::npos || args_after > close_after);
 }
 
 }  // namespace

@@ -5,15 +5,18 @@
 //   run        schedule a workload file on the simulated cluster
 //   train      sweep the tuner and write a trained bounds model
 //   inspect    describe a workload or model file
+//   report     run with telemetry and emit the machine-readable run report
 //
 // Examples:
 //   micco generate --out=w.mw --vector-size=64 --repeat=0.75 --gaussian
 //   micco train --out=model.mm --samples=120 --gpus=8
 //   micco run w.mw --scheduler=micco --model=model.mm --gpus=8 --trace=t.json
+//   micco report w.mw --scheduler=micco --gpus=8 --decisions=d.jsonl --pretty
 //   micco inspect w.mw
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,6 +27,9 @@
 #include "core/verify.hpp"
 #include "graph/graph_stats.hpp"
 #include "ml/serialize.hpp"
+#include "obs/events.hpp"
+#include "obs/report.hpp"
+#include "obs/telemetry.hpp"
 #include "workload/serialize.hpp"
 #include "workload/synthetic.hpp"
 
@@ -32,14 +38,31 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: micco <generate|run|train|inspect> [flags]\n"
+               "usage: micco <generate|run|train|inspect|report> [flags]\n"
                "  generate --out=FILE [--vectors=10 --vector-size=64 "
                "--tensor=384 --batch=32 --repeat=0.5 --gaussian --seed=N]\n"
                "  run FILE [--scheduler=groute|dmda|micco|roundrobin] "
                "[--model=FILE] [--gpus=8] [--oversub=R] [--trace=FILE]\n"
                "  train --out=FILE [--samples=120 --gpus=8 --seed=N]\n"
-               "  inspect FILE\n");
+               "  inspect FILE\n"
+               "  report [FILE] [--scheduler=NAME] [--gpus=8] [--oversub=R] "
+               "[--out=FILE] [--decisions=FILE] [--pretty]\n"
+               "         (no FILE: a small deterministic synthetic stream, "
+               "--seed=N --vectors=N --vector-size=N)\n");
   return 2;
+}
+
+/// Scheduler-by-name shared by `run` and `report`. Returns null and prints
+/// a diagnostic for unknown names.
+std::unique_ptr<Scheduler> scheduler_by_name(const std::string& which) {
+  if (which == "groute") return make_scheduler(SchedulerKind::kGroute);
+  if (which == "dmda") return make_scheduler(SchedulerKind::kDmda);
+  if (which == "roundrobin") {
+    return make_scheduler(SchedulerKind::kRoundRobin);
+  }
+  if (which == "micco") return make_scheduler(SchedulerKind::kMiccoNaive);
+  std::fprintf(stderr, "unknown scheduler '%s'\n", which.c_str());
+  return nullptr;
 }
 
 int cmd_generate(const CliArgs& args) {
@@ -100,20 +123,9 @@ int cmd_run(const CliArgs& args) {
         8 * stream->vectors.at(0).tasks.at(0).a.bytes());
   }
 
-  const std::string which = args.get("scheduler", "micco");
-  std::unique_ptr<Scheduler> scheduler;
-  if (which == "groute") {
-    scheduler = make_scheduler(SchedulerKind::kGroute);
-  } else if (which == "dmda") {
-    scheduler = make_scheduler(SchedulerKind::kDmda);
-  } else if (which == "roundrobin") {
-    scheduler = make_scheduler(SchedulerKind::kRoundRobin);
-  } else if (which == "micco") {
-    scheduler = make_scheduler(SchedulerKind::kMiccoNaive);
-  } else {
-    std::fprintf(stderr, "run: unknown scheduler '%s'\n", which.c_str());
-    return 2;
-  }
+  std::unique_ptr<Scheduler> scheduler =
+      scheduler_by_name(args.get("scheduler", "micco"));
+  if (!scheduler) return 2;
 
   // Optional pre-trained bounds model (only meaningful for MICCO). The
   // model file stores three regressors, one per bound.
@@ -228,6 +240,89 @@ int cmd_inspect(const CliArgs& args) {
   return 1;
 }
 
+int cmd_report(const CliArgs& args) {
+  // Workload: a file when given, otherwise a small deterministic synthetic
+  // stream so the telemetry path can be exercised with no setup.
+  std::optional<WorkloadStream> stream;
+  if (args.positional().size() >= 2) {
+    std::string error;
+    stream = load_stream_file(args.positional()[1], &error);
+    if (!stream) {
+      std::fprintf(stderr, "report: %s\n", error.c_str());
+      return 1;
+    }
+  } else {
+    SyntheticConfig cfg;
+    cfg.num_vectors = args.get_int("vectors", 4);
+    cfg.vector_size = args.get_int("vector-size", 48);
+    cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    stream = generate_synthetic(cfg);
+  }
+
+  ClusterConfig cluster;
+  cluster.num_devices = static_cast<int>(args.get_int("gpus", 8));
+  const double oversub = args.get_double("oversub", 0.0);
+  if (oversub > 0.0) {
+    cluster.device_capacity_bytes = capacity_for_oversubscription(
+        *stream, cluster.num_devices, oversub,
+        8 * stream->vectors.at(0).tasks.at(0).a.bytes());
+  }
+
+  std::unique_ptr<Scheduler> scheduler =
+      scheduler_by_name(args.get("scheduler", "micco"));
+  if (!scheduler) return 2;
+
+  // The decision log streams to its JSONL file during the run; the report
+  // is assembled from the registry afterwards.
+  obs::Telemetry telemetry;
+  std::ofstream decisions_file;
+  std::unique_ptr<obs::JsonlEventSink> sink;
+  const std::string decisions_path = args.get("decisions", "");
+  if (!decisions_path.empty()) {
+    decisions_file.open(decisions_path);
+    if (!decisions_file.good()) {
+      std::fprintf(stderr, "report: cannot open %s\n",
+                   decisions_path.c_str());
+      return 1;
+    }
+    sink = std::make_unique<obs::JsonlEventSink>(decisions_file);
+    telemetry.sink = sink.get();
+  }
+
+  // Fail on an unwritable --out before spending the run (write_report_file
+  // aborts on I/O errors; a bad flag deserves a diagnostic, not an abort).
+  const std::string out = args.get("out", "");
+  if (!out.empty() && !std::ofstream(out).good()) {
+    std::fprintf(stderr, "report: cannot open %s\n", out.c_str());
+    return 1;
+  }
+
+  RunOptions options;
+  options.telemetry = &telemetry;
+  const RunResult result = run_stream(*stream, *scheduler, cluster, options);
+
+  const obs::JsonValue report = make_run_report(result, telemetry);
+  const std::string complaint = obs::validate_report(report);
+  if (!complaint.empty()) {
+    std::fprintf(stderr, "report: internal error: %s\n", complaint.c_str());
+    return 1;
+  }
+
+  const bool pretty = args.get_bool("pretty", out.empty());
+  const std::string text = pretty ? report.dump_pretty() : report.dump();
+  if (out.empty()) {
+    std::printf("%s\n", text.c_str());
+  } else {
+    obs::write_report_file(report, out);
+    std::fprintf(stderr, "report written to %s\n", out.c_str());
+  }
+  if (!decisions_path.empty()) {
+    std::fprintf(stderr, "decision log written to %s\n",
+                 decisions_path.c_str());
+  }
+  return 0;
+}
+
 int dispatch(int argc, char** argv) {
   if (argc < 2) return usage();
   const CliArgs args(argc, argv);
@@ -236,6 +331,7 @@ int dispatch(int argc, char** argv) {
   if (command == "run") return cmd_run(args);
   if (command == "train") return cmd_train(args);
   if (command == "inspect") return cmd_inspect(args);
+  if (command == "report") return cmd_report(args);
   return usage();
 }
 
