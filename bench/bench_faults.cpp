@@ -1,0 +1,133 @@
+// Fault tolerance — graceful degradation under injected faults.
+//
+// Two experiments on the standard synthetic stream:
+//   1. Device loss: kill k of the node's GPUs at the midpoint of the clean
+//      run and compare the degraded makespan against the ideal (gpus-k)-GPU
+//      run that never had the devices (how close recovery gets to the
+//      shrink-the-cluster lower bound).
+//   2. Transfer faults: sweep the per-attempt fault probability and measure
+//      how retry + backoff stretch the makespan.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+#include "faults/fault_plan.hpp"
+
+namespace micco::bench {
+namespace {
+
+RunResult run_micco(const WorkloadStream& stream, const ClusterConfig& cluster,
+                    const FaultPlan* plan) {
+  const std::unique_ptr<Scheduler> scheduler =
+      make_scheduler(SchedulerKind::kMiccoNaive);
+  RunOptions options;
+  options.faults = plan;
+  return run_stream(stream, *scheduler, cluster, options);
+}
+
+int run(const CliArgs& args) {
+  const Env env = parse_env(args);
+  warn_unused(args);
+  print_header("Fault tolerance", "robustness extension");
+
+  const WorkloadStream stream = generate_synthetic(base_synth(env));
+  const RunResult clean = run_micco(stream, env.cluster(), nullptr);
+  const double midpoint_s = clean.metrics.makespan_s / 2.0;
+
+  // -- Experiment 1: kill k devices at the clean run's midpoint ----------
+  std::printf("-- device loss at t=%.4f s (midpoint) --\n", midpoint_s);
+  TextTable loss_table;
+  loss_table.add_column("killed");
+  loss_table.add_column("makespan ms");
+  loss_table.add_column("GFLOPS");
+  loss_table.add_column("re-executed");
+  loss_table.add_column("vs ideal (gpus-k)");
+
+  CsvWriter loss_csv;
+  for (const char* column :
+       {"killed", "makespan_ms", "gflops", "tasks_reexecuted",
+        "ideal_makespan_ms", "degradation_ratio"}) {
+    loss_csv.add_column(column);
+  }
+
+  const int max_kill = env.gpus > 4 ? 3 : env.gpus - 1;
+  for (int killed = 0; killed <= max_kill; ++killed) {
+    FaultPlan plan;
+    for (int dev = 1; dev <= killed; ++dev) {
+      plan.device_failures.push_back(DeviceFailure{dev, midpoint_s});
+    }
+    const RunResult faulted =
+        run_micco(stream, env.cluster(), killed > 0 ? &plan : nullptr);
+
+    Env ideal_env = env;
+    ideal_env.gpus = env.gpus - killed;
+    const RunResult ideal = run_micco(stream, ideal_env.cluster(), nullptr);
+
+    const double ratio =
+        faulted.metrics.makespan_s / ideal.metrics.makespan_s;
+    loss_table.add_row({std::to_string(killed),
+                        stats::format(faulted.total_time_ms, 2),
+                        fmt_gflops(faulted.metrics.gflops()),
+                        std::to_string(faulted.tasks_reexecuted),
+                        stats::format(ratio, 3)});
+    loss_csv.add_row({std::to_string(killed),
+                      stats::format(faulted.total_time_ms, 4),
+                      fmt_gflops(faulted.metrics.gflops()),
+                      std::to_string(faulted.tasks_reexecuted),
+                      stats::format(ideal.total_time_ms, 4),
+                      stats::format(ratio, 4)});
+  }
+  std::printf("%s\n", loss_table.render().c_str());
+
+  // -- Experiment 2: transient transfer fault probability sweep ----------
+  std::printf("-- transient transfer faults (retry + backoff) --\n");
+  TextTable fault_table;
+  fault_table.add_column("p(fault)");
+  fault_table.add_column("makespan ms");
+  fault_table.add_column("faults");
+  fault_table.add_column("backoff s");
+  fault_table.add_column("slowdown vs clean");
+
+  CsvWriter fault_csv;
+  for (const char* column : {"probability", "makespan_ms", "transfer_faults",
+                             "retry_backoff_s", "slowdown"}) {
+    fault_csv.add_column(column);
+  }
+
+  for (const double p : {0.0, 0.01, 0.05, 0.1}) {
+    FaultPlan plan;
+    plan.transfer.probability = p;
+    plan.transfer.seed = env.seed;
+    const RunResult faulted =
+        run_micco(stream, env.cluster(), p > 0.0 ? &plan : nullptr);
+    const double slowdown =
+        faulted.metrics.makespan_s / clean.metrics.makespan_s;
+    fault_table.add_row({stats::format(p, 2),
+                         stats::format(faulted.total_time_ms, 2),
+                         std::to_string(faulted.metrics.transfer_faults),
+                         stats::format(faulted.metrics.retry_backoff_s, 4),
+                         stats::format(slowdown, 3)});
+    fault_csv.add_row({stats::format(p, 3),
+                       stats::format(faulted.total_time_ms, 4),
+                       std::to_string(faulted.metrics.transfer_faults),
+                       stats::format(faulted.metrics.retry_backoff_s, 6),
+                       stats::format(slowdown, 4)});
+  }
+  std::printf("%s\n", fault_table.render().c_str());
+
+  maybe_write_csv(env, "faults_device_loss", loss_csv);
+  maybe_write_csv(env, "faults_transfer_sweep", fault_csv);
+  std::printf(
+      "expected shape: killing k devices at the midpoint lands near the "
+      "(gpus-k)-GPU ideal (ratio ~1, recovery recomputes the casualties' "
+      "un-backed outputs); transfer-fault slowdown grows roughly linearly "
+      "in the fault probability.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace micco::bench
+
+int main(int argc, char** argv) {
+  return micco::bench::run(micco::CliArgs(argc, argv));
+}

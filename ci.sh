@@ -1,12 +1,15 @@
 #!/usr/bin/env sh
-# Local CI: strict-warning Debug build, full test suite, and a telemetry
-# smoke test (the `report` subcommand must emit a valid, deterministic
-# report + decision log on a synthetic stream).
+# Local CI: strict-warning Debug build, full test suite, a telemetry smoke
+# test (the `report` subcommand must emit a valid, deterministic report +
+# decision log on a synthetic stream), a fault-injection smoke test (kill a
+# device mid-stream and require a clean recovery), and a second
+# ASan+UBSan-instrumented build + test pass.
 #
 # Usage: ./ci.sh [build-dir]     (default: build-ci)
 set -eu
 
 BUILD_DIR="${1:-build-ci}"
+SAN_BUILD_DIR="${BUILD_DIR}-asan"
 
 echo "== configure (${BUILD_DIR}, Debug, -Wall -Wextra) =="
 cmake -B "${BUILD_DIR}" -S . \
@@ -48,5 +51,39 @@ else
   grep -q '"schema_version"' "${SMOKE_DIR}/r1.json"
   echo "report smoke test OK (python3 unavailable; grep check only)"
 fi
+
+echo "== fault-injection smoke test =="
+# Kill 1 of 4 devices shortly after the stream starts; the run must still
+# complete, flag the recovery in the report, and validate the plan file.
+cat > "${SMOKE_DIR}/plan.txt" <<'EOF'
+# smoke plan: one mid-stream device loss
+fail 1 0.001
+EOF
+"${BUILD_DIR}/tools/micco" faults "${SMOKE_DIR}/plan.txt" --gpus=4
+"${BUILD_DIR}/tools/micco" report --gpus=4 --vectors=2 --vector-size=24 \
+  --fault-plan="${SMOKE_DIR}/plan.txt" --out="${SMOKE_DIR}/rf.json"
+grep -q '"recovered": true' "${SMOKE_DIR}/rf.json"
+grep -q '"devices_lost": 1' "${SMOKE_DIR}/rf.json"
+echo "fault smoke test OK: device loss absorbed, recovered=true"
+
+# An invalid plan must be rejected with a non-zero exit, not an abort.
+if "${BUILD_DIR}/tools/micco" faults "${SMOKE_DIR}/plan.txt" --gpus=1 \
+    >/dev/null 2>&1; then
+  echo "fault smoke test FAILED: out-of-range plan accepted" >&2
+  exit 1
+fi
+
+echo "== configure (${SAN_BUILD_DIR}, ASan+UBSan) =="
+cmake -B "${SAN_BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+
+echo "== build (sanitizers) =="
+cmake --build "${SAN_BUILD_DIR}" -j "$(nproc 2>/dev/null || echo 4)"
+
+echo "== test (sanitizers) =="
+ctest --test-dir "${SAN_BUILD_DIR}" --output-on-failure \
+  -j "$(nproc 2>/dev/null || echo 4)"
 
 echo "== ci.sh: all green =="

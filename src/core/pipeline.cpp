@@ -1,9 +1,13 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <deque>
+#include <limits>
 #include <numeric>
+#include <unordered_map>
 
 #include "common/stopwatch.hpp"
+#include "faults/injector.hpp"
 #include "sched/reuse_pattern.hpp"
 
 namespace micco {
@@ -57,23 +61,161 @@ std::vector<std::size_t> visit_order(const VectorWorkload& vec,
 RunResult run_stream(const WorkloadStream& stream, Scheduler& scheduler,
                      const ClusterConfig& cluster,
                      const RunOptions& options) {
+  RunResult result;
+  result.scheduler_name = scheduler.name();
+
+  // Validate the fault configuration up front: a malformed plan is a user
+  // error reported through the result, never an abort mid-run.
+  std::optional<FaultInjector> injector;
+  if (options.faults != nullptr) {
+    std::string problem = options.faults->validate(cluster.num_devices);
+    if (problem.empty()) problem = options.retry.validate();
+    if (!problem.empty()) {
+      result.error = "invalid fault configuration: " + problem;
+      result.completed = false;
+      result.num_devices = cluster.num_devices;
+      return result;
+    }
+    injector.emplace(*options.faults, options.retry);
+  }
+
   ClusterSimulator sim(cluster);
+  if (injector.has_value()) sim.set_fault_injector(&*injector);
   sim.set_trace(options.trace);
   sim.set_telemetry(options.telemetry);
   scheduler.set_telemetry(options.telemetry);
-  RunResult result;
-  result.scheduler_name = scheduler.name();
   result.per_vector_characteristics.reserve(stream.vectors.size());
 
   auto* micco_sched = dynamic_cast<MiccoScheduler*>(&scheduler);
   double overhead_us = 0.0;
+  Stopwatch watch;
 
+  // One unit of pending work. pair_index keeps the decision-log cursor:
+  // the pair's position in the vector as given (stable across ordering
+  // ablations), or -1 for a lineage re-execution after a device loss.
+  struct QueueItem {
+    ContractionTask task;
+    std::int64_t pair_index = -1;
+  };
+  // Lineage map: the task that produced each intermediate, so tensors lost
+  // with a device can be recomputed from surviving inputs (their operands
+  // are either host-staged originals or themselves recoverable).
+  std::unordered_map<TensorId, ContractionTask> producers;
   std::int64_t vector_index = -1;
+
+  // Builds the recovery work list for one device loss: producers of the
+  // lost tensors, in tensor-id order (ids are assigned in production order,
+  // so dependencies re-execute before their consumers).
+  const auto recovery_items = [&](const std::vector<TensorId>& lost) {
+    std::vector<QueueItem> items;
+    for (const TensorId id : lost) {
+      const auto it = producers.find(id);
+      if (it != producers.end()) items.push_back(QueueItem{it->second, -1});
+    }
+    return items;
+  };
+
+  const auto note_recovery = [&](DeviceId dev, std::size_t requeued) {
+    result.tasks_reexecuted += requeued;
+    if (options.telemetry != nullptr && requeued > 0) {
+      obs::ClusterEvent ev;
+      ev.kind = obs::ClusterEventKind::kRecovery;
+      ev.device = dev;
+      ev.time_s = sim.metrics().makespan_s;
+      ev.count = static_cast<std::int64_t>(requeued);
+      options.telemetry->emit(ev);
+    }
+  };
+
+  // Drains one work queue, absorbing device failures by re-enqueuing lost
+  // lineage plus the interrupted task. Returns false when the run cannot
+  // continue (result.error is set).
+  const auto drain = [&](std::deque<QueueItem>& queue) {
+    while (!queue.empty()) {
+      if (sim.num_alive_devices() == 0) {
+        result.error = "all devices failed; stream cannot complete";
+        result.completed = false;
+        return false;
+      }
+      const QueueItem item = queue.front();
+      queue.pop_front();
+      // A re-queued task may already have run: a device that dies while
+      // *re-executing* a producer puts the same task in the queue twice —
+      // once as the interrupted pair, once via the lineage of its own
+      // (previously committed, now lost) output. Whichever copy runs first
+      // re-materialises the output; the straggler is a duplicate and is
+      // dropped. Fault-free runs never take this branch: every output id
+      // is produced exactly once.
+      if (!sim.devices_holding(item.task.out.id).empty()) continue;
+      if (options.telemetry != nullptr) {
+        options.telemetry->vector_index = vector_index;
+        options.telemetry->pair_index = item.pair_index;
+      }
+      watch.restart();
+      const DeviceId dev = scheduler.assign(item.task, sim);
+      overhead_us += watch.elapsed_us();
+      if (!sim.device_alive(dev)) {
+        result.error = "scheduler assigned a pair to failed device " +
+                       std::to_string(dev);
+        result.completed = false;
+        return false;
+      }
+      const ExecuteResult exec = sim.execute(item.task, dev);
+      switch (exec.outcome) {
+        case TaskOutcome::kCompleted:
+          producers[item.task.out.id] = item.task;
+          break;
+        case TaskOutcome::kDeviceFailed: {
+          scheduler.on_device_failure(dev, sim);
+          std::vector<QueueItem> requeue = recovery_items(exec.lost_tensors);
+          requeue.push_back(item);  // the interrupted pair itself
+          queue.insert(queue.begin(), requeue.begin(), requeue.end());
+          note_recovery(dev, requeue.size());
+          break;
+        }
+        case TaskOutcome::kCapacityExceeded:
+          result.error =
+              "task working set exceeds device capacity (device " +
+              std::to_string(dev) + ", output tensor " +
+              std::to_string(item.task.out.id) + ")";
+          result.completed = false;
+          return false;
+      }
+    }
+    return true;
+  };
+
+  // Barrier + proactive failure sweep: devices whose planned failure fell
+  // inside the stage are declared dead here; anything they alone held is
+  // recomputed before the next vector starts.
+  const auto barrier_and_recover = [&] {
+    sim.barrier();
+    for (BarrierFailures failures = sim.take_barrier_failures();
+         !failures.empty(); failures = sim.take_barrier_failures()) {
+      for (const DeviceId dev : failures.devices) {
+        scheduler.on_device_failure(dev, sim);
+      }
+      if (sim.num_alive_devices() == 0) {
+        result.error = "all devices failed; stream cannot complete";
+        result.completed = false;
+        return false;
+      }
+      std::deque<QueueItem> queue;
+      const std::vector<QueueItem> items =
+          recovery_items(failures.lost_tensors);
+      queue.insert(queue.end(), items.begin(), items.end());
+      note_recovery(failures.devices.front(), items.size());
+      if (!drain(queue)) return false;
+      sim.barrier();
+    }
+    return true;
+  };
+
   for (const VectorWorkload& vec : stream.vectors) {
     ++vector_index;
     if (vec.tasks.empty()) continue;
 
-    Stopwatch watch;
+    watch.restart();
     const DataCharacteristics characteristics =
         extract_characteristics(vec, sim);
     if (options.bounds != nullptr && micco_sched != nullptr) {
@@ -86,29 +228,25 @@ RunResult run_stream(const WorkloadStream& stream, Scheduler& scheduler,
     overhead_us += watch.elapsed_us();
     result.per_vector_characteristics.push_back(characteristics);
 
+    std::deque<QueueItem> queue;
     for (const std::size_t index : order) {
-      const ContractionTask& task = vec.tasks[index];
-      if (options.telemetry != nullptr) {
-        // Decision-log cursor: pair_index is the pair's position in the
-        // vector as given, stable across ordering ablations.
-        options.telemetry->vector_index = vector_index;
-        options.telemetry->pair_index = static_cast<std::int64_t>(index);
-      }
-      watch.restart();
-      const DeviceId dev = scheduler.assign(task, sim);
-      overhead_us += watch.elapsed_us();
-      sim.execute(task, dev);
+      queue.push_back(
+          QueueItem{vec.tasks[index], static_cast<std::int64_t>(index)});
     }
+    if (!drain(queue)) break;
 
     watch.restart();
     scheduler.end_vector();
     overhead_us += watch.elapsed_us();
-    sim.barrier();
+    if (!barrier_and_recover()) break;
   }
 
   // Detach so the scheduler never outlives a caller-owned telemetry bundle
   // with a dangling pointer; the next run_stream reattaches.
   scheduler.set_telemetry(nullptr);
+
+  result.devices_lost = static_cast<int>(sim.metrics().devices_lost);
+  result.recovered = result.completed && result.devices_lost > 0;
 
   result.metrics = sim.metrics();
   result.scheduling_overhead_ms = overhead_us / 1000.0;
@@ -164,6 +302,27 @@ obs::JsonValue make_run_report(const RunResult& result,
 
   obs::JsonValue report = obs::build_report(in, telemetry.registry);
 
+  // Fault/recovery section, present only when something actually went wrong
+  // (or was injected): fault-free reports stay byte-identical to reports
+  // from before the fault model existed.
+  if (result.metrics.any_faults() || result.tasks_reexecuted > 0 ||
+      !result.error.empty()) {
+    obs::JsonValue faults = obs::JsonValue::object();
+    faults.set("devices_lost", static_cast<std::uint64_t>(
+                                   result.devices_lost < 0
+                                       ? 0
+                                       : result.devices_lost));
+    faults.set("transfer_faults", result.metrics.transfer_faults);
+    faults.set("retry_backoff_s", result.metrics.retry_backoff_s);
+    faults.set("tasks_lost", result.metrics.tasks_lost);
+    faults.set("tasks_reexecuted", result.tasks_reexecuted);
+    faults.set("capacity_faults", result.metrics.capacity_faults);
+    faults.set("recovered", result.recovered);
+    faults.set("completed", result.completed);
+    report.set("faults", std::move(faults));
+  }
+  if (!result.error.empty()) report.set("error", result.error);
+
   // Per-vector rollup: the observed characteristics the bounds model ran on.
   obs::JsonValue vectors = obs::JsonValue::array();
   for (const DataCharacteristics& c : result.per_vector_characteristics) {
@@ -188,13 +347,22 @@ RunResult run_stream(const WorkloadStream& stream, Scheduler& scheduler,
 std::uint64_t capacity_for_oversubscription(const WorkloadStream& stream,
                                             int num_devices, double rate,
                                             std::uint64_t min_capacity) {
-  MICCO_EXPECTS(num_devices >= 1);
-  MICCO_EXPECTS(rate > 0.0);
+  // Degenerate requests — reachable from CLI flags and empty workload
+  // files — get the documented floor instead of a division by zero.
+  if (num_devices < 1 || rate <= 0.0) return min_capacity;
   const std::uint64_t footprint = stream.total_distinct_bytes();
-  const auto share =
+  if (footprint == 0) return min_capacity;
+  const double share =
       static_cast<double>(footprint) / static_cast<double>(num_devices);
-  const auto capacity = static_cast<std::uint64_t>(share / rate);
-  return std::max(capacity, min_capacity);
+  const double capacity = share / rate;
+  // Under-subscription (rate < 1.0) inflates the share; clamp before the
+  // float-to-integer cast can overflow.
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  const std::uint64_t clamped =
+      capacity >= static_cast<double>(kMax)
+          ? kMax
+          : static_cast<std::uint64_t>(capacity);
+  return std::max(clamped, min_capacity);
 }
 
 }  // namespace micco

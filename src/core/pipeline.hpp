@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "faults/fault_plan.hpp"
+#include "faults/retry.hpp"
 #include "gpusim/cluster.hpp"
 #include "obs/report.hpp"
 #include "obs/telemetry.hpp"
@@ -60,6 +62,20 @@ struct RunResult {
   std::vector<double> device_utilization;
   /// Accumulated non-idle seconds, per device.
   std::vector<double> device_busy_s;
+
+  // -- Fault tolerance ----------------------------------------------------
+  /// Tasks re-enqueued after device losses: lineage re-executions of lost
+  /// intermediates plus interrupted tasks retried on survivors.
+  std::uint64_t tasks_reexecuted = 0;
+  /// Permanent device failures the run absorbed.
+  int devices_lost = 0;
+  /// True when every pair completed despite at least one device loss.
+  bool recovered = false;
+  /// False when the stream could not finish (error below says why).
+  bool completed = true;
+  /// Structured, human-readable failure cause; empty on success. Replaces
+  /// the aborts these conditions used to trigger.
+  std::string error;
 };
 
 /// Order in which a vector's pairs are fed to the scheduler. The paper
@@ -81,6 +97,13 @@ struct RunOptions {
   /// log, assignment counters) and the simulator (memory events) for the
   /// duration of the run; the driver maintains its decision-log cursor.
   obs::Telemetry* telemetry = nullptr;
+  /// Optional fault plan (not owned; must outlive the run). An empty or
+  /// absent plan leaves every metric, report and log byte-identical to a
+  /// run without the fault machinery.
+  const FaultPlan* faults = nullptr;
+  /// Retry/backoff policy for transient transfer faults (used only when a
+  /// plan with transfer faults is attached).
+  RetryPolicy retry;
 };
 
 /// Runs `stream` with `scheduler` on a fresh simulated cluster. When
@@ -104,7 +127,10 @@ obs::JsonValue make_run_report(const RunResult& result,
 /// rate: rate = (per-device share of the distinct-tensor footprint) /
 /// capacity. rate 1.0 means the workload exactly fits; 2.0 means each
 /// device can hold half its share (Fig. 11's 200%). The result is floored
-/// at `min_capacity` so a single task's working set always fits.
+/// at `min_capacity` so a single task's working set always fits (the floor
+/// also wins for rates below 1.0 whenever the inflated share stays under
+/// it). Degenerate inputs — no devices, an empty stream, a non-positive
+/// rate — return `min_capacity` instead of dividing by zero.
 std::uint64_t capacity_for_oversubscription(const WorkloadStream& stream,
                                             int num_devices, double rate,
                                             std::uint64_t min_capacity);

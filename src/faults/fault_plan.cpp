@@ -1,0 +1,138 @@
+#include "faults/fault_plan.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace micco {
+
+namespace {
+
+std::string fail_with(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return message;
+}
+
+}  // namespace
+
+std::string FaultPlan::validate(int num_devices) const {
+  const auto device_ok = [num_devices](int dev) {
+    return dev >= 0 && dev < num_devices;
+  };
+  for (const DeviceFailure& f : device_failures) {
+    if (!device_ok(f.device)) {
+      return "fail: device " + std::to_string(f.device) +
+             " out of range [0, " + std::to_string(num_devices) + ")";
+    }
+    if (f.time_s < 0.0) return "fail: time must be >= 0";
+  }
+  if (transfer.probability < 0.0 || transfer.probability >= 1.0) {
+    // 1.0 would mean no transfer can ever succeed, so no run can finish.
+    return "transfer-faults: probability must be in [0, 1)";
+  }
+  for (const DeviceSlowdown& s : slowdowns) {
+    if (!device_ok(s.device)) {
+      return "slowdown: device " + std::to_string(s.device) + " out of range";
+    }
+    if (s.factor < 1.0) return "slowdown: factor must be >= 1";
+    if (s.from_time_s < 0.0) return "slowdown: from_time must be >= 0";
+  }
+  for (const CapacityLoss& c : capacity_losses) {
+    if (!device_ok(c.device)) {
+      return "capacity-loss: device " + std::to_string(c.device) +
+             " out of range";
+    }
+    if (c.bytes == 0) return "capacity-loss: bytes must be > 0";
+    if (c.time_s < 0.0) return "capacity-loss: time must be >= 0";
+  }
+  // At most one permanent failure per device: a second one could never fire.
+  for (std::size_t i = 0; i < device_failures.size(); ++i) {
+    for (std::size_t j = i + 1; j < device_failures.size(); ++j) {
+      if (device_failures[i].device == device_failures[j].device) {
+        return "fail: duplicate failure for device " +
+               std::to_string(device_failures[i].device);
+      }
+    }
+  }
+  return {};
+}
+
+std::string FaultPlan::summary() const {
+  std::ostringstream out;
+  for (const DeviceFailure& f : device_failures) {
+    out << "fail device " << f.device << " at t=" << f.time_s << " s\n";
+  }
+  if (transfer.probability > 0.0) {
+    out << "transfer faults: p=" << transfer.probability
+        << " seed=" << transfer.seed << "\n";
+  }
+  for (const DeviceSlowdown& s : slowdowns) {
+    out << "slowdown device " << s.device << " x" << s.factor << " from t="
+        << s.from_time_s << " s\n";
+  }
+  for (const CapacityLoss& c : capacity_losses) {
+    out << "capacity loss device " << c.device << " -" << c.bytes
+        << " bytes at t=" << c.time_s << " s\n";
+  }
+  if (out.str().empty()) out << "empty plan (no faults)\n";
+  return out.str();
+}
+
+std::optional<FaultPlan> parse_fault_plan(std::istream& in,
+                                          std::string* error) {
+  FaultPlan plan;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    std::string keyword;
+    if (!(fields >> keyword) || keyword.front() == '#') continue;
+
+    const auto malformed = [&](const char* what) {
+      fail_with(error, "fault plan line " + std::to_string(line_no) + ": " +
+                           what + ": " + line);
+      return std::nullopt;
+    };
+
+    if (keyword == "fail") {
+      DeviceFailure f;
+      if (!(fields >> f.device >> f.time_s)) {
+        return malformed("expected 'fail <device> <time_s>'");
+      }
+      plan.device_failures.push_back(f);
+    } else if (keyword == "transfer-faults") {
+      if (!(fields >> plan.transfer.probability)) {
+        return malformed("expected 'transfer-faults <probability> [seed]'");
+      }
+      fields >> plan.transfer.seed;  // optional; keeps default otherwise
+    } else if (keyword == "slowdown") {
+      DeviceSlowdown s;
+      if (!(fields >> s.device >> s.factor)) {
+        return malformed("expected 'slowdown <device> <factor> [from_time_s]'");
+      }
+      fields >> s.from_time_s;  // optional
+      plan.slowdowns.push_back(s);
+    } else if (keyword == "capacity-loss") {
+      CapacityLoss c;
+      if (!(fields >> c.device >> c.bytes >> c.time_s)) {
+        return malformed("expected 'capacity-loss <device> <bytes> <time_s>'");
+      }
+      plan.capacity_losses.push_back(c);
+    } else {
+      return malformed("unknown directive");
+    }
+  }
+  return plan;
+}
+
+std::optional<FaultPlan> load_fault_plan_file(const std::string& path,
+                                              std::string* error) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    fail_with(error, "cannot open fault plan " + path);
+    return std::nullopt;
+  }
+  return parse_fault_plan(in, error);
+}
+
+}  // namespace micco

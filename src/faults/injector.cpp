@@ -1,0 +1,54 @@
+#include "faults/injector.hpp"
+
+namespace micco {
+
+FaultInjector::FaultInjector(const FaultPlan& plan, RetryPolicy retry)
+    : plan_(plan),
+      retry_(retry),
+      failure_fired_(plan.device_failures.size(), false),
+      capacity_fired_(plan.capacity_losses.size(), false),
+      transfer_rng_(plan.transfer.seed) {
+  MICCO_EXPECTS_MSG(retry_.validate().empty(), "invalid retry policy");
+}
+
+std::optional<double> FaultInjector::failure_time(int device) const {
+  for (std::size_t i = 0; i < plan_.device_failures.size(); ++i) {
+    if (!failure_fired_[i] && plan_.device_failures[i].device == device) {
+      return plan_.device_failures[i].time_s;
+    }
+  }
+  return std::nullopt;
+}
+
+void FaultInjector::mark_failed(int device) {
+  for (std::size_t i = 0; i < plan_.device_failures.size(); ++i) {
+    if (plan_.device_failures[i].device == device) failure_fired_[i] = true;
+  }
+}
+
+double FaultInjector::slowdown(int device, double at_time_s) const {
+  double factor = 1.0;
+  for (const DeviceSlowdown& s : plan_.slowdowns) {
+    if (s.device == device && at_time_s >= s.from_time_s) factor *= s.factor;
+  }
+  return factor;
+}
+
+std::uint64_t FaultInjector::take_capacity_loss(int device, double now_s) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < plan_.capacity_losses.size(); ++i) {
+    const CapacityLoss& c = plan_.capacity_losses[i];
+    if (!capacity_fired_[i] && c.device == device && c.time_s <= now_s) {
+      capacity_fired_[i] = true;
+      total += c.bytes;
+    }
+  }
+  return total;
+}
+
+bool FaultInjector::transfer_attempt_fails() {
+  if (plan_.transfer.probability <= 0.0) return false;
+  return transfer_rng_.uniform01() < plan_.transfer.probability;
+}
+
+}  // namespace micco

@@ -1,0 +1,59 @@
+// Runtime state of one fault plan during one simulated run.
+//
+// The injector is the mutable counterpart of the immutable FaultPlan: it
+// remembers which device failures have fired, which capacity losses were
+// applied, and holds the dedicated PCG32 stream that decides transient
+// transfer faults. The cluster simulator consults it at well-defined points
+// (task start, every transfer attempt, every stage barrier); an injector
+// built from an empty plan answers every query with "no fault" without
+// drawing randomness, so attaching one is observably identical to attaching
+// none.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/retry.hpp"
+
+namespace micco {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan, RetryPolicy retry = {});
+
+  const RetryPolicy& retry() const { return retry_; }
+
+  /// True when the plan can inject at least one fault.
+  bool active() const { return !plan_.empty(); }
+
+  /// Scheduled permanent-failure time of `device`, if one is pending (not
+  /// yet consumed via mark_failed).
+  std::optional<double> failure_time(int device) const;
+
+  /// Consumes the pending failure of `device` (it fired).
+  void mark_failed(int device);
+
+  /// Combined slowdown multiplier for work starting on `device` at
+  /// `at_time_s` (1.0 = full speed; factors of overlapping entries multiply).
+  double slowdown(int device, double at_time_s) const;
+
+  /// Total unapplied capacity loss of `device` due at or before `now_s`;
+  /// consumed (subsequent calls return 0 for those entries).
+  std::uint64_t take_capacity_loss(int device, double now_s);
+
+  /// Draws one transfer-attempt outcome. Never draws when the configured
+  /// probability is zero (keeps the no-fault stream untouched).
+  bool transfer_attempt_fails();
+
+ private:
+  FaultPlan plan_;
+  RetryPolicy retry_;
+  std::vector<bool> failure_fired_;   ///< parallel to plan_.device_failures
+  std::vector<bool> capacity_fired_;  ///< parallel to plan_.capacity_losses
+  Pcg32 transfer_rng_;
+};
+
+}  // namespace micco

@@ -1,0 +1,53 @@
+// Retry policy for transient transfer faults.
+//
+// When the fault model declares a fetch attempt failed, the simulator does
+// not abort: it charges the wasted transfer time plus an exponential backoff
+// (all in *simulated* time) and tries again, up to `max_attempts` tries per
+// transfer. A transfer that exhausts its attempts is escalated to a
+// permanent device failure — the link to that device is presumed down — and
+// the pipeline's recovery path takes over (see DESIGN.md §5c).
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace micco {
+
+struct RetryPolicy {
+  /// Total tries per transfer (first attempt included). Must be >= 1.
+  int max_attempts = 4;
+  /// Backoff charged after the first failed attempt, seconds of simulated
+  /// time.
+  double base_backoff_s = 1e-4;
+  /// Growth factor between consecutive backoffs (2.0 = classic doubling).
+  double multiplier = 2.0;
+  /// Ceiling on any single backoff interval.
+  double max_backoff_s = 0.1;
+
+  /// Backoff charged after the `attempt`-th failed try (1-based):
+  /// min(base * multiplier^(attempt-1), max_backoff_s).
+  double backoff(int attempt) const {
+    MICCO_EXPECTS(attempt >= 1);
+    double wait = base_backoff_s;
+    for (int i = 1; i < attempt; ++i) {
+      wait *= multiplier;
+      if (wait >= max_backoff_s) return max_backoff_s;
+    }
+    return std::min(wait, max_backoff_s);
+  }
+
+  /// Empty string when the policy is well formed, else a complaint.
+  std::string validate() const {
+    if (max_attempts < 1) return "retry: max_attempts must be >= 1";
+    if (base_backoff_s < 0.0) return "retry: base_backoff_s must be >= 0";
+    if (multiplier < 1.0) return "retry: multiplier must be >= 1";
+    if (max_backoff_s < base_backoff_s) {
+      return "retry: max_backoff_s must be >= base_backoff_s";
+    }
+    return {};
+  }
+};
+
+}  // namespace micco

@@ -53,6 +53,27 @@ double ClusterSimulator::busy_time(DeviceId dev) const {
   return std::max(d.compute_free_s, d.copy_free_s);
 }
 
+bool ClusterSimulator::device_alive(DeviceId dev) const {
+  return device(dev).alive;
+}
+
+int ClusterSimulator::num_alive_devices() const {
+  int alive = 0;
+  for (const DeviceState& d : devices_) {
+    if (d.alive) ++alive;
+  }
+  return alive;
+}
+
+const char* to_string(TaskOutcome outcome) {
+  switch (outcome) {
+    case TaskOutcome::kCompleted: return "completed";
+    case TaskOutcome::kDeviceFailed: return "device_failed";
+    case TaskOutcome::kCapacityExceeded: return "capacity_exceeded";
+  }
+  return "?";
+}
+
 int ClusterSimulator::node_of(DeviceId dev) const {
   MICCO_EXPECTS(dev >= 0 && dev < num_devices());
   if (config_.devices_per_node <= 0) return 0;
@@ -110,17 +131,18 @@ void ClusterSimulator::set_telemetry(obs::Telemetry* telemetry) {
       {1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0});
 }
 
-double ClusterSimulator::make_room(DeviceId dev, std::uint64_t bytes,
-                                   EvictionCause cause) {
+std::optional<double> ClusterSimulator::make_room(DeviceId dev,
+                                                  std::uint64_t bytes,
+                                                  EvictionCause cause) {
   DeviceState& d = device(dev);
-  MICCO_EXPECTS_MSG(bytes <= d.memory.capacity(),
-                    "a single tensor exceeds device capacity");
+  // A single tensor larger than the whole device can never fit; likewise a
+  // request that outlives every unpinned victim. Both are recoverable
+  // (kCapacityExceeded), reachable from user-supplied workloads.
+  if (bytes > d.memory.capacity()) return std::nullopt;
   double cost = 0.0;
   while (!d.memory.fits(bytes)) {
     const std::optional<Eviction> ev = d.memory.evict_lru();
-    MICCO_ASSERT_MSG(ev.has_value(),
-                     "task working set exceeds device capacity (all "
-                     "resident tensors pinned)");
+    if (!ev.has_value()) return std::nullopt;
     index_remove(ev->id, dev);
     ++metrics_.evictions;
     cost += cost_model_.free_time();
@@ -149,13 +171,15 @@ double ClusterSimulator::make_room(DeviceId dev, std::uint64_t bytes,
   return cost;
 }
 
-double ClusterSimulator::fetch_operand(const TensorDesc& desc, DeviceId dev) {
+ClusterSimulator::FetchResult ClusterSimulator::fetch_operand(
+    const TensorDesc& desc, DeviceId dev) {
   DeviceState& d = device(dev);
+  FetchResult result;
   if (d.memory.resident(desc.id)) {
     d.memory.touch(desc.id);
     d.memory.pin(desc.id);
     ++metrics_.reused_operands;
-    return 0.0;
+    return result;
   }
 
   // Dataflow invariant: the payload must exist SOMEWHERE to be fetched.
@@ -163,8 +187,13 @@ double ClusterSimulator::fetch_operand(const TensorDesc& desc, DeviceId dev) {
                    "fetch of a lost intermediate (no host or device copy)");
 
   const std::uint64_t bytes = desc.bytes();
-  double cost = make_room(dev, bytes, EvictionCause::kOperandFetch);
-  const double room_cost = cost;  // trace: fetch = alloc + transfer
+  const std::optional<double> room =
+      make_room(dev, bytes, EvictionCause::kOperandFetch);
+  if (!room.has_value()) {
+    result.status = FetchStatus::kCapacity;
+    return result;
+  }
+  double cost = *room;
   cost += cost_model_.alloc_time();
   ++metrics_.allocations;
 
@@ -172,30 +201,62 @@ double ClusterSimulator::fetch_operand(const TensorDesc& desc, DeviceId dev) {
   // enabled; the source device's timeline is not charged (DMA engines).
   const std::vector<DeviceId> holders = devices_holding(desc.id);
   TraceEventKind fetch_kind;
+  double transfer_cost = 0.0;
   if (config_.p2p_enabled && !holders.empty()) {
     // Prefer an intra-node replica; fall back to the inter-node link.
     const bool same_node = std::any_of(
         holders.begin(), holders.end(),
         [&](DeviceId holder) { return node_of(holder) == node_of(dev); });
     if (same_node) {
-      cost += cost_model_.p2p_time(bytes);
+      transfer_cost = cost_model_.p2p_time(bytes);
       ++metrics_.p2p_transfers;
       metrics_.p2p_bytes += bytes;
     } else {
-      cost += cost_model_.internode_time(bytes);
+      transfer_cost = cost_model_.internode_time(bytes);
       ++metrics_.internode_transfers;
       metrics_.internode_bytes += bytes;
     }
     fetch_kind = TraceEventKind::kFetchP2P;
   } else {
-    cost += cost_model_.h2d_time(bytes);
+    transfer_cost = cost_model_.h2d_time(bytes);
     ++metrics_.h2d_transfers;
     metrics_.h2d_bytes += bytes;
     fetch_kind = TraceEventKind::kFetchH2D;
   }
+
+  // Transient transfer faults: each failed attempt wastes one full transfer
+  // plus the policy's backoff (in simulated time). Exhausting the retry
+  // budget is treated as the link being down — the caller escalates it to a
+  // permanent device failure. The injector draws no randomness when the
+  // fault probability is zero, keeping fault-free runs byte-identical.
+  if (injector_ != nullptr && injector_->active()) {
+    const RetryPolicy& policy = injector_->retry();
+    for (int attempt = 1;; ++attempt) {
+      if (!injector_->transfer_attempt_fails()) break;  // attempt succeeded
+      ++metrics_.transfer_faults;
+      if (attempt >= policy.max_attempts) {
+        result.status = FetchStatus::kTransferGaveUp;
+        result.cost_s = cost;
+        return result;
+      }
+      const double backoff = policy.backoff(attempt);
+      metrics_.retry_backoff_s += backoff;
+      const double wasted = transfer_cost + backoff;
+      cost += wasted;
+      ++result.retries;
+      if (observing()) {
+        pending_ops_.push_back(PendingOp{TraceEventKind::kTransferRetry,
+                                         desc.id, wasted, bytes});
+      }
+    }
+  }
+  cost += transfer_cost;
+
   if (observing()) {
-    pending_ops_.push_back(
-        PendingOp{fetch_kind, desc.id, cost - room_cost, bytes});
+    // fetch = alloc + the one successful transfer (wasted attempts were
+    // already recorded as kTransferRetry ops above).
+    pending_ops_.push_back(PendingOp{
+        fetch_kind, desc.id, cost_model_.alloc_time() + transfer_cost, bytes});
   }
 
   d.memory.allocate(desc.id, bytes, /*dirty=*/false);
@@ -203,28 +264,120 @@ double ClusterSimulator::fetch_operand(const TensorDesc& desc, DeviceId dev) {
   index_add(desc.id, dev);
   if (telemetry_ != nullptr) d.alloc_time[desc.id] = busy_time(dev);
   ++metrics_.fetched_operands;
-  return cost;
+  result.cost_s = cost;
+  return result;
 }
 
-void ClusterSimulator::execute(const ContractionTask& task, DeviceId dev) {
+std::optional<double> ClusterSimulator::apply_capacity_faults(DeviceId dev,
+                                                              double now_s) {
+  const std::uint64_t lost = injector_->take_capacity_loss(dev, now_s);
+  if (lost == 0) return 0.0;
+  DeviceState& d = device(dev);
+  ++metrics_.capacity_faults;
+  d.capacity_faulted = true;
+  const std::uint64_t old_cap = d.memory.capacity();
+  // Clamp at one byte: a device that "lost" its whole memory fails on the
+  // next allocation attempt (escalated to a device failure by execute()).
+  const std::uint64_t new_cap = old_cap > lost ? old_cap - lost : 1;
+  d.memory.set_capacity(new_cap);
+  if (observing()) {
+    pending_ops_.push_back(PendingOp{TraceEventKind::kCapacityLoss,
+                                     kInvalidTensor, 0.0, old_cap - new_cap});
+  }
+  // Squeeze out whatever no longer fits (nothing is pinned at task start,
+  // so this can only fail if the shrink itself is unsatisfiable).
+  return make_room(dev, 0, EvictionCause::kCapacityLoss);
+}
+
+ExecuteResult ClusterSimulator::execute(const ContractionTask& task,
+                                        DeviceId dev) {
   MICCO_EXPECTS(task.a.valid() && task.b.valid() && task.out.valid());
   DeviceState& d = device(dev);
+  ExecuteResult result;
 
   pending_ops_.clear();
   double copy_cost = 0.0;
+  const double projected_start = busy_time(dev);
+
+  if (injector_ != nullptr) {
+    // Defensive: schedulers must filter dead devices; if one slips through,
+    // report the failure again instead of executing on a ghost.
+    if (!d.alive) {
+      result.outcome = TaskOutcome::kDeviceFailed;
+      return result;
+    }
+    // Fail-on-next-use: a planned failure due at or before this task's
+    // start fires now, before any work is charged.
+    const std::optional<double> planned = injector_->failure_time(dev);
+    if (planned.has_value() && *planned <= projected_start) {
+      result.outcome = TaskOutcome::kDeviceFailed;
+      result.lost_tensors = fail_device(dev, *planned);
+      return result;
+    }
+    const std::optional<double> cap_cost =
+        apply_capacity_faults(dev, projected_start);
+    if (!cap_cost.has_value()) {
+      result.outcome = TaskOutcome::kDeviceFailed;
+      result.lost_tensors = fail_device(dev, projected_start);
+      return result;
+    }
+    copy_cost += *cap_cost;
+  }
 
   // Pin operands that are already resident before any eviction can run, so
   // making room for one operand never evicts the other. A task may use the
   // same tensor for both operands (self-contraction); pin it once.
   const bool same_operand = task.a.id == task.b.id;
-  copy_cost += fetch_operand(task.a, dev);
-  if (!same_operand) copy_cost += fetch_operand(task.b, dev);
+  bool a_pinned = false;
+  bool b_pinned = false;
+  const auto unpin_held = [&] {
+    if (a_pinned) d.memory.unpin(task.a.id);
+    if (b_pinned && !same_operand) d.memory.unpin(task.b.id);
+  };
+  // Shared failure tail: a memory-exhaustion on a capacity-faulted device
+  // and a retry-exhausted transfer both condemn the device (the hardware or
+  // its link is gone); a plain capacity overflow is a structured error.
+  const auto resolve_fetch_failure = [&](FetchStatus status) {
+    unpin_held();
+    if (status == FetchStatus::kCapacity && !d.capacity_faulted) {
+      result.outcome = TaskOutcome::kCapacityExceeded;
+      return;
+    }
+    ++metrics_.tasks_lost;
+    result.outcome = TaskOutcome::kDeviceFailed;
+    result.lost_tensors = fail_device(dev, projected_start);
+  };
+
+  const FetchResult fetch_a = fetch_operand(task.a, dev);
+  result.transfer_retries += fetch_a.retries;
+  copy_cost += fetch_a.cost_s;
+  if (fetch_a.status != FetchStatus::kOk) {
+    resolve_fetch_failure(fetch_a.status);
+    return result;
+  }
+  a_pinned = true;
+  if (!same_operand) {
+    const FetchResult fetch_b = fetch_operand(task.b, dev);
+    result.transfer_retries += fetch_b.retries;
+    copy_cost += fetch_b.cost_s;
+    if (fetch_b.status != FetchStatus::kOk) {
+      resolve_fetch_failure(fetch_b.status);
+      return result;
+    }
+    b_pinned = true;
+  }
 
   // Output allocation (kernels never run in place).
   MICCO_EXPECTS_MSG(!d.memory.resident(task.out.id),
                     "output tensor already resident on target device");
   const std::uint64_t out_bytes = task.out.bytes();
-  copy_cost += make_room(dev, out_bytes, EvictionCause::kOutputAlloc);
+  const std::optional<double> out_room =
+      make_room(dev, out_bytes, EvictionCause::kOutputAlloc);
+  if (!out_room.has_value()) {
+    resolve_fetch_failure(FetchStatus::kCapacity);
+    return result;
+  }
+  copy_cost += *out_room;
   copy_cost += cost_model_.alloc_time();
   if (observing()) {
     pending_ops_.push_back(PendingOp{TraceEventKind::kOutputAlloc,
@@ -234,43 +387,123 @@ void ClusterSimulator::execute(const ContractionTask& task, DeviceId dev) {
   d.memory.allocate(task.out.id, out_bytes, /*dirty=*/true);
   index_add(task.out.id, dev);
   if (telemetry_ != nullptr) d.alloc_time[task.out.id] = busy_time(dev);
-  produced_.insert(task.out.id);
   ++metrics_.allocations;
 
-  const double kernel_cost = cost_model_.kernel_time(task);
+  double kernel_cost = cost_model_.kernel_time(task);
+
+  // Straggler injection: stretch this task's copy and kernel work by the
+  // configured factor (pending-op durations too, so traces stay consistent).
+  if (injector_ != nullptr) {
+    const double factor = injector_->slowdown(dev, projected_start);
+    if (factor != 1.0) {
+      copy_cost *= factor;
+      kernel_cost *= factor;
+      for (PendingOp& op : pending_ops_) op.duration_s *= factor;
+    }
+  }
 
   double copy_window_start = 0.0;
   double kernel_start = 0.0;
+  double copy_done = 0.0;
+  double compute_done = 0.0;
   if (config_.overlap_transfers) {
     // Dual-engine model: the copy engine streams operands while the compute
     // engine may still be working on the previous kernel.
     copy_window_start = d.copy_free_s;
-    const double copy_done = d.copy_free_s + copy_cost;
+    copy_done = d.copy_free_s + copy_cost;
     kernel_start = std::max(d.compute_free_s, copy_done);
-    d.copy_free_s = copy_done;
-    d.compute_free_s = kernel_start + kernel_cost;
+    compute_done = kernel_start + kernel_cost;
   } else {
     // The evaluated system issues copies and kernels on one stream.
     const double start = std::max(d.compute_free_s, d.copy_free_s);
     copy_window_start = start;
     kernel_start = start + copy_cost;
-    const double done = start + copy_cost + kernel_cost;
-    d.compute_free_s = done;
-    d.copy_free_s = done;
+    compute_done = start + copy_cost + kernel_cost;
+    copy_done = compute_done;
   }
+
+  // Mid-task failure: the planned loss strikes while this task is in
+  // flight. Nothing is committed — the attempt is lost and the device dies
+  // at its planned instant.
+  if (injector_ != nullptr) {
+    const std::optional<double> planned = injector_->failure_time(dev);
+    if (planned.has_value() && *planned < compute_done) {
+      ++metrics_.tasks_lost;
+      unpin_held();
+      result.outcome = TaskOutcome::kDeviceFailed;
+      result.lost_tensors = fail_device(dev, *planned);
+      return result;
+    }
+  }
+
+  d.copy_free_s = copy_done;
+  d.compute_free_s = compute_done;
 
   if (observing()) {
     emit_task_events(dev, task, copy_window_start, kernel_start, kernel_cost);
   }
 
-  d.memory.unpin(task.a.id);
-  if (!same_operand) d.memory.unpin(task.b.id);
+  unpin_held();
+  produced_.insert(task.out.id);
 
   d.work_s += copy_cost + kernel_cost;
   metrics_.total_flops += task.flops();
   metrics_.kernel_time_s += kernel_cost;
   metrics_.transfer_time_s += copy_cost;
   metrics_.makespan_s = std::max(metrics_.makespan_s, busy_time(dev));
+  return result;
+}
+
+std::vector<TensorId> ClusterSimulator::fail_device(DeviceId dev,
+                                                    double at_s) {
+  DeviceState& d = device(dev);
+  if (!d.alive) return {};
+  d.alive = false;
+  // Freeze the timelines at the failure instant; the device contributes no
+  // further simulated time (never advance them past work already booked).
+  d.compute_free_s = std::min(d.compute_free_s, at_s);
+  d.copy_free_s = std::min(d.copy_free_s, at_s);
+
+  const std::vector<TensorId> resident = d.memory.resident_ids();
+  for (const TensorId id : resident) {
+    d.memory.release(id);
+    index_remove(id, dev);
+  }
+  d.alloc_time.clear();
+
+  // A produced tensor with no host copy and no surviving replica died with
+  // the device; its producer must be re-executed (lineage recovery).
+  std::vector<TensorId> lost;
+  for (const TensorId id : resident) {
+    if (produced_.contains(id) && !host_copies_.contains(id) &&
+        !resident_anywhere(id)) {
+      lost.push_back(id);
+    }
+  }
+  std::sort(lost.begin(), lost.end());
+
+  ++metrics_.devices_lost;
+  if (injector_ != nullptr) injector_->mark_failed(dev);
+  if (trace_ != nullptr) {
+    trace_->record(
+        TraceEvent{TraceEventKind::kDeviceFailure, dev, kInvalidTensor, at_s,
+                   0.0});
+  }
+  if (telemetry_ != nullptr) {
+    obs::ClusterEvent ev;
+    ev.kind = obs::ClusterEventKind::kDeviceFailure;
+    ev.device = dev;
+    ev.time_s = at_s;
+    ev.count = static_cast<std::int64_t>(lost.size());
+    telemetry_->emit(ev);
+  }
+  return lost;
+}
+
+BarrierFailures ClusterSimulator::take_barrier_failures() {
+  BarrierFailures out = std::move(barrier_failures_);
+  barrier_failures_ = BarrierFailures{};
+  return out;
 }
 
 void ClusterSimulator::emit_task_events(DeviceId dev,
@@ -299,6 +532,11 @@ void ClusterSimulator::emit_task_events(DeviceId dev,
         ev.kind = obs::ClusterEventKind::kEviction;
         ev.detail = to_string(op.cause);
         ev.victim_age_s = op.victim_age_s;
+      } else if (op.kind == TraceEventKind::kTransferRetry) {
+        ev.kind = obs::ClusterEventKind::kTransferRetry;
+        ev.detail = "transient";
+      } else if (op.kind == TraceEventKind::kCapacityLoss) {
+        ev.kind = obs::ClusterEventKind::kCapacityLoss;
       } else {
         fetch_bytes_hist_->observe(static_cast<double>(op.bytes));
         ev.kind = obs::ClusterEventKind::kFetch;
@@ -315,12 +553,35 @@ void ClusterSimulator::emit_task_events(DeviceId dev,
 }
 
 void ClusterSimulator::barrier() {
+  // Proactive failure sweep: a device whose planned failure time falls
+  // inside the stage that just ended is declared dead here even if no task
+  // touched it after the fault (fail-on-next-use would otherwise let it
+  // linger). The pipeline drains take_barrier_failures() for recovery.
+  if (injector_ != nullptr) {
+    double t_due = 0.0;
+    for (int dev = 0; dev < num_devices(); ++dev) {
+      if (device(dev).alive) t_due = std::max(t_due, busy_time(dev));
+    }
+    for (int dev = 0; dev < num_devices(); ++dev) {
+      if (!device(dev).alive) continue;
+      const std::optional<double> planned = injector_->failure_time(dev);
+      if (planned.has_value() && *planned <= t_due) {
+        std::vector<TensorId> lost = fail_device(dev, *planned);
+        barrier_failures_.devices.push_back(dev);
+        barrier_failures_.lost_tensors.insert(
+            barrier_failures_.lost_tensors.end(), lost.begin(), lost.end());
+      }
+    }
+  }
+
   double t_max = 0.0;
   for (int dev = 0; dev < num_devices(); ++dev) {
+    if (!device(dev).alive) continue;
     t_max = std::max(t_max, busy_time(dev));
   }
   for (int dev = 0; dev < num_devices(); ++dev) {
     DeviceState& d = devices_[static_cast<std::size_t>(dev)];
+    if (!d.alive) continue;  // dead devices neither sync nor count as idle
     const double busy = std::max(d.compute_free_s, d.copy_free_s);
     metrics_.barrier_idle_s += t_max - busy;
     if (trace_ != nullptr && t_max > busy) {
@@ -376,6 +637,15 @@ obs::JsonValue to_json(const ExecutionMetrics& m) {
   out.set("barrier_idle_s", m.barrier_idle_s);
   out.set("kernel_time_s", m.kernel_time_s);
   out.set("transfer_time_s", m.transfer_time_s);
+  // Fault counters appear only when a fault actually fired: fault-free runs
+  // must serialise byte-identically to reports from before the fault model.
+  if (m.any_faults()) {
+    out.set("transfer_faults", m.transfer_faults);
+    out.set("retry_backoff_s", m.retry_backoff_s);
+    out.set("devices_lost", m.devices_lost);
+    out.set("tasks_lost", m.tasks_lost);
+    out.set("capacity_faults", m.capacity_faults);
+  }
   return out;
 }
 

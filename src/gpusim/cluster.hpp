@@ -9,10 +9,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "faults/injector.hpp"
 #include "gpusim/cost_model.hpp"
 #include "gpusim/memory.hpp"
 #include "gpusim/trace.hpp"
@@ -29,6 +31,8 @@ constexpr DeviceId kNoDevice = -1;
 /// oracle for data-characteristics extraction.
 class ClusterView : public ResidencyOracle {
  public:
+  /// Size of the device *id space* (stable across failures: a dead device
+  /// keeps its id so residency maps and rollups stay indexable).
   virtual int num_devices() const = 0;
 
   /// Devices currently holding the tensor (unordered, possibly empty).
@@ -41,6 +45,16 @@ class ClusterView : public ResidencyOracle {
   /// Accumulated busy time of the device's timeline, in seconds. "Earliest
   /// available device" baselines key off this.
   virtual double busy_time(DeviceId dev) const = 0;
+
+  // -- Device health (fault tolerance) ----------------------------------
+  /// False once a permanent failure of the device has been detected.
+  /// Schedulers must never assign work to a dead device. Defaults keep
+  /// fault-oblivious views (tests, oracles) valid.
+  virtual bool device_alive(DeviceId) const { return true; }
+
+  /// Devices still accepting work; the degradation path recomputes
+  /// balanceNum over this count instead of num_devices().
+  virtual int num_alive_devices() const { return num_devices(); }
 };
 
 /// Aggregated execution metrics for one simulated run.
@@ -71,6 +85,19 @@ struct ExecutionMetrics {
   double kernel_time_s = 0.0;
   double transfer_time_s = 0.0;
 
+  // -- Fault/recovery accounting (all zero on fault-free runs) -----------
+  std::uint64_t transfer_faults = 0;  ///< failed transient transfer attempts
+  double retry_backoff_s = 0.0;       ///< simulated time spent backing off
+  std::uint64_t devices_lost = 0;     ///< permanent device failures detected
+  std::uint64_t tasks_lost = 0;       ///< task attempts lost to a mid-task loss
+  std::uint64_t capacity_faults = 0;  ///< spurious capacity losses applied
+
+  /// True when any fault fired during the run.
+  bool any_faults() const {
+    return transfer_faults > 0 || devices_lost > 0 || tasks_lost > 0 ||
+           capacity_faults > 0;
+  }
+
   /// Simulated throughput over the whole run.
   double gflops() const {
     return makespan_s > 0.0
@@ -89,7 +116,42 @@ struct ExecutionMetrics {
 };
 
 /// Flat JSON object of every ExecutionMetrics field (run-report "metrics").
+/// Fault counters are emitted only when non-zero so fault-free runs stay
+/// byte-identical to pre-fault-model reports.
 obs::JsonValue to_json(const ExecutionMetrics& metrics);
+
+/// How one execute() call ended.
+enum class TaskOutcome : std::uint8_t {
+  kCompleted,
+  /// The device suffered (or had already suffered) a permanent failure;
+  /// the task did not complete and must be re-assigned to a survivor.
+  kDeviceFailed,
+  /// The task's working set cannot fit on the device even after evicting
+  /// everything unpinned — a structured, recoverable error (the run reports
+  /// it instead of aborting).
+  kCapacityExceeded,
+};
+
+const char* to_string(TaskOutcome outcome);
+
+struct ExecuteResult {
+  TaskOutcome outcome = TaskOutcome::kCompleted;
+  /// Transient transfer faults retried (successfully) during this task.
+  int transfer_retries = 0;
+  /// Produced tensors whose only copy died with the device (no host copy,
+  /// no surviving replica); the recovery layer re-executes their producers.
+  std::vector<TensorId> lost_tensors;
+
+  bool ok() const { return outcome == TaskOutcome::kCompleted; }
+};
+
+/// Devices declared dead at a stage barrier plus the tensors lost with them
+/// (drained by the pipeline's recovery loop).
+struct BarrierFailures {
+  std::vector<DeviceId> devices;
+  std::vector<TensorId> lost_tensors;
+  bool empty() const { return devices.empty(); }
+};
 
 struct ClusterConfig {
   int num_devices = 8;
@@ -121,17 +183,43 @@ class ClusterSimulator final : public ClusterView {
   std::uint64_t memory_capacity(DeviceId dev) const override;
   double busy_time(DeviceId dev) const override;
   bool resident_anywhere(TensorId id) const override;
+  bool device_alive(DeviceId dev) const override;
+  int num_alive_devices() const override;
 
   // -- Execution --------------------------------------------------------
   /// Executes one contraction on the given device: fetches absent operands
   /// (P2P when available and enabled, otherwise H2D), allocates the output,
   /// evicts LRU tensors on capacity pressure and advances the device
-  /// timeline. Aborts if a single task's working set cannot fit.
-  void execute(const ContractionTask& task, DeviceId dev);
+  /// timeline. With a fault injector attached, transient transfer faults
+  /// are retried under the configured policy and planned device failures
+  /// fire here (fail-on-next-use detection). Returns how the attempt ended;
+  /// anything but kCompleted leaves the device timeline frozen at the
+  /// failure instant and the task un-executed.
+  ExecuteResult execute(const ContractionTask& task, DeviceId dev);
 
   /// Stage barrier: devices synchronise to the slowest timeline; the idle
-  /// gap is recorded as load imbalance.
+  /// gap is recorded as load imbalance. With a fault injector attached this
+  /// also proactively declares devices whose planned failure time has passed
+  /// dead (even if no task touched them) — drain take_barrier_failures()
+  /// afterwards.
   void barrier();
+
+  // -- Fault tolerance ---------------------------------------------------
+  /// Attaches a fault injector (nullptr detaches; not owned; must outlive
+  /// all execute()/barrier() calls). Without one, the simulator behaves
+  /// exactly as before the fault model existed.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
+  /// Declares a device permanently failed at simulated time `at_s`: its
+  /// timelines freeze, every resident tensor is dropped, and the ids of
+  /// produced tensors whose only copy just vanished (no host copy, no
+  /// surviving replica) are returned, sorted, for lineage recovery. Public
+  /// so tests and the recovery layer can inject losses directly. No-op
+  /// (returning empty) if the device is already dead.
+  std::vector<TensorId> fail_device(DeviceId dev, double at_s);
+
+  /// Devices declared dead by the last barrier() sweep; clears the record.
+  BarrierFailures take_barrier_failures();
 
   /// Releases a tensor from every device (e.g. a Redstar intermediate whose
   /// last consumer has run). Free latency is charged to each holder.
@@ -171,9 +259,22 @@ class ClusterSimulator final : public ClusterView {
     double compute_free_s = 0.0;  ///< when the compute engine frees up
     double copy_free_s = 0.0;     ///< when the copy engine frees up
     double work_s = 0.0;          ///< accumulated non-idle device time
+    bool alive = true;            ///< false after a permanent failure
+    /// True once a spurious capacity-loss fault hit this device; memory
+    /// exhaustion afterwards escalates to a device failure instead of a
+    /// capacity error (the hardware is suspect).
+    bool capacity_faulted = false;
     /// Allocation timestamp per resident tensor; maintained only while
     /// telemetry is attached (feeds the eviction-victim-age histogram).
     std::unordered_map<TensorId, double> alloc_time;
+  };
+
+  /// How one operand fetch ended (only kOk commits residency).
+  enum class FetchStatus : std::uint8_t { kOk, kCapacity, kTransferGaveUp };
+  struct FetchResult {
+    double cost_s = 0.0;
+    FetchStatus status = FetchStatus::kOk;
+    int retries = 0;  ///< transient transfer faults survived
   };
 
   DeviceState& device(DeviceId dev);
@@ -181,12 +282,22 @@ class ClusterSimulator final : public ClusterView {
 
   /// Makes room for `bytes` on `dev`, charging eviction costs; operands of
   /// the in-flight task must already be pinned. `cause` labels any induced
-  /// evictions in traces and telemetry.
-  double make_room(DeviceId dev, std::uint64_t bytes, EvictionCause cause);
+  /// evictions in traces and telemetry. Returns nullopt when the bytes can
+  /// never fit (single tensor over capacity, or everything left is pinned) —
+  /// a recoverable kCapacityExceeded for the caller, not an abort.
+  std::optional<double> make_room(DeviceId dev, std::uint64_t bytes,
+                                  EvictionCause cause);
 
-  /// Ensures `desc` is resident on `dev`; returns the copy-engine time spent
-  /// and updates metrics. Pins the tensor.
-  double fetch_operand(const TensorDesc& desc, DeviceId dev);
+  /// Ensures `desc` is resident on `dev`, retrying transient transfer
+  /// faults under the injector's policy; on kOk the tensor is pinned and
+  /// metrics are updated.
+  FetchResult fetch_operand(const TensorDesc& desc, DeviceId dev);
+
+  /// Applies any capacity-loss fault scheduled for `dev` at or before
+  /// `now_s`, evicting until usage fits the shrunken capacity. Returns the
+  /// eviction cost charged, or nullopt when the survivors alone exceed the
+  /// new capacity (escalated by the caller).
+  std::optional<double> apply_capacity_faults(DeviceId dev, double now_s);
 
   void index_add(TensorId id, DeviceId dev);
   void index_remove(TensorId id, DeviceId dev);
@@ -225,6 +336,8 @@ class ClusterSimulator final : public ClusterView {
   ExecutionMetrics metrics_;
   TraceRecorder* trace_ = nullptr;
   obs::Telemetry* telemetry_ = nullptr;
+  FaultInjector* injector_ = nullptr;  ///< not owned; nullptr = fault-free
+  BarrierFailures barrier_failures_;
   /// Registry instruments resolved once at set_telemetry (hot-path cheap).
   obs::Histogram* fetch_bytes_hist_ = nullptr;
   obs::Histogram* victim_age_hist_ = nullptr;

@@ -38,7 +38,19 @@ class DeviceMemory {
 
   std::uint64_t capacity() const { return capacity_; }
   std::uint64_t used() const { return used_; }
-  std::uint64_t free_bytes() const { return capacity_ - used_; }
+  /// Zero while the device is over-committed (a capacity fault can shrink
+  /// capacity below the current usage until evictions catch up).
+  std::uint64_t free_bytes() const {
+    return capacity_ > used_ ? capacity_ - used_ : 0;
+  }
+
+  /// Shrinks/grows usable capacity (spurious capacity-loss faults). Usage
+  /// may transiently exceed the new capacity; the owner must evict until
+  /// fits() holds again before allocating.
+  void set_capacity(std::uint64_t capacity_bytes) {
+    MICCO_EXPECTS(capacity_bytes > 0);
+    capacity_ = capacity_bytes;
+  }
 
   bool resident(TensorId id) const { return entries_.contains(id); }
   std::size_t resident_count() const { return entries_.size(); }

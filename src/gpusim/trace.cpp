@@ -15,6 +15,9 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::kEviction: return "eviction";
     case TraceEventKind::kKernel: return "kernel";
     case TraceEventKind::kBarrier: return "barrier";
+    case TraceEventKind::kTransferRetry: return "transfer_retry";
+    case TraceEventKind::kDeviceFailure: return "device_failure";
+    case TraceEventKind::kCapacityLoss: return "capacity_loss";
   }
   return "?";
 }
@@ -24,6 +27,7 @@ const char* to_string(EvictionCause cause) {
     case EvictionCause::kNone: return "none";
     case EvictionCause::kOperandFetch: return "operand_fetch";
     case EvictionCause::kOutputAlloc: return "output_alloc";
+    case EvictionCause::kCapacityLoss: return "capacity_loss";
   }
   return "?";
 }

@@ -24,6 +24,9 @@ enum class TraceEventKind : std::uint8_t {
   kEviction,
   kKernel,
   kBarrier,
+  kTransferRetry,   ///< wasted transfer attempt + backoff (fault injection)
+  kDeviceFailure,   ///< permanent device loss detected (zero duration)
+  kCapacityLoss,    ///< spurious capacity shrink applied to a device
 };
 
 const char* to_string(TraceEventKind kind);
@@ -33,6 +36,7 @@ enum class EvictionCause : std::uint8_t {
   kNone,         ///< not an eviction event
   kOperandFetch, ///< making room for an incoming operand
   kOutputAlloc,  ///< making room for the kernel's output
+  kCapacityLoss, ///< usage squeezed out by a spurious capacity-loss fault
 };
 
 const char* to_string(EvictionCause cause);

@@ -9,6 +9,10 @@ const char* to_string(ClusterEventKind kind) {
     case ClusterEventKind::kFetch: return "fetch";
     case ClusterEventKind::kEviction: return "eviction";
     case ClusterEventKind::kBarrier: return "barrier";
+    case ClusterEventKind::kTransferRetry: return "transfer-retry";
+    case ClusterEventKind::kDeviceFailure: return "device-failure";
+    case ClusterEventKind::kCapacityLoss: return "capacity-loss";
+    case ClusterEventKind::kRecovery: return "recovery";
   }
   return "?";
 }
@@ -41,7 +45,12 @@ JsonValue ClusterEvent::to_json() const {
   JsonValue out = JsonValue::object();
   out.set("event", to_string(kind));
   out.set("device", device);
-  if (kind != ClusterEventKind::kBarrier) {
+  // Barrier, device-failure and recovery records carry no tensor payload.
+  const bool payload = kind == ClusterEventKind::kFetch ||
+                       kind == ClusterEventKind::kEviction ||
+                       kind == ClusterEventKind::kTransferRetry ||
+                       kind == ClusterEventKind::kCapacityLoss;
+  if (payload) {
     out.set("tensor", tensor);
     out.set("bytes", bytes);
   }
@@ -51,6 +60,7 @@ JsonValue ClusterEvent::to_json() const {
   if (kind == ClusterEventKind::kEviction) {
     out.set("victim_age_s", victim_age_s);
   }
+  if (count >= 0) out.set("count", count);
   return out;
 }
 

@@ -46,9 +46,13 @@ struct DecisionEvent {
 
 /// Kinds of cluster-side events worth a log record.
 enum class ClusterEventKind : std::uint8_t {
-  kFetch,     ///< operand materialised on a device (H2D or P2P)
-  kEviction,  ///< LRU victim pushed out under capacity pressure
-  kBarrier,   ///< stage barrier; one record per idle device
+  kFetch,          ///< operand materialised on a device (H2D or P2P)
+  kEviction,       ///< LRU victim pushed out under capacity pressure
+  kBarrier,        ///< stage barrier; one record per idle device
+  kTransferRetry,  ///< transient transfer fault: wasted attempt + backoff
+  kDeviceFailure,  ///< permanent device loss detected
+  kCapacityLoss,   ///< spurious capacity shrink applied
+  kRecovery,       ///< pipeline re-enqueued work after a device loss
 };
 
 const char* to_string(ClusterEventKind kind);
@@ -62,6 +66,9 @@ struct ClusterEvent {
   double duration_s = 0.0;   ///< priced duration (barrier: idle gap)
   std::string detail;        ///< fetch: "h2d"/"p2p"; eviction: cause
   double victim_age_s = 0.0; ///< eviction only: residency age of the victim
+  /// Fault events only: lost tensors (device failure) or re-enqueued tasks
+  /// (recovery); emitted when >= 0.
+  std::int64_t count = -1;
 
   JsonValue to_json() const;
 };

@@ -9,11 +9,13 @@ namespace micco {
 
 namespace {
 
-/// Baselines with no candidate filtering consider every device.
+/// Baselines with no candidate filtering consider every *alive* device
+/// (failed devices never receive work).
 std::vector<DeviceId> all_devices(const ClusterView& view) {
-  std::vector<DeviceId> devices(static_cast<std::size_t>(view.num_devices()));
+  std::vector<DeviceId> devices;
+  devices.reserve(static_cast<std::size_t>(view.num_devices()));
   for (DeviceId dev = 0; dev < view.num_devices(); ++dev) {
-    devices[static_cast<std::size_t>(dev)] = dev;
+    if (view.device_alive(dev)) devices.push_back(dev);
   }
   return devices;
 }
@@ -27,15 +29,17 @@ void GrouteScheduler::begin_vector(const VectorWorkload&, const ClusterView&) {
 
 DeviceId GrouteScheduler::assign(const ContractionTask& task,
                                  const ClusterView& view) {
-  DeviceId best = 0;
+  DeviceId best = kNoDevice;
   double best_time = std::numeric_limits<double>::infinity();
   for (DeviceId dev = 0; dev < view.num_devices(); ++dev) {
+    if (!view.device_alive(dev)) continue;
     const double t = view.busy_time(dev);
     if (t < best_time) {
       best_time = t;
       best = dev;
     }
   }
+  MICCO_EXPECTS_MSG(best != kNoDevice, "no alive device to assign to");
   if (telemetry_ != nullptr) {
     record_decision(task, view, all_devices(view), best);
   }
@@ -49,8 +53,14 @@ void RoundRobinScheduler::begin_vector(const VectorWorkload&,
 
 DeviceId RoundRobinScheduler::assign(const ContractionTask& task,
                                      const ClusterView& view) {
-  const DeviceId dev = next_;
-  next_ = (next_ + 1) % view.num_devices();
+  const int n = view.num_devices();
+  // Skip over failed devices; the cycle continues over the survivors.
+  DeviceId dev = next_;
+  for (int hops = 0; hops < n && !view.device_alive(dev); ++hops) {
+    dev = (dev + 1) % n;
+  }
+  MICCO_EXPECTS_MSG(view.device_alive(dev), "no alive device to assign to");
+  next_ = (dev + 1) % n;
   if (telemetry_ != nullptr) record_decision(task, view, {dev}, dev);
   return dev;
 }
@@ -81,7 +91,13 @@ DeviceId DataReuseOnlyScheduler::assign(const ContractionTask& task,
   if (!holders_a.empty()) return chose(holders_a.front());
   if (!holders_b.empty()) return chose(holders_b.front());
   // All-new pair: stick with the previous device so future repeats of these
-  // tensors keep hitting one memory (maximal reuse, no balance).
+  // tensors keep hitting one memory (maximal reuse, no balance). If that
+  // device died, roll forward to the next survivor.
+  const int n = view.num_devices();
+  for (int hops = 0; hops < n && !view.device_alive(last_); ++hops) {
+    last_ = (last_ + 1) % n;
+  }
+  MICCO_EXPECTS_MSG(view.device_alive(last_), "no alive device to assign to");
   return chose(last_);
 }
 
@@ -91,9 +107,10 @@ void DmdaScheduler::begin_vector(const VectorWorkload&, const ClusterView&) {}
 
 DeviceId DmdaScheduler::assign(const ContractionTask& task,
                                const ClusterView& view) {
-  DeviceId best = 0;
+  DeviceId best = kNoDevice;
   double best_finish = std::numeric_limits<double>::infinity();
   for (DeviceId dev = 0; dev < view.num_devices(); ++dev) {
+    if (!view.device_alive(dev)) continue;
     double transfer = 0.0;
     // Absent operands would stream from the host; resident ones are free.
     for (const TensorDesc* operand : {&task.a, &task.b}) {
@@ -110,6 +127,7 @@ DeviceId DmdaScheduler::assign(const ContractionTask& task,
       best = dev;
     }
   }
+  MICCO_EXPECTS_MSG(best != kNoDevice, "no alive device to assign to");
   if (telemetry_ != nullptr) {
     record_decision(task, view, all_devices(view), best);
   }
@@ -126,15 +144,17 @@ void LoadBalanceOnlyScheduler::begin_vector(const VectorWorkload&,
 DeviceId LoadBalanceOnlyScheduler::assign(const ContractionTask& task,
                                           const ClusterView& view) {
   MICCO_EXPECTS(!pair_counts_.empty());
-  DeviceId best = 0;
+  DeviceId best = kNoDevice;
   std::int64_t best_count = std::numeric_limits<std::int64_t>::max();
   for (DeviceId dev = 0; dev < view.num_devices(); ++dev) {
+    if (!view.device_alive(dev)) continue;
     const std::int64_t c = pair_counts_[static_cast<std::size_t>(dev)];
     if (c < best_count) {
       best_count = c;
       best = dev;
     }
   }
+  MICCO_EXPECTS_MSG(best != kNoDevice, "no alive device to assign to");
   ++pair_counts_[static_cast<std::size_t>(best)];
   if (telemetry_ != nullptr) {
     record_decision(task, view, all_devices(view), best);

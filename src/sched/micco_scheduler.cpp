@@ -30,10 +30,24 @@ void MiccoScheduler::begin_vector(const VectorWorkload& vec,
   // mapGPUTensor.at(dev).size() counts. Real correlator stages share hadron
   // nodes across many pairs of one vector; dividing raw slot counts instead
   // would inflate the share and let the data-centric tier concentrate the
-  // whole stage onto the few devices holding the hot nodes.
+  // whole stage onto the few devices holding the hot nodes. The divisor is
+  // the number of *surviving* devices: after a failure the share is split
+  // over the devices that can still take work.
+  vector_unique_inputs_ = static_cast<std::int64_t>(vec.unique_inputs().size());
   balance_num_ = std::max<std::int64_t>(
-      1, static_cast<std::int64_t>(vec.unique_inputs().size()) /
-             static_cast<std::int64_t>(num_devices));
+      1, vector_unique_inputs_ /
+             std::max<std::int64_t>(1, view.num_alive_devices()));
+}
+
+void MiccoScheduler::on_device_failure(DeviceId dev, const ClusterView& view) {
+  // The casualty's per-vector accounting is void (its tensors are gone and
+  // its pending pairs will be re-assigned); survivors split the stage.
+  const auto idx = static_cast<std::size_t>(dev);
+  if (idx < vector_assigned_.size()) vector_assigned_[idx].clear();
+  if (idx < compute_cost_.size()) compute_cost_[idx] = 0.0;
+  balance_num_ = std::max<std::int64_t>(
+      1, vector_unique_inputs_ /
+             std::max<std::int64_t>(1, view.num_alive_devices()));
 }
 
 std::int64_t MiccoScheduler::assigned_count(DeviceId dev) const {
@@ -91,21 +105,25 @@ DeviceId MiccoScheduler::assign(const ContractionTask& task,
     if (!candidates.empty()) tier = 1;
   }
 
-  // Step II' — TwoNew tier: any device under reuse bound 2 (lines 15-18).
+  // Step II' — TwoNew tier: any alive device under reuse bound 2 (lines
+  // 15-18). Tiers I/II need no filter: residency dies with a device, so
+  // holder lists only ever name survivors.
   if (candidates.empty()) {
     for (DeviceId dev = 0; dev < view.num_devices(); ++dev) {
-      if (available(dev, 2)) push_unique(candidates, dev);
+      if (view.device_alive(dev) && available(dev, 2)) {
+        push_unique(candidates, dev);
+      }
     }
     if (!candidates.empty()) tier = 2;
   }
 
   // Fallback the pseudocode leaves implicit: when every device exceeds even
   // the TwoNew bound (possible late in a vector with small bounds and an
-  // uneven tensor count), consider all devices so the pair is still placed.
+  // uneven tensor count), consider all survivors so the pair is still placed.
   if (candidates.empty()) {
     fallback = true;
     for (DeviceId dev = 0; dev < view.num_devices(); ++dev) {
-      candidates.push_back(dev);
+      if (view.device_alive(dev)) candidates.push_back(dev);
     }
   }
 

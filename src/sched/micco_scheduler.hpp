@@ -44,6 +44,11 @@ class MiccoScheduler final : public Scheduler {
                   const ClusterView& view) override;
   void set_telemetry(obs::Telemetry* telemetry) override;
 
+  /// Degradation path: drops the casualty's per-vector accounting and
+  /// recomputes balanceNum over the surviving devices, so the remainder of
+  /// the vector rebalances instead of honouring a stale per-device share.
+  void on_device_failure(DeviceId dev, const ClusterView& view) override;
+
   /// Installs the reuse bounds used from the next assignment on; the online
   /// pipeline calls this right after the regression model's inference (step
   /// 2 of Fig. 6).
@@ -77,6 +82,9 @@ class MiccoScheduler final : public Scheduler {
   obs::Histogram* slack_hist_ = nullptr;
 
   std::int64_t balance_num_ = 1;
+  /// Distinct inputs of the current vector (balanceNum numerator), kept so
+  /// on_device_failure can recompute the share over the survivors.
+  std::int64_t vector_unique_inputs_ = 0;
   /// Per-device distinct input tensors assigned in the current vector.
   std::vector<std::unordered_set<TensorId>> vector_assigned_;
   /// Per-device cumulative assigned kernel FLOPs (mapGPUCom).

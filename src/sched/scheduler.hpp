@@ -36,6 +36,16 @@ class Scheduler {
   /// Announces that the vector's tasks all executed (barrier follows).
   virtual void end_vector() {}
 
+  /// Announces a permanent device failure detected by the execution layer.
+  /// `view` already reflects the loss (the device reads dead, its residency
+  /// is gone). Schedulers drop per-device accounting for the casualty and
+  /// rebalance over the survivors; every assign() from here on must return
+  /// an alive device.
+  virtual void on_device_failure(DeviceId dev, const ClusterView& view) {
+    (void)dev;
+    (void)view;
+  }
+
   /// Attaches the telemetry bundle (nullptr detaches). Implementations log
   /// one DecisionEvent per assign() and bump registry counters; unattached
   /// schedulers pay one pointer test per assignment. Overrides must call the

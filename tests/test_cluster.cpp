@@ -138,9 +138,15 @@ TEST(Cluster, EvictedTensorNoLongerResident) {
   EXPECT_TRUE(sim.resident_on(0, 5));
 }
 
-TEST(Cluster, TaskLargerThanCapacityAborts) {
+TEST(Cluster, TaskLargerThanCapacityIsStructuredError) {
+  // Reachable from user-supplied workloads, so it must be a recoverable
+  // outcome rather than an abort; nothing is committed for the failed task.
   ClusterSimulator sim(small_cluster(1, 1024));
-  EXPECT_DEATH(sim.execute(make_task(0, 1, 2, 64, 16), 0), "capacity");
+  const ExecuteResult r = sim.execute(make_task(0, 1, 2, 64, 16), 0);
+  EXPECT_EQ(r.outcome, TaskOutcome::kCapacityExceeded);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(sim.device_alive(0));
+  EXPECT_EQ(sim.metrics().total_flops, 0u);
 }
 
 TEST(Cluster, BarrierSynchronisesTimelines) {

@@ -155,6 +155,9 @@ TEST(ObsEvents, ClusterEventsCoverFetchEvictionAndBarrier) {
         ++barriers;
         EXPECT_GT(e.duration_s, 0.0);
         break;
+      default:  // fault events never fire on a fault-free run
+        ADD_FAILURE() << "unexpected event kind: " << to_string(e.kind);
+        break;
     }
   }
   EXPECT_GT(fetches, 0u);

@@ -6,12 +6,15 @@
 //   train      sweep the tuner and write a trained bounds model
 //   inspect    describe a workload or model file
 //   report     run with telemetry and emit the machine-readable run report
+//   faults     parse and validate a fault-plan file
 //
 // Examples:
 //   micco generate --out=w.mw --vector-size=64 --repeat=0.75 --gaussian
 //   micco train --out=model.mm --samples=120 --gpus=8
 //   micco run w.mw --scheduler=micco --model=model.mm --gpus=8 --trace=t.json
 //   micco report w.mw --scheduler=micco --gpus=8 --decisions=d.jsonl --pretty
+//   micco run w.mw --gpus=4 --fault-plan=faults.txt --retry-max=4
+//   micco faults faults.txt --gpus=4
 //   micco inspect w.mw
 #include <cstdio>
 #include <fstream>
@@ -23,6 +26,8 @@
 #include "common/cli.hpp"
 #include "common/stats.hpp"
 #include "core/bounds_model.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/retry.hpp"
 #include "core/experiment.hpp"
 #include "core/verify.hpp"
 #include "graph/graph_stats.hpp"
@@ -38,18 +43,76 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: micco <generate|run|train|inspect|report> [flags]\n"
+               "usage: micco <generate|run|train|inspect|report|faults> "
+               "[flags]\n"
                "  generate --out=FILE [--vectors=10 --vector-size=64 "
                "--tensor=384 --batch=32 --repeat=0.5 --gaussian --seed=N]\n"
                "  run FILE [--scheduler=groute|dmda|micco|roundrobin] "
                "[--model=FILE] [--gpus=8] [--oversub=R] [--trace=FILE]\n"
+               "      [--fault-plan=FILE --retry-max=N --retry-backoff=S]\n"
                "  train --out=FILE [--samples=120 --gpus=8 --seed=N]\n"
                "  inspect FILE\n"
                "  report [FILE] [--scheduler=NAME] [--gpus=8] [--oversub=R] "
                "[--out=FILE] [--decisions=FILE] [--pretty]\n"
+               "         [--fault-plan=FILE --retry-max=N --retry-backoff=S]\n"
                "         (no FILE: a small deterministic synthetic stream, "
-               "--seed=N --vectors=N --vector-size=N)\n");
+               "--seed=N --vectors=N --vector-size=N)\n"
+               "  faults PLANFILE [--gpus=8]   (validate and summarise a "
+               "fault plan)\n");
   return 2;
+}
+
+/// Loads and validates the optional --fault-plan / --retry-* flags shared by
+/// `run` and `report`. Returns false (after printing a diagnostic) on any
+/// malformed input; a missing --fault-plan leaves `plan` empty.
+bool load_fault_flags(const CliArgs& args, const char* cmd, int num_devices,
+                      std::optional<FaultPlan>* plan, RetryPolicy* retry) {
+  retry->max_attempts = static_cast<int>(args.get_int("retry-max", 4));
+  retry->base_backoff_s = args.get_double("retry-backoff", 1e-4);
+  const std::string policy_problem = retry->validate();
+  if (!policy_problem.empty()) {
+    std::fprintf(stderr, "%s: invalid retry policy: %s\n", cmd,
+                 policy_problem.c_str());
+    return false;
+  }
+  const std::string path = args.get("fault-plan", "");
+  if (path.empty()) return true;
+  std::string error;
+  *plan = load_fault_plan_file(path, &error);
+  if (!plan->has_value()) {
+    std::fprintf(stderr, "%s: %s\n", cmd, error.c_str());
+    return false;
+  }
+  const std::string problem = (*plan)->validate(num_devices);
+  if (!problem.empty()) {
+    std::fprintf(stderr, "%s: invalid fault plan %s: %s\n", cmd, path.c_str(),
+                 problem.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Conservative per-task capacity floor for --oversub; zero for a workload
+/// with no tasks (where oversubscription is meaningless).
+std::uint64_t first_task_bytes(const WorkloadStream& stream) {
+  for (const VectorWorkload& vec : stream.vectors) {
+    if (!vec.tasks.empty()) return vec.tasks.front().a.bytes();
+  }
+  return 0;
+}
+
+/// One-line fault/recovery summary after a faulted run.
+void print_fault_summary(const RunResult& result) {
+  const ExecutionMetrics& m = result.metrics;
+  if (!m.any_faults() && result.error.empty()) return;
+  std::printf("faults: %d device(s) lost, %llu transfer fault(s), "
+              "%llu task(s) re-executed, %s\n",
+              result.devices_lost,
+              static_cast<unsigned long long>(m.transfer_faults),
+              static_cast<unsigned long long>(result.tasks_reexecuted),
+              result.completed
+                  ? (result.recovered ? "recovered" : "completed")
+                  : "FAILED");
 }
 
 /// Scheduler-by-name shared by `run` and `report`. Returns null and prints
@@ -118,9 +181,20 @@ int cmd_run(const CliArgs& args) {
       static_cast<int>(args.get_int("devices-per-node", 0));
   const double oversub = args.get_double("oversub", 0.0);
   if (oversub > 0.0) {
+    const std::uint64_t task_bytes = first_task_bytes(*stream);
+    if (task_bytes == 0) {
+      std::fprintf(stderr,
+                   "run: --oversub needs a workload with at least one task\n");
+      return 1;
+    }
     cluster.device_capacity_bytes = capacity_for_oversubscription(
-        *stream, cluster.num_devices, oversub,
-        8 * stream->vectors.at(0).tasks.at(0).a.bytes());
+        *stream, cluster.num_devices, oversub, 8 * task_bytes);
+  }
+
+  std::optional<FaultPlan> plan;
+  RetryPolicy retry;
+  if (!load_fault_flags(args, "run", cluster.num_devices, &plan, &retry)) {
+    return 1;
   }
 
   std::unique_ptr<Scheduler> scheduler =
@@ -155,6 +229,8 @@ int cmd_run(const CliArgs& args) {
   RunOptions options;
   options.bounds = provider.get();
   options.trace = args.has("trace") ? &trace : nullptr;
+  options.faults = plan.has_value() ? &*plan : nullptr;
+  options.retry = retry;
 
   const RunResult result = run_stream(*stream, *scheduler, cluster, options);
   const ExecutionMetrics& m = result.metrics;
@@ -165,6 +241,11 @@ int cmd_run(const CliArgs& args) {
               static_cast<unsigned long long>(m.fetched_operands),
               static_cast<unsigned long long>(m.evictions),
               result.scheduling_overhead_ms);
+  print_fault_summary(result);
+  if (!result.completed) {
+    std::fprintf(stderr, "run: %s\n", result.error.c_str());
+    return 1;
+  }
 
   const std::string trace_path = args.get("trace", "");
   if (!trace_path.empty()) {
@@ -263,9 +344,21 @@ int cmd_report(const CliArgs& args) {
   cluster.num_devices = static_cast<int>(args.get_int("gpus", 8));
   const double oversub = args.get_double("oversub", 0.0);
   if (oversub > 0.0) {
+    const std::uint64_t task_bytes = first_task_bytes(*stream);
+    if (task_bytes == 0) {
+      std::fprintf(
+          stderr,
+          "report: --oversub needs a workload with at least one task\n");
+      return 1;
+    }
     cluster.device_capacity_bytes = capacity_for_oversubscription(
-        *stream, cluster.num_devices, oversub,
-        8 * stream->vectors.at(0).tasks.at(0).a.bytes());
+        *stream, cluster.num_devices, oversub, 8 * task_bytes);
+  }
+
+  std::optional<FaultPlan> plan;
+  RetryPolicy retry;
+  if (!load_fault_flags(args, "report", cluster.num_devices, &plan, &retry)) {
+    return 1;
   }
 
   std::unique_ptr<Scheduler> scheduler =
@@ -299,6 +392,8 @@ int cmd_report(const CliArgs& args) {
 
   RunOptions options;
   options.telemetry = &telemetry;
+  options.faults = plan.has_value() ? &*plan : nullptr;
+  options.retry = retry;
   const RunResult result = run_stream(*stream, *scheduler, cluster, options);
 
   const obs::JsonValue report = make_run_report(result, telemetry);
@@ -320,6 +415,36 @@ int cmd_report(const CliArgs& args) {
     std::fprintf(stderr, "decision log written to %s\n",
                  decisions_path.c_str());
   }
+  // The report (with its "error" field) is still emitted for a failed run;
+  // the exit code tells scripts the stream did not complete.
+  if (!result.completed) {
+    std::fprintf(stderr, "report: %s\n", result.error.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_faults(const CliArgs& args) {
+  if (args.positional().size() < 2) {
+    std::fprintf(stderr, "faults: plan file required\n");
+    return 2;
+  }
+  const std::string path = args.positional()[1];
+  std::string error;
+  const std::optional<FaultPlan> plan = load_fault_plan_file(path, &error);
+  if (!plan.has_value()) {
+    std::fprintf(stderr, "faults: %s\n", error.c_str());
+    return 1;
+  }
+  const int gpus = static_cast<int>(args.get_int("gpus", 8));
+  const std::string problem = plan->validate(gpus);
+  if (!problem.empty()) {
+    std::fprintf(stderr, "faults: invalid for %d device(s): %s\n", gpus,
+                 problem.c_str());
+    return 1;
+  }
+  std::printf("%s", plan->summary().c_str());
+  std::printf("valid for %d device(s)\n", gpus);
   return 0;
 }
 
@@ -332,6 +457,7 @@ int dispatch(int argc, char** argv) {
   if (command == "train") return cmd_train(args);
   if (command == "inspect") return cmd_inspect(args);
   if (command == "report") return cmd_report(args);
+  if (command == "faults") return cmd_faults(args);
   return usage();
 }
 
