@@ -24,6 +24,11 @@ Env parse_env(const CliArgs& args) {
   env.seed = static_cast<std::uint64_t>(args.get_int("seed", 2022));
   env.csv_dir = args.get("csv-dir", "");
   env.report_dir = args.get("report-dir", "");
+  // Applied immediately so tuner sweeps, comparisons and trial loops all
+  // fan out; results are byte-identical at every width (see src/parallel).
+  env.threads = static_cast<int>(args.get_int("threads", 1));
+  parallel::set_threads(env.threads);
+  env.threads = parallel::configured_threads();
   if (args.get_bool("verbose", false)) set_log_level(LogLevel::kInfo);
 
   if (env.gpus < 1 || env.vectors < 1 || env.batch < 1 || env.samples < 5) {

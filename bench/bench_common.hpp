@@ -10,10 +10,12 @@
 //   --seed=N       experiment seed (default 2022)
 //   --csv-dir=DIR  also write each figure's series as CSV into DIR
 //   --report-dir=DIR  also write a telemetry run report (JSON) into DIR
+//   --threads=N    worker-pool width for sweeps/trials (0 = all cores)
 //   --quick        shrink everything for smoke runs
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/cli.hpp"
 #include "common/csv.hpp"
@@ -21,6 +23,7 @@
 #include "common/table.hpp"
 #include "core/bounds_model.hpp"
 #include "core/experiment.hpp"
+#include "parallel/parallel.hpp"
 #include "workload/synthetic.hpp"
 
 namespace micco::bench {
@@ -31,6 +34,7 @@ struct Env {
   std::int64_t batch = 16;
   int samples = 300;
   std::uint64_t seed = 2022;
+  int threads = 1;  ///< worker-pool width already applied via set_threads
   bool quick = false;
   std::string csv_dir;     ///< empty = no CSV output
   std::string report_dir;  ///< empty = no run-report output
@@ -60,6 +64,16 @@ TrainedBoundsModel train_model(const Env& env);
 /// The standard synthetic config used across Figs. 7-11, with the paper's
 /// defaults (tensor size 384, repeated rate 50 %, Uniform).
 SyntheticConfig base_synth(const Env& env);
+
+/// Runs `trial(t)` for t in [0, trials) across the worker pool and returns
+/// the per-trial results in trial order — the statistics computed from them
+/// are identical at every thread count. Use for repeated-measurement loops
+/// whose trials are independent (fresh scheduler + cluster per trial).
+template <typename Fn>
+auto run_trials(std::int64_t trials, Fn&& trial) {
+  return parallel::parallel_map(static_cast<std::size_t>(trials),
+                                [&](std::size_t t) { return trial(t); });
+}
 
 /// Formats GFLOPS / speedups for table cells.
 std::string fmt_gflops(double gflops);

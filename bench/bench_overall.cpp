@@ -3,6 +3,7 @@
 // vector sizes {8, 16, 32, 64} and repeated rates {25, 50, 75, 100}%.
 // Tensor size 384, eight GPUs; blue-star speedups are MICCO-optimal/Groute.
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -44,39 +45,50 @@ int run(const CliArgs& args) {
     table.add_column("MICCO-optimal GFLOPS");
     table.add_column("speedup*");
 
-    std::vector<double> speedups;
+    // Each (vector size, repeated rate) point is an independent measurement
+    // (its own stream, its own fresh clusters); fan the grid out over the
+    // worker pool and fill the table serially in grid order afterwards.
+    std::vector<std::pair<std::int64_t, double>> grid;
     for (const std::int64_t vec_size : vector_sizes) {
-      for (const double rate : rates) {
-        SyntheticConfig cfg = base_synth(env);
-        cfg.vector_size = vec_size;
-        cfg.repeated_rate = rate;
-        cfg.distribution = dist;
-        const WorkloadStream stream = generate_synthetic(cfg);
+      for (const double rate : rates) grid.emplace_back(vec_size, rate);
+    }
+    const auto results = run_trials(
+        static_cast<std::int64_t>(grid.size()), [&](std::size_t i) {
+          SyntheticConfig cfg = base_synth(env);
+          cfg.vector_size = grid[i].first;
+          cfg.repeated_rate = grid[i].second;
+          cfg.distribution = dist;
+          const WorkloadStream stream = generate_synthetic(cfg);
 
-        ClusterConfig cluster = env.cluster();
-        cluster.p2p_enabled = p2p;
-        const auto entries = compare_schedulers(
-            stream, cluster,
-            {SchedulerKind::kGroute, SchedulerKind::kMiccoNaive,
-             SchedulerKind::kMiccoOptimal},
-            model.provider.get());
+          ClusterConfig cluster = env.cluster();
+          cluster.p2p_enabled = p2p;
+          return compare_schedulers(
+              stream, cluster,
+              {SchedulerKind::kGroute, SchedulerKind::kMiccoNaive,
+               SchedulerKind::kMiccoOptimal},
+              model.provider.get());
+        });
 
-        const double speedup = speedup_of(entries, SchedulerKind::kMiccoOptimal,
-                                          SchedulerKind::kGroute);
-        speedups.push_back(speedup);
-        csv.add_row({to_string(dist), std::to_string(vec_size),
-                     stats::format(rate, 2), fmt_gflops(entries[0].gflops()),
+    std::vector<double> speedups;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      const auto& entries = results[i];
+      const std::int64_t vec_size = grid[i].first;
+      const double rate = grid[i].second;
+      const double speedup = speedup_of(entries, SchedulerKind::kMiccoOptimal,
+                                        SchedulerKind::kGroute);
+      speedups.push_back(speedup);
+      csv.add_row({to_string(dist), std::to_string(vec_size),
+                   stats::format(rate, 2), fmt_gflops(entries[0].gflops()),
+                   fmt_gflops(entries[1].gflops()),
+                   fmt_gflops(entries[2].gflops()),
+                   stats::format(speedup, 4)});
+      table.add_row({std::to_string(vec_size),
+                     stats::format(rate * 100, 0) + "%",
+                     fmt_gflops(entries[0].gflops()),
                      fmt_gflops(entries[1].gflops()),
                      fmt_gflops(entries[2].gflops()),
-                     stats::format(speedup, 4)});
-        table.add_row({std::to_string(vec_size),
-                       stats::format(rate * 100, 0) + "%",
-                       fmt_gflops(entries[0].gflops()),
-                       fmt_gflops(entries[1].gflops()),
-                       fmt_gflops(entries[2].gflops()),
-                       fmt_speedup(speedup)});
-      }
-      table.add_rule();
+                     fmt_speedup(speedup)});
+      if (rate == rates.back()) table.add_rule();
     }
     std::printf("%s", table.render().c_str());
     std::printf("geomean speedup (MICCO-optimal / Groute): %s   max: %s\n\n",

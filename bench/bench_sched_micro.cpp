@@ -1,0 +1,189 @@
+// bench_sched_micro — hot-path throughput of the scheduling layer itself.
+//
+// Two measurements, written as BENCH_sched.json:
+//   1. Scheduler decisions/sec: MICCO, Groute and dmda assign() rates
+//      against a warmed cluster (one executed pass populates residency so
+//      the holder-list tiers actually fire), timing pure decision passes
+//      with no execution and no telemetry attached. This is the loop the
+//      allocation-free candidate scratch targets.
+//   2. Tuner samples/sec at 1/2/4/8 worker threads, asserting the labels
+//      are bit-identical across every width (the parallel layer's
+//      determinism contract, checked here on every bench run).
+//
+// Flags: the shared bench set (--gpus --seed --threads ...), plus
+//   --smoke     shrink both measurements for CI
+//   --passes=N  timed decision passes over the stream (default 40)
+//   --out=FILE  JSON destination (default BENCH_sched.json)
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/stopwatch.hpp"
+#include "core/tuner.hpp"
+#include "obs/report.hpp"
+#include "sched/baselines.hpp"
+#include "sched/micco_scheduler.hpp"
+
+namespace micco::bench {
+namespace {
+
+/// Streams one executed pass through the simulator (so residency, busy
+/// times and memory pressure look like mid-run state), then times `passes`
+/// decision-only passes: begin_vector + assign for every pair, nothing
+/// else. Returns decisions per second.
+double decisions_per_sec(Scheduler& scheduler, const WorkloadStream& stream,
+                         const ClusterConfig& config, int passes) {
+  ClusterSimulator sim(config);
+  for (const VectorWorkload& vec : stream.vectors) {
+    scheduler.begin_vector(vec, sim);
+    for (const ContractionTask& task : vec.tasks) {
+      const DeviceId dev = scheduler.assign(task, sim);
+      const ExecuteResult exec = sim.execute(task, dev);
+      MICCO_EXPECTS(exec.ok());
+    }
+    scheduler.end_vector();
+    sim.barrier();
+  }
+
+  std::uint64_t decisions = 0;
+  DeviceId sink = 0;  // keep the assign() result observable
+  Stopwatch sw;
+  for (int p = 0; p < passes; ++p) {
+    for (const VectorWorkload& vec : stream.vectors) {
+      scheduler.begin_vector(vec, sim);
+      for (const ContractionTask& task : vec.tasks) {
+        sink += scheduler.assign(task, sim);
+        ++decisions;
+      }
+      scheduler.end_vector();
+    }
+  }
+  const double elapsed_s = sw.elapsed_ms() / 1e3;
+  MICCO_EXPECTS(elapsed_s > 0.0);
+  if (sink == static_cast<DeviceId>(-1)) std::printf("(unreachable)\n");
+  return static_cast<double>(decisions) / elapsed_s;
+}
+
+bool same_labels(const std::vector<TrainingSample>& a,
+                 const std::vector<TrainingSample>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].best_bounds.values != b[i].best_bounds.values ||
+        a[i].best_gflops != b[i].best_gflops ||
+        a[i].worst_gflops != b[i].worst_gflops) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int run(const CliArgs& args) {
+  Env env = parse_env(args);
+  const bool smoke = args.get_bool("smoke", false);
+  const int passes = static_cast<int>(args.get_int("passes", smoke ? 4 : 40));
+  const std::string out = args.get("out", "BENCH_sched.json");
+  warn_unused(args);
+  print_header("Scheduler & Tuner Micro-Throughput", "hot path");
+
+  obs::JsonValue report = obs::JsonValue::object();
+  report.set("bench", "sched_micro");
+  report.set("gpus", env.gpus);
+  report.set("passes", passes);
+  report.set("host_hardware_threads",
+             static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+
+  // -- 1. decision throughput -------------------------------------------
+  SyntheticConfig cfg = base_synth(env);
+  cfg.num_vectors = smoke ? 2 : 6;
+  cfg.vector_size = smoke ? 24 : 64;
+  cfg.batch = 16;
+  const WorkloadStream stream = generate_synthetic(cfg);
+
+  TextTable table;
+  table.add_column("scheduler", Align::kLeft);
+  table.add_column("decisions/sec");
+  obs::JsonValue decisions = obs::JsonValue::object();
+
+  MiccoSchedulerOptions micco_options;
+  micco_options.bounds = ReuseBounds{1, 1, 1};  // tiers admit and overflow
+  micco_options.seed = env.seed;
+  std::vector<std::unique_ptr<Scheduler>> schedulers;
+  schedulers.push_back(std::make_unique<MiccoScheduler>(micco_options));
+  schedulers.push_back(std::make_unique<GrouteScheduler>());
+  schedulers.push_back(std::make_unique<DmdaScheduler>());
+  for (const auto& scheduler : schedulers) {
+    const double rate =
+        decisions_per_sec(*scheduler, stream, env.cluster(), passes);
+    table.add_row({scheduler->name(), stats::format(rate / 1e6, 3) + "M"});
+    decisions.set(scheduler->name(), rate);
+  }
+  report.set("decisions_per_sec", std::move(decisions));
+  std::printf("%s", table.render().c_str());
+
+  // -- 2. tuner sweep throughput ----------------------------------------
+  TunerConfig tuner;
+  tuner.samples = smoke ? 3 : 8;
+  tuner.vector_sizes = {8, 16};
+  tuner.tensor_extents = {128, 256};
+  tuner.num_vectors = 3;
+  tuner.batch = 8;
+  tuner.num_devices = env.gpus;
+  tuner.max_bound = 1;
+  tuner.seeds_per_sample = 2;
+  tuner.seed = env.seed;
+
+  TextTable tuner_table;
+  tuner_table.add_column("threads", Align::kLeft);
+  tuner_table.add_column("samples/sec");
+  tuner_table.add_column("speedup");
+  obs::JsonValue sweeps = obs::JsonValue::array();
+  std::vector<TrainingSample> reference;
+  bool labels_identical = true;
+  double base_rate = 0.0;
+  for (const int threads : {1, 2, 4, 8}) {
+    parallel::set_threads(threads);
+    Stopwatch sw;
+    const TuningData data = generate_tuning_data(tuner);
+    const double rate =
+        static_cast<double>(tuner.samples) / (sw.elapsed_ms() / 1e3);
+    if (threads == 1) {
+      reference = data.samples;
+      base_rate = rate;
+    } else if (!same_labels(reference, data.samples)) {
+      labels_identical = false;
+    }
+    obs::JsonValue row = obs::JsonValue::object();
+    row.set("threads", threads);
+    row.set("samples_per_sec", rate);
+    row.set("speedup_vs_1t", rate / base_rate);
+    sweeps.push_back(std::move(row));
+    tuner_table.add_row({std::to_string(threads),
+                         stats::format(rate, 2),
+                         fmt_speedup(rate / base_rate)});
+  }
+  parallel::set_threads(env.threads);  // restore the --threads setting
+  report.set("tuner", std::move(sweeps));
+  report.set("tuner_labels_identical_across_threads", labels_identical);
+  std::printf("%s", tuner_table.render().c_str());
+
+  if (!labels_identical) {
+    std::fprintf(stderr,
+                 "FAIL: tuner labels diverged across thread counts\n");
+    return 1;
+  }
+  std::printf("tuner labels bit-identical across 1/2/4/8 threads\n");
+
+  obs::write_report_file(report, out);
+  std::printf("results written to %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace micco::bench
+
+int main(int argc, char** argv) {
+  return micco::bench::run(micco::CliArgs(argc, argv));
+}

@@ -2,14 +2,18 @@
 # Local CI: strict-warning Debug build, full test suite, a telemetry smoke
 # test (the `report` subcommand must emit a valid, deterministic report +
 # decision log on a synthetic stream), a fault-injection smoke test (kill a
-# device mid-stream and require a clean recovery), and a second
-# ASan+UBSan-instrumented build + test pass.
+# device mid-stream and require a clean recovery), an ASan+UBSan-
+# instrumented build + test pass, a TSan pass over the parallel-layer tests
+# at 8 worker threads, and a Release-mode bench_sched_micro smoke run
+# (decision throughput + cross-thread-count tuner label identity).
 #
 # Usage: ./ci.sh [build-dir]     (default: build-ci)
 set -eu
 
 BUILD_DIR="${1:-build-ci}"
 SAN_BUILD_DIR="${BUILD_DIR}-asan"
+TSAN_BUILD_DIR="${BUILD_DIR}-tsan"
+REL_BUILD_DIR="${BUILD_DIR}-rel"
 
 echo "== configure (${BUILD_DIR}, Debug, -Wall -Wextra) =="
 cmake -B "${BUILD_DIR}" -S . \
@@ -85,5 +89,42 @@ cmake --build "${SAN_BUILD_DIR}" -j "$(nproc 2>/dev/null || echo 4)"
 echo "== test (sanitizers) =="
 ctest --test-dir "${SAN_BUILD_DIR}" --output-on-failure \
   -j "$(nproc 2>/dev/null || echo 4)"
+
+echo "== configure (${TSAN_BUILD_DIR}, TSan) =="
+# ThreadSanitizer pass over the parallel layer: every test suite whose name
+# starts with "Parallel" (pool semantics, nesting, determinism) runs with
+# the pool forced to 8 worker threads so cross-thread interleavings happen
+# even on small hosts. Benches are skipped: TSan only needs the test binary.
+cmake -B "${TSAN_BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DMICCO_BUILD_BENCH=OFF \
+  -DMICCO_BUILD_EXAMPLES=OFF \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+
+echo "== build (TSan) =="
+cmake --build "${TSAN_BUILD_DIR}" -j "$(nproc 2>/dev/null || echo 4)" \
+  --target micco_tests
+
+echo "== test (TSan, parallel suites, 8 threads) =="
+MICCO_THREADS=8 "${TSAN_BUILD_DIR}/tests/micco_tests" \
+  --gtest_filter='Parallel*'
+
+echo "== configure (${REL_BUILD_DIR}, Release) =="
+cmake -B "${REL_BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DMICCO_BUILD_TESTS=OFF \
+  -DMICCO_BUILD_EXAMPLES=OFF
+
+echo "== build (Release, bench_sched_micro) =="
+cmake --build "${REL_BUILD_DIR}" -j "$(nproc 2>/dev/null || echo 4)" \
+  --target bench_sched_micro
+
+echo "== bench_sched_micro smoke (Release) =="
+# Exits non-zero if tuner labels diverge across 1/2/4/8 threads.
+"${REL_BUILD_DIR}/bench/bench_sched_micro" --smoke --gpus=4 \
+  --out="${SMOKE_DIR}/bench_sched.json"
+grep -q '"tuner_labels_identical_across_threads": true' \
+  "${SMOKE_DIR}/bench_sched.json"
 
 echo "== ci.sh: all green =="

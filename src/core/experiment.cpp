@@ -1,6 +1,7 @@
 #include "core/experiment.hpp"
 
 #include "common/assert.hpp"
+#include "parallel/parallel.hpp"
 
 namespace micco {
 
@@ -44,12 +45,19 @@ std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
 std::vector<ComparisonEntry> compare_schedulers(
     const WorkloadStream& stream, const ClusterConfig& cluster,
     const std::vector<SchedulerKind>& kinds, BoundsProvider* optimal_bounds) {
-  std::vector<ComparisonEntry> entries;
-  entries.reserve(kinds.size());
+  std::vector<SchedulerKind> runnable;
+  runnable.reserve(kinds.size());
   for (const SchedulerKind kind : kinds) {
     if (kind == SchedulerKind::kMiccoOptimal && optimal_bounds == nullptr) {
       continue;
     }
+    runnable.push_back(kind);
+  }
+  // Each kind runs on its own scheduler and its own simulated cluster (built
+  // inside run_stream), so the comparisons are independent; parallel_map
+  // keeps the entries in kind order regardless of which finishes first.
+  return parallel::parallel_map(runnable.size(), [&](std::size_t i) {
+    const SchedulerKind kind = runnable[i];
     const std::unique_ptr<Scheduler> scheduler = make_scheduler(kind);
     BoundsProvider* bounds =
         kind == SchedulerKind::kMiccoOptimal ? optimal_bounds : nullptr;
@@ -57,9 +65,8 @@ std::vector<ComparisonEntry> compare_schedulers(
     entry.kind = kind;
     entry.name = to_string(kind);
     entry.result = run_stream(stream, *scheduler, cluster, bounds);
-    entries.push_back(std::move(entry));
-  }
-  return entries;
+    return entry;
+  });
 }
 
 double speedup_of(const std::vector<ComparisonEntry>& entries,

@@ -4,6 +4,7 @@
 #include <array>
 #include <vector>
 #include "common/log.hpp"
+#include "parallel/parallel.hpp"
 
 namespace micco {
 
@@ -15,6 +16,79 @@ double measure_gflops(const WorkloadStream& stream, ReuseBounds bounds,
   const RunResult result = run_stream(stream, scheduler, cluster);
   return result.metrics.gflops();
 }
+
+namespace {
+
+/// Everything one sample contributes, computed independently of every other
+/// sample so the sweep fans out across the pool: the probe-run features and
+/// the mean GFLOPS of each bound triple.
+struct SampleSweep {
+  DataCharacteristics characteristics;
+  std::vector<double> grid_gflops;
+};
+
+SampleSweep sweep_sample(const SyntheticConfig& base,
+                         std::uint64_t config_hash, int group,
+                         const std::vector<ReuseBounds>& grid,
+                         const ClusterConfig& cluster) {
+  // Several independent streams of the same configuration; bounds are
+  // scored on their mean GFLOPS across the group. The group's seeds are a
+  // pure function of the configuration (not of the sample index), so the
+  // measured "optimal bounds of this configuration" is a deterministic
+  // label — re-sampling a configuration reproduces it, as re-measuring a
+  // setting on hardware would.
+  std::vector<WorkloadStream> streams;
+  streams.reserve(static_cast<std::size_t>(group));
+  for (int g = 0; g < group; ++g) {
+    SyntheticConfig synth = base;
+    synth.seed =
+        config_hash +
+        static_cast<std::uint64_t>(static_cast<unsigned>(g)) * 0x2545f491ULL;
+    streams.push_back(generate_synthetic(synth));
+  }
+
+  SampleSweep sweep;
+
+  // Features are derived exactly the way the online path derives them —
+  // by extracting per-vector characteristics during a probe run and
+  // averaging the steady-state vectors. Training on generator ground
+  // truth instead would put online queries (estimated bias, observed
+  // residency rate) in a region of feature space the model never saw.
+  {
+    MiccoScheduler probe;
+    const RunResult probe_run = run_stream(streams[0], probe, cluster);
+    const auto& per_vector = probe_run.per_vector_characteristics;
+    MICCO_ASSERT(!per_vector.empty());
+    const std::size_t skip = per_vector.size() > 1 ? 1 : 0;  // warm-up
+    double n = 0.0;
+    DataCharacteristics& c = sweep.characteristics;
+    for (std::size_t v = skip; v < per_vector.size(); ++v) {
+      c.vector_size += per_vector[v].vector_size;
+      c.tensor_extent += per_vector[v].tensor_extent;
+      c.distribution_bias += per_vector[v].distribution_bias;
+      c.repeated_rate += per_vector[v].repeated_rate;
+      n += 1.0;
+    }
+    c.vector_size /= n;
+    c.tensor_extent /= n;
+    c.distribution_bias /= n;
+    c.repeated_rate /= n;
+  }
+
+  // Each grid point is itself an independent batch of simulations, so the
+  // inner loop fans out too — idle lanes join it once the outer sample loop
+  // has no unclaimed samples left (few-sample sweeps on many cores).
+  sweep.grid_gflops = parallel::parallel_map(grid.size(), [&](std::size_t g) {
+    double gflops = 0.0;
+    for (const WorkloadStream& stream : streams) {
+      gflops += measure_gflops(stream, grid[g], cluster);
+    }
+    return gflops / static_cast<double>(streams.size());
+  });
+  return sweep;
+}
+
+}  // namespace
 
 TuningData generate_tuning_data(const TunerConfig& config) {
   MICCO_EXPECTS(config.samples >= 1);
@@ -32,6 +106,16 @@ TuningData generate_tuning_data(const TunerConfig& config) {
   cluster.num_devices = config.num_devices;
   cluster.device_capacity_bytes = config.device_capacity_bytes;
 
+  // The configuration draws are the sweep's only cross-sample RNG, so they
+  // happen serially up front (cheap, same draw order as ever); the heavy
+  // simulation work per sample is then a pure function of its configuration
+  // and fans out across the pool with bit-identical results at any thread
+  // count.
+  const auto num_samples = static_cast<std::size_t>(config.samples);
+  std::vector<SyntheticConfig> synths;
+  std::vector<std::uint64_t> hashes;
+  synths.reserve(num_samples);
+  hashes.reserve(num_samples);
   for (int s = 0; s < config.samples; ++s) {
     SyntheticConfig synth;
     synth.num_vectors = config.num_vectors;
@@ -45,70 +129,34 @@ TuningData generate_tuning_data(const TunerConfig& config) {
     synth.distribution = rng.uniform_below(2) == 0
                              ? DataDistribution::kUniform
                              : DataDistribution::kGaussian;
-
-    // Several independent streams of the same configuration; bounds are
-    // scored on their mean GFLOPS across the group. The group's seeds are a
-    // pure function of the configuration (not of the sample index), so the
-    // measured "optimal bounds of this configuration" is a deterministic
-    // label — re-sampling a configuration reproduces it, as re-measuring a
-    // setting on hardware would.
-    const std::uint64_t config_hash =
+    hashes.push_back(
         (static_cast<std::uint64_t>(synth.vector_size) * 0x9e3779b1ULL) ^
         (static_cast<std::uint64_t>(synth.tensor_extent) * 0x85ebca6bULL) ^
         (static_cast<std::uint64_t>(synth.repeated_rate * 100.0) *
          0xc2b2ae35ULL) ^
         (synth.distribution == DataDistribution::kGaussian ? 0x27d4eb2fULL
                                                            : 0ULL) ^
-        config.seed;
-    const int group = std::max(1, config.seeds_per_sample);
-    std::vector<WorkloadStream> streams;
-    streams.reserve(static_cast<std::size_t>(group));
-    for (int g = 0; g < group; ++g) {
-      synth.seed =
-          config_hash +
-          static_cast<std::uint64_t>(static_cast<unsigned>(g)) * 0x2545f491ULL;
-      streams.push_back(generate_synthetic(synth));
-    }
+        config.seed);
+    synths.push_back(synth);
+  }
 
-    // Features are derived exactly the way the online path derives them —
-    // by extracting per-vector characteristics during a probe run and
-    // averaging the steady-state vectors. Training on generator ground
-    // truth instead would put online queries (estimated bias, observed
-    // residency rate) in a region of feature space the model never saw.
-    DataCharacteristics characteristics;
-    {
-      MiccoScheduler probe;
-      const RunResult probe_run = run_stream(streams[0], probe, cluster);
-      const auto& per_vector = probe_run.per_vector_characteristics;
-      MICCO_ASSERT(!per_vector.empty());
-      const std::size_t skip = per_vector.size() > 1 ? 1 : 0;  // warm-up
-      double n = 0.0;
-      for (std::size_t v = skip; v < per_vector.size(); ++v) {
-        characteristics.vector_size += per_vector[v].vector_size;
-        characteristics.tensor_extent += per_vector[v].tensor_extent;
-        characteristics.distribution_bias += per_vector[v].distribution_bias;
-        characteristics.repeated_rate += per_vector[v].repeated_rate;
-        n += 1.0;
-      }
-      characteristics.vector_size /= n;
-      characteristics.tensor_extent /= n;
-      characteristics.distribution_bias /= n;
-      characteristics.repeated_rate /= n;
-    }
+  const int group = std::max(1, config.seeds_per_sample);
+  const std::vector<SampleSweep> sweeps =
+      parallel::parallel_map(num_samples, [&](std::size_t s) {
+        return sweep_sample(synths[s], hashes[s], group, grid, cluster);
+      });
 
+  // Merge in sample order: record and label layout match the historical
+  // serial sweep byte for byte.
+  for (std::size_t s = 0; s < num_samples; ++s) {
+    const SampleSweep& sweep = sweeps[s];
     TrainingSample sample;
-    sample.characteristics = characteristics;
-    std::vector<double> grid_gflops;
-    grid_gflops.reserve(grid.size());
+    sample.characteristics = sweep.characteristics;
     bool first = true;
-    for (const ReuseBounds& bounds : grid) {
-      double gflops = 0.0;
-      for (const WorkloadStream& stream : streams) {
-        gflops += measure_gflops(stream, bounds, cluster);
-      }
-      gflops /= static_cast<double>(streams.size());
-      grid_gflops.push_back(gflops);
-      data.records.push_back(TuningRecord{characteristics, bounds, gflops});
+    for (std::size_t g = 0; g < grid.size(); ++g) {
+      const double gflops = sweep.grid_gflops[g];
+      data.records.push_back(
+          TuningRecord{sweep.characteristics, grid[g], gflops});
       if (first || gflops > sample.best_gflops) sample.best_gflops = gflops;
       if (first || gflops < sample.worst_gflops) sample.worst_gflops = gflops;
       first = false;
@@ -119,7 +167,7 @@ TuningData generate_tuning_data(const TunerConfig& config) {
     // arbitrary member of the tie set and poison the regression target.
     std::array<std::vector<std::int64_t>, 3> near_best;
     for (std::size_t g = 0; g < grid.size(); ++g) {
-      if (grid_gflops[g] >= 0.99 * sample.best_gflops) {
+      if (sweep.grid_gflops[g] >= 0.99 * sample.best_gflops) {
         for (std::size_t b = 0; b < 3; ++b) {
           near_best[b].push_back(grid[g][b]);
         }

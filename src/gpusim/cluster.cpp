@@ -31,9 +31,14 @@ int ClusterSimulator::num_devices() const {
   return static_cast<int>(devices_.size());
 }
 
-std::vector<DeviceId> ClusterSimulator::devices_holding(TensorId id) const {
+const std::vector<DeviceId>& ClusterSimulator::devices_holding(
+    TensorId id) const {
+  // Shared empty result for misses: the common empty-miss case (fresh
+  // tensors) must not allocate — this sits on every scheduler's per-decision
+  // path.
+  static const std::vector<DeviceId> kNoHolders;
   const auto it = residency_.find(id);
-  return it == residency_.end() ? std::vector<DeviceId>{} : it->second;
+  return it == residency_.end() ? kNoHolders : it->second;
 }
 
 bool ClusterSimulator::resident_on(DeviceId dev, TensorId id) const {
@@ -199,7 +204,8 @@ ClusterSimulator::FetchResult ClusterSimulator::fetch_operand(
 
   // Prefer a peer copy over the host link when a replica exists and P2P is
   // enabled; the source device's timeline is not charged (DMA engines).
-  const std::vector<DeviceId> holders = devices_holding(desc.id);
+  // Reference stays valid: index_add for this fetch runs after the last read.
+  const std::vector<DeviceId>& holders = devices_holding(desc.id);
   TraceEventKind fetch_kind;
   double transfer_cost = 0.0;
   if (config_.p2p_enabled && !holders.empty()) {
@@ -606,6 +612,7 @@ void ClusterSimulator::barrier() {
 }
 
 void ClusterSimulator::discard(TensorId id) {
+  // Copy: index_remove below edits the very entry the reference aliases.
   const std::vector<DeviceId> holders = devices_holding(id);
   for (const DeviceId dev : holders) {
     DeviceState& d = device(dev);

@@ -35,8 +35,13 @@ class ClusterView : public ResidencyOracle {
   /// keeps its id so residency maps and rollups stay indexable).
   virtual int num_devices() const = 0;
 
-  /// Devices currently holding the tensor (unordered, possibly empty).
-  virtual std::vector<DeviceId> devices_holding(TensorId id) const = 0;
+  /// Devices currently holding the tensor (unordered, possibly empty). The
+  /// returned reference aliases the residency index — valid only until the
+  /// next mutation of cluster state (execute, barrier, discard, failure);
+  /// schedulers read it within one decision and never hold it across calls.
+  /// Returning a reference keeps the decision hot path allocation-free
+  /// (a miss returns a shared static empty vector, not a fresh copy).
+  virtual const std::vector<DeviceId>& devices_holding(TensorId id) const = 0;
 
   virtual bool resident_on(DeviceId dev, TensorId id) const = 0;
   virtual std::uint64_t memory_used(DeviceId dev) const = 0;
@@ -177,7 +182,7 @@ class ClusterSimulator final : public ClusterView {
 
   // -- ClusterView -----------------------------------------------------
   int num_devices() const override;
-  std::vector<DeviceId> devices_holding(TensorId id) const override;
+  const std::vector<DeviceId>& devices_holding(TensorId id) const override;
   bool resident_on(DeviceId dev, TensorId id) const override;
   std::uint64_t memory_used(DeviceId dev) const override;
   std::uint64_t memory_capacity(DeviceId dev) const override;

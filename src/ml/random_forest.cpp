@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "parallel/parallel.hpp"
+
 namespace micco::ml {
 
 RandomForest::RandomForest(ForestConfig config) : config_(config) {
@@ -13,8 +15,6 @@ RandomForest::RandomForest(ForestConfig config) : config_(config) {
 
 void RandomForest::fit(const Dataset& data) {
   MICCO_EXPECTS(!data.empty());
-  trees_.clear();
-  trees_.reserve(static_cast<std::size_t>(config_.n_trees));
 
   Pcg32 rng(config_.seed, /*stream=*/0xf00df00dULL);
   const auto sample_size = std::max<std::size_t>(
@@ -30,20 +30,32 @@ void RandomForest::fit(const Dataset& data) {
     tree_cfg.max_features = data.n_features();
   }
 
-  for (int t = 0; t < config_.n_trees; ++t) {
-    // Bootstrap: sample with replacement.
-    std::vector<std::size_t> indices(sample_size);
+  // All RNG draws happen serially up front, in the exact order the loop
+  // always made them (bootstrap indices, then the tree seed, per tree); the
+  // expensive tree fits then fan out across the pool. Fitted forests are
+  // bit-identical to the historical serial loop at every thread count.
+  struct TreeDraw {
+    std::vector<std::size_t> indices;
+    std::uint64_t seed = 0;
+  };
+  const auto num_trees = static_cast<std::size_t>(config_.n_trees);
+  std::vector<TreeDraw> draws(num_trees);
+  for (TreeDraw& draw : draws) {
+    draw.indices.resize(sample_size);  // bootstrap: sample with replacement
     for (std::size_t i = 0; i < sample_size; ++i) {
-      indices[i] =
+      draw.indices[i] =
           rng.uniform_below(static_cast<std::uint32_t>(data.size()));
     }
-    const Dataset boot = data.subset(indices);
-
-    tree_cfg.seed = static_cast<std::uint64_t>(rng.uniform_int(0, (1LL << 62)));
-    RegressionTree tree(tree_cfg);
-    tree.fit(boot);
-    trees_.push_back(std::move(tree));
+    draw.seed = static_cast<std::uint64_t>(rng.uniform_int(0, (1LL << 62)));
   }
+
+  trees_ = parallel::parallel_map(num_trees, [&](std::size_t t) {
+    TreeConfig cfg = tree_cfg;
+    cfg.seed = draws[t].seed;
+    RegressionTree tree(cfg);
+    tree.fit(data.subset(draws[t].indices));
+    return tree;
+  });
 }
 
 RandomForest RandomForest::from_trees(std::vector<RegressionTree> trees,

@@ -72,4 +72,31 @@ void JsonlEventSink::cluster(const ClusterEvent& event) {
   out_ << event.to_json().dump() << '\n';
 }
 
+void BufferedJsonlEventSink::append(const JsonValue& json, bool urgent) {
+  buffer_ += json.dump();
+  buffer_ += '\n';
+  if (urgent || buffer_.size() >= flush_bytes_) flush();
+}
+
+void BufferedJsonlEventSink::decision(const DecisionEvent& event) {
+  append(event.to_json(), /*urgent=*/false);
+}
+
+void BufferedJsonlEventSink::cluster(const ClusterEvent& event) {
+  // Fault records must not sit in a process-local buffer: if the run dies
+  // right after the fault, the log still has to show it.
+  const bool urgent = event.kind == ClusterEventKind::kDeviceFailure ||
+                      event.kind == ClusterEventKind::kCapacityLoss;
+  append(event.to_json(), urgent);
+}
+
+void BufferedJsonlEventSink::flush() {
+  if (!buffer_.empty()) {
+    out_.write(buffer_.data(),
+               static_cast<std::streamsize>(buffer_.size()));
+    buffer_.clear();
+  }
+  out_.flush();
+}
+
 }  // namespace micco::obs

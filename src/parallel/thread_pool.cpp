@@ -1,0 +1,209 @@
+// Work-sharing pool behind parallel_for (see parallel.hpp for the contract).
+//
+// One loop = one shared index counter. The announcing thread participates;
+// idle workers adopt the oldest loop with unclaimed indices. Nesting falls
+// out of that rule: a worker whose item fans out announces the inner loop,
+// keeps claiming its indices itself, and is joined by whoever happens to be
+// idle. A thread blocks only after every index of its own loop is claimed,
+// and every claimed index is being run by a thread that (inductively)
+// finishes — so there is no schedule in which the pool deadlocks.
+#include "parallel/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace micco::parallel {
+
+namespace {
+
+struct Loop {
+  explicit Loop(std::size_t size,
+                const std::function<void(std::size_t)>& loop_body)
+      : n(size), body(&loop_body) {}
+
+  const std::size_t n;
+  const std::function<void(std::size_t)>* body;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+
+  std::mutex mutex;                ///< guards error + completion signalling
+  std::condition_variable drained; ///< signalled when done reaches n
+  std::exception_ptr error;        ///< first exception thrown by any item
+
+  /// Claims and runs indices until none remain. Returns true when this call
+  /// completed the loop's final item.
+  bool work() {
+    bool finished_last = false;
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= n) break;
+      try {
+        (*body)(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+      }
+      if (done.fetch_add(1) + 1 == n) finished_last = true;
+    }
+    if (finished_last) {
+      // Lock pairs the notify with the waiter's predicate check.
+      const std::lock_guard<std::mutex> lock(mutex);
+      drained.notify_all();
+    }
+    return finished_last;
+  }
+
+  bool exhausted() const { return next.load() >= n; }
+  bool complete() const { return done.load() >= n; }
+};
+
+class Pool {
+ public:
+  explicit Pool(int workers) {
+    threads_.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      threads_.emplace_back([this] { worker_main(); });
+    }
+  }
+
+  ~Pool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    work_available_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  /// Announces the loop, participates until its indices run out, then waits
+  /// for stragglers on other threads and rethrows the first item error.
+  void run(std::size_t n, const std::function<void(std::size_t)>& body) {
+    const auto loop = std::make_shared<Loop>(n, body);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      open_loops_.push_back(loop);
+    }
+    work_available_.notify_all();
+
+    loop->work();
+    retire(loop);
+
+    std::unique_lock<std::mutex> lock(loop->mutex);
+    loop->drained.wait(lock, [&] { return loop->complete(); });
+    if (loop->error) std::rethrow_exception(loop->error);
+  }
+
+ private:
+  /// Drops the loop from the open list once its indices are all claimed.
+  void retire(const std::shared_ptr<Loop>& loop) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = open_loops_.begin(); it != open_loops_.end(); ++it) {
+      if (*it == loop) {
+        open_loops_.erase(it);
+        return;
+      }
+    }
+  }
+
+  /// Oldest loop with unclaimed indices, or nullptr. Adopting the oldest
+  /// first drains outer loops before nested ones, which bounds the number of
+  /// simultaneously in-flight outer items (and their memory) to the lane
+  /// count. Exhausted loops encountered on the way are retired in place.
+  std::shared_ptr<Loop> adopt_locked() {
+    while (!open_loops_.empty() && open_loops_.front()->exhausted()) {
+      open_loops_.pop_front();
+    }
+    for (const std::shared_ptr<Loop>& loop : open_loops_) {
+      if (!loop->exhausted()) return loop;
+    }
+    return nullptr;
+  }
+
+  void worker_main() {
+    for (;;) {
+      std::shared_ptr<Loop> loop;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_available_.wait(
+            lock, [&] { return stop_ || (loop = adopt_locked()) != nullptr; });
+        if (loop == nullptr) return;  // stop_ with nothing left to adopt
+      }
+      loop->work();
+      retire(loop);
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::shared_ptr<Loop>> open_loops_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// -- Global pool configuration ---------------------------------------------
+
+std::mutex g_config_mutex;
+int g_threads = 0;  ///< 0 = not yet resolved
+std::unique_ptr<Pool> g_pool;
+
+int hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// Default lane count: MICCO_THREADS when set (0 = auto), else 1 (serial).
+int default_threads() {
+  const char* env = std::getenv("MICCO_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  const long parsed = std::strtol(env, nullptr, 10);
+  if (parsed < 0) return 1;
+  return parsed == 0 ? hardware_threads() : static_cast<int>(parsed);
+}
+
+int resolved_threads_locked() {
+  if (g_threads == 0) g_threads = default_threads();
+  return g_threads;
+}
+
+}  // namespace
+
+void set_threads(int n) {
+  MICCO_EXPECTS(n >= 0);
+  const int resolved = n == 0 ? hardware_threads() : n;
+  const std::lock_guard<std::mutex> lock(g_config_mutex);
+  if (resolved == g_threads) return;
+  g_pool.reset();  // joins workers; callers never reconfigure mid-loop
+  g_threads = resolved;
+}
+
+int configured_threads() {
+  const std::lock_guard<std::mutex> lock(g_config_mutex);
+  return resolved_threads_locked();
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  Pool* pool = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(g_config_mutex);
+    const int threads = resolved_threads_locked();
+    if (threads > 1 && n > 1) {
+      if (g_pool == nullptr) g_pool = std::make_unique<Pool>(threads - 1);
+      pool = g_pool.get();
+    }
+  }
+  if (pool == nullptr) {
+    // Serial path: byte-identical to a plain loop (threads=1 contract).
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  pool->run(n, body);
+}
+
+}  // namespace micco::parallel

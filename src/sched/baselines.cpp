@@ -7,20 +7,10 @@
 
 namespace micco {
 
-namespace {
-
-/// Baselines with no candidate filtering consider every *alive* device
-/// (failed devices never receive work).
-std::vector<DeviceId> all_devices(const ClusterView& view) {
-  std::vector<DeviceId> devices;
-  devices.reserve(static_cast<std::size_t>(view.num_devices()));
-  for (DeviceId dev = 0; dev < view.num_devices(); ++dev) {
-    if (view.device_alive(dev)) devices.push_back(dev);
-  }
-  return devices;
-}
-
-}  // namespace
+// Baselines with no candidate filtering log every *alive* device as the
+// candidate set (failed devices never receive work); the shared
+// alive_candidates()/single_candidate() scratch keeps those logs
+// allocation-free per decision.
 
 // ---------------------------------------------------------------- Groute --
 
@@ -41,7 +31,7 @@ DeviceId GrouteScheduler::assign(const ContractionTask& task,
   }
   MICCO_EXPECTS_MSG(best != kNoDevice, "no alive device to assign to");
   if (telemetry_ != nullptr) {
-    record_decision(task, view, all_devices(view), best);
+    record_decision(task, view, alive_candidates(view), best);
   }
   return best;
 }
@@ -61,7 +51,9 @@ DeviceId RoundRobinScheduler::assign(const ContractionTask& task,
   }
   MICCO_EXPECTS_MSG(view.device_alive(dev), "no alive device to assign to");
   next_ = (dev + 1) % n;
-  if (telemetry_ != nullptr) record_decision(task, view, {dev}, dev);
+  if (telemetry_ != nullptr) {
+    record_decision(task, view, single_candidate(dev), dev);
+  }
   return dev;
 }
 
@@ -72,12 +64,14 @@ void DataReuseOnlyScheduler::begin_vector(const VectorWorkload&,
 
 DeviceId DataReuseOnlyScheduler::assign(const ContractionTask& task,
                                         const ClusterView& view) {
-  const std::vector<DeviceId> holders_a = view.devices_holding(task.a.id);
-  const std::vector<DeviceId> holders_b = view.devices_holding(task.b.id);
+  const std::vector<DeviceId>& holders_a = view.devices_holding(task.a.id);
+  const std::vector<DeviceId>& holders_b = view.devices_holding(task.b.id);
 
   const auto chose = [&](DeviceId dev) {
     last_ = dev;
-    if (telemetry_ != nullptr) record_decision(task, view, {dev}, dev);
+    if (telemetry_ != nullptr) {
+      record_decision(task, view, single_candidate(dev), dev);
+    }
     return dev;
   };
 
@@ -129,7 +123,7 @@ DeviceId DmdaScheduler::assign(const ContractionTask& task,
   }
   MICCO_EXPECTS_MSG(best != kNoDevice, "no alive device to assign to");
   if (telemetry_ != nullptr) {
-    record_decision(task, view, all_devices(view), best);
+    record_decision(task, view, alive_candidates(view), best);
   }
   return best;
 }
@@ -157,7 +151,7 @@ DeviceId LoadBalanceOnlyScheduler::assign(const ContractionTask& task,
   MICCO_EXPECTS_MSG(best != kNoDevice, "no alive device to assign to");
   ++pair_counts_[static_cast<std::size_t>(best)];
   if (telemetry_ != nullptr) {
-    record_decision(task, view, all_devices(view), best);
+    record_decision(task, view, alive_candidates(view), best);
   }
   return best;
 }

@@ -26,6 +26,11 @@ void MiccoScheduler::begin_vector(const VectorWorkload& vec,
   if (compute_cost_.size() != num_devices) {
     compute_cost_.assign(num_devices, 0.0);
   }
+  // Decision scratch sized once per vector; assign() then runs without a
+  // single heap allocation in steady state.
+  candidate_mask_.assign((num_devices + 63) / 64, 0);
+  candidates_.reserve(num_devices);
+  best_.reserve(num_devices);
   // balanceNum is the per-device share of *distinct* tensors, matching what
   // mapGPUTensor.at(dev).size() counts. Real correlator stages share hadron
   // nodes across many pairs of one vector; dividing raw slot counts instead
@@ -61,24 +66,25 @@ bool MiccoScheduler::available(DeviceId dev, std::size_t bound_index) const {
   return assigned_count(dev) < bounds_[bound_index] + balance_num_;
 }
 
-namespace {
-
-void push_unique(std::vector<DeviceId>& queue, DeviceId dev) {
-  if (std::find(queue.begin(), queue.end(), dev) == queue.end()) {
-    queue.push_back(dev);
+void MiccoScheduler::push_unique(DeviceId dev) {
+  const auto idx = static_cast<std::size_t>(dev);
+  std::uint64_t& word = candidate_mask_[idx / 64];
+  const std::uint64_t bit = 1ULL << (idx % 64);
+  if ((word & bit) == 0) {
+    word |= bit;
+    candidates_.push_back(dev);
   }
 }
-
-}  // namespace
 
 DeviceId MiccoScheduler::assign(const ContractionTask& task,
                                 const ClusterView& view) {
   MICCO_EXPECTS_MSG(!vector_assigned_.empty(),
                     "begin_vector must run before assign");
-  const std::vector<DeviceId> holders_a = view.devices_holding(task.a.id);
-  const std::vector<DeviceId> holders_b = view.devices_holding(task.b.id);
+  const std::vector<DeviceId>& holders_a = view.devices_holding(task.a.id);
+  const std::vector<DeviceId>& holders_b = view.devices_holding(task.b.id);
 
-  std::vector<DeviceId> candidates;
+  candidates_.clear();
+  std::fill(candidate_mask_.begin(), candidate_mask_.end(), 0);
   int tier = -1;        ///< reuse-bound tier that produced the candidates
   bool fallback = false;
 
@@ -87,54 +93,54 @@ DeviceId MiccoScheduler::assign(const ContractionTask& task,
   for (const DeviceId dev : holders_a) {
     const bool holds_both =
         std::find(holders_b.begin(), holders_b.end(), dev) != holders_b.end();
-    if (holds_both && available(dev, 0)) push_unique(candidates, dev);
+    if (holds_both && available(dev, 0)) push_unique(dev);
   }
-  if (!candidates.empty()) tier = 0;
+  if (!candidates_.empty()) tier = 0;
 
   // Step II — one-reused tier: devices holding either tensor, gated by
   // reuse bound 1 (Alg. 1, lines 8-14). Entered both for the
   // TwoRepeatedDiff / OneRepeated patterns and when every TwoRepeatedSame
   // device failed its availability test.
-  if (candidates.empty() && (!holders_a.empty() || !holders_b.empty())) {
+  if (candidates_.empty() && (!holders_a.empty() || !holders_b.empty())) {
     for (const DeviceId dev : holders_a) {
-      if (available(dev, 1)) push_unique(candidates, dev);
+      if (available(dev, 1)) push_unique(dev);
     }
     for (const DeviceId dev : holders_b) {
-      if (available(dev, 1)) push_unique(candidates, dev);
+      if (available(dev, 1)) push_unique(dev);
     }
-    if (!candidates.empty()) tier = 1;
+    if (!candidates_.empty()) tier = 1;
   }
 
   // Step II' — TwoNew tier: any alive device under reuse bound 2 (lines
   // 15-18). Tiers I/II need no filter: residency dies with a device, so
   // holder lists only ever name survivors.
-  if (candidates.empty()) {
+  if (candidates_.empty()) {
     for (DeviceId dev = 0; dev < view.num_devices(); ++dev) {
       if (view.device_alive(dev) && available(dev, 2)) {
-        push_unique(candidates, dev);
+        push_unique(dev);
       }
     }
-    if (!candidates.empty()) tier = 2;
+    if (!candidates_.empty()) tier = 2;
   }
 
   // Fallback the pseudocode leaves implicit: when every device exceeds even
   // the TwoNew bound (possible late in a vector with small bounds and an
   // uneven tensor count), consider all survivors so the pair is still placed.
-  if (candidates.empty()) {
+  if (candidates_.empty()) {
     fallback = true;
     for (DeviceId dev = 0; dev < view.num_devices(); ++dev) {
-      if (view.device_alive(dev)) candidates.push_back(dev);
+      if (view.device_alive(dev)) candidates_.push_back(dev);
     }
   }
 
-  const DeviceId chosen = select_from_candidates(candidates, task, view);
+  const DeviceId chosen = select_from_candidates(candidates_, task, view);
 
   if (telemetry_ != nullptr) {
     // Slack the winner had already consumed beyond its balanced share when
     // it won; how deep into the reuse bounds the schedule actually runs.
     slack_hist_->observe(
         static_cast<double>(assigned_count(chosen) - balance_num_));
-    record_decision(task, view, candidates, chosen, tier,
+    record_decision(task, view, candidates_, chosen, tier,
                     tier >= 0 ? bounds_[static_cast<std::size_t>(tier)] : -1,
                     balance_num_, fallback, last_evict_risk_);
   }
@@ -181,7 +187,7 @@ DeviceId MiccoScheduler::select_from_candidates(
     return static_cast<double>(view.memory_used(dev));
   };
 
-  std::vector<DeviceId> best;
+  best_.clear();
   double best_primary = std::numeric_limits<double>::infinity();
   double best_secondary = std::numeric_limits<double>::infinity();
   for (const DeviceId dev : candidates) {
@@ -191,15 +197,15 @@ DeviceId MiccoScheduler::select_from_candidates(
         (primary == best_primary && secondary < best_secondary)) {
       best_primary = primary;
       best_secondary = secondary;
-      best.clear();
-      best.push_back(dev);
+      best_.clear();
+      best_.push_back(dev);
     } else if (primary == best_primary && secondary == best_secondary) {
-      best.push_back(dev);
+      best_.push_back(dev);
     }
   }
 
-  if (best.size() == 1) return best.front();
-  return best[rng_.uniform_below(static_cast<std::uint32_t>(best.size()))];
+  if (best_.size() == 1) return best_.front();
+  return best_[rng_.uniform_below(static_cast<std::uint32_t>(best_.size()))];
 }
 
 }  // namespace micco

@@ -89,6 +89,20 @@ class MiccoScheduler final : public Scheduler {
   std::vector<std::unordered_set<TensorId>> vector_assigned_;
   /// Per-device cumulative assigned kernel FLOPs (mapGPUCom).
   std::vector<double> compute_cost_;
+
+  // -- Per-decision scratch (reused, never reallocated in steady state) ---
+  /// Candidate queue of the decision in flight.
+  std::vector<DeviceId> candidates_;
+  /// Membership bitmask over device ids backing push_unique: one word for
+  /// the common numGPU <= 64 case, more for larger clusters.
+  std::vector<std::uint64_t> candidate_mask_;
+  /// Tie set of select_from_candidates.
+  std::vector<DeviceId> best_;
+
+  /// Appends dev to candidates_ unless already present: O(1) via the
+  /// membership bitmask (the old linear scan made candidate enumeration
+  /// quadratic in the holder count).
+  void push_unique(DeviceId dev);
 };
 
 }  // namespace micco

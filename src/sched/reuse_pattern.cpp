@@ -16,8 +16,8 @@ const char* to_string(LocalReusePattern p) {
 
 LocalReusePattern classify_pair(const ContractionTask& task,
                                 const ClusterView& view) {
-  const std::vector<DeviceId> holders_a = view.devices_holding(task.a.id);
-  const std::vector<DeviceId> holders_b = view.devices_holding(task.b.id);
+  const std::vector<DeviceId>& holders_a = view.devices_holding(task.a.id);
+  const std::vector<DeviceId>& holders_b = view.devices_holding(task.b.id);
 
   if (holders_a.empty() && holders_b.empty()) {
     return LocalReusePattern::kTwoNew;

@@ -39,6 +39,22 @@ void Scheduler::set_telemetry(obs::Telemetry* telemetry) {
   instruments_.evict_risk = &reg.counter("sched.evict_risk");
 }
 
+const std::vector<DeviceId>& Scheduler::alive_candidates(
+    const ClusterView& view) {
+  candidate_scratch_.clear();
+  candidate_scratch_.reserve(static_cast<std::size_t>(view.num_devices()));
+  for (DeviceId dev = 0; dev < view.num_devices(); ++dev) {
+    if (view.device_alive(dev)) candidate_scratch_.push_back(dev);
+  }
+  return candidate_scratch_;
+}
+
+const std::vector<DeviceId>& Scheduler::single_candidate(DeviceId dev) {
+  candidate_scratch_.clear();
+  candidate_scratch_.push_back(dev);
+  return candidate_scratch_;
+}
+
 void Scheduler::record_decision(const ContractionTask& task,
                                 const ClusterView& view,
                                 const std::vector<DeviceId>& candidates,

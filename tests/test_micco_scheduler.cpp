@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
+
+#include "obs/events.hpp"
 
 namespace micco {
 namespace {
@@ -256,6 +259,41 @@ TEST(MiccoScheduler, DeterministicAcrossRunsWithSameSeed) {
     return choices;
   };
   EXPECT_EQ(run(7), run(7));
+}
+
+TEST(MiccoScheduler, CandidateMaskHandlesMoreThan64Devices) {
+  // The candidate dedup bitmask spans multiple 64-bit words here; device
+  // ids past 63 must set bits in the second word, not alias the first.
+  constexpr int kDevices = 70;
+  obs::MemoryEventSink sink;
+  obs::Telemetry telemetry;
+  telemetry.sink = &sink;
+  MiccoSchedulerOptions opts;
+  opts.bounds = ReuseBounds{2, 2, 2};
+  MiccoScheduler sched(opts);
+  sched.set_telemetry(&telemetry);
+  ClusterSimulator sim(cluster_of(kDevices));
+
+  // Park tensors 0 and 1 on a device in the mask's second word.
+  ASSERT_TRUE(sim.execute(make_task(0, 1, 10), 65).ok());
+
+  const VectorWorkload v =
+      make_vector({make_task(2, 3, 11), make_task(0, 1, 12)});
+  sched.begin_vector(v, sim);
+
+  // TwoNew pair: all 70 devices pass the TwoNew tier, each exactly once.
+  (void)sched.assign(v.tasks[0], sim);
+  ASSERT_EQ(sink.decisions().size(), 1u);
+  const std::vector<int>& cands = sink.decisions()[0].candidates;
+  EXPECT_EQ(cands.size(), static_cast<std::size_t>(kDevices));
+  EXPECT_EQ(std::set<int>(cands.begin(), cands.end()).size(), cands.size());
+
+  // TwoRepeatedSame pair held only by device 65: the high-word bit admits
+  // it and the data-centric tier sends the pair there.
+  const DeviceId chosen = sched.assign(v.tasks[1], sim);
+  EXPECT_EQ(chosen, 65);
+  ASSERT_EQ(sink.decisions().size(), 2u);
+  EXPECT_EQ(sink.decisions()[1].candidates, std::vector<int>{65});
 }
 
 }  // namespace

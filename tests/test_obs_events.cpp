@@ -219,5 +219,81 @@ TEST(ObsEvents, TelemetryDoesNotPerturbScheduling) {
   EXPECT_EQ(base.metrics.reused_operands, traced.metrics.reused_operands);
 }
 
+// -- BufferedJsonlEventSink ------------------------------------------------
+
+std::string run_buffered_jsonl(const WorkloadStream& stream,
+                               std::size_t flush_bytes) {
+  std::ostringstream out;
+  {
+    obs::BufferedJsonlEventSink sink(out, flush_bytes);
+    obs::Telemetry telemetry;
+    telemetry.sink = &sink;
+    MiccoScheduler sched;
+    RunOptions options;
+    options.telemetry = &telemetry;
+    run_stream(stream, sched, tiny_cluster(), options);
+  }  // sink destruction drains the buffer
+  return out.str();
+}
+
+TEST(ObsEvents, BufferedSinkIsLineIdenticalToUnbuffered) {
+  const WorkloadStream stream = generate_synthetic(tiny_workload());
+  const std::string plain = run_jsonl(stream);
+  // Thresholds straddle the interesting regimes: every-line flush, mid-run
+  // flushes, and one single flush at destruction.
+  for (const std::size_t flush_bytes : {std::size_t{1}, std::size_t{4096},
+                                        std::size_t{1} << 30}) {
+    EXPECT_EQ(plain, run_buffered_jsonl(stream, flush_bytes))
+        << "flush_bytes=" << flush_bytes;
+  }
+}
+
+TEST(ObsEvents, BufferedSinkFlushesOnDestruction) {
+  std::ostringstream out;
+  {
+    obs::BufferedJsonlEventSink sink(out);  // 64 KiB: nothing auto-flushes
+    obs::DecisionEvent event;
+    event.scheduler = "test";
+    sink.decision(event);
+    EXPECT_EQ(out.str(), "");  // still buffered
+  }
+  EXPECT_NE(out.str().find("\"scheduler\":\"test\""), std::string::npos);
+  EXPECT_EQ(out.str().back(), '\n');
+}
+
+TEST(ObsEvents, BufferedSinkExplicitFlushDrains) {
+  std::ostringstream out;
+  obs::BufferedJsonlEventSink sink(out);
+  obs::ClusterEvent event;
+  event.kind = obs::ClusterEventKind::kFetch;
+  sink.cluster(event);
+  EXPECT_EQ(out.str(), "");
+  sink.flush();
+  EXPECT_NE(out.str().find("\"event\":\"fetch\""), std::string::npos);
+  sink.flush();  // idempotent on an empty buffer
+  const std::string text = out.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
+}
+
+TEST(ObsEvents, BufferedSinkFlushesFaultEventsImmediately) {
+  for (const obs::ClusterEventKind kind :
+       {obs::ClusterEventKind::kDeviceFailure,
+        obs::ClusterEventKind::kCapacityLoss}) {
+    std::ostringstream out;
+    obs::BufferedJsonlEventSink sink(out);
+    obs::DecisionEvent decision;
+    sink.decision(decision);
+    EXPECT_EQ(out.str(), "");  // ordinary events wait for the threshold
+    obs::ClusterEvent fault;
+    fault.kind = kind;
+    fault.device = 1;
+    sink.cluster(fault);
+    // The fault drains the whole buffer so the log on disk stays ordered.
+    const std::string text = out.str();
+    EXPECT_NE(text.find("\"event\":\"decision\""), std::string::npos);
+    EXPECT_NE(text.find(obs::to_string(kind)), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace micco

@@ -34,6 +34,7 @@
 #include "ml/serialize.hpp"
 #include "obs/events.hpp"
 #include "obs/report.hpp"
+#include "parallel/parallel.hpp"
 #include "obs/telemetry.hpp"
 #include "workload/serialize.hpp"
 #include "workload/synthetic.hpp"
@@ -50,7 +51,7 @@ int usage() {
                "  run FILE [--scheduler=groute|dmda|micco|roundrobin] "
                "[--model=FILE] [--gpus=8] [--oversub=R] [--trace=FILE]\n"
                "      [--fault-plan=FILE --retry-max=N --retry-backoff=S]\n"
-               "  train --out=FILE [--samples=120 --gpus=8 --seed=N]\n"
+               "  train --out=FILE [--samples=120 --gpus=8 --seed=N --threads=N]\n"
                "  inspect FILE\n"
                "  report [FILE] [--scheduler=NAME] [--gpus=8] [--oversub=R] "
                "[--out=FILE] [--decisions=FILE] [--pretty]\n"
@@ -267,7 +268,11 @@ int cmd_train(const CliArgs& args) {
   tuner.num_devices = static_cast<int>(args.get_int("gpus", 8));
   tuner.batch = args.get_int("batch", 32);
   tuner.seed = static_cast<std::uint64_t>(args.get_int("seed", 2022));
-  std::printf("sweeping %d samples x 27 bound triples...\n", tuner.samples);
+  // Sweep and forest fitting both fan out over the worker pool; labels and
+  // the written model are byte-identical at every thread count.
+  parallel::set_threads(static_cast<int>(args.get_int("threads", 0)));
+  std::printf("sweeping %d samples x 27 bound triples (%d threads)...\n",
+              tuner.samples, parallel::configured_threads());
   const TuningData data = generate_tuning_data(tuner);
   const TrainedBoundsModel trained = train_bounds_model(
       data.samples, random_forest_factory(), "RandomForest", tuner.max_bound);
@@ -365,11 +370,12 @@ int cmd_report(const CliArgs& args) {
       scheduler_by_name(args.get("scheduler", "micco"));
   if (!scheduler) return 2;
 
-  // The decision log streams to its JSONL file during the run; the report
-  // is assembled from the registry afterwards.
+  // The decision log streams to its JSONL file during the run, batched
+  // behind the buffered sink (fault records flush through immediately); the
+  // report is assembled from the registry afterwards.
   obs::Telemetry telemetry;
   std::ofstream decisions_file;
-  std::unique_ptr<obs::JsonlEventSink> sink;
+  std::unique_ptr<obs::BufferedJsonlEventSink> sink;
   const std::string decisions_path = args.get("decisions", "");
   if (!decisions_path.empty()) {
     decisions_file.open(decisions_path);
@@ -378,7 +384,7 @@ int cmd_report(const CliArgs& args) {
                    decisions_path.c_str());
       return 1;
     }
-    sink = std::make_unique<obs::JsonlEventSink>(decisions_file);
+    sink = std::make_unique<obs::BufferedJsonlEventSink>(decisions_file);
     telemetry.sink = sink.get();
   }
 
