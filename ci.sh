@@ -1,11 +1,15 @@
 #!/usr/bin/env sh
-# Local CI: strict-warning Debug build, full test suite, a telemetry smoke
-# test (the `report` subcommand must emit a valid, deterministic report +
-# decision log on a synthetic stream), a fault-injection smoke test (kill a
-# device mid-stream and require a clean recovery), an ASan+UBSan-
-# instrumented build + test pass, a TSan pass over the parallel-layer tests
-# at 8 worker threads, and a Release-mode bench_sched_micro smoke run
-# (decision throughput + cross-thread-count tuner label identity).
+# Local CI: strict-warning Debug build, the micco-lint determinism &
+# concurrency gate (required), full test suite, a telemetry smoke test (the
+# `report` subcommand must emit a valid, deterministic report + decision
+# log on a synthetic stream), a fault-injection smoke test (kill a device
+# mid-stream and require a clean recovery), an ASan+UBSan-instrumented
+# build + test pass, a TSan pass over the parallel-layer tests at 8 worker
+# threads, a Release-mode bench_sched_micro smoke run (decision throughput
+# + cross-thread-count tuner label identity), and — when LLVM tooling is on
+# PATH — a clang-tidy pass over the compilation database plus a Clang build
+# with -Werror=thread-safety checking the MICCO_GUARDED_BY/REQUIRES
+# annotations (both skip with a notice on GCC-only hosts).
 #
 # Usage: ./ci.sh [build-dir]     (default: build-ci)
 set -eu
@@ -14,14 +18,22 @@ BUILD_DIR="${1:-build-ci}"
 SAN_BUILD_DIR="${BUILD_DIR}-asan"
 TSAN_BUILD_DIR="${BUILD_DIR}-tsan"
 REL_BUILD_DIR="${BUILD_DIR}-rel"
+CLANG_BUILD_DIR="${BUILD_DIR}-clang"
 
-echo "== configure (${BUILD_DIR}, Debug, -Wall -Wextra) =="
+echo "== configure (${BUILD_DIR}, Debug, -Wall -Wextra -Werror) =="
 cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=Debug \
-  -DCMAKE_CXX_FLAGS="-Wall -Wextra"
+  -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror"
 
 echo "== build =="
 cmake --build "${BUILD_DIR}" -j "$(nproc 2>/dev/null || echo 4)"
+
+echo "== lint (micco_lint, required) =="
+# The determinism & concurrency gate (DESIGN.md §5e). Non-zero exit fails
+# CI; the JSON invocation is what dashboards/scripts consume and doubles as
+# a schema smoke test.
+"${BUILD_DIR}/tools/micco_lint" --format=text src tools bench
+"${BUILD_DIR}/tools/micco_lint" --format=json src > /dev/null
 
 echo "== test =="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
@@ -126,5 +138,32 @@ echo "== bench_sched_micro smoke (Release) =="
   --out="${SMOKE_DIR}/bench_sched.json"
 grep -q '"tuner_labels_identical_across_threads": true' \
   "${SMOKE_DIR}/bench_sched.json"
+
+echo "== clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  # The Debug configure above exported compile_commands.json
+  # (CMAKE_EXPORT_COMPILE_COMMANDS is on unconditionally); .clang-tidy at
+  # the repo root holds the curated check list.
+  find src tools bench -name '*.cpp' -print \
+    | xargs clang-tidy -p "${BUILD_DIR}" --quiet
+else
+  echo "clang-tidy not found; skipping (install LLVM tooling to enable)"
+fi
+
+echo "== clang thread-safety analysis =="
+if command -v clang++ >/dev/null 2>&1; then
+  # Clang's -Wthread-safety checks the MICCO_GUARDED_BY/MICCO_REQUIRES
+  # annotations (common/thread_annotations.hpp); they expand to nothing
+  # under GCC, so only a Clang build can verify them.
+  cmake -B "${CLANG_BUILD_DIR}" -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_COMPILER=clang++ \
+    -DMICCO_BUILD_BENCH=OFF \
+    -DMICCO_BUILD_EXAMPLES=OFF \
+    -DCMAKE_CXX_FLAGS="-Wthread-safety -Werror=thread-safety"
+  cmake --build "${CLANG_BUILD_DIR}" -j "$(nproc 2>/dev/null || echo 4)"
+else
+  echo "clang++ not found; skipping (annotations are no-ops under GCC)"
+fi
 
 echo "== ci.sh: all green =="

@@ -7,6 +7,7 @@ namespace micco {
 
 namespace {
 
+// micco-lint: allow(thread-annotation) lock-free level gate; a stale read only delays a verbosity change
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 
 const char* level_name(LogLevel level) {

@@ -1,0 +1,85 @@
+// Annotated mutex primitives for Clang thread-safety analysis.
+//
+// libstdc++'s std::mutex / std::lock_guard carry no capability attributes,
+// so code locking through them is invisible to `-Wthread-safety` — every
+// MICCO_GUARDED_BY access would be diagnosed as unlocked. These thin
+// wrappers put the attributes on the locking surface itself; they compile
+// to exactly the std:: primitives underneath (the methods are trivial
+// forwarders) and work identically under GCC, where the annotations expand
+// to nothing. micco_lint's `thread-annotation` rule bans raw std::mutex /
+// std::condition_variable in src/ outside this header so new code cannot
+// dodge the analysis by accident.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace micco {
+
+/// std::mutex with Clang capability annotations. Lock it through MutexLock
+/// (RAII) wherever possible; lock()/unlock() exist for the rare manual
+/// sites and for CondVar's adopt/release dance.
+class MICCO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MICCO_ACQUIRE() { m_.lock(); }
+  void unlock() MICCO_RELEASE() { m_.unlock(); }
+  bool try_lock() MICCO_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;  // micco-lint: allow(thread-annotation) the one wrapped std::mutex
+};
+
+/// RAII exclusive lock over a micco::Mutex (std::lock_guard shaped, but
+/// visible to the analysis as a scoped capability).
+class MICCO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) MICCO_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() MICCO_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable waitable on a micco::Mutex. wait() requires the mutex
+/// held (enforced by the analysis); it atomically releases the mutex while
+/// blocked and reacquires it before returning, so from the caller's point
+/// of view — and the analysis's — the capability is held across the call.
+/// There is no predicate overload on purpose: Clang analyses a predicate
+/// lambda as a separate unlocked function, so callers write the standard
+/// `while (!cond) cv.wait(mutex);` loop, which the analysis understands.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(Mutex& mutex) MICCO_REQUIRES(mutex) {
+    // Adopt the caller's ownership for the duration of the wait, then hand
+    // it back: the unique_lock must not unlock in its destructor because
+    // the caller's MutexLock still owns the mutex.
+    // micco-lint: allow(thread-annotation) adopt/release dance on the wrapped mutex
+    std::unique_lock<std::mutex> adopted(mutex.m_, std::adopt_lock);
+    cv_.wait(adopted);
+    adopted.release();
+  }
+
+ private:
+  std::condition_variable cv_;  // micco-lint: allow(thread-annotation) wrapper implementation detail
+};
+
+}  // namespace micco

@@ -1,0 +1,72 @@
+// Clang thread-safety analysis annotations.
+//
+// Static half of the determinism & concurrency gate (DESIGN.md §5e): every
+// lock-protected field in the tree carries MICCO_GUARDED_BY, every function
+// with a locking precondition carries MICCO_REQUIRES, and CI compiles the
+// tree with `-Wthread-safety -Werror=thread-safety` under Clang so a missed
+// lock is a build error, not a TSan flake. Under GCC (or any non-Clang
+// compiler) every macro expands to nothing, so the annotations are free.
+//
+// The macros mirror the capability-based vocabulary of Clang's analysis
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). Raw std::mutex
+// cannot carry these attributes on libstdc++, so annotated code uses the
+// micco::Mutex / micco::MutexLock / micco::CondVar wrappers from
+// common/mutex.hpp; micco_lint's `thread-annotation` rule enforces that.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define MICCO_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define MICCO_THREAD_ANNOTATION_(x)
+#endif
+
+/// Declares a class to be a capability (a lock). The string names the
+/// capability kind in diagnostics ("mutex").
+#define MICCO_CAPABILITY(x) MICCO_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define MICCO_SCOPED_CAPABILITY MICCO_THREAD_ANNOTATION_(scoped_lockable)
+
+/// The field or global is protected by the given capability: reads require
+/// the capability held shared or exclusive, writes require it exclusive.
+#define MICCO_GUARDED_BY(x) MICCO_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Like MICCO_GUARDED_BY, but protects the data a pointer points at.
+#define MICCO_PT_GUARDED_BY(x) MICCO_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// The function must be called with the given capabilities already held
+/// (and does not release them).
+#define MICCO_REQUIRES(...) \
+  MICCO_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// The function acquires the given capabilities and holds them on return.
+#define MICCO_ACQUIRE(...) \
+  MICCO_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// The function releases the given capabilities (held on entry).
+#define MICCO_RELEASE(...) \
+  MICCO_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns the given value.
+#define MICCO_TRY_ACQUIRE(...) \
+  MICCO_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// The function must NOT be called with the given capabilities held
+/// (deadlock prevention for self-locking functions).
+#define MICCO_EXCLUDES(...) MICCO_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the given capability.
+#define MICCO_RETURN_CAPABILITY(x) MICCO_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: the function's body is exempt from analysis. Use only with
+/// a comment explaining why the analysis cannot see the invariant.
+#define MICCO_NO_THREAD_SAFETY_ANALYSIS \
+  MICCO_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+/// Documentation marker (expands to nothing on every compiler) for a
+/// std::atomic member that is intentionally lock-free: it records that the
+/// author considered the synchronisation story, and it satisfies
+/// micco_lint's `thread-annotation` rule, which requires every atomic in
+/// src/ to carry either a MICCO_* annotation or a justified suppression.
+#define MICCO_LOCK_FREE

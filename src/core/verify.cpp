@@ -8,6 +8,9 @@
 namespace micco {
 
 std::string validate_stream_structure(const WorkloadStream& stream) {
+  // Determinism audit (DESIGN.md §5e): these sets are membership-tested
+  // only; validation walks vectors/tasks in stream order, so the first
+  // error reported is a pure function of the stream, not of hash layout.
   std::unordered_set<TensorId> produced;     // outputs seen so far (any stage)
   std::unordered_set<TensorId> ready;        // usable as operands
   std::unordered_set<TensorId> ever_output;  // for originals detection
@@ -72,6 +75,9 @@ NumericResult execute_numerically(const WorkloadStream& stream,
   MICCO_EXPECTS_MSG(structural_error.empty(),
                     "stream failed structural validation");
 
+  // Determinism audit (DESIGN.md §5e): this map is only ever probed with
+  // find/emplace — never iterated — and the digest accumulates in task order,
+  // so the hash layout cannot reach the numeric result or any error message.
   std::unordered_map<TensorId, Tensor> live;
   NumericResult result;
   std::uint64_t live_bytes = 0;

@@ -479,6 +479,9 @@ std::vector<TensorId> ClusterSimulator::fail_device(DeviceId dev,
 
   // A produced tensor with no host copy and no surviving replica died with
   // the device; its producer must be re-executed (lineage recovery).
+  // `resident` comes back sorted from resident_ids(), so `lost` is built in
+  // ascending id order; the sort stays as a cheap belt-and-braces guarantee
+  // for the recovery path's determinism contract.
   std::vector<TensorId> lost;
   for (const TensorId id : resident) {
     if (produced_.contains(id) && !host_copies_.contains(id) &&

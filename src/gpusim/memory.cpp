@@ -1,5 +1,7 @@
 #include "gpusim/memory.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 
 namespace micco {
@@ -96,10 +98,15 @@ std::optional<Eviction> DeviceMemory::evict_lru() {
 std::vector<TensorId> DeviceMemory::resident_ids() const {
   std::vector<TensorId> ids;
   ids.reserve(entries_.size());
+  // entries_ is a hash map; its iteration order is unspecified and must not
+  // escape this class (determinism gate, DESIGN.md §5e). Sorting here, at
+  // the emission point, keeps every consumer — failure-path lost-tensor
+  // accounting, residency rebuilds, tests — independent of hash layout.
   for (const auto& [id, entry] : entries_) {
     (void)entry;
     ids.push_back(id);
   }
+  std::sort(ids.begin(), ids.end());
   return ids;
 }
 

@@ -82,8 +82,10 @@ class DeviceMemory {
   /// bug: a single task's working set exceeded device capacity).
   std::optional<Eviction> evict_lru();
 
-  /// All resident tensor ids (unspecified order); used by tests and by the
-  /// cluster's residency map rebuilds.
+  /// All resident tensor ids in ascending id order (sorted at the emission
+  /// point so the backing hash map's layout never leaks into lost-tensor
+  /// accounting, residency rebuilds or reports); used by tests and by the
+  /// cluster's failure handling.
   std::vector<TensorId> resident_ids() const;
 
  private:

@@ -73,9 +73,10 @@ void JsonlEventSink::cluster(const ClusterEvent& event) {
 }
 
 void BufferedJsonlEventSink::append(const JsonValue& json, bool urgent) {
+  const MutexLock lock(mutex_);
   buffer_ += json.dump();
   buffer_ += '\n';
-  if (urgent || buffer_.size() >= flush_bytes_) flush();
+  if (urgent || buffer_.size() >= flush_bytes_) flush_locked();
 }
 
 void BufferedJsonlEventSink::decision(const DecisionEvent& event) {
@@ -91,6 +92,11 @@ void BufferedJsonlEventSink::cluster(const ClusterEvent& event) {
 }
 
 void BufferedJsonlEventSink::flush() {
+  const MutexLock lock(mutex_);
+  flush_locked();
+}
+
+void BufferedJsonlEventSink::flush_locked() {
   if (!buffer_.empty()) {
     out_.write(buffer_.data(),
                static_cast<std::streamsize>(buffer_.size()));

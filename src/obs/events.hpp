@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "obs/json.hpp"
 
 namespace micco::obs {
@@ -107,6 +108,13 @@ class JsonlEventSink final : public EventSink {
 /// explicit flush(), and *immediately* after fault events (device failure,
 /// capacity loss) so a crash right after a fault still leaves the fault on
 /// disk. The stream is borrowed and must outlive the sink.
+///
+/// The batch buffer (and the borrowed stream, while draining) sit behind an
+/// internal annotated mutex: a sink shared across parallel sweep lanes
+/// appends whole lines atomically instead of interleaving bytes. Callers
+/// that need a *deterministic line order* must still emit from one thread
+/// (the run_stream hot path does) — the lock makes concurrent emission
+/// safe, not ordered.
 class BufferedJsonlEventSink final : public EventSink {
  public:
   static constexpr std::size_t kDefaultFlushBytes = 64 * 1024;
@@ -129,10 +137,12 @@ class BufferedJsonlEventSink final : public EventSink {
 
  private:
   void append(const JsonValue& json, bool urgent);
+  void flush_locked() MICCO_REQUIRES(mutex_);
 
   std::ostream& out_;
   std::size_t flush_bytes_;
-  std::string buffer_;
+  Mutex mutex_;
+  std::string buffer_ MICCO_GUARDED_BY(mutex_);
 };
 
 /// Buffers events in memory; used by tests and the CLI's pretty printer.

@@ -22,15 +22,18 @@ void Histogram::observe(double value) {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
+  const MutexLock lock(mutex_);
   return counters_[name];
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const MutexLock lock(mutex_);
   return gauges_[name];
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> upper_bounds) {
+  const MutexLock lock(mutex_);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return it->second;
   return histograms_.emplace(name, Histogram(std::move(upper_bounds)))
@@ -38,22 +41,26 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 }
 
 const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const MutexLock lock(mutex_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : &it->second;
 }
 
 const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const MutexLock lock(mutex_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : &it->second;
 }
 
 const Histogram* MetricsRegistry::find_histogram(
     const std::string& name) const {
+  const MutexLock lock(mutex_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
 JsonValue MetricsRegistry::snapshot() const {
+  const MutexLock lock(mutex_);
   JsonValue out = JsonValue::object();
   JsonValue& counters = out.set("counters", JsonValue::object());
   for (const auto& [name, c] : counters_) {

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "obs/json.hpp"
 
 namespace micco::obs {
@@ -61,6 +62,12 @@ class Histogram {
   double sum_ = 0.0;
 };
 
+/// The registry's name→metric maps are mutex-protected so instrumentation
+/// points may resolve metrics from parallel setup code (sweep lanes attach
+/// telemetry concurrently). Updating a *resolved* Counter/Gauge/Histogram
+/// is deliberately unsynchronised — hot paths are single-threaded per run
+/// and the references stay valid for the registry's lifetime (node-based
+/// map storage), so the lock is only ever on the name lookup.
 class MetricsRegistry {
  public:
   /// Finds or creates the named metric. References remain valid until the
@@ -76,6 +83,7 @@ class MetricsRegistry {
   const Histogram* find_histogram(const std::string& name) const;
 
   std::size_t size() const {
+    const MutexLock lock(mutex_);
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
@@ -85,9 +93,10 @@ class MetricsRegistry {
   JsonValue snapshot() const;
 
  private:
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Gauge> gauges_;
-  std::map<std::string, Histogram> histograms_;
+  mutable Mutex mutex_;
+  std::map<std::string, Counter> counters_ MICCO_GUARDED_BY(mutex_);
+  std::map<std::string, Gauge> gauges_ MICCO_GUARDED_BY(mutex_);
+  std::map<std::string, Histogram> histograms_ MICCO_GUARDED_BY(mutex_);
 };
 
 }  // namespace micco::obs

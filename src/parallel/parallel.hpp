@@ -22,6 +22,12 @@
 // Pool size comes from set_threads() (benches wire --threads to it) or the
 // MICCO_THREADS environment variable; the default is 1 (serial) so existing
 // tools and tests behave exactly as before unless parallelism is requested.
+//
+// The pool's locking (thread_pool.cpp) is written against the annotated
+// micco::Mutex primitives from common/mutex.hpp, so Clang's thread-safety
+// analysis (-Werror=thread-safety, DESIGN.md §5e) statically checks every
+// guarded field; micco_lint additionally bans raw std::mutex and unmarked
+// atomics throughout src/.
 #pragma once
 
 #include <cstddef>

@@ -7,15 +7,19 @@
 // idle. A thread blocks only after every index of its own loop is claimed,
 // and every claimed index is being run by a thread that (inductively)
 // finishes — so there is no schedule in which the pool deadlocks.
+//
+// Locking is expressed through the annotated micco::Mutex primitives so
+// Clang's thread-safety analysis (-Werror=thread-safety in CI) proves every
+// guarded field is only touched under its mutex.
 #include "parallel/parallel.hpp"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
+
+#include "common/mutex.hpp"
 
 namespace micco::parallel {
 
@@ -28,12 +32,15 @@ struct Loop {
 
   const std::size_t n;
   const std::function<void(std::size_t)>* body;
-  std::atomic<std::size_t> next{0};
-  std::atomic<std::size_t> done{0};
+  /// Claim/progress counters are intentionally lock-free: fetch_add is the
+  /// whole work-distribution protocol and the only cross-thread ordering
+  /// that matters (completion) is re-checked under `mutex` by the waiter.
+  MICCO_LOCK_FREE std::atomic<std::size_t> next{0};
+  MICCO_LOCK_FREE std::atomic<std::size_t> done{0};
 
-  std::mutex mutex;                ///< guards error + completion signalling
-  std::condition_variable drained; ///< signalled when done reaches n
-  std::exception_ptr error;        ///< first exception thrown by any item
+  Mutex mutex;      ///< guards error + pairs completion signalling
+  CondVar drained;  ///< signalled when done reaches n
+  std::exception_ptr error MICCO_GUARDED_BY(mutex);  ///< first item exception
 
   /// Claims and runs indices until none remain. Returns true when this call
   /// completed the loop's final item.
@@ -45,14 +52,14 @@ struct Loop {
       try {
         (*body)(i);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(mutex);
+        const MutexLock lock(mutex);
         if (!error) error = std::current_exception();
       }
       if (done.fetch_add(1) + 1 == n) finished_last = true;
     }
     if (finished_last) {
       // Lock pairs the notify with the waiter's predicate check.
-      const std::lock_guard<std::mutex> lock(mutex);
+      const MutexLock lock(mutex);
       drained.notify_all();
     }
     return finished_last;
@@ -73,7 +80,7 @@ class Pool {
 
   ~Pool() {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       stop_ = true;
     }
     work_available_.notify_all();
@@ -85,7 +92,7 @@ class Pool {
   void run(std::size_t n, const std::function<void(std::size_t)>& body) {
     const auto loop = std::make_shared<Loop>(n, body);
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       open_loops_.push_back(loop);
     }
     work_available_.notify_all();
@@ -93,15 +100,15 @@ class Pool {
     loop->work();
     retire(loop);
 
-    std::unique_lock<std::mutex> lock(loop->mutex);
-    loop->drained.wait(lock, [&] { return loop->complete(); });
+    const MutexLock lock(loop->mutex);
+    while (!loop->complete()) loop->drained.wait(loop->mutex);
     if (loop->error) std::rethrow_exception(loop->error);
   }
 
  private:
   /// Drops the loop from the open list once its indices are all claimed.
   void retire(const std::shared_ptr<Loop>& loop) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     for (auto it = open_loops_.begin(); it != open_loops_.end(); ++it) {
       if (*it == loop) {
         open_loops_.erase(it);
@@ -114,7 +121,7 @@ class Pool {
   /// first drains outer loops before nested ones, which bounds the number of
   /// simultaneously in-flight outer items (and their memory) to the lane
   /// count. Exhausted loops encountered on the way are retired in place.
-  std::shared_ptr<Loop> adopt_locked() {
+  std::shared_ptr<Loop> adopt_locked() MICCO_REQUIRES(mutex_) {
     while (!open_loops_.empty() && open_loops_.front()->exhausted()) {
       open_loops_.pop_front();
     }
@@ -128,28 +135,34 @@ class Pool {
     for (;;) {
       std::shared_ptr<Loop> loop;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        work_available_.wait(
-            lock, [&] { return stop_ || (loop = adopt_locked()) != nullptr; });
-        if (loop == nullptr) return;  // stop_ with nothing left to adopt
+        const MutexLock lock(mutex_);
+        // Standard wait loop (no predicate lambda: the analysis would treat
+        // it as a separate function that does not hold mutex_). Stop wins
+        // over adoptable work, matching shutdown semantics: the destructor
+        // only runs once every announced loop has fully drained.
+        for (;;) {
+          if (stop_) return;
+          if ((loop = adopt_locked()) != nullptr) break;
+          work_available_.wait(mutex_);
+        }
       }
       loop->work();
       retire(loop);
     }
   }
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::deque<std::shared_ptr<Loop>> open_loops_;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar work_available_;
+  std::deque<std::shared_ptr<Loop>> open_loops_ MICCO_GUARDED_BY(mutex_);
+  bool stop_ MICCO_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> threads_;
 };
 
 // -- Global pool configuration ---------------------------------------------
 
-std::mutex g_config_mutex;
-int g_threads = 0;  ///< 0 = not yet resolved
-std::unique_ptr<Pool> g_pool;
+Mutex g_config_mutex;
+int g_threads MICCO_GUARDED_BY(g_config_mutex) = 0;  ///< 0 = not yet resolved
+std::unique_ptr<Pool> g_pool MICCO_GUARDED_BY(g_config_mutex);
 
 int hardware_threads() {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -165,7 +178,7 @@ int default_threads() {
   return parsed == 0 ? hardware_threads() : static_cast<int>(parsed);
 }
 
-int resolved_threads_locked() {
+int resolved_threads_locked() MICCO_REQUIRES(g_config_mutex) {
   if (g_threads == 0) g_threads = default_threads();
   return g_threads;
 }
@@ -175,14 +188,14 @@ int resolved_threads_locked() {
 void set_threads(int n) {
   MICCO_EXPECTS(n >= 0);
   const int resolved = n == 0 ? hardware_threads() : n;
-  const std::lock_guard<std::mutex> lock(g_config_mutex);
+  const MutexLock lock(g_config_mutex);
   if (resolved == g_threads) return;
   g_pool.reset();  // joins workers; callers never reconfigure mid-loop
   g_threads = resolved;
 }
 
 int configured_threads() {
-  const std::lock_guard<std::mutex> lock(g_config_mutex);
+  const MutexLock lock(g_config_mutex);
   return resolved_threads_locked();
 }
 
@@ -191,7 +204,7 @@ void parallel_for(std::size_t n,
   if (n == 0) return;
   Pool* pool = nullptr;
   {
-    const std::lock_guard<std::mutex> lock(g_config_mutex);
+    const MutexLock lock(g_config_mutex);
     const int threads = resolved_threads_locked();
     if (threads > 1 && n > 1) {
       if (g_pool == nullptr) g_pool = std::make_unique<Pool>(threads - 1);

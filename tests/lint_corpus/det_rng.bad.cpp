@@ -1,0 +1,16 @@
+// Fixture: every banned randomness / wall-clock source in one file.
+// Not compiled; scanned by MiccoLintRules.DetRngBad.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned nondeterministic_seed() {
+  std::random_device device;                       // det-rng
+  srand(static_cast<unsigned>(time(nullptr)));     // det-rng (srand + time)
+  const int low = rand();                          // det-rng
+  std::mt19937 engine(device());                   // det-rng (engine)
+  const auto now = std::chrono::system_clock::now();  // det-rng
+  return static_cast<unsigned>(low) + static_cast<unsigned>(engine()) +
+         static_cast<unsigned>(now.time_since_epoch().count());
+}

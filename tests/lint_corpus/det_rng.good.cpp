@@ -1,0 +1,16 @@
+// Fixture: deterministic randomness plus identifiers that merely *resemble*
+// banned names. None of these may fire. (Corpus files are scanned, never
+// compiled, so the member calls need no declarations.)
+#include "common/rng.hpp"
+
+long busy_time(long x) { return x; }  // 'time' as an identifier suffix
+
+double deterministic_draw(micco::Pcg32& rng, const micco::Pcg32& clock) {
+  // Member access is exempt: obj.time() / ptr->rand() are not the C library.
+  const long member_time = clock.time();
+  const long member_rand = (&clock)->rand();
+  // Banned names inside comments and strings are invisible to the scanner:
+  const char* doc = "never call rand() or time(nullptr) here";
+  return rng.next_double() + static_cast<double>(member_time + member_rand) +
+         static_cast<double>(busy_time(static_cast<long>(doc[0])));
+}

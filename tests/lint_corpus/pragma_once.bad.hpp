@@ -1,0 +1,5 @@
+// Fixture: a header without an include guard directive.
+#ifndef MICCO_LINT_CORPUS_PRAGMA_ONCE_BAD_HPP
+#define MICCO_LINT_CORPUS_PRAGMA_ONCE_BAD_HPP
+inline int answer() { return 42; }
+#endif

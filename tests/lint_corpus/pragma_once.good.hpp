@@ -1,0 +1,3 @@
+// Fixture: the required header guard.
+#pragma once
+inline int answer() { return 42; }

@@ -1,0 +1,6 @@
+// Fixture: manual memory management in library scope.
+int* leak_prone() {
+  int* p = new int(7);   // no-raw-new
+  delete p;              // no-raw-new
+  return new int[3];     // no-raw-new
+}

@@ -1,0 +1,11 @@
+// Fixture: RAII ownership and deleted special members. '= delete' must not
+// be confused with the delete expression.
+#include <memory>
+
+struct Pinned {
+  Pinned() = default;
+  Pinned(const Pinned&) = delete;
+  Pinned& operator=(const Pinned&) = delete;
+};
+
+std::unique_ptr<int> owned() { return std::make_unique<int>(7); }

@@ -1,0 +1,8 @@
+// Fixture: writing to stdout from library scope.
+#include <cstdio>
+#include <iostream>
+
+void chatty(int value) {
+  printf("value=%d\n", value);        // no-stdout
+  std::cout << "value=" << value;     // no-stdout
+}

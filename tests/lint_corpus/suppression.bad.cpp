@@ -1,0 +1,9 @@
+// Fixture: malformed suppressions. An unknown rule or a missing reason is
+// itself a finding (bad-suppression), and the directive suppresses nothing.
+#include <cstdio>
+
+// micco-lint: allow(not-a-rule) this rule does not exist
+void unknown_rule() { printf("still flagged\n"); }
+
+// micco-lint: allow(no-stdout)
+void missing_reason() { printf("still flagged\n"); }

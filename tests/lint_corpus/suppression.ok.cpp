@@ -1,0 +1,9 @@
+// Fixture: both suppression placements — the line directly above and the
+// offending line itself. With valid rule names and reasons, the file is
+// clean.
+#include <cstdio>
+
+// micco-lint: allow(no-stdout) fixture exercises the line-above placement
+void banner() { printf("hello\n"); }
+
+void trailer() { printf("bye\n"); }  // micco-lint: allow(no-stdout) same-line placement

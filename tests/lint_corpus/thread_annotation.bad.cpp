@@ -1,0 +1,16 @@
+// Fixture: raw standard-library synchronization in library scope. Clang's
+// thread-safety analysis cannot see through std::mutex/lock_guard, and an
+// unannotated atomic documents nothing about its consistency story.
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+struct Unannotated {
+  std::mutex mutex;                  // thread-annotation
+  std::condition_variable ready;     // thread-annotation
+  std::atomic<int> counter{0};       // thread-annotation (no marker macro)
+  int locked_get() {
+    const std::lock_guard<std::mutex> lock(mutex);  // thread-annotation
+    return counter.load();
+  }
+};

@@ -1,0 +1,16 @@
+// Fixture: the sanctioned forms — annotated micco wrappers and atomics that
+// carry a MICCO_* marker on their declaration line.
+#include <atomic>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+struct Annotated {
+  micco::Mutex mutex;
+  int guarded MICCO_GUARDED_BY(mutex) = 0;
+  MICCO_LOCK_FREE std::atomic<int> counter{0};
+  int locked_get() {
+    const micco::MutexLock lock(mutex);
+    return guarded;
+  }
+};

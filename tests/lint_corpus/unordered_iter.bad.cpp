@@ -1,0 +1,15 @@
+// Fixture: hash-ordered iteration in a TU whose include closure reaches an
+// output-affecting header. Both the range-for and the .begin() forms fire.
+#include "obs/events.hpp"
+
+#include <unordered_map>
+
+int sum_hash_ordered() {
+  std::unordered_map<int, int> weights;
+  int total = 0;
+  for (const auto& [key, value] : weights) total += key + value;  // fires
+  for (auto it = weights.begin(); it != weights.end(); ++it) {    // fires
+    total += it->second;
+  }
+  return total;
+}

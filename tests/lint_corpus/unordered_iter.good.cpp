@@ -1,0 +1,19 @@
+// Fixture: the sanctioned idiom in an output-affecting TU — sort at the
+// emission point and iterate the sorted copy, probing the hash map by key.
+#include "obs/events.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+int sum_sorted(const std::vector<int>& ids) {
+  std::unordered_map<int, int> weights;
+  std::vector<int> keys = ids;
+  std::sort(keys.begin(), keys.end());
+  int total = 0;
+  for (const int key : keys) {  // vector iteration: deterministic
+    const auto it = weights.find(key);  // point lookup: fine
+    if (it != weights.end()) total += it->second;
+  }
+  return total;
+}

@@ -1,0 +1,10 @@
+// Fixture: hash-ordered iteration is legal in a TU that never reaches an
+// output-affecting header — the order cannot leak into logs or reports.
+#include <unordered_map>
+
+int sum_any_order() {
+  std::unordered_map<int, int> weights;
+  int total = 0;
+  for (const auto& [key, value] : weights) total += key + value;
+  return total;
+}

@@ -1,0 +1,216 @@
+// Tests for micco-lint, the determinism & concurrency static-analysis gate
+// (tools/micco_lint, DESIGN.md §5e). The fixtures under tests/lint_corpus/
+// are scanned, never compiled: each .bad file must fire its rule, each
+// .good file must be clean, and the suppression fixtures pin the directive
+// grammar. MiccoLintSelf is the gate's gate: the real tree must lint clean,
+// so deleting any in-tree suppression or re-introducing a banned pattern
+// fails the test suite, not just ci.sh.
+#include "micco_lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace micco::lint {
+namespace {
+
+std::string corpus(const std::string& name) {
+  return std::string(MICCO_LINT_CORPUS_DIR) + "/" + name;
+}
+
+LintResult lint_fixture(const std::string& name) {
+  return lint_paths({corpus(name)});
+}
+
+int count_rule(const LintResult& result, const std::string& rule) {
+  int count = 0;
+  for (const Finding& finding : result.findings) {
+    if (finding.rule == rule) ++count;
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(MiccoLintCatalog, RulesHaveUniqueExitCodesAndRoundTrip) {
+  std::set<std::string> names;
+  std::set<int> codes;
+  for (const RuleInfo& rule : rule_catalog()) {
+    EXPECT_TRUE(names.insert(rule.name).second) << rule.name;
+    EXPECT_TRUE(codes.insert(rule.exit_code).second) << rule.exit_code;
+    EXPECT_GE(rule.exit_code, 10) << "rule codes must not collide with "
+                                     "0 (clean) / 1 (I/O) / 2 (usage)";
+    EXPECT_TRUE(known_rule(rule.name));
+    EXPECT_FALSE(rule.description.empty());
+  }
+  EXPECT_FALSE(known_rule("not-a-rule"));
+  EXPECT_FALSE(known_rule(""));
+}
+
+TEST(MiccoLintRules, DetRngBadFiresOnEveryBannedSource) {
+  const LintResult result = lint_fixture("det_rng.bad.cpp");
+  EXPECT_EQ(result.exit_code, 10);
+  // random_device, srand, time, rand, mt19937, system_clock.
+  EXPECT_EQ(count_rule(result, "det-rng"), 6);
+}
+
+TEST(MiccoLintRules, DetRngGoodIsClean) {
+  const LintResult result = lint_fixture("det_rng.good.cpp");
+  EXPECT_EQ(result.exit_code, 0) << format_text(result);
+}
+
+TEST(MiccoLintRules, UnorderedIterBadFiresBothForms) {
+  const LintResult result = lint_fixture("unordered_iter.bad.cpp");
+  EXPECT_EQ(result.exit_code, 11);
+  EXPECT_EQ(count_rule(result, "det-unordered-iter"), 2);
+  // Both forms name the container and the header that put the TU in scope.
+  for (const Finding& finding : result.findings) {
+    EXPECT_NE(finding.message.find("'weights'"), std::string::npos);
+    EXPECT_NE(finding.message.find("obs/events.hpp"), std::string::npos);
+  }
+}
+
+TEST(MiccoLintRules, UnorderedIterSortedEmissionIsClean) {
+  const LintResult result = lint_fixture("unordered_iter.good.cpp");
+  EXPECT_EQ(result.exit_code, 0) << format_text(result);
+}
+
+TEST(MiccoLintRules, UnorderedIterOutsideOutputScopeIsClean) {
+  const LintResult result = lint_fixture("unordered_iter.unscoped.good.cpp");
+  EXPECT_EQ(result.exit_code, 0) << format_text(result);
+}
+
+TEST(MiccoLintRules, RawNewBadFiresPerExpression) {
+  const LintResult result = lint_fixture("raw_new.bad.cpp");
+  EXPECT_EQ(result.exit_code, 12);
+  EXPECT_EQ(count_rule(result, "no-raw-new"), 3);
+}
+
+TEST(MiccoLintRules, DeletedSpecialMembersAreClean) {
+  const LintResult result = lint_fixture("raw_new.good.cpp");
+  EXPECT_EQ(result.exit_code, 0) << format_text(result);
+}
+
+TEST(MiccoLintRules, StdoutBadFiresOnPrintfAndCout) {
+  const LintResult result = lint_fixture("stdout.bad.cpp");
+  EXPECT_EQ(result.exit_code, 13);
+  EXPECT_EQ(count_rule(result, "no-stdout"), 2);
+}
+
+TEST(MiccoLintRules, PragmaOnce) {
+  EXPECT_EQ(lint_fixture("pragma_once.bad.hpp").exit_code, 14);
+  EXPECT_EQ(lint_fixture("pragma_once.good.hpp").exit_code, 0);
+}
+
+TEST(MiccoLintRules, ThreadAnnotationBadFiresOnRawSyncTypes) {
+  const LintResult result = lint_fixture("thread_annotation.bad.cpp");
+  EXPECT_EQ(result.exit_code, 15);
+  // mutex member, condition_variable, unannotated atomic, lock_guard +
+  // its std::mutex template argument.
+  EXPECT_EQ(count_rule(result, "thread-annotation"), 5);
+}
+
+TEST(MiccoLintRules, AnnotatedWrappersAreClean) {
+  const LintResult result = lint_fixture("thread_annotation.good.cpp");
+  EXPECT_EQ(result.exit_code, 0) << format_text(result);
+}
+
+TEST(MiccoLintRules, FindingsAreSortedByFileLineRule) {
+  const LintResult result = lint_paths(
+      {corpus("det_rng.bad.cpp"), corpus("stdout.bad.cpp")});
+  ASSERT_GT(result.findings.size(), 1u);
+  const auto ordered = [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.rule, a.message) <=
+           std::tie(b.file, b.line, b.rule, b.message);
+  };
+  for (std::size_t i = 1; i < result.findings.size(); ++i) {
+    EXPECT_TRUE(ordered(result.findings[i - 1], result.findings[i]));
+  }
+  // Exit code is the lowest fired rule code: det-rng (10) < no-stdout (13).
+  EXPECT_EQ(result.exit_code, 10);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(MiccoLintSuppression, BothPlacementsSilenceTheFinding) {
+  const LintResult result = lint_fixture("suppression.ok.cpp");
+  EXPECT_EQ(result.exit_code, 0) << format_text(result);
+}
+
+TEST(MiccoLintSuppression, MalformedDirectivesAreFindingsAndSuppressNothing) {
+  const LintResult result = lint_fixture("suppression.bad.cpp");
+  EXPECT_EQ(count_rule(result, "bad-suppression"), 2);
+  // The printf findings survive because neither directive is valid.
+  EXPECT_EQ(count_rule(result, "no-stdout"), 2);
+  // no-stdout (13) < bad-suppression (16).
+  EXPECT_EQ(result.exit_code, 13);
+}
+
+TEST(MiccoLintSuppression, IoErrorOnMissingPath) {
+  const LintResult result = lint_paths({corpus("does_not_exist.cpp")});
+  EXPECT_EQ(result.exit_code, 1);
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].rule, "io-error");
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(MiccoLintJson, ReportParsesAndMirrorsTheFindings) {
+  const LintResult result = lint_fixture("stdout.bad.cpp");
+  std::string error;
+  const auto parsed = obs::parse_json(format_json(result), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->at("schema_version").as_int(), 1);
+  EXPECT_EQ(parsed->at("files_scanned").as_int(), 1);
+  EXPECT_FALSE(parsed->at("clean").as_bool());
+  EXPECT_EQ(parsed->at("exit_code").as_int(), 13);
+  EXPECT_EQ(parsed->at("counts").at("no-stdout").as_int(), 2);
+  const auto& findings = parsed->at("findings").items();
+  ASSERT_EQ(findings.size(), 2u);
+  for (const auto& finding : findings) {
+    EXPECT_EQ(finding.at("rule").as_string(), "no-stdout");
+    EXPECT_NE(finding.at("file").as_string().find("stdout.bad.cpp"),
+              std::string::npos);
+    EXPECT_GT(finding.at("line").as_int(), 0);
+    EXPECT_FALSE(finding.at("message").as_string().empty());
+  }
+}
+
+TEST(MiccoLintJson, CleanRunReportsClean) {
+  const LintResult result = lint_fixture("pragma_once.good.hpp");
+  const auto parsed = obs::parse_json(format_json(result));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->at("clean").as_bool());
+  EXPECT_EQ(parsed->at("exit_code").as_int(), 0);
+  EXPECT_TRUE(parsed->at("findings").items().empty());
+}
+
+TEST(MiccoLintJson, TextFormatNamesRuleAndLocation) {
+  const LintResult result = lint_fixture("pragma_once.bad.hpp");
+  const std::string text = format_text(result);
+  EXPECT_NE(text.find("pragma_once.bad.hpp:1: [pragma-once]"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("exit 14"), std::string::npos) << text;
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(MiccoLintSelf, TreeLintsClean) {
+  // The acceptance gate: src/, tools/ and bench/ must be clean. A deleted
+  // suppression or a re-introduced banned pattern fails here with the full
+  // finding list.
+  const std::string root = MICCO_SOURCE_DIR;
+  const LintResult result =
+      lint_paths({root + "/src", root + "/tools", root + "/bench"});
+  EXPECT_GT(result.files_scanned, 100u);
+  EXPECT_EQ(result.exit_code, 0) << format_text(result);
+}
+
+}  // namespace
+}  // namespace micco::lint

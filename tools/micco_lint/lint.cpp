@@ -1,0 +1,828 @@
+#include "micco_lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace micco::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule catalog
+
+const char* const kDetRng = "det-rng";
+const char* const kDetUnorderedIter = "det-unordered-iter";
+const char* const kNoRawNew = "no-raw-new";
+const char* const kNoStdout = "no-stdout";
+const char* const kPragmaOnce = "pragma-once";
+const char* const kThreadAnnotation = "thread-annotation";
+const char* const kBadSuppression = "bad-suppression";
+const char* const kIoError = "io-error";
+
+/// Headers whose include closure marks a TU as output-affecting: anything
+/// reaching them can feed bytes into decision logs, run reports or model
+/// files, so iteration order must be deterministic there.
+const char* const kOrderedSinkHeaders[] = {
+    "obs/events.hpp",
+    "obs/report.hpp",
+    "ml/serialize.hpp",
+};
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> kCatalog = {
+      {kDetRng, 10,
+       "bans std::random_device, rand()/srand(), wall-clock seeding "
+       "(time(), system_clock) and std:: engines outside src/common/rng.*; "
+       "all randomness flows through explicitly seeded micco::Pcg32"},
+      {kDetUnorderedIter, 11,
+       "bans range-for / .begin() iteration over std::unordered_map/set in "
+       "any TU whose include closure reaches obs/events.hpp, obs/report.hpp "
+       "or ml/serialize.hpp; output-affecting paths iterate in sorted order"},
+      {kNoRawNew, 12,
+       "bans raw new/delete in src/ (use RAII: make_unique, containers); "
+       "tools/ and bench/ are exempt"},
+      {kNoStdout, 13,
+       "bans printf/std::cout in src/ (return strings or use "
+       "common/log.hpp); tools/ and bench/ own the process's stdout"},
+      {kPragmaOnce, 14, "every header (.hpp/.h) must contain #pragma once"},
+      {kThreadAnnotation, 15,
+       "bans raw std::mutex/condition_variable/lock types in src/ (use the "
+       "annotated micco::Mutex/MutexLock/CondVar from common/mutex.hpp) and "
+       "requires every std::atomic to carry a MICCO_* annotation"},
+      {kBadSuppression, 16,
+       "a '// micco-lint: allow(<rule>) <reason>' comment must name a known "
+       "rule and give a non-empty reason"},
+  };
+  return kCatalog;
+}
+
+bool known_rule(const std::string& name) {
+  for (const RuleInfo& rule : rule_catalog()) {
+    if (rule.name == name) return true;
+  }
+  return false;
+}
+
+namespace {
+
+int rule_exit_code(const std::string& name) {
+  if (name == kIoError) return 1;
+  for (const RuleInfo& rule : rule_catalog()) {
+    if (rule.name == name) return rule.exit_code;
+  }
+  return 1;
+}
+
+// ---------------------------------------------------------------------------
+// Path classification
+
+std::vector<std::string> split_path(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string part;
+  for (const char c : path) {
+    if (c == '/' || c == '\\') {
+      if (!part.empty()) parts.push_back(part);
+      part.clear();
+    } else {
+      part += c;
+    }
+  }
+  if (!part.empty()) parts.push_back(part);
+  return parts;
+}
+
+/// tools/ and bench/ are process-owning leaf code: they may print and may
+/// use manual memory if they must. Everything else gets library rules.
+bool is_tool_scope(const std::string& path) {
+  for (const std::string& part : split_path(path)) {
+    if (part == "tools" || part == "bench") return true;
+  }
+  return false;
+}
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Suffix match on a path boundary: "obs/events.hpp" matches
+/// "src/obs/events.hpp" but not "blobs/events.hpp".
+bool path_suffix_match(const std::string& path, const std::string& suffix) {
+  if (path == suffix) return true;
+  return ends_with(path, "/" + suffix);
+}
+
+bool is_header(const std::string& path) {
+  return ends_with(path, ".hpp") || ends_with(path, ".h");
+}
+
+bool is_rng_home(const std::string& path) {
+  return path_suffix_match(path, "common/rng.hpp") ||
+         path_suffix_match(path, "common/rng.cpp");
+}
+
+// ---------------------------------------------------------------------------
+// Comment/string stripping and suppression parsing
+
+std::string trim(const std::string& text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+/// Parses one comment body. Returns true when the comment is (or claims to
+/// be) a suppression; fills `rules` / `error`.
+bool parse_suppression(const std::string& comment,
+                       std::vector<std::string>* rules, std::string* error) {
+  const std::string body = trim(comment);
+  const std::string kTag = "micco-lint:";
+  if (body.compare(0, kTag.size(), kTag) != 0) return false;
+  std::string rest = trim(body.substr(kTag.size()));
+  const std::string kAllow = "allow(";
+  if (rest.compare(0, kAllow.size(), kAllow) != 0) {
+    *error = "expected 'allow(<rule>) <reason>' after 'micco-lint:'";
+    return true;
+  }
+  const std::size_t close = rest.find(')', kAllow.size());
+  if (close == std::string::npos) {
+    *error = "unterminated allow(...) in suppression";
+    return true;
+  }
+  const std::string rule_list = rest.substr(kAllow.size(),
+                                            close - kAllow.size());
+  std::stringstream list(rule_list);
+  std::string rule;
+  while (std::getline(list, rule, ',')) {
+    rule = trim(rule);
+    if (rule.empty() || !known_rule(rule)) {
+      *error = "unknown rule '" + rule + "' in suppression";
+      return true;
+    }
+    rules->push_back(rule);
+  }
+  if (rules->empty()) {
+    *error = "empty rule list in suppression";
+    return true;
+  }
+  const std::string reason = trim(rest.substr(close + 1));
+  if (reason.empty()) {
+    *error = "suppression needs a reason after allow(" + rule_list + ")";
+    return true;
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FileSet
+
+void FileSet::add_file(const std::string& path, const std::string& content) {
+  if (files_.count(path) > 0) return;
+  FileInfo info;
+  info.content = content;
+
+  // Quoted includes come from the raw text: the stripper blanks string
+  // literals, and an include operand is lexically a string.
+  {
+    std::stringstream lines(content);
+    std::string line;
+    while (std::getline(lines, line)) {
+      const std::string t = trim(line);
+      if (t.compare(0, 1, "#") != 0) continue;
+      const std::string directive = trim(t.substr(1));
+      if (directive.compare(0, 7, "include") != 0) continue;
+      const std::size_t open = directive.find('"');
+      if (open == std::string::npos) continue;
+      const std::size_t close = directive.find('"', open + 1);
+      if (close == std::string::npos) continue;
+      info.raw_includes.push_back(
+          directive.substr(open + 1, close - open - 1));
+    }
+  }
+
+  // One pass producing `stripped` (same length, newlines preserved) while
+  // harvesting line comments for suppression directives.
+  std::string& out = info.stripped;
+  out.assign(content.size(), ' ');
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString
+  };
+  State state = State::kCode;
+  int line = 1;
+  int comment_line = 0;
+  std::string comment_text;
+  std::string raw_delim;
+  const auto finish_comment = [&]() {
+    std::vector<std::string> rules;
+    std::string error;
+    if (parse_suppression(comment_text, &rules, &error)) {
+      if (!error.empty()) {
+        info.suppression_findings.push_back(
+            Finding{path, comment_line, kBadSuppression, error});
+      } else {
+        for (const std::string& rule : rules) {
+          info.allowed[comment_line].insert(rule);
+        }
+      }
+    }
+    comment_text.clear();
+  };
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) {
+        finish_comment();
+        state = State::kCode;
+      }
+      out[i] = '\n';
+      ++line;
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          comment_line = line;
+          ++i;  // swallow second '/'
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (std::isalnum(static_cast<unsigned char>(
+                                   content[i - 1])) == 0 &&
+                               content[i - 1] != '_'))) {
+          // Raw string literal R"delim( ... )delim".
+          state = State::kRawString;
+          raw_delim.clear();
+          std::size_t j = i + 2;
+          while (j < content.size() && content[j] != '(') {
+            raw_delim += content[j];
+            ++j;
+          }
+          i = j;  // at '(' (or end)
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        } else {
+          out[i] = c;
+        }
+        break;
+      case State::kLineComment:
+        comment_text += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+          if (i < content.size() && content[i] == '\n') ++line;
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString: {
+        const std::string closer = ")" + raw_delim + "\"";
+        if (content.compare(i, closer.size(), closer) == 0) {
+          i += closer.size() - 1;
+          state = State::kCode;
+        }
+        break;
+      }
+    }
+  }
+  if (state == State::kLineComment) finish_comment();
+
+  // Identifiers declared as unordered containers (used by the iteration
+  // rule). A name found here marks iteration over it as hash-ordered in
+  // every TU that can see the declaration.
+  {
+    const std::string& text = info.stripped;
+    const auto skip_ws = [&](std::size_t p) {
+      while (p < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[p])) != 0) {
+        ++p;
+      }
+      return p;
+    };
+    for (std::size_t i = 0; i + 12 < text.size(); ++i) {
+      if (text.compare(i, 14, "unordered_map<") != 0 &&
+          text.compare(i, 14, "unordered_set<") != 0) {
+        continue;
+      }
+      if (i > 0 && (std::isalnum(static_cast<unsigned char>(text[i - 1])) !=
+                        0 ||
+                    text[i - 1] == '_')) {
+        continue;  // suffix of a longer identifier
+      }
+      std::size_t j = i + 14;  // past '<'
+      int depth = 1;
+      while (j < text.size() && depth > 0) {
+        if (text[j] == '<') ++depth;
+        if (text[j] == '>') --depth;
+        ++j;
+      }
+      j = skip_ws(j);
+      while (j < text.size() && (text[j] == '&' || text[j] == '*')) {
+        j = skip_ws(j + 1);
+      }
+      if (j >= text.size() || text[j] == ':' || text[j] == '(') {
+        continue;  // nested-type use or temporary, not a declarator
+      }
+      std::string name;
+      while (j < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[j])) != 0 ||
+              text[j] == '_')) {
+        name += text[j];
+        ++j;
+      }
+      if (!name.empty() && name != "const") info.unordered_decls.insert(name);
+    }
+  }
+
+  files_.emplace(path, std::move(info));
+  paths_.push_back(path);
+}
+
+const FileSet::FileInfo* FileSet::find(const std::string& path) const {
+  const auto it = files_.find(path);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+/// BFS over includes resolved inside the set. Resolution is by path-suffix
+/// match, which handles relative vs. absolute invocation paths uniformly
+/// (the repo's quoted includes are all src/-rooted and unique).
+std::vector<const FileSet::FileInfo*> FileSet::closure(
+    const std::string& path) const {
+  std::vector<const FileInfo*> result;
+  std::set<std::string> visited;
+  std::vector<std::string> frontier{path};
+  while (!frontier.empty()) {
+    const std::string current = frontier.back();
+    frontier.pop_back();
+    if (!visited.insert(current).second) continue;
+    const FileInfo* info = find(current);
+    if (info == nullptr) continue;
+    result.push_back(info);
+    for (const std::string& inc : info->raw_includes) {
+      for (const auto& [candidate, unused] : files_) {
+        (void)unused;
+        if (path_suffix_match(candidate, inc)) frontier.push_back(candidate);
+      }
+    }
+  }
+  return result;
+}
+
+bool FileSet::closure_includes(const std::string& path,
+                               const std::string& suffix) const {
+  for (const FileInfo* info : closure(path)) {
+    for (const std::string& inc : info->raw_includes) {
+      if (path_suffix_match(inc, suffix)) return true;
+    }
+  }
+  return false;
+}
+
+std::set<std::string> FileSet::unordered_names(const std::string& path) const {
+  std::set<std::string> names;
+  for (const FileInfo* info : closure(path)) {
+    names.insert(info->unordered_decls.begin(), info->unordered_decls.end());
+  }
+  return names;
+}
+
+bool FileSet::suppressed(const FileInfo& info, int line,
+                         const std::string& rule) const {
+  for (const int l : {line, line - 1}) {
+    const auto it = info.allowed.find(l);
+    if (it != info.allowed.end() && it->second.count(rule) > 0) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Tokenized rule pass
+
+namespace {
+
+struct Token {
+  std::string text;
+  int line = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;  ///< one past the last character
+};
+
+std::vector<Token> tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  int line = 1;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      Token tok;
+      tok.line = line;
+      tok.begin = i;
+      while (i < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[i])) != 0 ||
+              text[i] == '_')) {
+        tok.text += text[i];
+        ++i;
+      }
+      tok.end = i;
+      --i;
+      tokens.push_back(std::move(tok));
+    }
+  }
+  return tokens;
+}
+
+char next_nonspace(const std::string& text, std::size_t pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+    ++pos;
+  }
+  return pos < text.size() ? text[pos] : '\0';
+}
+
+std::size_t prev_nonspace_pos(const std::string& text, std::size_t pos) {
+  while (pos > 0 &&
+         std::isspace(static_cast<unsigned char>(text[pos - 1])) != 0) {
+    --pos;
+  }
+  return pos;  // text[pos-1] is the previous non-space char (pos 0: none)
+}
+
+char prev_nonspace(const std::string& text, std::size_t pos) {
+  const std::size_t p = prev_nonspace_pos(text, pos);
+  return p == 0 ? '\0' : text[p - 1];
+}
+
+/// True when the token starting at `begin` is written `std::<token>`.
+bool preceded_by_std(const std::string& text, std::size_t begin) {
+  std::size_t p = prev_nonspace_pos(text, begin);
+  if (p < 2 || text[p - 1] != ':' || text[p - 2] != ':') return false;
+  p = prev_nonspace_pos(text, p - 2);
+  return p >= 3 && text.compare(p - 3, 3, "std") == 0 &&
+         (p < 4 || (std::isalnum(static_cast<unsigned char>(text[p - 4])) ==
+                        0 &&
+                    text[p - 4] != '_'));
+}
+
+/// True when the call at `begin` is a member access (obj.time(...)), which
+/// the det-rng rule must not confuse with the C library function.
+bool member_access(const std::string& text, std::size_t begin) {
+  const std::size_t p = prev_nonspace_pos(text, begin);
+  if (p == 0) return false;
+  if (text[p - 1] == '.') return true;
+  return p >= 2 && text[p - 1] == '>' && text[p - 2] == '-';
+}
+
+/// The raw source line `line` (1-based) of `content`.
+std::string source_line(const std::string& content, int line) {
+  std::stringstream lines(content);
+  std::string text;
+  for (int i = 0; i < line; ++i) {
+    if (!std::getline(lines, text)) return "";
+  }
+  return text;
+}
+
+}  // namespace
+
+std::vector<Finding> FileSet::lint_file(const std::string& path) const {
+  const FileInfo* info = find(path);
+  if (info == nullptr) return {};
+  const std::string& text = info->stripped;
+  const bool tool_scope = is_tool_scope(path);
+  std::vector<Finding> raw;
+
+  // pragma-once -------------------------------------------------------------
+  if (is_header(path) &&
+      info->content.find("#pragma once") == std::string::npos) {
+    raw.push_back(Finding{path, 1, kPragmaOnce,
+                          "header is missing '#pragma once'"});
+  }
+
+  const std::vector<Token> tokens = tokenize(text);
+
+  // Output-affecting TU? (det-unordered-iter scope)
+  std::string sink_header;
+  for (const char* const header : kOrderedSinkHeaders) {
+    if (closure_includes(path, header)) {
+      sink_header = header;
+      break;
+    }
+  }
+  const std::set<std::string> unordered =
+      sink_header.empty() ? std::set<std::string>{} : unordered_names(path);
+
+  for (std::size_t t = 0; t < tokens.size(); ++t) {
+    const Token& tok = tokens[t];
+
+    // det-rng ---------------------------------------------------------------
+    if (!is_rng_home(path)) {
+      if (tok.text == "random_device") {
+        raw.push_back(Finding{path, tok.line, kDetRng,
+                              "std::random_device is nondeterministic; seed "
+                              "micco::Pcg32 (common/rng.hpp) explicitly"});
+      } else if ((tok.text == "rand" || tok.text == "srand") &&
+                 next_nonspace(text, tok.end) == '(' &&
+                 !member_access(text, tok.begin)) {
+        raw.push_back(Finding{path, tok.line, kDetRng,
+                              "C PRNG '" + tok.text +
+                                  "' has process-global state; use "
+                                  "micco::Pcg32 (common/rng.hpp)"});
+      } else if (tok.text == "time" &&
+                 next_nonspace(text, tok.end) == '(' &&
+                 !member_access(text, tok.begin)) {
+        raw.push_back(Finding{path, tok.line, kDetRng,
+                              "wall-clock time() seeding breaks run "
+                              "reproducibility; seeds must be explicit"});
+      } else if (tok.text == "system_clock") {
+        raw.push_back(Finding{path, tok.line, kDetRng,
+                              "wall-clock system_clock is nondeterministic; "
+                              "runs must be a pure function of their seed"});
+      } else if (tok.text == "mt19937" || tok.text == "mt19937_64" ||
+                 tok.text == "default_random_engine" ||
+                 tok.text == "minstd_rand") {
+        raw.push_back(Finding{path, tok.line, kDetRng,
+                              "std:: engine '" + tok.text +
+                                  "' maps through implementation-defined "
+                                  "distributions; use micco::Pcg32"});
+      }
+    }
+
+    // det-unordered-iter: NAME.begin() form ---------------------------------
+    if (!unordered.empty() && unordered.count(tok.text) > 0 &&
+        t + 1 < tokens.size() &&
+        (tokens[t + 1].text == "begin" || tokens[t + 1].text == "cbegin")) {
+      // Only a direct member access counts: "name.begin(" / "name->begin(".
+      const std::string between =
+          trim(text.substr(tok.end, tokens[t + 1].begin - tok.end));
+      if ((between == "." || between == "->") &&
+          next_nonspace(text, tokens[t + 1].end) == '(') {
+        raw.push_back(Finding{
+            path, tok.line, kDetUnorderedIter,
+            "iterator over unordered container '" + tok.text +
+                "' in an output-affecting TU (includes " + sink_header +
+                "); iterate a sorted copy instead"});
+      }
+    }
+
+    // det-unordered-iter: range-for form ------------------------------------
+    if (!unordered.empty() && tok.text == "for" &&
+        next_nonspace(text, tok.end) == '(') {
+      std::size_t open = tok.end;
+      while (text[open] != '(') ++open;
+      int depth = 0;
+      std::size_t colon = std::string::npos;
+      std::size_t close = std::string::npos;
+      bool classic = false;
+      for (std::size_t i = open; i < text.size(); ++i) {
+        const char c = text[i];
+        if (c == '(') ++depth;
+        if (c == ')') {
+          --depth;
+          if (depth == 0) {
+            close = i;
+            break;
+          }
+        }
+        if (depth == 1 && c == ';') classic = true;
+        if (depth == 1 && c == ':' && colon == std::string::npos &&
+            !classic) {
+          const bool double_colon =
+              (i > 0 && text[i - 1] == ':') ||
+              (i + 1 < text.size() && text[i + 1] == ':');
+          if (!double_colon) colon = i;
+        }
+      }
+      if (colon != std::string::npos && close != std::string::npos &&
+          !classic) {
+        const std::string range = text.substr(colon + 1, close - colon - 1);
+        for (const Token& ident : tokenize(range)) {
+          if (unordered.count(ident.text) > 0) {
+            raw.push_back(Finding{
+                path, tok.line, kDetUnorderedIter,
+                "range-for over unordered container '" + ident.text +
+                    "' in an output-affecting TU (includes " + sink_header +
+                    "); iterate a sorted copy instead"});
+            break;
+          }
+        }
+      }
+    }
+
+    // no-raw-new ------------------------------------------------------------
+    if (!tool_scope && tok.text == "new") {
+      raw.push_back(Finding{path, tok.line, kNoRawNew,
+                            "raw 'new' in src/; use std::make_unique or a "
+                            "container"});
+    }
+    if (!tool_scope && tok.text == "delete" &&
+        prev_nonspace(text, tok.begin) != '=') {
+      raw.push_back(Finding{path, tok.line, kNoRawNew,
+                            "raw 'delete' in src/; owning pointers must be "
+                            "RAII-managed"});
+    }
+
+    // no-stdout -------------------------------------------------------------
+    if (!tool_scope && (tok.text == "printf" || tok.text == "cout")) {
+      raw.push_back(Finding{path, tok.line, kNoStdout,
+                            "'" + tok.text +
+                                "' in src/; return strings or use "
+                                "common/log.hpp (tools/ and bench/ own "
+                                "stdout)"});
+    }
+
+    // thread-annotation -----------------------------------------------------
+    if (!tool_scope && preceded_by_std(text, tok.begin)) {
+      if (tok.text == "mutex" || tok.text == "timed_mutex" ||
+          tok.text == "recursive_mutex" || tok.text == "shared_mutex" ||
+          tok.text == "condition_variable" ||
+          tok.text == "condition_variable_any" ||
+          tok.text == "lock_guard" || tok.text == "unique_lock" ||
+          tok.text == "scoped_lock" || tok.text == "shared_lock") {
+        raw.push_back(Finding{
+            path, tok.line, kThreadAnnotation,
+            "raw std::" + tok.text +
+                " is invisible to Clang thread-safety analysis; use "
+                "micco::Mutex / micco::MutexLock / micco::CondVar "
+                "(common/mutex.hpp)"});
+      } else if (tok.text == "atomic") {
+        const std::string line_text = source_line(info->content, tok.line);
+        if (line_text.find("MICCO_") == std::string::npos) {
+          raw.push_back(Finding{
+              path, tok.line, kThreadAnnotation,
+              "std::atomic must carry a MICCO_* annotation on its "
+              "declaration line (MICCO_GUARDED_BY, or MICCO_LOCK_FREE with "
+              "a rationale comment)"});
+        }
+      }
+    }
+  }
+
+  // Apply suppressions, then append suppression-parse findings (which are
+  // themselves not suppressible).
+  std::vector<Finding> findings;
+  for (Finding& finding : raw) {
+    if (!suppressed(*info, finding.line, finding.rule)) {
+      findings.push_back(std::move(finding));
+    }
+  }
+  findings.insert(findings.end(), info->suppression_findings.begin(),
+                  info->suppression_findings.end());
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.line, a.rule, a.message) <
+                     std::tie(b.line, b.rule, b.message);
+            });
+  return findings;
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+
+LintResult lint_paths(const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  LintResult result;
+  std::vector<std::string> files;
+  const auto lintable = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc";
+  };
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (fs::recursive_directory_iterator it(path, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file() && lintable(it->path())) {
+          files.push_back(it->path().generic_string());
+        }
+      }
+      if (ec) {
+        result.findings.push_back(
+            Finding{path, 0, kIoError, "cannot walk: " + ec.message()});
+      }
+    } else if (fs::is_regular_file(path, ec)) {
+      files.push_back(path);
+    } else {
+      result.findings.push_back(
+          Finding{path, 0, kIoError, "no such file or directory"});
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  FileSet set;
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      result.findings.push_back(Finding{file, 0, kIoError, "cannot read"});
+      continue;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    set.add_file(file, content.str());
+    ++result.files_scanned;
+  }
+  for (const std::string& file : set.paths()) {
+    const std::vector<Finding> found = set.lint_file(file);
+    result.findings.insert(result.findings.end(), found.begin(), found.end());
+  }
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+
+  result.exit_code = 0;
+  for (const Finding& finding : result.findings) {
+    const int code = rule_exit_code(finding.rule);
+    if (result.exit_code == 0 || code < result.exit_code) {
+      result.exit_code = code;
+    }
+  }
+  return result;
+}
+
+std::string format_text(const LintResult& result) {
+  std::ostringstream out;
+  for (const Finding& finding : result.findings) {
+    out << finding.file << ':' << finding.line << ": [" << finding.rule
+        << "] " << finding.message << '\n';
+  }
+  if (result.findings.empty()) {
+    out << "micco_lint: clean (" << result.files_scanned
+        << " files scanned)\n";
+  } else {
+    out << "micco_lint: " << result.findings.size() << " finding(s) in "
+        << result.files_scanned << " file(s); exit " << result.exit_code
+        << '\n';
+  }
+  return out.str();
+}
+
+std::string format_json(const LintResult& result) {
+  using obs::JsonValue;
+  JsonValue out = JsonValue::object();
+  out.set("schema_version", 1);
+  out.set("files_scanned", static_cast<std::int64_t>(result.files_scanned));
+  out.set("clean", result.findings.empty());
+  out.set("exit_code", result.exit_code);
+  std::map<std::string, std::int64_t> counts;
+  JsonValue findings = JsonValue::array();
+  for (const Finding& finding : result.findings) {
+    ++counts[finding.rule];
+    JsonValue entry = JsonValue::object();
+    entry.set("file", finding.file);
+    entry.set("line", finding.line);
+    entry.set("rule", finding.rule);
+    entry.set("message", finding.message);
+    findings.push_back(std::move(entry));
+  }
+  JsonValue count_obj = JsonValue::object();
+  for (const auto& [rule, n] : counts) count_obj.set(rule, n);
+  out.set("counts", std::move(count_obj));
+  out.set("findings", std::move(findings));
+  return out.dump() + "\n";
+}
+
+}  // namespace micco::lint

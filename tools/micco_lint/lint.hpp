@@ -1,0 +1,137 @@
+// micco-lint — the project's determinism & concurrency static-analysis gate.
+// (A line comment that *starts* with "micco-lint:" is parsed as a
+// suppression directive, so this header says "micco-lint —" instead.)
+//
+// A token/line-level scanner (no libclang) over src/, tools/ and bench/
+// that enforces the invariants the scheduler's reproducibility contract
+// rests on — bit-identical tuner labels, decision logs and reports at any
+// thread count — *before* a test ever runs. The rule catalog (see
+// rule_catalog() and DESIGN.md §5e):
+//
+//   det-rng             no std::random_device / rand / srand / wall-clock
+//                       seeding outside common/rng.*
+//   det-unordered-iter  no iteration over unordered containers in a TU
+//                       whose include closure reaches an output-affecting
+//                       header (obs/events.hpp, obs/report.hpp,
+//                       ml/serialize.hpp)
+//   no-raw-new          no raw new/delete in src/ (tools/, bench/ exempt)
+//   no-stdout           no printf/cout in src/ (tools/, bench/ exempt)
+//   pragma-once         every header carries #pragma once
+//   thread-annotation   no raw std::mutex/condition_variable in src/ (use
+//                       the annotated micco::Mutex wrappers) and every
+//                       std::atomic carries a MICCO_* annotation
+//   bad-suppression     a suppression comment must name a known rule and
+//                       give a non-empty reason
+//
+// Findings are suppressible inline with
+//   // micco-lint: allow(<rule>) <reason>
+// on the offending line or the line directly above. Every rule has a fixed
+// exit code; a run's exit code is the lowest code among the rules that
+// fired (0 = clean, 1 = I/O error, 2 = usage error).
+//
+// The scanner works on comment- and string-stripped text, so banned
+// identifiers in documentation or literals never fire. It is deliberately
+// dependency-light: the only non-STL dependency is obs::JsonValue, reused
+// so `--format=json` output matches the telemetry stack's serializer.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace micco::lint {
+
+/// One rule violation at a specific source line.
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Self-description of one rule (--list-rules).
+struct RuleInfo {
+  std::string name;
+  int exit_code = 0;
+  std::string description;
+};
+
+/// The full rule catalog, in exit-code order.
+const std::vector<RuleInfo>& rule_catalog();
+
+/// True when `name` is a rule in the catalog.
+bool known_rule(const std::string& name);
+
+/// The set of files being linted, with the derived per-file state the rules
+/// need: stripped text, inline suppressions, quoted includes (for the
+/// include-closure checks) and identifiers declared as unordered
+/// containers. Paths are stored as given; include references are resolved
+/// against the includer's directory and against a `src/`-rooted layout, and
+/// unresolved includes still participate in suffix matching (so a lone
+/// fixture that includes "obs/events.hpp" is classified correctly).
+class FileSet {
+ public:
+  void add_file(const std::string& path, const std::string& content);
+
+  const std::vector<std::string>& paths() const { return paths_; }
+  bool contains(const std::string& path) const {
+    return files_.count(path) > 0;
+  }
+
+  /// True when `path`'s quoted-include closure (the file itself plus every
+  /// include chain that resolves inside this set) mentions a header whose
+  /// path ends with `suffix`.
+  bool closure_includes(const std::string& path,
+                        const std::string& suffix) const;
+
+  /// Identifiers declared as std::unordered_map/std::unordered_set in
+  /// `path` or any file of its resolved include closure.
+  std::set<std::string> unordered_names(const std::string& path) const;
+
+  /// Lints one previously added file.
+  std::vector<Finding> lint_file(const std::string& path) const;
+
+ private:
+  struct FileInfo {
+    std::string content;   ///< raw text
+    std::string stripped;  ///< comments/strings blanked, newlines kept
+    std::vector<std::string> raw_includes;      ///< quoted include operands
+    std::vector<std::string> resolved_includes; ///< ...resolved into the set
+    /// line -> rules allowed on that line and the next.
+    std::map<int, std::set<std::string>> allowed;
+    /// Findings produced while parsing suppressions (bad-suppression).
+    std::vector<Finding> suppression_findings;
+    std::set<std::string> unordered_decls;
+  };
+
+  const FileInfo* find(const std::string& path) const;
+  std::vector<const FileInfo*> closure(const std::string& path) const;
+  bool suppressed(const FileInfo& info, int line,
+                  const std::string& rule) const;
+
+  std::map<std::string, FileInfo> files_;
+  std::vector<std::string> paths_;  ///< insertion order (already sorted by
+                                    ///< the path walker for determinism)
+};
+
+/// Result of linting a set of paths.
+struct LintResult {
+  std::vector<Finding> findings;  ///< sorted by (file, line, rule)
+  std::size_t files_scanned = 0;
+  int exit_code = 0;  ///< 0 clean, else lowest exit code of a fired rule
+};
+
+/// Expands files and directories (recursing over .hpp/.h/.cpp/.cc), loads
+/// them into a FileSet and lints every file. Unreadable paths set
+/// exit_code 1 with a pseudo-finding under rule "io-error".
+LintResult lint_paths(const std::vector<std::string>& paths);
+
+/// Human-readable report: one "file:line: [rule] message" per finding plus
+/// a trailing summary line.
+std::string format_text(const LintResult& result);
+
+/// Machine-readable report (schema documented in DESIGN.md §5e).
+std::string format_json(const LintResult& result);
+
+}  // namespace micco::lint

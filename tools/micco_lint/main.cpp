@@ -1,0 +1,87 @@
+// CLI driver for micco-lint (see lint.hpp for the rule catalog).
+//
+// Usage:
+//   micco_lint [--format=text|json] <path>...
+//   micco_lint [--format=text|json] --list-rules
+//
+// Exit codes: 0 clean, 1 I/O error, 2 usage error, otherwise the lowest
+// exit code among the rules that fired (rule codes start at 10).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "micco_lint/lint.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+void print_usage(std::ostream& out) {
+  out << "usage: micco_lint [--format=text|json] <path>...\n"
+         "       micco_lint [--format=text|json] --list-rules\n"
+         "\n"
+         "Lints C++ sources (.hpp/.h/.cpp/.cc; directories recurse) against\n"
+         "the MICCO determinism & concurrency rules. Suppress a finding\n"
+         "with '// micco-lint: allow(<rule>) <reason>' on the offending\n"
+         "line or the line directly above.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string format = "text";
+  bool list_rules = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return 0;
+    }
+    if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json") {
+        std::cerr << "micco_lint: unknown format '" << format << "'\n";
+        return 2;
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "micco_lint: unknown option '" << arg << "'\n";
+      print_usage(std::cerr);
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    if (format == "json") {
+      micco::obs::JsonValue rules = micco::obs::JsonValue::array();
+      for (const micco::lint::RuleInfo& rule : micco::lint::rule_catalog()) {
+        micco::obs::JsonValue entry = micco::obs::JsonValue::object();
+        entry.set("name", rule.name);
+        entry.set("exit_code", rule.exit_code);
+        entry.set("description", rule.description);
+        rules.push_back(std::move(entry));
+      }
+      std::cout << rules.dump() << "\n";
+    } else {
+      for (const micco::lint::RuleInfo& rule : micco::lint::rule_catalog()) {
+        std::cout << rule.name << " (exit " << rule.exit_code << ")\n    "
+                  << rule.description << "\n";
+      }
+    }
+    return 0;
+  }
+
+  if (paths.empty()) {
+    std::cerr << "micco_lint: no paths given\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+
+  const micco::lint::LintResult result = micco::lint::lint_paths(paths);
+  std::cout << (format == "json" ? micco::lint::format_json(result)
+                                 : micco::lint::format_text(result));
+  return result.exit_code;
+}
