@@ -3,9 +3,11 @@
 # concurrency gate (required), full test suite, a telemetry smoke test (the
 # `report` subcommand must emit a valid, deterministic report + decision
 # log on a synthetic stream), a fault-injection smoke test (kill a device
-# mid-stream and require a clean recovery), an ASan+UBSan-instrumented
-# build + test pass, a TSan pass over the parallel-layer tests at 8 worker
-# threads, a Release-mode bench_sched_micro smoke run (decision throughput
+# mid-stream and require a clean recovery), a serve smoke test (the
+# scheduling daemon end to end: submit/wait/drain over a Unix socket with
+# byte-identical decision logs across sessions), an ASan+UBSan-instrumented
+# build + test pass, a TSan pass over the parallel-layer and service tests
+# at 8 worker threads, a Release-mode bench_sched_micro smoke run (decision throughput
 # + cross-thread-count tuner label identity), and — when LLVM tooling is on
 # PATH — a clang-tidy pass over the compilation database plus a Clang build
 # with -Werror=thread-safety checking the MICCO_GUARDED_BY/REQUIRES
@@ -89,6 +91,38 @@ if "${BUILD_DIR}/tools/micco" faults "${SMOKE_DIR}/plan.txt" --gpus=1 \
   exit 1
 fi
 
+echo "== serve smoke test =="
+# End-to-end daemon path (DESIGN.md §6): start `micco serve` on a private
+# socket, submit workloads from two tenants, wait for completion, drain,
+# and require a clean exit plus a session report. Two sessions fed the same
+# submission sequence must produce byte-identical decision logs (the
+# deterministic-serving contract at --threads=1).
+"${BUILD_DIR}/tools/micco" generate --out="${SMOKE_DIR}/w.mw" \
+  --vectors=2 --vector-size=16 --seed=5
+for session in 1 2; do
+  rm -f "${SMOKE_DIR}/svc.sock"
+  "${BUILD_DIR}/tools/micco" serve --socket="${SMOKE_DIR}/svc.sock" \
+    --gpus=4 --threads=1 \
+    --decisions="${SMOKE_DIR}/sd${session}.jsonl" \
+    --report="${SMOKE_DIR}/sr${session}.json" &
+  SERVE_PID=$!
+  for _ in $(seq 1 100); do
+    [ -S "${SMOKE_DIR}/svc.sock" ] && break
+    sleep 0.1
+  done
+  "${BUILD_DIR}/tools/micco" submit "${SMOKE_DIR}/w.mw" \
+    --socket="${SMOKE_DIR}/svc.sock" --tenant=alice --wait
+  "${BUILD_DIR}/tools/micco" submit "${SMOKE_DIR}/w.mw" \
+    --socket="${SMOKE_DIR}/svc.sock" --tenant=bob --wait
+  "${BUILD_DIR}/tools/micco" status --socket="${SMOKE_DIR}/svc.sock" \
+    > /dev/null
+  "${BUILD_DIR}/tools/micco" drain --socket="${SMOKE_DIR}/svc.sock"
+  wait "${SERVE_PID}"
+done
+cmp "${SMOKE_DIR}/sd1.jsonl" "${SMOKE_DIR}/sd2.jsonl"
+grep -q '"schema_version"' "${SMOKE_DIR}/sr1.json"
+echo "serve smoke test OK: deterministic decision logs, report written"
+
 echo "== configure (${SAN_BUILD_DIR}, ASan+UBSan) =="
 cmake -B "${SAN_BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=Debug \
@@ -103,10 +137,12 @@ ctest --test-dir "${SAN_BUILD_DIR}" --output-on-failure \
   -j "$(nproc 2>/dev/null || echo 4)"
 
 echo "== configure (${TSAN_BUILD_DIR}, TSan) =="
-# ThreadSanitizer pass over the parallel layer: every test suite whose name
-# starts with "Parallel" (pool semantics, nesting, determinism) runs with
-# the pool forced to 8 worker threads so cross-thread interleavings happen
-# even on small hosts. Benches are skipped: TSan only needs the test binary.
+# ThreadSanitizer pass over the concurrent layers: the parallel-pool suites
+# (pool semantics, nesting, determinism) plus the service-daemon suites
+# (concurrent submits over I/O lanes, JobManager accounting, protocol
+# framing) run with the pool forced to 8 worker threads so cross-thread
+# interleavings happen even on small hosts. Benches are skipped: TSan only
+# needs the test binary.
 cmake -B "${TSAN_BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DMICCO_BUILD_BENCH=OFF \
@@ -118,9 +154,9 @@ echo "== build (TSan) =="
 cmake --build "${TSAN_BUILD_DIR}" -j "$(nproc 2>/dev/null || echo 4)" \
   --target micco_tests
 
-echo "== test (TSan, parallel suites, 8 threads) =="
+echo "== test (TSan, parallel + service suites, 8 threads) =="
 MICCO_THREADS=8 "${TSAN_BUILD_DIR}/tests/micco_tests" \
-  --gtest_filter='Parallel*'
+  --gtest_filter='Parallel*:Service*:JobManager*:Protocol*'
 
 echo "== configure (${REL_BUILD_DIR}, Release) =="
 cmake -B "${REL_BUILD_DIR}" -S . \

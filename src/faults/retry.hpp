@@ -9,6 +9,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "common/assert.hpp"
@@ -27,15 +28,20 @@ struct RetryPolicy {
   double max_backoff_s = 0.1;
 
   /// Backoff charged after the `attempt`-th failed try (1-based):
-  /// min(base * multiplier^(attempt-1), max_backoff_s).
+  /// min(base * multiplier^(attempt-1), max_backoff_s). Closed form, so the
+  /// cost is O(1) at any attempt count, and saturating: huge exponents that
+  /// overflow double (pow → inf) clamp to max_backoff_s instead of
+  /// propagating inf/nan into simulated time.
   double backoff(int attempt) const {
     MICCO_EXPECTS(attempt >= 1);
-    double wait = base_backoff_s;
-    for (int i = 1; i < attempt; ++i) {
-      wait *= multiplier;
-      if (wait >= max_backoff_s) return max_backoff_s;
+    if (base_backoff_s <= 0.0) return 0.0;
+    if (multiplier <= 1.0 || attempt == 1) {
+      return std::min(base_backoff_s, max_backoff_s);
     }
-    return std::min(wait, max_backoff_s);
+    const double wait =
+        base_backoff_s * std::pow(multiplier, static_cast<double>(attempt - 1));
+    if (!std::isfinite(wait) || wait >= max_backoff_s) return max_backoff_s;
+    return wait;
   }
 
   /// Empty string when the policy is well formed, else a complaint.

@@ -1,0 +1,134 @@
+#include "service/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+namespace micco::service {
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::connect(const std::string& socket_path, std::string* error) {
+  const auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  if (fd_ >= 0) return fail("already connected");
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return fail("socket path too long");
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) return fail("socket(): " + std::string(strerror(errno)));
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    close();
+    return fail("connect(" + socket_path +
+                "): " + std::string(strerror(err)) +
+                " (is the daemon running?)");
+  }
+  return true;
+}
+
+std::optional<obs::JsonValue> Client::call(const obs::JsonValue& request,
+                                           std::string* error) {
+  if (!send_raw(encode_frame(request), error)) return std::nullopt;
+  return read_reply(error);
+}
+
+bool Client::send_raw(const std::string& bytes, std::string* error) {
+  const auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  if (fd_ < 0) return fail("not connected");
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail("send(): " + std::string(strerror(errno)));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<obs::JsonValue> Client::read_reply(std::string* error) {
+  const auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return std::optional<obs::JsonValue>{};
+  };
+  if (fd_ < 0) return fail("not connected");
+
+  for (;;) {
+    if (const std::optional<std::string> line = reader_.next_frame()) {
+      std::string parse_error;
+      std::optional<obs::JsonValue> doc = obs::parse_json(*line, &parse_error);
+      if (!doc.has_value()) {
+        return fail("malformed reply: " + parse_error);
+      }
+      return doc;
+    }
+    char buf[64 * 1024];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      reader_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return fail(n == 0 ? "daemon closed the connection"
+                       : "recv(): " + std::string(strerror(errno)));
+  }
+}
+
+std::optional<obs::JsonValue> Client::submit(const std::string& tenant,
+                                             const std::string& job_name,
+                                             const std::string& workload_text,
+                                             std::string* error) {
+  return call(make_submit_request(tenant, job_name, workload_text), error);
+}
+
+std::optional<obs::JsonValue> Client::status(std::uint64_t job_id,
+                                             std::string* error) {
+  return call(make_job_request(MessageType::kStatus, job_id), error);
+}
+
+std::optional<obs::JsonValue> Client::result(std::uint64_t job_id,
+                                             std::string* error) {
+  return call(make_job_request(MessageType::kResult, job_id), error);
+}
+
+std::optional<obs::JsonValue> Client::stats(std::string* error) {
+  return call(make_plain_request(MessageType::kStats), error);
+}
+
+std::optional<obs::JsonValue> Client::drain(std::string* error) {
+  return call(make_plain_request(MessageType::kDrain), error);
+}
+
+std::optional<obs::JsonValue> Client::shutdown(std::string* error) {
+  return call(make_plain_request(MessageType::kShutdown), error);
+}
+
+}  // namespace micco::service

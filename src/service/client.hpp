@@ -1,0 +1,64 @@
+// Synchronous client for the scheduling daemon (DESIGN.md §6).
+//
+// One Client owns one Unix-domain connection and speaks the NDJSON protocol
+// (service/protocol.hpp) request/reply in lockstep: send one frame, read
+// frames until a full line arrives, parse it. Used by the `micco submit /
+// status / drain` CLI verbs and by the service tests/benches; it is not
+// thread-safe — use one Client per thread.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "obs/json.hpp"
+#include "service/protocol.hpp"
+
+namespace micco::service {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to the daemon socket. Returns false with a diagnostic when the
+  /// daemon is not reachable.
+  bool connect(const std::string& socket_path, std::string* error);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Sends `request` as one frame and blocks for the reply document.
+  /// nullopt with a diagnostic on transport failure (daemon gone, reply
+  /// malformed); protocol-level errors come back as parsed {"ok": false}
+  /// documents, not as transport failures.
+  std::optional<obs::JsonValue> call(const obs::JsonValue& request,
+                                     std::string* error);
+
+  /// Lower-level primitives for pipelining: write pre-encoded frame bytes
+  /// without waiting, then collect replies one at a time. `call` is
+  /// send_raw(encode_frame(request)) followed by one read_reply.
+  bool send_raw(const std::string& bytes, std::string* error);
+  std::optional<obs::JsonValue> read_reply(std::string* error);
+
+  // -- Convenience wrappers for the v1 request vocabulary -------------------
+  std::optional<obs::JsonValue> submit(const std::string& tenant,
+                                       const std::string& job_name,
+                                       const std::string& workload_text,
+                                       std::string* error);
+  std::optional<obs::JsonValue> status(std::uint64_t job_id,
+                                       std::string* error);
+  std::optional<obs::JsonValue> result(std::uint64_t job_id,
+                                       std::string* error);
+  std::optional<obs::JsonValue> stats(std::string* error);
+  std::optional<obs::JsonValue> drain(std::string* error);
+  std::optional<obs::JsonValue> shutdown(std::string* error);
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+}  // namespace micco::service

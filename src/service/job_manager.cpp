@@ -1,0 +1,280 @@
+#include "service/job_manager.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace micco::service {
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "QUEUED";
+    case JobState::kRunning: return "RUNNING";
+    case JobState::kDone: return "DONE";
+    case JobState::kFailed: return "FAILED";
+    case JobState::kCancelled: return "CANCELLED";
+  }
+  return "?";
+}
+
+JobManager::JobManager(AdmissionConfig config) : config_(std::move(config)) {}
+
+void JobManager::set_registry(obs::MetricsRegistry* registry) {
+  const MutexLock lock(mutex_);
+  registry_ = registry;
+}
+
+void JobManager::refresh_gauges_locked() {
+  if (registry_ == nullptr) return;
+  registry_->gauge("service.queued").set(static_cast<double>(queued_));
+  registry_->gauge("service.running").set(static_cast<double>(running_));
+  for (const auto& [name, tenant] : tenants_) {
+    registry_->gauge("service.queue_depth." + name)
+        .set(static_cast<double>(tenant.queue.size()));
+  }
+}
+
+SubmitOutcome JobManager::reject_locked(const std::string& tenant_name,
+                                        const char* code,
+                                        const std::string& reason) {
+  ++rejected_;
+  tenants_[tenant_name].rejected += 1;
+  if (registry_ != nullptr) registry_->counter("service.rejected").add();
+  SubmitOutcome outcome;
+  outcome.admitted = false;
+  outcome.reject_code = code;
+  outcome.reject_reason = reason;
+  refresh_gauges_locked();
+  return outcome;
+}
+
+SubmitOutcome JobManager::submit(const std::string& tenant_name,
+                                 const std::string& name,
+                                 WorkloadStream stream) {
+  const MutexLock lock(mutex_);
+  ++submitted_;
+  if (registry_ != nullptr) registry_->counter("service.submitted").add();
+
+  if (draining_) {
+    return reject_locked(tenant_name, "draining",
+                         "daemon is draining; not admitting new work");
+  }
+  if (queued_ >= config_.max_queued_total) {
+    return reject_locked(tenant_name, "queue_full",
+                         "total queue depth limit reached (" +
+                             std::to_string(config_.max_queued_total) + ")");
+  }
+  Tenant& tenant = tenants_[tenant_name];
+  if (tenant.queue.size() >= config_.max_queue_per_tenant) {
+    return reject_locked(
+        tenant_name, "queue_full",
+        "tenant '" + tenant_name + "' queue depth limit reached (" +
+            std::to_string(config_.max_queue_per_tenant) + ")");
+  }
+
+  const std::uint64_t id = next_id_++;
+  Job job;
+  job.id = id;
+  job.tenant = tenant_name;
+  job.name = name;
+  job.stream = std::move(stream);
+  job.state = JobState::kQueued;
+  jobs_.emplace(id, std::move(job));
+
+  // Stride re-entry: a tenant going from idle to busy starts at the current
+  // virtual time instead of the credit it banked while idle.
+  if (tenant.queue.empty()) {
+    tenant.pass = std::max(tenant.pass, global_pass_);
+  }
+  tenant.weight = config_.weight_for(tenant_name);
+  tenant.queue.push_back(id);
+  tenant.admitted += 1;
+  ++queued_;
+  ++admitted_;
+  if (registry_ != nullptr) registry_->counter("service.admitted").add();
+  refresh_gauges_locked();
+
+  SubmitOutcome outcome;
+  outcome.admitted = true;
+  outcome.job_id = id;
+  return outcome;
+}
+
+std::optional<std::uint64_t> JobManager::next_job() {
+  const MutexLock lock(mutex_);
+  // Smallest pass wins; ties break by tenant name (map iteration order), so
+  // dispatch is a pure function of the submission sequence.
+  Tenant* best = nullptr;
+  for (auto& [name, tenant] : tenants_) {
+    if (tenant.queue.empty()) continue;
+    if (best == nullptr || tenant.pass < best->pass) best = &tenant;
+  }
+  if (best == nullptr) return std::nullopt;
+
+  const std::uint64_t id = best->queue.front();
+  best->queue.pop_front();
+  best->pass += kStrideUnit / static_cast<std::uint64_t>(best->weight);
+  global_pass_ = std::max(global_pass_, best->pass);
+
+  Job& job = jobs_.at(id);
+  MICCO_ASSERT(job.state == JobState::kQueued);
+  job.state = JobState::kRunning;
+  MICCO_ASSERT(queued_ > 0);
+  --queued_;
+  ++running_;
+  if (registry_ != nullptr) registry_->counter("service.dispatched").add();
+  refresh_gauges_locked();
+  return id;
+}
+
+WorkloadStream JobManager::take_stream(std::uint64_t job_id) {
+  const MutexLock lock(mutex_);
+  const auto it = jobs_.find(job_id);
+  MICCO_EXPECTS_MSG(it != jobs_.end() && it->second.state == JobState::kRunning,
+                    "take_stream needs a RUNNING job");
+  return std::move(it->second.stream);
+}
+
+void JobManager::complete(std::uint64_t job_id, obs::JsonValue result,
+                          double queue_latency_ms) {
+  const MutexLock lock(mutex_);
+  Job& job = jobs_.at(job_id);
+  MICCO_ASSERT(job.state == JobState::kRunning);
+  job.state = JobState::kDone;
+  job.result = std::move(result);
+  job.has_result = true;
+  MICCO_ASSERT(running_ > 0);
+  --running_;
+  ++completed_;
+  if (registry_ != nullptr) {
+    registry_->counter("service.completed").add();
+    registry_
+        ->histogram("service.queue_latency_ms",
+                    {1.0, 10.0, 100.0, 1000.0, 10000.0})
+        .observe(queue_latency_ms);
+  }
+  refresh_gauges_locked();
+}
+
+void JobManager::fail(std::uint64_t job_id, const std::string& error,
+                      obs::JsonValue result, double queue_latency_ms) {
+  const MutexLock lock(mutex_);
+  Job& job = jobs_.at(job_id);
+  MICCO_ASSERT(job.state == JobState::kRunning);
+  job.state = JobState::kFailed;
+  job.error = error;
+  job.result = std::move(result);
+  job.has_result = true;
+  MICCO_ASSERT(running_ > 0);
+  --running_;
+  ++failed_;
+  if (registry_ != nullptr) {
+    registry_->counter("service.failed").add();
+    registry_
+        ->histogram("service.queue_latency_ms",
+                    {1.0, 10.0, 100.0, 1000.0, 10000.0})
+        .observe(queue_latency_ms);
+  }
+  refresh_gauges_locked();
+}
+
+void JobManager::begin_drain() {
+  const MutexLock lock(mutex_);
+  draining_ = true;
+}
+
+bool JobManager::draining() const {
+  const MutexLock lock(mutex_);
+  return draining_;
+}
+
+std::size_t JobManager::cancel_queued() {
+  const MutexLock lock(mutex_);
+  std::size_t cancelled = 0;
+  for (auto& [name, tenant] : tenants_) {
+    for (const std::uint64_t id : tenant.queue) {
+      Job& job = jobs_.at(id);
+      MICCO_ASSERT(job.state == JobState::kQueued);
+      job.state = JobState::kCancelled;
+      job.stream = WorkloadStream{};  // drop the payload
+      ++cancelled;
+    }
+    tenant.queue.clear();
+  }
+  MICCO_ASSERT(cancelled == queued_);
+  queued_ = 0;
+  cancelled_ += cancelled;
+  if (registry_ != nullptr && cancelled > 0) {
+    registry_->counter("service.cancelled").add(cancelled);
+  }
+  refresh_gauges_locked();
+  return cancelled;
+}
+
+std::optional<JobStatus> JobManager::status(std::uint64_t job_id) const {
+  const MutexLock lock(mutex_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return std::nullopt;
+  const Job& job = it->second;
+  JobStatus out;
+  out.job_id = job.id;
+  out.tenant = job.tenant;
+  out.name = job.name;
+  out.state = job.state;
+  out.error = job.error;
+  if (job.state == JobState::kQueued) {
+    const auto tenant_it = tenants_.find(job.tenant);
+    MICCO_ASSERT(tenant_it != tenants_.end());
+    const std::deque<std::uint64_t>& queue = tenant_it->second.queue;
+    const auto pos = std::find(queue.begin(), queue.end(), job.id);
+    out.queue_position = pos == queue.end()
+                             ? -1
+                             : static_cast<std::int64_t>(pos - queue.begin());
+  }
+  return out;
+}
+
+std::optional<obs::JsonValue> JobManager::result(std::uint64_t job_id) const {
+  const MutexLock lock(mutex_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end() || !it->second.has_result) return std::nullopt;
+  return it->second.result;
+}
+
+bool JobManager::idle() const {
+  const MutexLock lock(mutex_);
+  return queued_ == 0 && running_ == 0;
+}
+
+std::size_t JobManager::queued_total() const {
+  const MutexLock lock(mutex_);
+  return queued_;
+}
+
+obs::JsonValue JobManager::stats() const {
+  const MutexLock lock(mutex_);
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc.set("queued", static_cast<std::uint64_t>(queued_));
+  doc.set("running", static_cast<std::uint64_t>(running_));
+  doc.set("submitted", submitted_);
+  doc.set("admitted", admitted_);
+  doc.set("rejected", rejected_);
+  doc.set("completed", completed_);
+  doc.set("failed", failed_);
+  doc.set("cancelled", cancelled_);
+  doc.set("draining", draining_);
+  obs::JsonValue tenants = obs::JsonValue::object();
+  for (const auto& [name, tenant] : tenants_) {
+    obs::JsonValue entry = obs::JsonValue::object();
+    entry.set("queued", static_cast<std::uint64_t>(tenant.queue.size()));
+    entry.set("weight", tenant.weight);
+    entry.set("admitted", tenant.admitted);
+    entry.set("rejected", tenant.rejected);
+    tenants.set(name, std::move(entry));
+  }
+  doc.set("tenants", std::move(tenants));
+  return doc;
+}
+
+}  // namespace micco::service

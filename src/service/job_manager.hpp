@@ -1,0 +1,187 @@
+// Multi-tenant job queueing with admission control and weighted fair share
+// (DESIGN.md §6).
+//
+// The JobManager is the daemon's book of record: every submitted workload
+// becomes a Job with a lifecycle (QUEUED → RUNNING → DONE/FAILED/CANCELLED),
+// per-tenant FIFO queues bounded by admission control (a full queue rejects
+// with a structured reason instead of buffering without limit), and a
+// weighted-fair-share dispatcher (stride scheduling: each tenant accrues
+// virtual time inversely proportional to its weight; the tenant with the
+// smallest pass dispatches next, ties broken by tenant name so dispatch
+// order is a pure function of the submission sequence).
+//
+// Thread safety: every public method locks the internal annotated mutex, so
+// I/O lanes may submit/query concurrently with the dispatcher thread.
+// Dispatch order — and therefore the decision log — is deterministic for a
+// fixed submission order; concurrent submitters only make the *arrival*
+// order nondeterministic, never the accounting (admitted + rejected ==
+// submitted always holds).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/mutex.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "workload/task.hpp"
+
+namespace micco::service {
+
+enum class JobState {
+  kQueued,
+  kRunning,
+  kDone,
+  kFailed,
+  kCancelled,
+};
+
+const char* to_string(JobState state);
+
+/// Admission + fair-share policy knobs.
+struct AdmissionConfig {
+  /// Queued jobs allowed per tenant; a submit beyond this rejects.
+  std::size_t max_queue_per_tenant = 64;
+  /// Queued jobs allowed across all tenants.
+  std::size_t max_queued_total = 256;
+  /// Dispatch weight per tenant; absent tenants use default_weight.
+  /// Higher weight = proportionally more dispatches under contention.
+  std::map<std::string, int> tenant_weights;
+  int default_weight = 1;
+
+  int weight_for(const std::string& tenant) const {
+    const auto it = tenant_weights.find(tenant);
+    const int w = it == tenant_weights.end() ? default_weight : it->second;
+    return w > 0 ? w : 1;
+  }
+};
+
+/// Outcome of one submit() call.
+struct SubmitOutcome {
+  bool admitted = false;
+  std::uint64_t job_id = 0;    ///< valid when admitted
+  std::string reject_code;     ///< protocol error code when rejected
+  std::string reject_reason;   ///< human-readable reason when rejected
+};
+
+/// Snapshot of one job's externally visible state.
+struct JobStatus {
+  std::uint64_t job_id = 0;
+  std::string tenant;
+  std::string name;
+  JobState state = JobState::kQueued;
+  /// 0-based position in the tenant queue while QUEUED, else -1.
+  std::int64_t queue_position = -1;
+  std::string error;  ///< FAILED only
+};
+
+class JobManager {
+ public:
+  explicit JobManager(AdmissionConfig config = {});
+
+  /// Optional metrics registry: admission/lifecycle counters and queue-depth
+  /// gauges are kept current under the manager's own lock. Not owned; must
+  /// outlive the manager (or be detached with nullptr).
+  void set_registry(obs::MetricsRegistry* registry);
+
+  /// Admission-controlled enqueue. On success the stream is stored and a
+  /// fresh job id (monotone from 1) is returned; on rejection the outcome
+  /// carries a protocol error code + reason and nothing is stored.
+  SubmitOutcome submit(const std::string& tenant, const std::string& name,
+                       WorkloadStream stream);
+
+  /// Weighted-fair-share pick: pops the next job and marks it RUNNING.
+  /// nullopt when no job is queued.
+  std::optional<std::uint64_t> next_job();
+
+  /// The stored workload of a RUNNING job (moved out; call exactly once per
+  /// dispatch). Aborts if the job is not RUNNING.
+  WorkloadStream take_stream(std::uint64_t job_id);
+
+  /// Terminal transitions for the dispatcher. `result` is retained for
+  /// pickup via result(); `queue_latency_ms` feeds the latency histogram.
+  void complete(std::uint64_t job_id, obs::JsonValue result,
+                double queue_latency_ms);
+  void fail(std::uint64_t job_id, const std::string& error,
+            obs::JsonValue result, double queue_latency_ms);
+
+  /// Stops admission: subsequent submits reject with `draining`. Queued
+  /// jobs still dispatch (graceful drain finishes the backlog).
+  void begin_drain();
+  bool draining() const;
+
+  /// Cancels every queued job (shutdown semantics: in-flight work finishes,
+  /// the backlog does not). Returns how many jobs were cancelled.
+  std::size_t cancel_queued();
+
+  // -- Queries --------------------------------------------------------------
+  std::optional<JobStatus> status(std::uint64_t job_id) const;
+  /// Result document of a DONE/FAILED job; nullopt when unknown or not
+  /// finished yet.
+  std::optional<obs::JsonValue> result(std::uint64_t job_id) const;
+
+  /// True when no job is QUEUED or RUNNING.
+  bool idle() const;
+  std::size_t queued_total() const;
+
+  /// {"queued": n, "running": n, "submitted": n, "admitted": n, ...,
+  ///  "tenants": {name: {"queued": n, "weight": w, "admitted": n}}}.
+  obs::JsonValue stats() const;
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    std::string tenant;
+    std::string name;
+    WorkloadStream stream;
+    JobState state = JobState::kQueued;
+    std::string error;
+    obs::JsonValue result;
+    bool has_result = false;
+  };
+
+  struct Tenant {
+    std::deque<std::uint64_t> queue;
+    /// Stride-scheduling virtual time: pass += kStrideUnit / weight on each
+    /// dispatch. Fixed-point (integer) so accumulation is exact and
+    /// platform-independent.
+    std::uint64_t pass = 0;
+    int weight = 1;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+  };
+
+  static constexpr std::uint64_t kStrideUnit = 1u << 20;
+
+  void refresh_gauges_locked() MICCO_REQUIRES(mutex_);
+  SubmitOutcome reject_locked(const std::string& tenant, const char* code,
+                              const std::string& reason)
+      MICCO_REQUIRES(mutex_);
+
+  AdmissionConfig config_;
+  mutable Mutex mutex_;
+  obs::MetricsRegistry* registry_ MICCO_GUARDED_BY(mutex_) = nullptr;
+  std::map<std::uint64_t, Job> jobs_ MICCO_GUARDED_BY(mutex_);
+  std::map<std::string, Tenant> tenants_ MICCO_GUARDED_BY(mutex_);
+  std::uint64_t next_id_ MICCO_GUARDED_BY(mutex_) = 1;
+  std::size_t queued_ MICCO_GUARDED_BY(mutex_) = 0;
+  std::size_t running_ MICCO_GUARDED_BY(mutex_) = 0;
+  bool draining_ MICCO_GUARDED_BY(mutex_) = false;
+  /// Highest pass handed out so far: newly active tenants start here so a
+  /// tenant cannot bank credit while idle (standard stride re-entry rule).
+  std::uint64_t global_pass_ MICCO_GUARDED_BY(mutex_) = 0;
+
+  // Session totals (also mirrored into the registry when attached).
+  std::uint64_t submitted_ MICCO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t admitted_ MICCO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t rejected_ MICCO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t completed_ MICCO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t failed_ MICCO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t cancelled_ MICCO_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace micco::service

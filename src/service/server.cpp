@@ -1,0 +1,615 @@
+#include "service/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+#include "ml/serialize.hpp"
+#include "obs/report.hpp"
+#include "parallel/parallel.hpp"
+#include "workload/serialize.hpp"
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+namespace micco::service {
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)), jobs_(config_.admission) {
+  jobs_.set_registry(&telemetry_.registry);
+}
+
+Server::~Server() {
+  if (listener_ >= 0) ::close(listener_);
+  if (started_ && !config_.socket_path.empty()) {
+    ::unlink(config_.socket_path.c_str());
+  }
+}
+
+bool Server::start(std::string* error) {
+  const auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  if (started_) return fail("server already started");
+  if (config_.socket_path.empty()) return fail("socket path is empty");
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (config_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return fail("socket path too long (" +
+                std::to_string(config_.socket_path.size()) + " bytes, max " +
+                std::to_string(sizeof(addr.sun_path) - 1) + ")");
+  }
+  std::memcpy(addr.sun_path, config_.socket_path.c_str(),
+              config_.socket_path.size() + 1);
+
+  const std::string policy_problem = config_.retry.validate();
+  if (!policy_problem.empty()) return fail(policy_problem);
+  if (config_.faults != nullptr) {
+    const std::string plan_problem =
+        config_.faults->validate(config_.cluster.num_devices);
+    if (!plan_problem.empty()) return fail("fault plan: " + plan_problem);
+  }
+
+  // Bounds source: trained model when given, static triple otherwise.
+  if (!config_.model_path.empty()) {
+    std::ifstream in(config_.model_path);
+    if (!in.good()) {
+      return fail("cannot open model " + config_.model_path);
+    }
+    std::vector<std::unique_ptr<ml::Regressor>> models;
+    for (int b = 0; b < 3; ++b) {
+      std::string model_error;
+      auto model = ml::load_regressor(in, &model_error);
+      if (!model) return fail("bad model file: " + model_error);
+      models.push_back(std::move(model));
+    }
+    model_bounds_ = std::make_unique<RegressionBoundsProvider>(
+        ml::MultiOutputRegressor::from_models(std::move(models)), 2);
+  } else {
+    static_bounds_ = std::make_unique<FixedBounds>(config_.static_bounds);
+  }
+
+  // Session decision log.
+  if (!config_.decisions_path.empty()) {
+    decisions_file_.open(config_.decisions_path);
+    if (!decisions_file_.good()) {
+      return fail("cannot open decision log " + config_.decisions_path);
+    }
+    sink_ = std::make_unique<obs::BufferedJsonlEventSink>(decisions_file_);
+    telemetry_.sink = sink_.get();
+  }
+
+  // Fail on an unwritable report path before serving, not after.
+  if (!config_.report_path.empty() &&
+      !std::ofstream(config_.report_path).good()) {
+    return fail("cannot open report path " + config_.report_path);
+  }
+
+  scheduler_name_ = make_scheduler(config_.scheduler, config_.seed)->name();
+  device_busy_s_.assign(
+      static_cast<std::size_t>(config_.cluster.num_devices), 0.0);
+
+  listener_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener_ < 0) return fail("socket(): " + std::string(strerror(errno)));
+  if (::bind(listener_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(listener_);
+    listener_ = -1;
+    return fail("bind(" + config_.socket_path +
+                "): " + std::string(strerror(err)) +
+                (err == EADDRINUSE ? " (daemon already running, or stale "
+                                     "socket file — remove it first)"
+                                   : ""));
+  }
+  if (::listen(listener_, 64) != 0 || !set_nonblocking(listener_)) {
+    const int err = errno;
+    ::close(listener_);
+    listener_ = -1;
+    ::unlink(config_.socket_path.c_str());
+    return fail("listen(): " + std::string(strerror(err)));
+  }
+  started_ = true;
+  session_watch_.restart();
+  return true;
+}
+
+BoundsProvider* Server::bounds_provider() {
+  if (model_bounds_ != nullptr) return model_bounds_.get();
+  return static_bounds_.get();
+}
+
+void Server::request_drain() {
+  jobs_.begin_drain();
+  const MutexLock lock(state_mutex_);
+  phase_ = Phase::kDraining;
+  dispatch_ready_.notify_all();
+}
+
+void Server::request_shutdown() {
+  jobs_.begin_drain();
+  jobs_.cancel_queued();
+  const MutexLock lock(state_mutex_);
+  phase_ = Phase::kDraining;
+  dispatch_ready_.notify_all();
+}
+
+void Server::check_stop_flag() {
+  if (config_.stop_flag != nullptr && *config_.stop_flag != 0) {
+    request_drain();
+  }
+}
+
+bool Server::should_stop() {
+  const MutexLock lock(state_mutex_);
+  return phase_ == Phase::kDraining && jobs_.idle();
+}
+
+// ---------------------------------------------------------------------------
+// Request handling
+
+obs::JsonValue Server::handle_frame(const std::string& frame) {
+  std::string parse_error;
+  const std::optional<obs::JsonValue> doc =
+      obs::parse_json(frame, &parse_error);
+  if (!doc.has_value()) {
+    return make_error_response(error_code::kBadFrame,
+                               "malformed frame: " + parse_error);
+  }
+  obs::JsonValue error_reply;
+  const std::optional<Request> request = parse_request(*doc, &error_reply);
+  if (!request.has_value()) return error_reply;
+  return handle_request(*request);
+}
+
+obs::JsonValue Server::handle_request(const Request& request) {
+  switch (request.type) {
+    case MessageType::kSubmit:
+      return handle_submit(request);
+    case MessageType::kStatus:
+    case MessageType::kResult: {
+      const std::optional<JobStatus> status = jobs_.status(request.job_id);
+      if (!status.has_value()) {
+        return make_error_response(
+            error_code::kUnknownJob,
+            "no job " + std::to_string(request.job_id));
+      }
+      obs::JsonValue reply = make_ok_response();
+      reply.set("job_id", status->job_id);
+      reply.set("tenant", status->tenant);
+      if (!status->name.empty()) reply.set("job_name", status->name);
+      reply.set("state", to_string(status->state));
+      if (status->state == JobState::kQueued) {
+        reply.set("queue_position", status->queue_position);
+      }
+      if (status->state == JobState::kFailed && !status->error.empty()) {
+        reply.set("error", status->error);
+      }
+      const std::optional<obs::JsonValue> result = jobs_.result(request.job_id);
+      if (request.type == MessageType::kResult) {
+        if (!result.has_value()) {
+          return make_error_response(
+              error_code::kNotFinished,
+              "job " + std::to_string(request.job_id) + " is " +
+                  to_string(status->state));
+        }
+        reply.set("result", *result);
+      } else if (result.has_value()) {
+        // status replies include the result document once the job finished
+        // (the "per-vector scheduling stats" a DONE poll reads).
+        reply.set("result", *result);
+      }
+      return reply;
+    }
+    case MessageType::kDrain: {
+      request_drain();
+      obs::JsonValue reply = make_ok_response();
+      reply.set("draining", true);
+      return reply;
+    }
+    case MessageType::kShutdown: {
+      jobs_.begin_drain();
+      const std::size_t cancelled = jobs_.cancel_queued();
+      {
+        const MutexLock lock(state_mutex_);
+        phase_ = Phase::kDraining;
+        dispatch_ready_.notify_all();
+      }
+      obs::JsonValue reply = make_ok_response();
+      reply.set("draining", true);
+      reply.set("cancelled", static_cast<std::uint64_t>(cancelled));
+      return reply;
+    }
+    case MessageType::kStats: {
+      obs::JsonValue reply = make_ok_response();
+      reply.set("stats", jobs_.stats());
+      return reply;
+    }
+  }
+  return make_error_response(error_code::kBadRequest, "unhandled type");
+}
+
+obs::JsonValue Server::handle_submit(const Request& request) {
+  std::istringstream in(request.workload_text);
+  std::string load_error;
+  std::optional<WorkloadStream> stream = load_stream(in, &load_error);
+  if (!stream.has_value()) {
+    return make_error_response(error_code::kBadWorkload,
+                               "workload rejected: " + load_error);
+  }
+  const SubmitOutcome outcome =
+      jobs_.submit(request.tenant, request.job_name, std::move(*stream));
+  if (!outcome.admitted) {
+    return make_error_response(outcome.reject_code, outcome.reject_reason);
+  }
+  {
+    const MutexLock lock(state_mutex_);
+    submit_ms_[outcome.job_id] = session_watch_.elapsed_ms();
+    dispatch_ready_.notify_all();
+  }
+  obs::JsonValue reply = make_ok_response();
+  reply.set("job_id", outcome.job_id);
+  reply.set("tenant", request.tenant);
+  reply.set("state", to_string(JobState::kQueued));
+  return reply;
+}
+
+// ---------------------------------------------------------------------------
+// Job execution (dispatcher thread only)
+
+void Server::run_job(std::uint64_t job_id) {
+  const WorkloadStream stream = jobs_.take_stream(job_id);
+
+  // Fresh scheduler + fresh simulated cluster per job: job results are a
+  // pure function of (config, workload), independent of queue history.
+  const std::unique_ptr<Scheduler> scheduler =
+      make_scheduler(config_.scheduler, config_.seed);
+
+  RunOptions options;
+  options.bounds = bounds_provider();
+  options.telemetry = &telemetry_;
+  options.faults = config_.faults;
+  options.retry = config_.retry;
+  const RunResult result =
+      run_stream(stream, *scheduler, config_.cluster, options);
+
+  // Session aggregates for the serve-session report.
+  ++jobs_run_;
+  total_flops_ += result.metrics.total_flops;
+  total_makespan_s_ += result.metrics.makespan_s;
+  total_overhead_ms_ += result.scheduling_overhead_ms;
+  total_reused_ += result.metrics.reused_operands;
+  total_fetched_ += result.metrics.fetched_operands;
+  for (std::size_t d = 0;
+       d < result.device_busy_s.size() && d < device_busy_s_.size(); ++d) {
+    device_busy_s_[d] += result.device_busy_s[d];
+  }
+
+  // Result document retained for pickup: the run summary plus the
+  // per-vector characteristics the bounds model served online.
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc.set("scheduler", result.scheduler_name);
+  doc.set("completed", result.completed);
+  if (!result.error.empty()) doc.set("error", result.error);
+  doc.set("makespan_s", result.metrics.makespan_s);
+  doc.set("gflops", result.metrics.gflops());
+  doc.set("reuse_rate", result.metrics.reuse_rate());
+  doc.set("scheduling_overhead_ms", result.scheduling_overhead_ms);
+  doc.set("vectors",
+          static_cast<std::uint64_t>(result.per_vector_characteristics.size()));
+  if (result.devices_lost > 0 || result.tasks_reexecuted > 0) {
+    doc.set("devices_lost", result.devices_lost);
+    doc.set("tasks_reexecuted", result.tasks_reexecuted);
+    doc.set("recovered", result.recovered);
+  }
+  obs::JsonValue vectors = obs::JsonValue::array();
+  for (const DataCharacteristics& c : result.per_vector_characteristics) {
+    obs::JsonValue entry = obs::JsonValue::object();
+    entry.set("vector_size", c.vector_size);
+    entry.set("tensor_extent", c.tensor_extent);
+    entry.set("distribution_bias", c.distribution_bias);
+    entry.set("repeated_rate", c.repeated_rate);
+    vectors.push_back(std::move(entry));
+  }
+  doc.set("per_vector", std::move(vectors));
+
+  double latency_ms = 0.0;
+  {
+    const MutexLock lock(state_mutex_);
+    const auto it = submit_ms_.find(job_id);
+    if (it != submit_ms_.end()) {
+      latency_ms = session_watch_.elapsed_ms() - it->second;
+      submit_ms_.erase(it);
+    }
+  }
+  doc.set("queue_latency_ms", latency_ms);
+  if (result.completed) {
+    jobs_.complete(job_id, std::move(doc), latency_ms);
+  } else {
+    jobs_.fail(job_id, result.error, std::move(doc), latency_ms);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Socket I/O
+
+void Server::io_once(std::vector<std::unique_ptr<Connection>>& conns,
+                     int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.reserve(conns.size() + 1);
+  pollfd lf{};
+  lf.fd = listener_;
+  lf.events = POLLIN;
+  fds.push_back(lf);
+  for (const std::unique_ptr<Connection>& conn : conns) {
+    pollfd pf{};
+    pf.fd = conn->fd;
+    pf.events = POLLIN;
+    if (!conn->outbuf.empty()) pf.events |= POLLOUT;
+    fds.push_back(pf);
+  }
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready <= 0) return;
+
+  // Accept every pending connection.
+  if ((fds[0].revents & POLLIN) != 0) {
+    for (;;) {
+      const int fd = ::accept(listener_, nullptr, nullptr);
+      if (fd < 0) break;  // EAGAIN (or another lane won the race)
+      if (!set_nonblocking(fd)) {
+        ::close(fd);
+        continue;
+      }
+      auto conn = std::make_unique<Connection>(config_.max_frame_bytes);
+      conn->fd = fd;
+      conns.push_back(std::move(conn));
+    }
+  }
+
+  // Service existing connections; dead ones are compacted out afterwards.
+  for (std::size_t i = 0; i < conns.size(); ++i) {
+    Connection& conn = *conns[i];
+    const pollfd* pf = nullptr;
+    for (std::size_t f = 1; f < fds.size(); ++f) {
+      if (fds[f].fd == conn.fd) {
+        pf = &fds[f];
+        break;
+      }
+    }
+    if (pf == nullptr) continue;  // accepted this round; polled next round
+    bool dead = (pf->revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+                (pf->revents & POLLIN) == 0;
+    if ((pf->revents & POLLIN) != 0) {
+      char buf[64 * 1024];
+      for (;;) {
+        const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+          conn.reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+          continue;
+        }
+        if (n == 0) dead = true;  // orderly peer close
+        break;                    // EAGAIN or error
+      }
+      for (;;) {
+        bool oversized = false;
+        const std::optional<std::string> frame =
+            conn.reader.next_frame(&oversized);
+        if (oversized) {
+          conn.outbuf += encode_frame(make_error_response(
+              error_code::kFrameTooLong,
+              "frame exceeds " + std::to_string(config_.max_frame_bytes) +
+                  " bytes"));
+        }
+        if (!frame.has_value()) break;
+        conn.outbuf += encode_frame(handle_frame(*frame));
+      }
+    }
+    if (!conn.outbuf.empty()) {
+      const ssize_t n = ::send(conn.fd, conn.outbuf.data(),
+                               conn.outbuf.size(), MSG_NOSIGNAL);
+      if (n > 0) {
+        conn.outbuf.erase(0, static_cast<std::size_t>(n));
+      } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+        dead = true;
+      }
+    }
+    if (dead && conn.outbuf.empty()) {
+      ::close(conn.fd);
+      conn.fd = -1;
+    }
+  }
+  conns.erase(std::remove_if(conns.begin(), conns.end(),
+                             [](const std::unique_ptr<Connection>& c) {
+                               return c->fd < 0;
+                             }),
+              conns.end());
+}
+
+void Server::io_loop(std::vector<std::unique_ptr<Connection>>& conns) {
+  for (;;) {
+    check_stop_flag();
+    {
+      const MutexLock lock(state_mutex_);
+      if (stopped_) break;
+    }
+    io_once(conns, config_.poll_timeout_ms);
+  }
+  // Give queued replies one last chance to leave, then hang up.
+  Stopwatch flush_watch;
+  bool pending = true;
+  while (pending && flush_watch.elapsed_ms() < 500.0) {
+    pending = false;
+    for (const std::unique_ptr<Connection>& conn : conns) {
+      if (!conn->outbuf.empty()) pending = true;
+    }
+    if (pending) io_once(conns, 10);
+  }
+  for (const std::unique_ptr<Connection>& conn : conns) {
+    if (conn->fd >= 0) ::close(conn->fd);
+    conn->fd = -1;
+  }
+  conns.clear();
+}
+
+void Server::dispatcher_loop() {
+  for (;;) {
+    std::optional<std::uint64_t> job;
+    {
+      const MutexLock lock(state_mutex_);
+      for (;;) {
+        job = jobs_.next_job();
+        if (job.has_value()) break;
+        if (phase_ == Phase::kDraining && jobs_.idle()) {
+          stopped_ = true;
+          return;
+        }
+        dispatch_ready_.wait(state_mutex_);
+      }
+    }
+    run_job(*job);
+  }
+}
+
+void Server::serve_serial() {
+  std::vector<std::unique_ptr<Connection>> conns;
+  for (;;) {
+    check_stop_flag();
+    io_once(conns, jobs_.queued_total() > 0 ? 0 : config_.poll_timeout_ms);
+    if (const std::optional<std::uint64_t> job = jobs_.next_job()) {
+      run_job(*job);
+      continue;
+    }
+    if (should_stop()) break;
+  }
+  {
+    const MutexLock lock(state_mutex_);
+    stopped_ = true;
+  }
+  // Flush pending replies (the drain acknowledgement, typically).
+  Stopwatch flush_watch;
+  bool pending = true;
+  while (pending && flush_watch.elapsed_ms() < 500.0) {
+    pending = false;
+    for (const std::unique_ptr<Connection>& conn : conns) {
+      if (!conn->outbuf.empty()) pending = true;
+    }
+    if (pending) io_once(conns, 10);
+  }
+  for (const std::unique_ptr<Connection>& conn : conns) {
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
+}
+
+void Server::serve_parallel(int lanes) {
+  // Lane 0 dispatches; lanes 1..n service connections. Each I/O lane owns
+  // the connections it accepted (the kernel load-balances accept() across
+  // lanes polling the shared listener).
+  parallel::parallel_for(
+      static_cast<std::size_t>(lanes) + 1, [this](std::size_t lane) {
+        if (lane == 0) {
+          dispatcher_loop();
+        } else {
+          std::vector<std::unique_ptr<Connection>> conns;
+          io_loop(conns);
+        }
+      });
+}
+
+int Server::serve() {
+  MICCO_EXPECTS_MSG(started_, "call start() before serve()");
+
+  // The serial loop is the deterministic configuration; I/O fans out over
+  // the worker pool only when the pool actually has lanes to spare.
+  const int pool = parallel::configured_threads();
+  const int lanes = std::min(config_.io_lanes, pool - 1);
+  if (lanes >= 1) {
+    serve_parallel(lanes);
+  } else {
+    serve_serial();
+  }
+
+  ::close(listener_);
+  listener_ = -1;
+
+  if (sink_ != nullptr) sink_->flush();
+
+  if (!config_.report_path.empty()) {
+    const obs::JsonValue report = session_report();
+    const std::string complaint = obs::validate_report(report);
+    if (!complaint.empty()) {
+      log_error() << "serve: session report invalid: " << complaint;
+      return 1;
+    }
+    obs::write_report_file(report, config_.report_path);
+  }
+  return 0;
+}
+
+obs::JsonValue Server::session_report() const {
+  obs::ReportInputs in;
+  in.scheduler = scheduler_name_;
+  in.num_devices = config_.cluster.num_devices;
+  in.makespan_s = total_makespan_s_;
+  in.gflops = total_makespan_s_ > 0.0
+                  ? static_cast<double>(total_flops_) / total_makespan_s_ / 1e9
+                  : 0.0;
+  in.scheduling_overhead_ms = total_overhead_ms_;
+  const std::uint64_t operands = total_reused_ + total_fetched_;
+  in.reuse_rate = operands > 0 ? static_cast<double>(total_reused_) /
+                                     static_cast<double>(operands)
+                               : 0.0;
+
+  obs::JsonValue metrics = obs::JsonValue::object();
+  metrics.set("jobs_run", jobs_run_);
+  metrics.set("total_flops", total_flops_);
+  metrics.set("makespan_s", total_makespan_s_);
+  metrics.set("reused_operands", total_reused_);
+  metrics.set("fetched_operands", total_fetched_);
+  in.metrics = std::move(metrics);
+
+  double busy_max = 0.0;
+  double busy_sum = 0.0;
+  for (std::size_t d = 0; d < device_busy_s_.size(); ++d) {
+    const double busy = device_busy_s_[d];
+    busy_max = std::max(busy_max, busy);
+    busy_sum += busy;
+    obs::DeviceRollup rollup;
+    rollup.device = static_cast<int>(d);
+    rollup.busy_s = busy;
+    rollup.utilization =
+        total_makespan_s_ > 0.0 ? busy / total_makespan_s_ : 0.0;
+    in.devices.push_back(rollup);
+  }
+  const double busy_mean =
+      device_busy_s_.empty()
+          ? 0.0
+          : busy_sum / static_cast<double>(device_busy_s_.size());
+  in.imbalance_ratio = busy_mean > 0.0 ? busy_max / busy_mean : 0.0;
+
+  return obs::build_report(in, telemetry_.registry);
+}
+
+}  // namespace micco::service

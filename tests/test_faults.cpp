@@ -2,6 +2,8 @@
 // parsing/validation, and FaultInjector runtime behaviour.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "faults/fault_plan.hpp"
@@ -32,6 +34,36 @@ TEST(RetryPolicy, BackoffCappedAtMax) {
   EXPECT_DOUBLE_EQ(p.backoff(1), 0.05);
   EXPECT_DOUBLE_EQ(p.backoff(2), 0.1);
   EXPECT_DOUBLE_EQ(p.backoff(10), 0.1);
+}
+
+TEST(RetryPolicy, BackoffSaturatesAtHighAttemptCounts) {
+  // attempt 64 would compute base * 2^63 — far past double's comfort zone
+  // with a naive loop; the closed form must clamp to max_backoff_s and stay
+  // finite at any attempt count.
+  RetryPolicy p;
+  p.base_backoff_s = 1e-4;
+  p.multiplier = 2.0;
+  p.max_backoff_s = 0.1;
+  EXPECT_DOUBLE_EQ(p.backoff(64), 0.1);
+  EXPECT_DOUBLE_EQ(p.backoff(1 << 20), 0.1);
+  EXPECT_DOUBLE_EQ(p.backoff(std::numeric_limits<int>::max()), 0.1);
+  EXPECT_TRUE(std::isfinite(p.backoff(4096)));
+}
+
+TEST(RetryPolicy, BackoffDegenerateBaseAndMultiplier) {
+  // base 0: every backoff is zero, at any attempt, in O(1).
+  RetryPolicy zero;
+  zero.base_backoff_s = 0.0;
+  EXPECT_DOUBLE_EQ(zero.backoff(1), 0.0);
+  EXPECT_DOUBLE_EQ(zero.backoff(1 << 30), 0.0);
+
+  // multiplier 1: constant backoff, no growth, no loop.
+  RetryPolicy flat;
+  flat.base_backoff_s = 5e-3;
+  flat.multiplier = 1.0;
+  flat.max_backoff_s = 0.1;
+  EXPECT_DOUBLE_EQ(flat.backoff(1), 5e-3);
+  EXPECT_DOUBLE_EQ(flat.backoff(1 << 30), 5e-3);
 }
 
 TEST(RetryPolicy, DefaultsAreValid) {

@@ -1,0 +1,280 @@
+// Unit tests for the daemon's job book of record: admission control,
+// weighted fair-share dispatch, the job lifecycle, and drain semantics.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "service/job_manager.hpp"
+#include "workload/synthetic.hpp"
+
+namespace micco::service {
+namespace {
+
+WorkloadStream tiny_stream(std::uint64_t seed = 1) {
+  SyntheticConfig cfg;
+  cfg.num_vectors = 1;
+  cfg.vector_size = 8;
+  cfg.seed = seed;
+  return generate_synthetic(cfg);
+}
+
+TEST(JobManager, LifecycleQueuedRunningDone) {
+  JobManager jobs;
+  const SubmitOutcome outcome = jobs.submit("alice", "job-a", tiny_stream());
+  ASSERT_TRUE(outcome.admitted);
+  EXPECT_EQ(outcome.job_id, 1u);
+  EXPECT_EQ(jobs.status(1)->state, JobState::kQueued);
+  EXPECT_EQ(jobs.status(1)->queue_position, 0);
+  EXPECT_FALSE(jobs.result(1).has_value());
+
+  const auto picked = jobs.next_job();
+  ASSERT_TRUE(picked.has_value());
+  EXPECT_EQ(*picked, 1u);
+  EXPECT_EQ(jobs.status(1)->state, JobState::kRunning);
+  const WorkloadStream stream = jobs.take_stream(1);
+  EXPECT_FALSE(stream.vectors.empty());
+
+  obs::JsonValue result = obs::JsonValue::object();
+  result.set("makespan_s", 0.5);
+  jobs.complete(1, std::move(result), 12.0);
+  EXPECT_EQ(jobs.status(1)->state, JobState::kDone);
+  ASSERT_TRUE(jobs.result(1).has_value());
+  EXPECT_DOUBLE_EQ(jobs.result(1)->at("makespan_s").as_double(), 0.5);
+  EXPECT_TRUE(jobs.idle());
+}
+
+TEST(JobManager, FailedJobKeepsErrorAndResult) {
+  JobManager jobs;
+  ASSERT_TRUE(jobs.submit("t", "", tiny_stream()).admitted);
+  ASSERT_TRUE(jobs.next_job().has_value());
+  obs::JsonValue result = obs::JsonValue::object();
+  result.set("completed", false);
+  jobs.fail(1, "device 0 lost", std::move(result), 3.0);
+  EXPECT_EQ(jobs.status(1)->state, JobState::kFailed);
+  EXPECT_EQ(jobs.status(1)->error, "device 0 lost");
+  EXPECT_TRUE(jobs.result(1).has_value());
+}
+
+TEST(JobManager, UnknownJobQueriesReturnNullopt) {
+  JobManager jobs;
+  EXPECT_FALSE(jobs.status(42).has_value());
+  EXPECT_FALSE(jobs.result(42).has_value());
+  EXPECT_FALSE(jobs.next_job().has_value());
+}
+
+TEST(JobManager, PerTenantQueueDepthRejects) {
+  AdmissionConfig config;
+  config.max_queue_per_tenant = 2;
+  JobManager jobs(config);
+  EXPECT_TRUE(jobs.submit("a", "", tiny_stream()).admitted);
+  EXPECT_TRUE(jobs.submit("a", "", tiny_stream()).admitted);
+  const SubmitOutcome rejected = jobs.submit("a", "", tiny_stream());
+  EXPECT_FALSE(rejected.admitted);
+  EXPECT_EQ(rejected.reject_code, "queue_full");
+  EXPECT_FALSE(rejected.reject_reason.empty());
+  // Another tenant is unaffected by a's full queue.
+  EXPECT_TRUE(jobs.submit("b", "", tiny_stream()).admitted);
+}
+
+TEST(JobManager, TotalQueueDepthRejects) {
+  AdmissionConfig config;
+  config.max_queue_per_tenant = 64;
+  config.max_queued_total = 3;
+  JobManager jobs(config);
+  EXPECT_TRUE(jobs.submit("a", "", tiny_stream()).admitted);
+  EXPECT_TRUE(jobs.submit("b", "", tiny_stream()).admitted);
+  EXPECT_TRUE(jobs.submit("c", "", tiny_stream()).admitted);
+  const SubmitOutcome rejected = jobs.submit("d", "", tiny_stream());
+  EXPECT_FALSE(rejected.admitted);
+  EXPECT_EQ(rejected.reject_code, "queue_full");
+}
+
+TEST(JobManager, DrainRejectsNewWorkButFinishesBacklog) {
+  JobManager jobs;
+  ASSERT_TRUE(jobs.submit("a", "", tiny_stream()).admitted);
+  jobs.begin_drain();
+  EXPECT_TRUE(jobs.draining());
+  const SubmitOutcome rejected = jobs.submit("a", "", tiny_stream());
+  EXPECT_FALSE(rejected.admitted);
+  EXPECT_EQ(rejected.reject_code, "draining");
+  // The queued job still dispatches.
+  ASSERT_TRUE(jobs.next_job().has_value());
+  jobs.complete(1, obs::JsonValue::object(), 1.0);
+  EXPECT_TRUE(jobs.idle());
+}
+
+TEST(JobManager, CancelQueuedEmptiesBacklog) {
+  JobManager jobs;
+  ASSERT_TRUE(jobs.submit("a", "", tiny_stream()).admitted);
+  ASSERT_TRUE(jobs.submit("b", "", tiny_stream()).admitted);
+  ASSERT_TRUE(jobs.next_job().has_value());  // job 1 now RUNNING
+  EXPECT_EQ(jobs.cancel_queued(), 1u);       // job 2 cancelled
+  EXPECT_EQ(jobs.status(2)->state, JobState::kCancelled);
+  EXPECT_FALSE(jobs.idle());  // job 1 still in flight
+  jobs.complete(1, obs::JsonValue::object(), 1.0);
+  EXPECT_TRUE(jobs.idle());
+  EXPECT_FALSE(jobs.next_job().has_value());
+}
+
+TEST(JobManager, FairShareFollowsWeights) {
+  // alice weight 3, bob weight 1 → over 8 dispatches alice gets 6, bob 2.
+  AdmissionConfig config;
+  config.tenant_weights["alice"] = 3;
+  JobManager jobs(config);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(jobs.submit("alice", "", tiny_stream()).admitted);
+  }
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(jobs.submit("bob", "", tiny_stream()).admitted);
+  }
+  std::map<std::string, int> dispatched;
+  for (int i = 0; i < 8; ++i) {
+    const auto id = jobs.next_job();
+    ASSERT_TRUE(id.has_value());
+    ++dispatched[jobs.status(*id)->tenant];
+    jobs.complete(*id, obs::JsonValue::object(), 0.0);
+  }
+  EXPECT_EQ(dispatched["alice"], 6);
+  EXPECT_EQ(dispatched["bob"], 2);
+}
+
+TEST(JobManager, EqualWeightsAlternate) {
+  JobManager jobs;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(jobs.submit("a", "", tiny_stream()).admitted);
+    ASSERT_TRUE(jobs.submit("b", "", tiny_stream()).admitted);
+  }
+  std::vector<std::string> order;
+  while (const auto id = jobs.next_job()) {
+    order.push_back(jobs.status(*id)->tenant);
+    jobs.complete(*id, obs::JsonValue::object(), 0.0);
+  }
+  const std::vector<std::string> expected{"a", "b", "a", "b", "a", "b"};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(JobManager, IdleTenantCannotBankCredit) {
+  // b sits idle while a dispatches many jobs; when b finally submits it must
+  // not get a burst of consecutive dispatches (stride re-entry rule).
+  JobManager jobs;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(jobs.submit("a", "", tiny_stream()).admitted);
+  }
+  for (int i = 0; i < 10; ++i) {
+    const auto id = jobs.next_job();
+    ASSERT_TRUE(id.has_value());
+    jobs.complete(*id, obs::JsonValue::object(), 0.0);
+  }
+  // Now b joins with a backlog, a refills too.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(jobs.submit("b", "", tiny_stream()).admitted);
+    ASSERT_TRUE(jobs.submit("a", "", tiny_stream()).admitted);
+  }
+  std::vector<std::string> order;
+  for (int i = 0; i < 4; ++i) {
+    const auto id = jobs.next_job();
+    ASSERT_TRUE(id.has_value());
+    order.push_back(jobs.status(*id)->tenant);
+    jobs.complete(*id, obs::JsonValue::object(), 0.0);
+  }
+  // Alternation, not a b-burst. Tie at re-entry breaks by name: a first.
+  const std::vector<std::string> expected{"a", "b", "a", "b"};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(JobManager, StatsAndMetricsAccounting) {
+  obs::MetricsRegistry registry;
+  AdmissionConfig config;
+  config.max_queue_per_tenant = 1;
+  JobManager jobs(config);
+  jobs.set_registry(&registry);
+
+  ASSERT_TRUE(jobs.submit("a", "", tiny_stream()).admitted);
+  ASSERT_FALSE(jobs.submit("a", "", tiny_stream()).admitted);
+  ASSERT_TRUE(jobs.next_job().has_value());
+  jobs.complete(1, obs::JsonValue::object(), 7.0);
+
+  const obs::JsonValue stats = jobs.stats();
+  EXPECT_EQ(stats.at("submitted").as_int(), 2);
+  EXPECT_EQ(stats.at("admitted").as_int(), 1);
+  EXPECT_EQ(stats.at("rejected").as_int(), 1);
+  EXPECT_EQ(stats.at("completed").as_int(), 1);
+  EXPECT_EQ(stats.at("queued").as_int(), 0);
+  EXPECT_EQ(stats.at("tenants").at("a").at("admitted").as_int(), 1);
+  EXPECT_EQ(stats.at("tenants").at("a").at("rejected").as_int(), 1);
+
+  // The registry mirrors the same accounting.
+  EXPECT_EQ(registry.counter("service.submitted").value(), 2u);
+  EXPECT_EQ(registry.counter("service.admitted").value(), 1u);
+  EXPECT_EQ(registry.counter("service.rejected").value(), 1u);
+  EXPECT_EQ(registry.counter("service.completed").value(), 1u);
+  EXPECT_DOUBLE_EQ(registry.gauge("service.queued").value(), 0.0);
+}
+
+TEST(JobManager, ConcurrentSubmitsKeepAccountingExact) {
+  // Eight submitter threads race a dispatcher thread; whatever interleaving
+  // happens, admitted + rejected == submitted and every admitted job reaches
+  // a terminal state.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 40;
+  AdmissionConfig config;
+  config.max_queue_per_tenant = 8;  // tight: forces real rejections
+  JobManager jobs(config);
+
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&jobs, t] {
+      const std::string tenant = "tenant-" + std::to_string(t % 4);
+      for (int i = 0; i < kPerThread; ++i) {
+        jobs.submit(tenant, "", tiny_stream(static_cast<std::uint64_t>(i)));
+      }
+    });
+  }
+  std::thread dispatcher([&jobs] {
+    int drained_rounds = 0;
+    while (drained_rounds < 100) {
+      if (const auto id = jobs.next_job()) {
+        (void)jobs.take_stream(*id);
+        jobs.complete(*id, obs::JsonValue::object(), 0.0);
+        drained_rounds = 0;
+      } else {
+        ++drained_rounds;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  });
+  for (std::thread& t : submitters) t.join();
+  dispatcher.join();
+  // Finish anything still queued after the dispatcher gave up.
+  while (const auto id = jobs.next_job()) {
+    (void)jobs.take_stream(*id);
+    jobs.complete(*id, obs::JsonValue::object(), 0.0);
+  }
+
+  const obs::JsonValue stats = jobs.stats();
+  EXPECT_EQ(stats.at("submitted").as_int(), kThreads * kPerThread);
+  EXPECT_EQ(stats.at("admitted").as_int() + stats.at("rejected").as_int(),
+            stats.at("submitted").as_int());
+  EXPECT_EQ(stats.at("completed").as_int(), stats.at("admitted").as_int());
+  EXPECT_EQ(stats.at("queued").as_int(), 0);
+  EXPECT_EQ(stats.at("running").as_int(), 0);
+  EXPECT_TRUE(jobs.idle());
+}
+
+TEST(JobManager, JobIdsAreMonotoneFromOne) {
+  JobManager jobs;
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    const SubmitOutcome outcome = jobs.submit("t", "", tiny_stream());
+    ASSERT_TRUE(outcome.admitted);
+    EXPECT_EQ(outcome.job_id, i);
+  }
+}
+
+}  // namespace
+}  // namespace micco::service

@@ -53,6 +53,27 @@ TEST(ObsJson, EscapesControlCharactersAndQuotes) {
   EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
 }
 
+TEST(ObsJson, ControlBytesRoundTripAndStayOnOneLine) {
+  // NDJSON framing (service/protocol.hpp) relies on every control byte —
+  // 0x00 through 0x1F — surviving a dump/parse round trip without ever
+  // emitting a literal newline or other control character into the output.
+  for (int byte = 0x00; byte <= 0x1F; ++byte) {
+    const std::string raw =
+        "pre" + std::string(1, static_cast<char>(byte)) + "post";
+    JsonValue doc = JsonValue::object();
+    doc.set("s", raw);
+    const std::string text = doc.dump();
+    for (const char c : text) {
+      EXPECT_GE(static_cast<unsigned char>(c), 0x20)
+          << "dump leaked control byte " << byte << " into the frame";
+    }
+    std::string error;
+    const auto parsed = parse_json(text, &error);
+    ASSERT_TRUE(parsed.has_value()) << "byte " << byte << ": " << error;
+    EXPECT_EQ(parsed->at("s").as_string(), raw) << "byte " << byte;
+  }
+}
+
 TEST(ObsJson, NumberFormattingIsDeterministic) {
   EXPECT_EQ(json_number(1.0), "1");
   EXPECT_EQ(json_number(-3.0), "-3");

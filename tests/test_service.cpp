@@ -1,0 +1,459 @@
+// End-to-end tests of the scheduling daemon: a real Server on a Unix-domain
+// socket, driven through the Client library — submit/status/result/stats/
+// drain, deterministic serving (byte-identical decision logs across
+// sessions), concurrent submits from many client threads, oversized-frame
+// handling over the wire, and fault-tolerant serving.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/report.hpp"
+#include "parallel/parallel.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "workload/serialize.hpp"
+#include "workload/synthetic.hpp"
+
+namespace micco::service {
+namespace {
+
+/// Fresh socket path for one test (unlinks any stale leftover).
+std::string test_socket_path(const std::string& tag) {
+  const std::string path =
+      "/tmp/micco_svc_" + std::to_string(::getpid()) + "_" + tag + ".sock";
+  ::unlink(path.c_str());
+  return path;
+}
+
+std::string tmp_file_path(const std::string& tag) {
+  return "/tmp/micco_svc_" + std::to_string(::getpid()) + "_" + tag;
+}
+
+/// A small deterministic workload serialized to the wire text format.
+std::string workload_text(std::uint64_t seed, int vectors = 1,
+                          int vector_size = 8) {
+  SyntheticConfig cfg;
+  cfg.num_vectors = vectors;
+  cfg.vector_size = vector_size;
+  cfg.seed = seed;
+  std::ostringstream out;
+  save_stream(generate_synthetic(cfg), out);
+  return out.str();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Runs serve() on a background thread once start() succeeded.
+class ServeSession {
+ public:
+  explicit ServeSession(ServerConfig config) : server_(std::move(config)) {}
+
+  ~ServeSession() {
+    if (thread_.joinable()) {
+      server_.request_shutdown();
+      thread_.join();
+    }
+  }
+
+  bool begin(std::string* error) {
+    if (!server_.start(error)) return false;
+    thread_ = std::thread([this] { exit_code_ = server_.serve(); });
+    return true;
+  }
+
+  int join() {
+    thread_.join();
+    return exit_code_;
+  }
+
+  Server& server() { return server_; }
+
+ private:
+  Server server_;
+  std::thread thread_;
+  int exit_code_ = -1;
+};
+
+/// Polls status until the job leaves QUEUED/RUNNING; returns the final
+/// status reply.
+obs::JsonValue wait_for_job(Client& client, std::uint64_t job_id) {
+  for (;;) {
+    std::string error;
+    const auto reply = client.status(job_id, &error);
+    EXPECT_TRUE(reply.has_value()) << error;
+    if (!reply.has_value()) return obs::JsonValue();
+    const std::string& state = reply->at("state").as_string();
+    if (state != "QUEUED" && state != "RUNNING") return *reply;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+TEST(Service, EndToEndSubmitStatusResultDrain) {
+  const std::string socket = test_socket_path("e2e");
+  const std::string report_path = tmp_file_path("e2e_report.json");
+  ServerConfig config;
+  config.socket_path = socket;
+  config.cluster.num_devices = 4;
+  config.report_path = report_path;
+
+  ServeSession session(std::move(config));
+  std::string error;
+  ASSERT_TRUE(session.begin(&error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.connect(socket, &error)) << error;
+
+  const auto submitted =
+      client.submit("alice", "first-job", workload_text(11), &error);
+  ASSERT_TRUE(submitted.has_value()) << error;
+  ASSERT_TRUE(submitted->at("ok").as_bool()) << submitted->dump();
+  const auto job_id =
+      static_cast<std::uint64_t>(submitted->at("job_id").as_int());
+  EXPECT_EQ(job_id, 1u);
+  EXPECT_EQ(submitted->at("state").as_string(), "QUEUED");
+
+  const obs::JsonValue final_status = wait_for_job(client, job_id);
+  EXPECT_EQ(final_status.at("state").as_string(), "DONE");
+  EXPECT_EQ(final_status.at("tenant").as_string(), "alice");
+  EXPECT_EQ(final_status.at("job_name").as_string(), "first-job");
+
+  // The result document is available both piggybacked on status and via a
+  // dedicated result request.
+  const auto result_reply = client.result(job_id, &error);
+  ASSERT_TRUE(result_reply.has_value()) << error;
+  ASSERT_TRUE(result_reply->at("ok").as_bool()) << result_reply->dump();
+  const obs::JsonValue& result = result_reply->at("result");
+  EXPECT_TRUE(result.at("completed").as_bool());
+  EXPECT_GT(result.at("makespan_s").as_double(), 0.0);
+  EXPECT_GT(result.at("gflops").as_double(), 0.0);
+  EXPECT_EQ(result.at("vectors").as_int(), 1);
+
+  // Unknown job → structured error, connection stays usable.
+  const auto unknown = client.status(999, &error);
+  ASSERT_TRUE(unknown.has_value()) << error;
+  EXPECT_FALSE(unknown->at("ok").as_bool());
+  EXPECT_EQ(unknown->at("code").as_string(), error_code::kUnknownJob);
+
+  // Result of a queued-but-unfinished job → not_finished. Submit during
+  // normal serving, then query result immediately after drain begins.
+  const auto stats = client.stats(&error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_EQ(stats->at("stats").at("completed").as_int(), 1);
+
+  // Pipeline the drain request and a follow-up submit in a single write so
+  // the server handles both frames in the same pass: once drain lands, the
+  // submit must get a structured `draining` reject (not a dropped
+  // connection), even though the idle server stops right after.
+  const std::string pipelined =
+      encode_frame(make_plain_request(MessageType::kDrain)) +
+      encode_frame(make_submit_request("alice", "", workload_text(12)));
+  ASSERT_TRUE(client.send_raw(pipelined, &error)) << error;
+  const auto drained = client.read_reply(&error);
+  ASSERT_TRUE(drained.has_value()) << error;
+  EXPECT_TRUE(drained->at("ok").as_bool()) << drained->dump();
+  const auto rejected = client.read_reply(&error);
+  ASSERT_TRUE(rejected.has_value()) << error;
+  EXPECT_FALSE(rejected->at("ok").as_bool());
+  EXPECT_EQ(rejected->at("code").as_string(), error_code::kDraining);
+
+  client.close();
+  EXPECT_EQ(session.join(), 0);
+
+  // The session wrote a report that parses and validates like batch runs.
+  const std::string report_text = read_file(report_path);
+  ASSERT_FALSE(report_text.empty());
+  const auto report = obs::parse_json(report_text, &error);
+  ASSERT_TRUE(report.has_value()) << error;
+  EXPECT_EQ(obs::validate_report(*report), "");
+  EXPECT_EQ(report->at("metrics").at("jobs_run").as_int(), 1);
+  std::remove(report_path.c_str());
+}
+
+TEST(Service, DeterministicDecisionLogsAcrossSessions) {
+  // Two serial (--threads=1 equivalent) sessions fed the same submission
+  // sequence must produce byte-identical decision logs.
+  std::vector<std::string> logs;
+  for (int round = 0; round < 2; ++round) {
+    const std::string tag = "det" + std::to_string(round);
+    const std::string socket = test_socket_path(tag);
+    const std::string decisions = tmp_file_path(tag + ".jsonl");
+    ServerConfig config;
+    config.socket_path = socket;
+    config.cluster.num_devices = 4;
+    config.seed = 7;
+    config.io_lanes = 0;  // serial: I/O and dispatch share one thread
+    config.decisions_path = decisions;
+
+    ServeSession session(std::move(config));
+    std::string error;
+    ASSERT_TRUE(session.begin(&error)) << error;
+
+    Client client;
+    ASSERT_TRUE(client.connect(socket, &error)) << error;
+    for (const std::uint64_t seed : {21u, 22u, 23u}) {
+      const std::string tenant = seed % 2 == 0 ? "even" : "odd";
+      const auto reply =
+          client.submit(tenant, "", workload_text(seed), &error);
+      ASSERT_TRUE(reply.has_value()) << error;
+      ASSERT_TRUE(reply->at("ok").as_bool()) << reply->dump();
+    }
+    // Wait for the backlog, then drain.
+    wait_for_job(client, 3);
+    ASSERT_TRUE(client.drain(&error).has_value()) << error;
+    client.close();
+    EXPECT_EQ(session.join(), 0);
+
+    logs.push_back(read_file(decisions));
+    std::remove(decisions.c_str());
+  }
+  ASSERT_FALSE(logs[0].empty());
+  EXPECT_EQ(logs[0], logs[1]) << "decision logs diverged across sessions";
+}
+
+TEST(Service, ConcurrentSubmitsFromEightThreads) {
+  // Eight client threads hammer a parallel-mode server; accounting must
+  // balance exactly (admitted + rejected == submitted, everything admitted
+  // eventually completes) and the totals must match a serial session's.
+  parallel::set_threads(4);  // dispatcher + 3 I/O lanes
+  constexpr int kThreads = 8;
+  constexpr int kJobsPerThread = 3;
+
+  std::map<std::string, std::int64_t> totals;
+  for (const int lanes : {3, 0}) {  // parallel first, then serial reference
+    const std::string tag = "conc" + std::to_string(lanes);
+    const std::string socket = test_socket_path(tag);
+    ServerConfig config;
+    config.socket_path = socket;
+    config.cluster.num_devices = 2;
+    config.io_lanes = lanes;
+    config.admission.max_queue_per_tenant = kJobsPerThread;
+    config.admission.max_queued_total = kThreads * kJobsPerThread;
+
+    ServeSession session(std::move(config));
+    std::string error;
+    ASSERT_TRUE(session.begin(&error)) << error;
+
+    std::vector<std::thread> clients;
+    clients.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      clients.emplace_back([&socket, t] {
+        Client client;
+        std::string client_error;
+        ASSERT_TRUE(client.connect(socket, &client_error)) << client_error;
+        const std::string tenant = "tenant-" + std::to_string(t);
+        std::vector<std::uint64_t> ids;
+        for (int j = 0; j < kJobsPerThread; ++j) {
+          const auto reply = client.submit(
+              tenant, "",
+              workload_text(static_cast<std::uint64_t>(100 + t),
+                            /*vectors=*/1, /*vector_size=*/6),
+              &client_error);
+          ASSERT_TRUE(reply.has_value()) << client_error;
+          ASSERT_TRUE(reply->at("ok").as_bool()) << reply->dump();
+          ids.push_back(
+              static_cast<std::uint64_t>(reply->at("job_id").as_int()));
+        }
+        for (const std::uint64_t id : ids) {
+          const obs::JsonValue final_status = wait_for_job(client, id);
+          EXPECT_EQ(final_status.at("state").as_string(), "DONE");
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+
+    Client control;
+    ASSERT_TRUE(control.connect(socket, &error)) << error;
+    const auto stats_reply = control.stats(&error);
+    ASSERT_TRUE(stats_reply.has_value()) << error;
+    const obs::JsonValue& stats = stats_reply->at("stats");
+    EXPECT_EQ(stats.at("submitted").as_int(), kThreads * kJobsPerThread);
+    EXPECT_EQ(stats.at("admitted").as_int() + stats.at("rejected").as_int(),
+              stats.at("submitted").as_int());
+    EXPECT_EQ(stats.at("completed").as_int(), stats.at("admitted").as_int());
+    EXPECT_EQ(stats.at("failed").as_int(), 0);
+
+    if (lanes != 0) {
+      for (const auto& [key, value] : stats.members()) {
+        if (value.kind() == obs::JsonValue::Kind::kInt) {
+          totals[key] = value.as_int();
+        }
+      }
+    } else {
+      // Serial session, same submissions: identical accounting totals.
+      for (const auto& [key, value] : stats.members()) {
+        if (value.kind() == obs::JsonValue::Kind::kInt) {
+          EXPECT_EQ(value.as_int(), totals[key]) << key;
+        }
+      }
+    }
+    ASSERT_TRUE(control.drain(&error).has_value()) << error;
+    control.close();
+    EXPECT_EQ(session.join(), 0);
+  }
+}
+
+TEST(Service, OversizedFrameGetsStructuredErrorOverTheWire) {
+  const std::string socket = test_socket_path("oversize");
+  ServerConfig config;
+  config.socket_path = socket;
+  config.cluster.num_devices = 2;
+  config.max_frame_bytes = 512;
+
+  ServeSession session(std::move(config));
+  std::string error;
+  ASSERT_TRUE(session.begin(&error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.connect(socket, &error)) << error;
+
+  // A submit whose frame blows past the 512-byte ceiling.
+  const auto oversized =
+      client.submit("big", "", std::string(4096, 'x'), &error);
+  ASSERT_TRUE(oversized.has_value()) << error;
+  EXPECT_FALSE(oversized->at("ok").as_bool());
+  EXPECT_EQ(oversized->at("code").as_string(), error_code::kFrameTooLong);
+
+  // The connection survives: a small request on the same socket still works.
+  const auto stats = client.stats(&error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_TRUE(stats->at("ok").as_bool());
+
+  // Malformed workload text (frame fits, payload does not parse).
+  const auto bad = client.submit("big", "", "not a workload", &error);
+  ASSERT_TRUE(bad.has_value()) << error;
+  EXPECT_FALSE(bad->at("ok").as_bool());
+  EXPECT_EQ(bad->at("code").as_string(), error_code::kBadWorkload);
+
+  ASSERT_TRUE(client.drain(&error).has_value()) << error;
+  client.close();
+  EXPECT_EQ(session.join(), 0);
+}
+
+TEST(Service, MalformedFramesGetStructuredErrorReplies) {
+  const std::string socket = test_socket_path("badframe");
+  ServerConfig config;
+  config.socket_path = socket;
+  config.cluster.num_devices = 2;
+
+  ServeSession session(std::move(config));
+  std::string error;
+  ASSERT_TRUE(session.begin(&error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.connect(socket, &error)) << error;
+  // Valid JSON that is not a request object → bad_request.
+  const auto reply = client.call(obs::JsonValue("not an object"), &error);
+  ASSERT_TRUE(reply.has_value()) << error;
+  EXPECT_FALSE(reply->at("ok").as_bool());
+  EXPECT_EQ(reply->at("code").as_string(), error_code::kBadRequest);
+
+  // A line that is not JSON at all → bad_frame, over a raw socket.
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ASSERT_LT(socket.size(), sizeof(addr.sun_path));
+  std::memcpy(addr.sun_path, socket.c_str(), socket.size() + 1);
+  const int raw = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(raw, 0);
+  ASSERT_EQ(::connect(raw, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const std::string garbage = "this is not json\n";
+  ASSERT_EQ(::send(raw, garbage.data(), garbage.size(), 0),
+            static_cast<ssize_t>(garbage.size()));
+  FrameReader raw_reader;
+  std::optional<std::string> line;
+  while (!line.has_value()) {
+    char buf[4096];
+    const ssize_t n = ::recv(raw, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0);
+    raw_reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    line = raw_reader.next_frame();
+  }
+  ::close(raw);
+  const auto bad_frame = obs::parse_json(*line, &error);
+  ASSERT_TRUE(bad_frame.has_value()) << error;
+  EXPECT_FALSE(bad_frame->at("ok").as_bool());
+  EXPECT_EQ(bad_frame->at("code").as_string(), error_code::kBadFrame);
+
+  ASSERT_TRUE(client.drain(&error).has_value()) << error;
+  client.close();
+  EXPECT_EQ(session.join(), 0);
+}
+
+TEST(Service, ServesThroughInjectedDeviceFailure) {
+  const std::string socket = test_socket_path("faults");
+  FaultPlan plan;
+  plan.device_failures.push_back(DeviceFailure{1, 1e-4});
+  ServerConfig config;
+  config.socket_path = socket;
+  config.cluster.num_devices = 4;
+  config.faults = &plan;
+
+  ServeSession session(std::move(config));
+  std::string error;
+  ASSERT_TRUE(session.begin(&error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.connect(socket, &error)) << error;
+  const auto reply =
+      client.submit("resilient", "", workload_text(31, 2, 12), &error);
+  ASSERT_TRUE(reply.has_value()) << error;
+  ASSERT_TRUE(reply->at("ok").as_bool()) << reply->dump();
+  const obs::JsonValue final_status = wait_for_job(
+      client, static_cast<std::uint64_t>(reply->at("job_id").as_int()));
+  EXPECT_EQ(final_status.at("state").as_string(), "DONE");
+  const obs::JsonValue& result = final_status.at("result");
+  EXPECT_EQ(result.at("devices_lost").as_int(), 1);
+  EXPECT_TRUE(result.at("recovered").as_bool());
+
+  ASSERT_TRUE(client.drain(&error).has_value()) << error;
+  client.close();
+  EXPECT_EQ(session.join(), 0);
+}
+
+TEST(Service, StartFailsCleanlyOnBadConfig) {
+  // Socket already bound by another server.
+  const std::string socket = test_socket_path("busy");
+  ServerConfig first;
+  first.socket_path = socket;
+  ServeSession session(std::move(first));
+  std::string error;
+  ASSERT_TRUE(session.begin(&error)) << error;
+
+  ServerConfig second;
+  second.socket_path = socket;
+  Server duplicate(std::move(second));
+  EXPECT_FALSE(duplicate.start(&error));
+  EXPECT_NE(error.find("bind"), std::string::npos) << error;
+
+  session.server().request_shutdown();
+  EXPECT_EQ(session.join(), 0);
+
+  // Unreadable model path.
+  ServerConfig bad_model;
+  bad_model.socket_path = test_socket_path("badmodel");
+  bad_model.model_path = "/nonexistent/model.mm";
+  Server no_model(std::move(bad_model));
+  EXPECT_FALSE(no_model.start(&error));
+  EXPECT_NE(error.find("model"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace micco::service

@@ -7,6 +7,10 @@
 //   inspect    describe a workload or model file
 //   report     run with telemetry and emit the machine-readable run report
 //   faults     parse and validate a fault-plan file
+//   serve      run the multi-tenant scheduling daemon on a Unix socket
+//   submit     send a workload file to a running daemon
+//   status     query a job (or the daemon's stats) from a running daemon
+//   drain      ask a running daemon to finish its backlog and exit
 //
 // Examples:
 //   micco generate --out=w.mw --vector-size=64 --repeat=0.75 --gaussian
@@ -16,11 +20,21 @@
 //   micco run w.mw --gpus=4 --fault-plan=faults.txt --retry-max=4
 //   micco faults faults.txt --gpus=4
 //   micco inspect w.mw
+//   micco serve --socket=/tmp/micco.sock --gpus=8 --model=model.mm
+//       --decisions=d.jsonl --report=serve.json
+//   micco submit w.mw --socket=/tmp/micco.sock --tenant=alice --wait
+//   micco status 3 --socket=/tmp/micco.sock
+//   micco drain --socket=/tmp/micco.sock
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/cli.hpp"
@@ -36,16 +50,25 @@
 #include "obs/report.hpp"
 #include "parallel/parallel.hpp"
 #include "obs/telemetry.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
 #include "workload/serialize.hpp"
 #include "workload/synthetic.hpp"
 
 namespace micco::cli {
 namespace {
 
+/// SIGTERM/SIGINT bridge for `micco serve`: the handler only flips this
+/// flag; the server polls it and drains gracefully.
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+extern "C" void handle_stop_signal(int) { g_stop_requested = 1; }
+
 int usage() {
   std::fprintf(stderr,
-               "usage: micco <generate|run|train|inspect|report|faults> "
-               "[flags]\n"
+               "usage: micco "
+               "<generate|run|train|inspect|report|faults|serve|submit|"
+               "status|drain> [flags]\n"
                "  generate --out=FILE [--vectors=10 --vector-size=64 "
                "--tensor=384 --batch=32 --repeat=0.5 --gaussian --seed=N]\n"
                "  run FILE [--scheduler=groute|dmda|micco|roundrobin] "
@@ -59,7 +82,17 @@ int usage() {
                "         (no FILE: a small deterministic synthetic stream, "
                "--seed=N --vectors=N --vector-size=N)\n"
                "  faults PLANFILE [--gpus=8]   (validate and summarise a "
-               "fault plan)\n");
+               "fault plan)\n"
+               "  serve --socket=PATH [--scheduler=NAME --gpus=8 "
+               "--model=FILE --seed=N --threads=N]\n"
+               "        [--decisions=FILE --report=FILE] [--max-queue=N "
+               "--max-total=N --weights=tenant:w,...]\n"
+               "        [--fault-plan=FILE --retry-max=N --retry-backoff=S]\n"
+               "  submit FILE --socket=PATH [--tenant=NAME --name=LABEL "
+               "--wait]\n"
+               "  status [JOB_ID] --socket=PATH   (no JOB_ID: daemon stats)\n"
+               "  drain --socket=PATH [--shutdown]   (--shutdown cancels "
+               "queued jobs)\n");
   return 2;
 }
 
@@ -454,6 +487,230 @@ int cmd_faults(const CliArgs& args) {
   return 0;
 }
 
+/// SchedulerKind-by-name for `serve` (which defers construction to the
+/// server so every job gets a fresh instance).
+std::optional<SchedulerKind> scheduler_kind_by_name(const std::string& which) {
+  if (which == "groute") return SchedulerKind::kGroute;
+  if (which == "dmda") return SchedulerKind::kDmda;
+  if (which == "roundrobin") return SchedulerKind::kRoundRobin;
+  if (which == "micco") return SchedulerKind::kMiccoNaive;
+  std::fprintf(stderr, "unknown scheduler '%s'\n", which.c_str());
+  return std::nullopt;
+}
+
+/// Parses --weights=tenant:w,tenant:w into the admission config.
+bool parse_weights(const std::string& spec,
+                   std::map<std::string, int>* weights) {
+  std::stringstream list(spec);
+  std::string entry;
+  while (std::getline(list, entry, ',')) {
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos || colon == 0) return false;
+    const int weight = std::atoi(entry.c_str() + colon + 1);
+    if (weight <= 0) return false;
+    (*weights)[entry.substr(0, colon)] = weight;
+  }
+  return true;
+}
+
+int cmd_serve(const CliArgs& args) {
+  const std::string socket = args.get("socket", "");
+  if (socket.empty()) {
+    std::fprintf(stderr, "serve: --socket is required\n");
+    return 2;
+  }
+  service::ServerConfig cfg;
+  cfg.socket_path = socket;
+  const auto kind = scheduler_kind_by_name(args.get("scheduler", "micco"));
+  if (!kind.has_value()) return 2;
+  cfg.scheduler = *kind;
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  cfg.model_path = args.get("model", "");
+  cfg.cluster.num_devices = static_cast<int>(args.get_int("gpus", 8));
+  cfg.cluster.p2p_enabled = args.get_bool("p2p", false);
+  cfg.cluster.overlap_transfers = args.get_bool("async-copy", false);
+
+  std::optional<FaultPlan> plan;
+  RetryPolicy retry;
+  if (!load_fault_flags(args, "serve", cfg.cluster.num_devices, &plan,
+                        &retry)) {
+    return 1;
+  }
+  cfg.faults = plan.has_value() ? &*plan : nullptr;
+  cfg.retry = retry;
+
+  cfg.admission.max_queue_per_tenant =
+      static_cast<std::size_t>(args.get_int("max-queue", 64));
+  cfg.admission.max_queued_total =
+      static_cast<std::size_t>(args.get_int("max-total", 256));
+  const std::string weights = args.get("weights", "");
+  if (!weights.empty() &&
+      !parse_weights(weights, &cfg.admission.tenant_weights)) {
+    std::fprintf(stderr,
+                 "serve: --weights wants tenant:w,tenant:w with w > 0\n");
+    return 2;
+  }
+  cfg.decisions_path = args.get("decisions", "");
+  cfg.report_path = args.get("report", "");
+
+  // --threads=1 (the default) is the deterministic serial configuration:
+  // one thread alternates between socket I/O and job dispatch.
+  parallel::set_threads(static_cast<int>(args.get_int("threads", 1)));
+  cfg.io_lanes = parallel::configured_threads() - 1;
+
+  cfg.stop_flag = &g_stop_requested;
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGINT, handle_stop_signal);
+
+  service::Server server(std::move(cfg));
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "serve: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("serving on %s (scheduler=%s, gpus=%d, threads=%d)\n",
+              socket.c_str(), args.get("scheduler", "micco").c_str(),
+              static_cast<int>(args.get_int("gpus", 8)),
+              parallel::configured_threads());
+  const int rc = server.serve();
+  std::printf("session: %s\n", server.jobs().stats().dump().c_str());
+  const std::string report_path = args.get("report", "");
+  if (!report_path.empty() && rc == 0) {
+    std::fprintf(stderr, "session report written to %s\n",
+                 report_path.c_str());
+  }
+  return rc;
+}
+
+/// DONE → 0, FAILED/CANCELLED → 1. Used by submit --wait.
+int print_terminal_state(const obs::JsonValue& reply) {
+  const std::string& state = reply.at("state").as_string();
+  if (const obs::JsonValue* result = reply.find("result")) {
+    const obs::JsonValue* makespan = result->find("makespan_s");
+    const obs::JsonValue* gflops = result->find("gflops");
+    if (makespan != nullptr && gflops != nullptr) {
+      std::printf("%s: makespan %.2f ms, %.0f GFLOPS\n", state.c_str(),
+                  makespan->as_double() * 1e3, gflops->as_double());
+      return state == "DONE" ? 0 : 1;
+    }
+  }
+  std::printf("%s\n", state.c_str());
+  return state == "DONE" ? 0 : 1;
+}
+
+int cmd_submit(const CliArgs& args) {
+  if (args.positional().size() < 2) {
+    std::fprintf(stderr, "submit: workload file required\n");
+    return 2;
+  }
+  const std::string socket = args.get("socket", "");
+  if (socket.empty()) {
+    std::fprintf(stderr, "submit: --socket is required\n");
+    return 2;
+  }
+  const std::string path = args.positional()[1];
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "submit: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  service::Client client;
+  std::string error;
+  if (!client.connect(socket, &error)) {
+    std::fprintf(stderr, "submit: %s\n", error.c_str());
+    return 1;
+  }
+  const auto reply = client.submit(args.get("tenant", "default"),
+                                  args.get("name", path), text.str(), &error);
+  if (!reply.has_value()) {
+    std::fprintf(stderr, "submit: %s\n", error.c_str());
+    return 1;
+  }
+  if (!reply->at("ok").as_bool()) {
+    std::fprintf(stderr, "submit: rejected [%s]: %s\n",
+                 reply->at("code").as_string().c_str(),
+                 reply->at("message").as_string().c_str());
+    return 1;
+  }
+  const auto job_id = static_cast<std::uint64_t>(reply->at("job_id").as_int());
+  std::printf("job %llu queued (tenant %s)\n",
+              static_cast<unsigned long long>(job_id),
+              reply->at("tenant").as_string().c_str());
+  if (!args.get_bool("wait", false)) return 0;
+
+  for (;;) {
+    const auto status = client.status(job_id, &error);
+    if (!status.has_value()) {
+      std::fprintf(stderr, "submit: %s\n", error.c_str());
+      return 1;
+    }
+    if (!status->at("ok").as_bool()) {
+      std::fprintf(stderr, "submit: [%s] %s\n",
+                   status->at("code").as_string().c_str(),
+                   status->at("message").as_string().c_str());
+      return 1;
+    }
+    const std::string& state = status->at("state").as_string();
+    if (state != "QUEUED" && state != "RUNNING") {
+      return print_terminal_state(*status);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+int cmd_status(const CliArgs& args) {
+  const std::string socket = args.get("socket", "");
+  if (socket.empty()) {
+    std::fprintf(stderr, "status: --socket is required\n");
+    return 2;
+  }
+  service::Client client;
+  std::string error;
+  if (!client.connect(socket, &error)) {
+    std::fprintf(stderr, "status: %s\n", error.c_str());
+    return 1;
+  }
+  std::optional<obs::JsonValue> reply;
+  if (args.positional().size() >= 2) {
+    const std::uint64_t job_id =
+        std::strtoull(args.positional()[1].c_str(), nullptr, 10);
+    reply = client.status(job_id, &error);
+  } else {
+    reply = client.stats(&error);
+  }
+  if (!reply.has_value()) {
+    std::fprintf(stderr, "status: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s\n", reply->dump_pretty().c_str());
+  return reply->at("ok").as_bool() ? 0 : 1;
+}
+
+int cmd_drain(const CliArgs& args) {
+  const std::string socket = args.get("socket", "");
+  if (socket.empty()) {
+    std::fprintf(stderr, "drain: --socket is required\n");
+    return 2;
+  }
+  service::Client client;
+  std::string error;
+  if (!client.connect(socket, &error)) {
+    std::fprintf(stderr, "drain: %s\n", error.c_str());
+    return 1;
+  }
+  const auto reply = args.get_bool("shutdown", false) ? client.shutdown(&error)
+                                                      : client.drain(&error);
+  if (!reply.has_value()) {
+    std::fprintf(stderr, "drain: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s\n", reply->dump().c_str());
+  return reply->at("ok").as_bool() ? 0 : 1;
+}
+
 int dispatch(int argc, char** argv) {
   if (argc < 2) return usage();
   const CliArgs args(argc, argv);
@@ -464,6 +721,10 @@ int dispatch(int argc, char** argv) {
   if (command == "inspect") return cmd_inspect(args);
   if (command == "report") return cmd_report(args);
   if (command == "faults") return cmd_faults(args);
+  if (command == "serve") return cmd_serve(args);
+  if (command == "submit") return cmd_submit(args);
+  if (command == "status") return cmd_status(args);
+  if (command == "drain") return cmd_drain(args);
   return usage();
 }
 
