@@ -5,10 +5,14 @@
 # log on a synthetic stream), a fault-injection smoke test (kill a device
 # mid-stream and require a clean recovery), a serve smoke test (the
 # scheduling daemon end to end: submit/wait/drain over a Unix socket with
-# byte-identical decision logs across sessions), an ASan+UBSan-instrumented
-# build + test pass, a TSan pass over the parallel-layer and service tests
-# at 8 worker threads, a Release-mode bench_sched_micro smoke run (decision throughput
-# + cross-thread-count tuner label identity), and — when LLVM tooling is on
+# byte-identical decision logs AND byte-identical span traces across
+# sessions, a `micco top --once` dashboard frame, and an offline
+# `micco report --spans` well-formedness pass), an ASan+UBSan-instrumented
+# build + test pass, a TSan pass over the parallel-layer, observability and
+# service tests at 8 worker threads, a Release-mode bench_sched_micro smoke
+# run (decision throughput + cross-thread-count tuner label identity), the
+# Release-mode tracing-overhead gate (bench_overhead --gate: full tracing
+# must cost < 2 % end to end), and — when LLVM tooling is on
 # PATH — a clang-tidy pass over the compilation database plus a Clang build
 # with -Werror=thread-safety checking the MICCO_GUARDED_BY/REQUIRES
 # annotations (both skip with a notice on GCC-only hosts).
@@ -95,8 +99,10 @@ echo "== serve smoke test =="
 # End-to-end daemon path (DESIGN.md §6): start `micco serve` on a private
 # socket, submit workloads from two tenants, wait for completion, drain,
 # and require a clean exit plus a session report. Two sessions fed the same
-# submission sequence must produce byte-identical decision logs (the
-# deterministic-serving contract at --threads=1).
+# submission sequence must produce byte-identical decision logs AND
+# byte-identical span traces (the deterministic-serving contract at
+# --threads=1). The first session also serves one `micco top` dashboard
+# frame over the live metrics verb.
 "${BUILD_DIR}/tools/micco" generate --out="${SMOKE_DIR}/w.mw" \
   --vectors=2 --vector-size=16 --seed=5
 for session in 1 2; do
@@ -104,6 +110,7 @@ for session in 1 2; do
   "${BUILD_DIR}/tools/micco" serve --socket="${SMOKE_DIR}/svc.sock" \
     --gpus=4 --threads=1 \
     --decisions="${SMOKE_DIR}/sd${session}.jsonl" \
+    --spans="${SMOKE_DIR}/ss${session}.jsonl" \
     --report="${SMOKE_DIR}/sr${session}.json" &
   SERVE_PID=$!
   for _ in $(seq 1 100); do
@@ -116,12 +123,25 @@ for session in 1 2; do
     --socket="${SMOKE_DIR}/svc.sock" --tenant=bob --wait
   "${BUILD_DIR}/tools/micco" status --socket="${SMOKE_DIR}/svc.sock" \
     > /dev/null
+  if [ "${session}" = 1 ]; then
+    "${BUILD_DIR}/tools/micco" top --socket="${SMOKE_DIR}/svc.sock" --once \
+      > "${SMOKE_DIR}/top.txt"
+    grep -q 'micco top' "${SMOKE_DIR}/top.txt"
+    grep -q 'job_sim_ms' "${SMOKE_DIR}/top.txt"
+  fi
   "${BUILD_DIR}/tools/micco" drain --socket="${SMOKE_DIR}/svc.sock"
   wait "${SERVE_PID}"
 done
 cmp "${SMOKE_DIR}/sd1.jsonl" "${SMOKE_DIR}/sd2.jsonl"
+cmp "${SMOKE_DIR}/ss1.jsonl" "${SMOKE_DIR}/ss2.jsonl"
 grep -q '"schema_version"' "${SMOKE_DIR}/sr1.json"
-echo "serve smoke test OK: deterministic decision logs, report written"
+# The offline trace summarizer must accept the session trace as well-formed
+# (single root per trace, contiguous sequence numbers, resolvable parents).
+"${BUILD_DIR}/tools/micco" report --spans="${SMOKE_DIR}/ss1.jsonl" \
+  > "${SMOKE_DIR}/trace_summary.json"
+grep -q '"well_formed": true' "${SMOKE_DIR}/trace_summary.json"
+echo "serve smoke test OK: deterministic decision logs + span traces," \
+  "top frame rendered, trace summary well-formed"
 
 echo "== configure (${SAN_BUILD_DIR}, ASan+UBSan) =="
 cmake -B "${SAN_BUILD_DIR}" -S . \
@@ -164,9 +184,9 @@ cmake -B "${REL_BUILD_DIR}" -S . \
   -DMICCO_BUILD_TESTS=OFF \
   -DMICCO_BUILD_EXAMPLES=OFF
 
-echo "== build (Release, bench_sched_micro) =="
+echo "== build (Release, bench_sched_micro + bench_overhead) =="
 cmake --build "${REL_BUILD_DIR}" -j "$(nproc 2>/dev/null || echo 4)" \
-  --target bench_sched_micro
+  --target bench_sched_micro --target bench_overhead
 
 echo "== bench_sched_micro smoke (Release) =="
 # Exits non-zero if tuner labels diverge across 1/2/4/8 threads.
@@ -174,6 +194,11 @@ echo "== bench_sched_micro smoke (Release) =="
   --out="${SMOKE_DIR}/bench_sched.json"
 grep -q '"tuner_labels_identical_across_threads": true' \
   "${SMOKE_DIR}/bench_sched.json"
+
+echo "== tracing overhead gate (Release) =="
+# Exits non-zero when full tracing (spans + decision-latency scratch) costs
+# more than 2 % of end-to-end run time (DESIGN.md §7).
+"${REL_BUILD_DIR}/bench/bench_overhead" --gate --gpus=4
 
 echo "== clang-tidy =="
 if command -v clang-tidy >/dev/null 2>&1; then

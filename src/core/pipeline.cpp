@@ -5,9 +5,11 @@
 #include <limits>
 #include <numeric>
 #include <unordered_map>
+#include <utility>
 
 #include "common/stopwatch.hpp"
 #include "faults/injector.hpp"
+#include "obs/names.hpp"
 #include "sched/reuse_pattern.hpp"
 
 namespace micco {
@@ -115,6 +117,20 @@ RunResult run_stream(const WorkloadStream& stream, Scheduler& scheduler,
     return items;
   };
 
+  // Tracing needs both halves: the sink to write to and the context that
+  // carries the job's identity and id allocator.
+  const bool tracing =
+      options.span_sink != nullptr && options.trace_context != nullptr;
+  const auto emit_span = [&](obs::SpanEvent event) {
+    obs::TraceContext& ctx = *options.trace_context;
+    event.trace_id = ctx.trace_id;
+    event.job_id = ctx.job_id;
+    event.tenant = ctx.tenant;
+    event.span_id = ctx.alloc();
+    event.parent_id = ctx.parent_span;
+    options.span_sink->span(std::move(event));
+  };
+
   const auto note_recovery = [&](DeviceId dev, std::size_t requeued) {
     result.tasks_reexecuted += requeued;
     if (options.telemetry != nullptr && requeued > 0) {
@@ -124,6 +140,16 @@ RunResult run_stream(const WorkloadStream& stream, Scheduler& scheduler,
       ev.time_s = sim.metrics().makespan_s;
       ev.count = static_cast<std::int64_t>(requeued);
       options.telemetry->emit(ev);
+    }
+    if (tracing && requeued > 0) {
+      obs::SpanEvent span;
+      span.name = obs::names::kSpanRecovery;
+      span.vector_index = vector_index;
+      span.sim_time_s = sim.metrics().makespan_s;
+      span.attrs_int.emplace_back("device", static_cast<std::int64_t>(dev));
+      span.attrs_int.emplace_back("requeued",
+                                  static_cast<std::int64_t>(requeued));
+      emit_span(std::move(span));
     }
   };
 
@@ -153,7 +179,11 @@ RunResult run_stream(const WorkloadStream& stream, Scheduler& scheduler,
       }
       watch.restart();
       const DeviceId dev = scheduler.assign(item.task, sim);
-      overhead_us += watch.elapsed_us();
+      const double assign_us = watch.elapsed_us();
+      overhead_us += assign_us;
+      if (options.decision_latency != nullptr) {
+        options.decision_latency->observe(assign_us);
+      }
       if (!sim.device_alive(dev)) {
         result.error = "scheduler assigned a pair to failed device " +
                        std::to_string(dev);
@@ -214,6 +244,7 @@ RunResult run_stream(const WorkloadStream& stream, Scheduler& scheduler,
   for (const VectorWorkload& vec : stream.vectors) {
     ++vector_index;
     if (vec.tasks.empty()) continue;
+    const double vector_start_s = sim.metrics().makespan_s;
 
     watch.restart();
     const DataCharacteristics characteristics =
@@ -239,6 +270,23 @@ RunResult run_stream(const WorkloadStream& stream, Scheduler& scheduler,
     scheduler.end_vector();
     overhead_us += watch.elapsed_us();
     if (!barrier_and_recover()) break;
+
+    if (tracing) {
+      obs::SpanEvent sched_span;
+      sched_span.name = obs::names::kSpanSched;
+      sched_span.vector_index = vector_index;
+      sched_span.attrs_int.emplace_back(
+          "pairs", static_cast<std::int64_t>(vec.tasks.size()));
+      emit_span(std::move(sched_span));
+
+      const double vector_end_s = sim.metrics().makespan_s;
+      obs::SpanEvent exec_span;
+      exec_span.name = obs::names::kSpanExec;
+      exec_span.vector_index = vector_index;
+      exec_span.sim_time_s = vector_end_s;
+      exec_span.duration_ms = (vector_end_s - vector_start_s) * 1000.0;
+      emit_span(std::move(exec_span));
+    }
   }
 
   // Detach so the scheduler never outlives a caller-owned telemetry bundle
@@ -263,9 +311,11 @@ RunResult run_stream(const WorkloadStream& stream, Scheduler& scheduler,
     for (int dev = 0; dev < result.num_devices; ++dev) {
       const auto i = static_cast<std::size_t>(dev);
       const std::string prefix =
-          "cluster.device." + std::to_string(dev) + ".";
-      reg.gauge(prefix + "utilization").set(result.device_utilization[i]);
-      reg.gauge(prefix + "busy_s").set(result.device_busy_s[i]);
+          obs::names::kClusterDevicePrefix + std::to_string(dev) + ".";
+      reg.gauge(prefix + obs::names::kDeviceUtilizationSuffix)
+          .set(result.device_utilization[i]);
+      reg.gauge(prefix + obs::names::kDeviceBusySSuffix)
+          .set(result.device_busy_s[i]);
     }
   }
   return result;

@@ -17,6 +17,7 @@
 #include "faults/retry.hpp"
 #include "gpusim/cluster.hpp"
 #include "obs/report.hpp"
+#include "obs/span.hpp"
 #include "obs/telemetry.hpp"
 #include "sched/micco_scheduler.hpp"
 #include "sched/scheduler.hpp"
@@ -104,6 +105,19 @@ struct RunOptions {
   /// Retry/backoff policy for transient transfer faults (used only when a
   /// plan with transfer faults is attached).
   RetryPolicy retry;
+  /// Optional request tracing (DESIGN.md §7): when BOTH span_sink and
+  /// trace_context are attached, the run emits per-vector "sched"/"exec"
+  /// spans and "recovery" spans, parented at trace_context->parent_span and
+  /// carrying only deterministic values (simulated time, counts) — a
+  /// single-threaded session's trace file is byte-identical across runs.
+  obs::SpanSink* span_sink = nullptr;
+  obs::TraceContext* trace_context = nullptr;
+  /// Optional wall-clock per-decision latency meter for the scheduling hot
+  /// path (bounds: names::decision_latency_bounds_us()). Owned by the
+  /// caller, observed unsynchronised, flushed by the caller after the run.
+  /// Detached (the batch default) the hot path does no extra work and runs
+  /// stay byte-reproducible.
+  obs::HistogramScratch* decision_latency = nullptr;
 };
 
 /// Runs `stream` with `scheduler` on a fresh simulated cluster. When

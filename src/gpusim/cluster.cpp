@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "obs/names.hpp"
 
 namespace micco {
 
@@ -126,13 +127,13 @@ void ClusterSimulator::set_telemetry(obs::Telemetry* telemetry) {
   // Bucket bounds span hadron-node payloads (KiB..GiB) and simulated times
   // (us..minutes) on a log scale; the overflow bucket catches the rest.
   fetch_bytes_hist_ = &reg.histogram(
-      "cluster.fetch.bytes",
+      obs::names::kClusterFetchBytes,
       {1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 4e9});
   victim_age_hist_ = &reg.histogram(
-      "cluster.eviction.victim_age_s",
+      obs::names::kClusterEvictionVictimAgeS,
       {1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0});
   barrier_idle_hist_ = &reg.histogram(
-      "cluster.barrier.idle_s",
+      obs::names::kClusterBarrierIdleS,
       {1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0});
 }
 

@@ -1,0 +1,29 @@
+#include "obs/clock.hpp"
+
+#include <chrono>
+#include <ctime>
+
+namespace micco::obs {
+
+double SystemClock::monotonic_ms() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double, std::milli>(now).count();
+}
+
+std::string SystemClock::wall_time_utc() {
+  // micco-lint: allow(det-rng) the one sanctioned wall-clock read (report stamp)
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  ::gmtime_r(&now, &utc);
+  char buf[32];
+  const std::size_t n = std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ",
+                                      &utc);
+  return std::string(buf, n);
+}
+
+Clock* default_clock() {
+  static SystemClock clock;
+  return &clock;
+}
+
+}  // namespace micco::obs

@@ -1,0 +1,57 @@
+// The injectable clock behind every timestamp the daemon takes.
+//
+// Two faces, deliberately separate: monotonic_ms() is the only source for
+// durations (queue wait, end-to-end latency, uptime — never subject to NTP
+// steps), and wall_time_utc() is the one sanctioned wall-clock read, taken
+// once per serving session to stamp the run report. Nothing else in src/
+// may touch wall time — micco-lint's det-rng rule enforces that — so all
+// logs, traces and labels stay a pure function of the inputs while reports
+// still say when they were generated.
+//
+// Tests inject a ManualClock to script latencies; production code uses the
+// process-wide SystemClock from default_clock().
+#pragma once
+
+#include <string>
+
+namespace micco::obs {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Milliseconds on a monotonic timeline. The zero point is unspecified
+  /// (per-clock); only differences are meaningful.
+  virtual double monotonic_ms() = 0;
+
+  /// Current wall time formatted "YYYY-MM-DDTHH:MM:SSZ" (UTC, second
+  /// resolution). The one wall-clock capture per run goes through here.
+  virtual std::string wall_time_utc() = 0;
+};
+
+/// Real time: steady_clock for durations, UTC wall time for the stamp.
+class SystemClock final : public Clock {
+ public:
+  double monotonic_ms() override;
+  std::string wall_time_utc() override;
+};
+
+/// Scripted time for tests: both faces advance only when told to.
+class ManualClock final : public Clock {
+ public:
+  double monotonic_ms() override { return now_ms_; }
+  std::string wall_time_utc() override { return wall_; }
+
+  void advance_ms(double delta) { now_ms_ += delta; }
+  void set_wall(std::string stamp) { wall_ = std::move(stamp); }
+
+ private:
+  double now_ms_ = 0.0;
+  std::string wall_ = "1970-01-01T00:00:00Z";
+};
+
+/// The process-wide SystemClock (lazily constructed, never destroyed before
+/// exit). Components take a Clock* defaulting to this.
+Clock* default_clock();
+
+}  // namespace micco::obs

@@ -1,0 +1,116 @@
+// The one home of every metric and span name (DESIGN.md §7c).
+//
+// Instrumentation sites across sched/, gpusim/, core/ and service/ refer to
+// these constants instead of spelling dotted name literals inline, so the
+// whole telemetry vocabulary is greppable in one place and a renamed metric
+// cannot silently fork into two series. micco-lint's `metric-name-literal`
+// rule enforces this: a string literal that looks like a dotted metric name
+// ("sched.…", "cluster.…", "service.…") anywhere outside this header is a
+// lint finding.
+//
+// Naming conventions:
+//   sched.*            scheduler decisions and their classification
+//   cluster.*          simulated-cluster events (fetches, evictions, barriers)
+//   cluster.device.N.* per-device rollups
+//   service.*          daemon lifecycle counters and queue gauges
+//   service.tenant.T.* per-tenant latency histograms and SLO counters
+// Histogram names carry their unit as the last suffix segment (_ms, _us,
+// _bytes, _s); counters are unsuffixed event counts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace micco::obs::names {
+
+// -- sched.* ---------------------------------------------------------------
+inline constexpr const char* kSchedDecisions = "sched.decisions";
+inline constexpr const char* kSchedFallback = "sched.fallback";
+inline constexpr const char* kSchedEvictRisk = "sched.evict_risk";
+inline constexpr const char* kSchedBoundSlack = "sched.bound_slack";
+/// Wall-clock per-decision latency on the hot path, recorded only when a
+/// HistogramScratch is attached (the daemon does; batch runs stay
+/// byte-identical without it).
+inline constexpr const char* kSchedDecisionLatencyUs =
+    "sched.decision_latency_us";
+
+/// Indexed by LocalReusePattern / MappingClass−1 / reuse-bound tier.
+inline constexpr const char* kSchedPattern[4] = {
+    "sched.pattern.two_repeated_same", "sched.pattern.two_repeated_diff",
+    "sched.pattern.one_repeated", "sched.pattern.two_new"};
+inline constexpr const char* kSchedMapping[4] = {
+    "sched.mapping.both_reused", "sched.mapping.first_reused",
+    "sched.mapping.second_reused", "sched.mapping.none_reused"};
+inline constexpr const char* kSchedTier[3] = {
+    "sched.tier.two_repeated_same", "sched.tier.one_reused",
+    "sched.tier.two_new"};
+
+// -- cluster.* -------------------------------------------------------------
+inline constexpr const char* kClusterFetchBytes = "cluster.fetch.bytes";
+inline constexpr const char* kClusterEvictionVictimAgeS =
+    "cluster.eviction.victim_age_s";
+inline constexpr const char* kClusterBarrierIdleS = "cluster.barrier.idle_s";
+/// Per-device gauge prefix: "cluster.device.<N>." + {utilization, busy_s}.
+inline constexpr const char* kClusterDevicePrefix = "cluster.device.";
+inline constexpr const char* kDeviceUtilizationSuffix = "utilization";
+inline constexpr const char* kDeviceBusySSuffix = "busy_s";
+
+// -- service.* -------------------------------------------------------------
+inline constexpr const char* kServiceQueued = "service.queued";
+inline constexpr const char* kServiceRunning = "service.running";
+inline constexpr const char* kServiceQueueDepthPrefix = "service.queue_depth.";
+inline constexpr const char* kServiceSubmitted = "service.submitted";
+inline constexpr const char* kServiceAdmitted = "service.admitted";
+inline constexpr const char* kServiceRejected = "service.rejected";
+inline constexpr const char* kServiceDispatched = "service.dispatched";
+inline constexpr const char* kServiceCompleted = "service.completed";
+inline constexpr const char* kServiceFailed = "service.failed";
+inline constexpr const char* kServiceCancelled = "service.cancelled";
+/// Submit → dispatch wall time across all tenants.
+inline constexpr const char* kServiceQueueLatencyMs =
+    "service.queue_latency_ms";
+
+// -- service.tenant.<T>.* --------------------------------------------------
+inline constexpr const char* kTenantPrefix = "service.tenant.";
+/// Per-tenant metric suffixes (appended as kTenantPrefix + tenant + "." +
+/// suffix via tenant_metric()).
+inline constexpr const char* kTenantQueueLatencyMs = "queue_latency_ms";
+inline constexpr const char* kTenantE2eLatencyMs = "e2e_latency_ms";
+/// Simulated job makespan (deterministic; cross-checkable against the root
+/// job span's duration_ms in the trace file).
+inline constexpr const char* kTenantJobSimMs = "job_sim_ms";
+inline constexpr const char* kTenantSloOk = "slo_ok";
+inline constexpr const char* kTenantSloMiss = "slo_miss";
+
+inline std::string tenant_metric(const std::string& tenant,
+                                 const char* suffix) {
+  return std::string(kTenantPrefix) + tenant + "." + suffix;
+}
+
+// -- span names (trace model, DESIGN.md §7a) -------------------------------
+inline constexpr const char* kSpanJob = "job";          ///< root, one per job
+inline constexpr const char* kSpanQueue = "queue";      ///< admission → dispatch
+inline constexpr const char* kSpanDispatch = "dispatch";///< execution container
+inline constexpr const char* kSpanSched = "sched";      ///< one vector's decisions
+inline constexpr const char* kSpanExec = "exec";        ///< one vector's execution
+inline constexpr const char* kSpanRecovery = "recovery";///< re-enqueue after loss
+
+// -- shared histogram bounds ----------------------------------------------
+/// Wall-latency bounds (ms) for queue/e2e histograms: 1ms … 10s, log decades.
+inline std::vector<double> wall_latency_bounds_ms() {
+  return {1.0, 10.0, 100.0, 1000.0, 10000.0};
+}
+
+/// Simulated-makespan bounds (ms). Shared between the daemon's per-tenant
+/// job_sim_ms histograms and the offline trace summarizer so quantiles
+/// recomputed from a trace file match the served values exactly.
+inline std::vector<double> job_sim_ms_bounds() {
+  return {0.01, 0.1, 1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0};
+}
+
+/// Per-decision latency bounds (µs) for the hot-path scratch histogram.
+inline std::vector<double> decision_latency_bounds_us() {
+  return {0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 1000.0};
+}
+
+}  // namespace micco::obs::names

@@ -10,6 +10,9 @@ JsonValue build_report(const ReportInputs& inputs,
                        const MetricsRegistry& registry) {
   JsonValue report = JsonValue::object();
   report.set("schema_version", kReportSchemaVersion);
+  if (!inputs.generated_at.empty()) {
+    report.set("generated_at", inputs.generated_at);
+  }
   report.set("scheduler", inputs.scheduler);
 
   JsonValue cluster = JsonValue::object();

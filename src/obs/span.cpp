@@ -1,0 +1,35 @@
+#include "obs/span.hpp"
+
+#include <ostream>
+
+namespace micco::obs {
+
+JsonValue SpanEvent::to_json(std::uint64_t seq) const {
+  JsonValue doc = JsonValue::object();
+  doc.set("seq", seq);
+  doc.set("trace", trace_id);
+  doc.set("span", span_id);
+  doc.set("parent", parent_id);
+  doc.set("name", name);
+  doc.set("job", job_id);
+  if (!tenant.empty()) doc.set("tenant", tenant);
+  if (vector_index >= 0) doc.set("vector", vector_index);
+  if (sim_time_s >= 0.0) doc.set("sim_time_s", sim_time_s);
+  if (duration_ms >= 0.0) doc.set("duration_ms", duration_ms);
+  for (const auto& [key, value] : attrs_int) doc.set(key, value);
+  for (const auto& [key, value] : attrs_num) doc.set(key, value);
+  for (const auto& [key, value] : attrs_str) doc.set(key, value);
+  return doc;
+}
+
+void JsonlSpanSink::span(SpanEvent event) {
+  const MutexLock lock(mutex_);
+  out_ << event.to_json(seq_++).dump() << '\n';
+}
+
+void JsonlSpanSink::flush() {
+  const MutexLock lock(mutex_);
+  out_.flush();
+}
+
+}  // namespace micco::obs

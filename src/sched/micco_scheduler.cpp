@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/names.hpp"
+
 namespace micco {
 
 MiccoScheduler::MiccoScheduler(MiccoSchedulerOptions options)
@@ -15,7 +17,7 @@ void MiccoScheduler::set_telemetry(obs::Telemetry* telemetry) {
   slack_hist_ = telemetry == nullptr
                     ? nullptr
                     : &telemetry->registry.histogram(
-                          "sched.bound_slack",
+                          obs::names::kSchedBoundSlack,
                           {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0});
 }
 

@@ -1,24 +1,9 @@
 #include "sched/scheduler.hpp"
 
+#include "obs/names.hpp"
 #include "sched/reuse_pattern.hpp"
 
 namespace micco {
-
-namespace {
-
-/// Registry names; indices match the LocalReusePattern / MappingClass /
-/// tier enumerations.
-constexpr const char* kPatternCounter[4] = {
-    "sched.pattern.two_repeated_same", "sched.pattern.two_repeated_diff",
-    "sched.pattern.one_repeated", "sched.pattern.two_new"};
-constexpr const char* kMappingCounter[4] = {
-    "sched.mapping.both_reused", "sched.mapping.first_reused",
-    "sched.mapping.second_reused", "sched.mapping.none_reused"};
-constexpr const char* kTierCounter[3] = {
-    "sched.tier.two_repeated_same", "sched.tier.one_reused",
-    "sched.tier.two_new"};
-
-}  // namespace
 
 void Scheduler::set_telemetry(obs::Telemetry* telemetry) {
   telemetry_ = telemetry;
@@ -27,16 +12,16 @@ void Scheduler::set_telemetry(obs::Telemetry* telemetry) {
     return;
   }
   obs::MetricsRegistry& reg = telemetry_->registry;
-  instruments_.decisions = &reg.counter("sched.decisions");
+  instruments_.decisions = &reg.counter(obs::names::kSchedDecisions);
   for (int i = 0; i < 4; ++i) {
-    instruments_.pattern[i] = &reg.counter(kPatternCounter[i]);
-    instruments_.mapping[i] = &reg.counter(kMappingCounter[i]);
+    instruments_.pattern[i] = &reg.counter(obs::names::kSchedPattern[i]);
+    instruments_.mapping[i] = &reg.counter(obs::names::kSchedMapping[i]);
   }
   for (int i = 0; i < 3; ++i) {
-    instruments_.tier[i] = &reg.counter(kTierCounter[i]);
+    instruments_.tier[i] = &reg.counter(obs::names::kSchedTier[i]);
   }
-  instruments_.fallback = &reg.counter("sched.fallback");
-  instruments_.evict_risk = &reg.counter("sched.evict_risk");
+  instruments_.fallback = &reg.counter(obs::names::kSchedFallback);
+  instruments_.evict_risk = &reg.counter(obs::names::kSchedEvictRisk);
 }
 
 const std::vector<DeviceId>& Scheduler::alive_candidates(

@@ -102,11 +102,40 @@ std::optional<obs::JsonValue> Client::read_reply(std::string* error) {
   }
 }
 
+std::string Client::mint_trace_id(const std::string& tenant,
+                                  const std::string& job_name,
+                                  std::uint64_t sequence) {
+  // FNV-1a 64-bit over tenant + unit separator + job name: stable across
+  // platforms, no RNG involved.
+  std::uint64_t hash = 14695981039346656037ull;
+  const auto mix = [&hash](const std::string& text) {
+    for (const char c : text) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 1099511628211ull;
+    }
+  };
+  mix(tenant);
+  hash ^= 0x1f;
+  hash *= 1099511628211ull;
+  mix(job_name);
+
+  std::string id = "t-";
+  for (int nibble = 15; nibble >= 0; --nibble) {
+    id += "0123456789abcdef"[(hash >> (nibble * 4)) & 0xf];
+  }
+  id += '-';
+  id += std::to_string(sequence);
+  return id;
+}
+
 std::optional<obs::JsonValue> Client::submit(const std::string& tenant,
                                              const std::string& job_name,
                                              const std::string& workload_text,
                                              std::string* error) {
-  return call(make_submit_request(tenant, job_name, workload_text), error);
+  const std::string trace_id =
+      mint_trace_id(tenant, job_name, submit_seq_++);
+  return call(make_submit_request(tenant, job_name, workload_text, trace_id),
+              error);
 }
 
 std::optional<obs::JsonValue> Client::status(std::uint64_t job_id,
@@ -121,6 +150,10 @@ std::optional<obs::JsonValue> Client::result(std::uint64_t job_id,
 
 std::optional<obs::JsonValue> Client::stats(std::string* error) {
   return call(make_plain_request(MessageType::kStats), error);
+}
+
+std::optional<obs::JsonValue> Client::metrics(std::string* error) {
+  return call(make_plain_request(MessageType::kMetrics), error);
 }
 
 std::optional<obs::JsonValue> Client::drain(std::string* error) {

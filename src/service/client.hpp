@@ -44,6 +44,9 @@ class Client {
   std::optional<obs::JsonValue> read_reply(std::string* error);
 
   // -- Convenience wrappers for the v1 request vocabulary -------------------
+  /// submit() mints a deterministic trace id for the request (see
+  /// mint_trace_id) so every job this client submits arrives with an
+  /// end-to-end trace identity without the caller doing anything.
   std::optional<obs::JsonValue> submit(const std::string& tenant,
                                        const std::string& job_name,
                                        const std::string& workload_text,
@@ -53,12 +56,22 @@ class Client {
   std::optional<obs::JsonValue> result(std::uint64_t job_id,
                                        std::string* error);
   std::optional<obs::JsonValue> stats(std::string* error);
+  std::optional<obs::JsonValue> metrics(std::string* error);
   std::optional<obs::JsonValue> drain(std::string* error);
   std::optional<obs::JsonValue> shutdown(std::string* error);
+
+  /// "t-<fnv1a64(tenant, job_name)>-<n>": a pure function of the submit
+  /// arguments and this client's 0-based submit sequence — no RNG, no wall
+  /// clock — so identical client sessions mint identical ids and traces
+  /// stay byte-diffable.
+  static std::string mint_trace_id(const std::string& tenant,
+                                   const std::string& job_name,
+                                   std::uint64_t sequence);
 
  private:
   int fd_ = -1;
   FrameReader reader_;
+  std::uint64_t submit_seq_ = 0;  ///< submits sent over this client
 };
 
 }  // namespace micco::service

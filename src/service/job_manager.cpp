@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "obs/names.hpp"
 
 namespace micco::service {
 
@@ -27,10 +28,12 @@ void JobManager::set_registry(obs::MetricsRegistry* registry) {
 
 void JobManager::refresh_gauges_locked() {
   if (registry_ == nullptr) return;
-  registry_->gauge("service.queued").set(static_cast<double>(queued_));
-  registry_->gauge("service.running").set(static_cast<double>(running_));
+  registry_->gauge(obs::names::kServiceQueued)
+      .set(static_cast<double>(queued_));
+  registry_->gauge(obs::names::kServiceRunning)
+      .set(static_cast<double>(running_));
   for (const auto& [name, tenant] : tenants_) {
-    registry_->gauge("service.queue_depth." + name)
+    registry_->gauge(obs::names::kServiceQueueDepthPrefix + name)
         .set(static_cast<double>(tenant.queue.size()));
   }
 }
@@ -40,7 +43,9 @@ SubmitOutcome JobManager::reject_locked(const std::string& tenant_name,
                                         const std::string& reason) {
   ++rejected_;
   tenants_[tenant_name].rejected += 1;
-  if (registry_ != nullptr) registry_->counter("service.rejected").add();
+  if (registry_ != nullptr) {
+    registry_->counter(obs::names::kServiceRejected).add();
+  }
   SubmitOutcome outcome;
   outcome.admitted = false;
   outcome.reject_code = code;
@@ -51,10 +56,13 @@ SubmitOutcome JobManager::reject_locked(const std::string& tenant_name,
 
 SubmitOutcome JobManager::submit(const std::string& tenant_name,
                                  const std::string& name,
-                                 WorkloadStream stream) {
+                                 WorkloadStream stream,
+                                 const std::string& trace_id) {
   const MutexLock lock(mutex_);
   ++submitted_;
-  if (registry_ != nullptr) registry_->counter("service.submitted").add();
+  if (registry_ != nullptr) {
+    registry_->counter(obs::names::kServiceSubmitted).add();
+  }
 
   if (draining_) {
     return reject_locked(tenant_name, "draining",
@@ -78,8 +86,10 @@ SubmitOutcome JobManager::submit(const std::string& tenant_name,
   job.id = id;
   job.tenant = tenant_name;
   job.name = name;
+  job.trace_id = trace_id;
   job.stream = std::move(stream);
   job.state = JobState::kQueued;
+  job.depth_at_submit = queued_;  // backlog ahead of this job at admission
   jobs_.emplace(id, std::move(job));
 
   // Stride re-entry: a tenant going from idle to busy starts at the current
@@ -92,7 +102,9 @@ SubmitOutcome JobManager::submit(const std::string& tenant_name,
   tenant.admitted += 1;
   ++queued_;
   ++admitted_;
-  if (registry_ != nullptr) registry_->counter("service.admitted").add();
+  if (registry_ != nullptr) {
+    registry_->counter(obs::names::kServiceAdmitted).add();
+  }
   refresh_gauges_locked();
 
   SubmitOutcome outcome;
@@ -120,10 +132,13 @@ std::optional<std::uint64_t> JobManager::next_job() {
   Job& job = jobs_.at(id);
   MICCO_ASSERT(job.state == JobState::kQueued);
   job.state = JobState::kRunning;
+  job.dispatch_seq = ++dispatch_seq_;
   MICCO_ASSERT(queued_ > 0);
   --queued_;
   ++running_;
-  if (registry_ != nullptr) registry_->counter("service.dispatched").add();
+  if (registry_ != nullptr) {
+    registry_->counter(obs::names::kServiceDispatched).add();
+  }
   refresh_gauges_locked();
   return id;
 }
@@ -136,8 +151,42 @@ WorkloadStream JobManager::take_stream(std::uint64_t job_id) {
   return std::move(it->second.stream);
 }
 
+void JobManager::record_finish_locked(const Job& job,
+                                      const CompletionTiming& timing) {
+  Tenant& tenant = tenants_[job.tenant];
+  const bool slo_ok =
+      config_.slo_ms <= 0.0 || timing.e2e_latency_ms <= config_.slo_ms;
+  if (config_.slo_ms > 0.0) {
+    (slo_ok ? tenant.slo_ok : tenant.slo_miss) += 1;
+  }
+  if (registry_ == nullptr) return;
+  namespace names = obs::names;
+  registry_
+      ->histogram(names::kServiceQueueLatencyMs,
+                  names::wall_latency_bounds_ms())
+      .observe(timing.queue_latency_ms);
+  registry_
+      ->histogram(names::tenant_metric(job.tenant, names::kTenantQueueLatencyMs),
+                  names::wall_latency_bounds_ms())
+      .observe(timing.queue_latency_ms);
+  registry_
+      ->histogram(names::tenant_metric(job.tenant, names::kTenantE2eLatencyMs),
+                  names::wall_latency_bounds_ms())
+      .observe(timing.e2e_latency_ms);
+  registry_
+      ->histogram(names::tenant_metric(job.tenant, names::kTenantJobSimMs),
+                  names::job_sim_ms_bounds())
+      .observe(timing.sim_makespan_ms);
+  if (config_.slo_ms > 0.0) {
+    registry_
+        ->counter(names::tenant_metric(
+            job.tenant, slo_ok ? names::kTenantSloOk : names::kTenantSloMiss))
+        .add();
+  }
+}
+
 void JobManager::complete(std::uint64_t job_id, obs::JsonValue result,
-                          double queue_latency_ms) {
+                          const CompletionTiming& timing) {
   const MutexLock lock(mutex_);
   Job& job = jobs_.at(job_id);
   MICCO_ASSERT(job.state == JobState::kRunning);
@@ -148,17 +197,14 @@ void JobManager::complete(std::uint64_t job_id, obs::JsonValue result,
   --running_;
   ++completed_;
   if (registry_ != nullptr) {
-    registry_->counter("service.completed").add();
-    registry_
-        ->histogram("service.queue_latency_ms",
-                    {1.0, 10.0, 100.0, 1000.0, 10000.0})
-        .observe(queue_latency_ms);
+    registry_->counter(obs::names::kServiceCompleted).add();
   }
+  record_finish_locked(job, timing);
   refresh_gauges_locked();
 }
 
 void JobManager::fail(std::uint64_t job_id, const std::string& error,
-                      obs::JsonValue result, double queue_latency_ms) {
+                      obs::JsonValue result, const CompletionTiming& timing) {
   const MutexLock lock(mutex_);
   Job& job = jobs_.at(job_id);
   MICCO_ASSERT(job.state == JobState::kRunning);
@@ -170,12 +216,9 @@ void JobManager::fail(std::uint64_t job_id, const std::string& error,
   --running_;
   ++failed_;
   if (registry_ != nullptr) {
-    registry_->counter("service.failed").add();
-    registry_
-        ->histogram("service.queue_latency_ms",
-                    {1.0, 10.0, 100.0, 1000.0, 10000.0})
-        .observe(queue_latency_ms);
+    registry_->counter(obs::names::kServiceFailed).add();
   }
+  record_finish_locked(job, timing);
   refresh_gauges_locked();
 }
 
@@ -206,17 +249,13 @@ std::size_t JobManager::cancel_queued() {
   queued_ = 0;
   cancelled_ += cancelled;
   if (registry_ != nullptr && cancelled > 0) {
-    registry_->counter("service.cancelled").add(cancelled);
+    registry_->counter(obs::names::kServiceCancelled).add(cancelled);
   }
   refresh_gauges_locked();
   return cancelled;
 }
 
-std::optional<JobStatus> JobManager::status(std::uint64_t job_id) const {
-  const MutexLock lock(mutex_);
-  const auto it = jobs_.find(job_id);
-  if (it == jobs_.end()) return std::nullopt;
-  const Job& job = it->second;
+JobStatus JobManager::status_locked(const Job& job) const {
   JobStatus out;
   out.job_id = job.id;
   out.tenant = job.tenant;
@@ -233,6 +272,37 @@ std::optional<JobStatus> JobManager::status(std::uint64_t job_id) const {
                              : static_cast<std::int64_t>(pos - queue.begin());
   }
   return out;
+}
+
+std::optional<JobStatus> JobManager::status(std::uint64_t job_id) const {
+  const MutexLock lock(mutex_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return std::nullopt;
+  return status_locked(it->second);
+}
+
+std::optional<StatusSnapshot> JobManager::status_with_result(
+    std::uint64_t job_id) const {
+  const MutexLock lock(mutex_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return std::nullopt;
+  StatusSnapshot snap;
+  snap.status = status_locked(it->second);
+  if (it->second.has_result) snap.result = it->second.result;
+  return snap;
+}
+
+DispatchInfo JobManager::dispatch_info(std::uint64_t job_id) const {
+  const MutexLock lock(mutex_);
+  const auto it = jobs_.find(job_id);
+  MICCO_EXPECTS_MSG(it != jobs_.end(), "dispatch_info needs a known job");
+  DispatchInfo info;
+  info.trace_id = it->second.trace_id;
+  info.tenant = it->second.tenant;
+  info.name = it->second.name;
+  info.dispatch_seq = it->second.dispatch_seq;
+  info.depth_at_submit = it->second.depth_at_submit;
+  return info;
 }
 
 std::optional<obs::JsonValue> JobManager::result(std::uint64_t job_id) const {
@@ -271,6 +341,8 @@ obs::JsonValue JobManager::stats() const {
     entry.set("weight", tenant.weight);
     entry.set("admitted", tenant.admitted);
     entry.set("rejected", tenant.rejected);
+    entry.set("slo_ok", tenant.slo_ok);
+    entry.set("slo_miss", tenant.slo_miss);
     tenants.set(name, std::move(entry));
   }
   doc.set("tenants", std::move(tenants));

@@ -53,6 +53,11 @@ struct AdmissionConfig {
   std::map<std::string, int> tenant_weights;
   int default_weight = 1;
 
+  /// End-to-end latency objective (wall ms, submit → terminal state). Each
+  /// finished job increments its tenant's slo_ok or slo_miss counter;
+  /// 0 disables SLO accounting.
+  double slo_ms = 0.0;
+
   int weight_for(const std::string& tenant) const {
     const auto it = tenant_weights.find(tenant);
     const int w = it == tenant_weights.end() ? default_weight : it->second;
@@ -79,6 +84,30 @@ struct JobStatus {
   std::string error;  ///< FAILED only
 };
 
+/// Status and (when finished) result in one consistent capture — the
+/// status/result reply assembly takes exactly one lock acquisition.
+struct StatusSnapshot {
+  JobStatus status;
+  std::optional<obs::JsonValue> result;  ///< present once DONE/FAILED
+};
+
+/// Trace bookkeeping the dispatcher needs when it picks up a job.
+struct DispatchInfo {
+  std::string trace_id;  ///< client-minted, may be empty
+  std::string tenant;
+  std::string name;
+  std::uint64_t dispatch_seq = 0;    ///< 1-based daemon dispatch order
+  std::uint64_t depth_at_submit = 0; ///< total queued jobs when admitted
+};
+
+/// Wall-clock measurements for one finished job (dispatcher-computed via
+/// obs::Clock) plus the deterministic simulated makespan.
+struct CompletionTiming {
+  double queue_latency_ms = 0.0;  ///< submit → dispatch
+  double e2e_latency_ms = 0.0;    ///< submit → terminal state (SLO basis)
+  double sim_makespan_ms = 0.0;   ///< simulated; feeds job_sim_ms histogram
+};
+
 class JobManager {
  public:
   explicit JobManager(AdmissionConfig config = {});
@@ -91,8 +120,10 @@ class JobManager {
   /// Admission-controlled enqueue. On success the stream is stored and a
   /// fresh job id (monotone from 1) is returned; on rejection the outcome
   /// carries a protocol error code + reason and nothing is stored.
+  /// `trace_id` is the client-minted trace identity (empty when the client
+  /// sent none; the server then falls back to "job-<id>").
   SubmitOutcome submit(const std::string& tenant, const std::string& name,
-                       WorkloadStream stream);
+                       WorkloadStream stream, const std::string& trace_id = "");
 
   /// Weighted-fair-share pick: pops the next job and marks it RUNNING.
   /// nullopt when no job is queued.
@@ -102,12 +133,17 @@ class JobManager {
   /// dispatch). Aborts if the job is not RUNNING.
   WorkloadStream take_stream(std::uint64_t job_id);
 
+  /// Trace identity + queue provenance of a RUNNING job. Aborts on unknown
+  /// job ids (dispatcher-internal, never fed external input).
+  DispatchInfo dispatch_info(std::uint64_t job_id) const;
+
   /// Terminal transitions for the dispatcher. `result` is retained for
-  /// pickup via result(); `queue_latency_ms` feeds the latency histogram.
+  /// pickup via result(); `timing` feeds the global queue-latency histogram,
+  /// the per-tenant latency histograms and the tenant's SLO counters.
   void complete(std::uint64_t job_id, obs::JsonValue result,
-                double queue_latency_ms);
+                const CompletionTiming& timing);
   void fail(std::uint64_t job_id, const std::string& error,
-            obs::JsonValue result, double queue_latency_ms);
+            obs::JsonValue result, const CompletionTiming& timing);
 
   /// Stops admission: subsequent submits reject with `draining`. Queued
   /// jobs still dispatch (graceful drain finishes the backlog).
@@ -123,6 +159,9 @@ class JobManager {
   /// Result document of a DONE/FAILED job; nullopt when unknown or not
   /// finished yet.
   std::optional<obs::JsonValue> result(std::uint64_t job_id) const;
+  /// Status and result in one lock acquisition — the snapshot is internally
+  /// consistent even while the dispatcher races to finish the job.
+  std::optional<StatusSnapshot> status_with_result(std::uint64_t job_id) const;
 
   /// True when no job is QUEUED or RUNNING.
   bool idle() const;
@@ -137,11 +176,14 @@ class JobManager {
     std::uint64_t id = 0;
     std::string tenant;
     std::string name;
+    std::string trace_id;
     WorkloadStream stream;
     JobState state = JobState::kQueued;
     std::string error;
     obs::JsonValue result;
     bool has_result = false;
+    std::uint64_t dispatch_seq = 0;     ///< assigned by next_job()
+    std::uint64_t depth_at_submit = 0;  ///< queued_ total when admitted
   };
 
   struct Tenant {
@@ -153,6 +195,8 @@ class JobManager {
     int weight = 1;
     std::uint64_t admitted = 0;
     std::uint64_t rejected = 0;
+    std::uint64_t slo_ok = 0;
+    std::uint64_t slo_miss = 0;
   };
 
   static constexpr std::uint64_t kStrideUnit = 1u << 20;
@@ -161,6 +205,10 @@ class JobManager {
   SubmitOutcome reject_locked(const std::string& tenant, const char* code,
                               const std::string& reason)
       MICCO_REQUIRES(mutex_);
+  JobStatus status_locked(const Job& job) const MICCO_REQUIRES(mutex_);
+  /// Shared terminal-transition tail: latency histograms + SLO accounting.
+  void record_finish_locked(const Job& job, const CompletionTiming& timing)
+      MICCO_REQUIRES(mutex_);
 
   AdmissionConfig config_;
   mutable Mutex mutex_;
@@ -168,6 +216,7 @@ class JobManager {
   std::map<std::uint64_t, Job> jobs_ MICCO_GUARDED_BY(mutex_);
   std::map<std::string, Tenant> tenants_ MICCO_GUARDED_BY(mutex_);
   std::uint64_t next_id_ MICCO_GUARDED_BY(mutex_) = 1;
+  std::uint64_t dispatch_seq_ MICCO_GUARDED_BY(mutex_) = 0;
   std::size_t queued_ MICCO_GUARDED_BY(mutex_) = 0;
   std::size_t running_ MICCO_GUARDED_BY(mutex_) = 0;
   bool draining_ MICCO_GUARDED_BY(mutex_) = false;

@@ -12,6 +12,7 @@ const char* to_string(MessageType type) {
     case MessageType::kDrain: return "drain";
     case MessageType::kShutdown: return "shutdown";
     case MessageType::kStats: return "stats";
+    case MessageType::kMetrics: return "metrics";
   }
   return "?";
 }
@@ -23,6 +24,7 @@ std::optional<MessageType> parse_message_type(const std::string& text) {
   if (text == "drain") return MessageType::kDrain;
   if (text == "shutdown") return MessageType::kShutdown;
   if (text == "stats") return MessageType::kStats;
+  if (text == "metrics") return MessageType::kMetrics;
   return std::nullopt;
 }
 
@@ -39,10 +41,12 @@ obs::JsonValue request_skeleton(MessageType type) {
 
 obs::JsonValue make_submit_request(const std::string& tenant,
                                    const std::string& job_name,
-                                   const std::string& workload_text) {
+                                   const std::string& workload_text,
+                                   const std::string& trace_id) {
   obs::JsonValue doc = request_skeleton(MessageType::kSubmit);
   doc.set("tenant", tenant);
   if (!job_name.empty()) doc.set("job_name", job_name);
+  if (!trace_id.empty()) doc.set("trace", trace_id);
   doc.set("workload", workload_text);
   return doc;
 }
@@ -131,6 +135,13 @@ std::optional<Request> parse_request(const obs::JsonValue& doc,
         }
         req.job_name = name->as_string();
       }
+      const obs::JsonValue* trace = doc.find("trace");
+      if (trace != nullptr) {
+        if (trace->kind() != obs::JsonValue::Kind::kString) {
+          return fail(error_code::kBadRequest, "'trace' must be a string");
+        }
+        req.trace_id = trace->as_string();
+      }
       break;
     }
     case MessageType::kStatus:
@@ -147,6 +158,7 @@ std::optional<Request> parse_request(const obs::JsonValue& doc,
     case MessageType::kDrain:
     case MessageType::kShutdown:
     case MessageType::kStats:
+    case MessageType::kMetrics:
       break;
   }
   return req;

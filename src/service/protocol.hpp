@@ -10,8 +10,10 @@
 // JSON gets an error reply, and nothing on this path ever aborts the
 // daemon — external bytes are data, not contracts.
 //
-// Request types (v1): submit, status, result, drain, shutdown, stats.
-// Every response carries "ok" (bool); failures add "code" and "message".
+// Request types (v1): submit, status, result, drain, shutdown, stats,
+// metrics. Every response carries "ok" (bool); failures add "code" and
+// "message". Submit optionally carries a client-minted "trace" id that the
+// daemon threads through the job's whole span tree (DESIGN.md §7).
 #pragma once
 
 #include <cstddef>
@@ -41,6 +43,7 @@ enum class MessageType {
   kDrain,     ///< stop admitting, finish queued + in-flight work, exit
   kShutdown,  ///< stop admitting, cancel queued work, finish in-flight, exit
   kStats,     ///< per-tenant queue depths and session totals
+  kMetrics,   ///< live telemetry: uptime, quantiles, Prometheus exposition
 };
 
 const char* to_string(MessageType type);
@@ -56,6 +59,7 @@ struct Request {
   std::string tenant;         ///< submit; defaults to "default"
   std::string job_name;       ///< submit; optional label, may be empty
   std::string workload_text;  ///< submit; micco-workload v1 text
+  std::string trace_id;       ///< submit; optional client-minted trace id
   std::uint64_t job_id = 0;   ///< status / result
 };
 
@@ -77,7 +81,8 @@ inline constexpr const char* kNotFinished = "not_finished";
 /// Builds the request document for each message type (the client half).
 obs::JsonValue make_submit_request(const std::string& tenant,
                                    const std::string& job_name,
-                                   const std::string& workload_text);
+                                   const std::string& workload_text,
+                                   const std::string& trace_id = "");
 obs::JsonValue make_job_request(MessageType type, std::uint64_t job_id);
 obs::JsonValue make_plain_request(MessageType type);
 

@@ -15,6 +15,7 @@
 #include "common/assert.hpp"
 #include "common/log.hpp"
 #include "ml/serialize.hpp"
+#include "obs/names.hpp"
 #include "obs/report.hpp"
 #include "parallel/parallel.hpp"
 #include "workload/serialize.hpp"
@@ -38,6 +39,7 @@ bool set_nonblocking(int fd) {
 Server::Server(ServerConfig config)
     : config_(std::move(config)), jobs_(config_.admission) {
   jobs_.set_registry(&telemetry_.registry);
+  clock_ = config_.clock != nullptr ? config_.clock : obs::default_clock();
 }
 
 Server::~Server() {
@@ -102,6 +104,15 @@ bool Server::start(std::string* error) {
     telemetry_.sink = sink_.get();
   }
 
+  // Session span trace.
+  if (!config_.spans_path.empty()) {
+    spans_file_.open(config_.spans_path);
+    if (!spans_file_.good()) {
+      return fail("cannot open span trace " + config_.spans_path);
+    }
+    spans_sink_ = std::make_unique<obs::JsonlSpanSink>(spans_file_);
+  }
+
   // Fail on an unwritable report path before serving, not after.
   if (!config_.report_path.empty() &&
       !std::ofstream(config_.report_path).good()) {
@@ -132,8 +143,15 @@ bool Server::start(std::string* error) {
     ::unlink(config_.socket_path.c_str());
     return fail("listen(): " + std::string(strerror(err)));
   }
+  decision_scratch_ = std::make_unique<obs::HistogramScratch>(
+      obs::names::decision_latency_bounds_us());
+
   started_ = true;
-  session_watch_.restart();
+  session_start_ms_ = clock_->monotonic_ms();
+  // The one sanctioned wall-clock capture of the session: everything else
+  // is monotonic durations, so only this stamp ties the report to calendar
+  // time.
+  started_at_utc_ = clock_->wall_time_utc();
   return true;
 }
 
@@ -191,36 +209,40 @@ obs::JsonValue Server::handle_request(const Request& request) {
       return handle_submit(request);
     case MessageType::kStatus:
     case MessageType::kResult: {
-      const std::optional<JobStatus> status = jobs_.status(request.job_id);
-      if (!status.has_value()) {
+      // One lock acquisition captures status AND result together, so the
+      // reply can never pair a RUNNING state with a result document (or a
+      // DONE state with a missing one) when the dispatcher races us.
+      const std::optional<StatusSnapshot> snap =
+          jobs_.status_with_result(request.job_id);
+      if (!snap.has_value()) {
         return make_error_response(
             error_code::kUnknownJob,
             "no job " + std::to_string(request.job_id));
       }
+      const JobStatus& status = snap->status;
       obs::JsonValue reply = make_ok_response();
-      reply.set("job_id", status->job_id);
-      reply.set("tenant", status->tenant);
-      if (!status->name.empty()) reply.set("job_name", status->name);
-      reply.set("state", to_string(status->state));
-      if (status->state == JobState::kQueued) {
-        reply.set("queue_position", status->queue_position);
+      reply.set("job_id", status.job_id);
+      reply.set("tenant", status.tenant);
+      if (!status.name.empty()) reply.set("job_name", status.name);
+      reply.set("state", to_string(status.state));
+      if (status.state == JobState::kQueued) {
+        reply.set("queue_position", status.queue_position);
       }
-      if (status->state == JobState::kFailed && !status->error.empty()) {
-        reply.set("error", status->error);
+      if (status.state == JobState::kFailed && !status.error.empty()) {
+        reply.set("error", status.error);
       }
-      const std::optional<obs::JsonValue> result = jobs_.result(request.job_id);
       if (request.type == MessageType::kResult) {
-        if (!result.has_value()) {
+        if (!snap->result.has_value()) {
           return make_error_response(
               error_code::kNotFinished,
               "job " + std::to_string(request.job_id) + " is " +
-                  to_string(status->state));
+                  to_string(status.state));
         }
-        reply.set("result", *result);
-      } else if (result.has_value()) {
+        reply.set("result", *snap->result);
+      } else if (snap->result.has_value()) {
         // status replies include the result document once the job finished
         // (the "per-vector scheduling stats" a DONE poll reads).
-        reply.set("result", *result);
+        reply.set("result", *snap->result);
       }
       return reply;
     }
@@ -248,6 +270,18 @@ obs::JsonValue Server::handle_request(const Request& request) {
       reply.set("stats", jobs_.stats());
       return reply;
     }
+    case MessageType::kMetrics: {
+      obs::JsonValue reply = make_ok_response();
+      reply.set("uptime_s",
+                (clock_->monotonic_ms() - session_start_ms_) / 1000.0);
+      if (!started_at_utc_.empty()) {
+        reply.set("started_at", started_at_utc_);
+      }
+      reply.set("stats", jobs_.stats());
+      reply.set("metrics", telemetry_.registry.quantile_summary());
+      reply.set("prometheus", telemetry_.registry.prometheus_text());
+      return reply;
+    }
   }
   return make_error_response(error_code::kBadRequest, "unhandled type");
 }
@@ -260,19 +294,20 @@ obs::JsonValue Server::handle_submit(const Request& request) {
     return make_error_response(error_code::kBadWorkload,
                                "workload rejected: " + load_error);
   }
-  const SubmitOutcome outcome =
-      jobs_.submit(request.tenant, request.job_name, std::move(*stream));
+  const SubmitOutcome outcome = jobs_.submit(
+      request.tenant, request.job_name, std::move(*stream), request.trace_id);
   if (!outcome.admitted) {
     return make_error_response(outcome.reject_code, outcome.reject_reason);
   }
   {
     const MutexLock lock(state_mutex_);
-    submit_ms_[outcome.job_id] = session_watch_.elapsed_ms();
+    submit_ms_[outcome.job_id] = clock_->monotonic_ms();
     dispatch_ready_.notify_all();
   }
   obs::JsonValue reply = make_ok_response();
   reply.set("job_id", outcome.job_id);
   reply.set("tenant", request.tenant);
+  if (!request.trace_id.empty()) reply.set("trace", request.trace_id);
   reply.set("state", to_string(JobState::kQueued));
   return reply;
 }
@@ -282,6 +317,53 @@ obs::JsonValue Server::handle_submit(const Request& request) {
 
 void Server::run_job(std::uint64_t job_id) {
   const WorkloadStream stream = jobs_.take_stream(job_id);
+  const DispatchInfo info = jobs_.dispatch_info(job_id);
+
+  double submit_ms = -1.0;
+  {
+    const MutexLock lock(state_mutex_);
+    const auto it = submit_ms_.find(job_id);
+    if (it != submit_ms_.end()) {
+      submit_ms = it->second;
+      submit_ms_.erase(it);
+    }
+  }
+  const double dispatch_ms = clock_->monotonic_ms();
+  const double queue_ms = submit_ms >= 0.0 ? dispatch_ms - submit_ms : 0.0;
+
+  // Span tree for this job: root "job" (id 1, emitted last so it can carry
+  // the outcome), then "queue" and "dispatch" children; run_stream parents
+  // its sched/exec/recovery spans at the dispatch span. Every recorded
+  // value is deterministic — wall latencies live in histograms, not spans.
+  obs::TraceContext trace;
+  trace.trace_id = info.trace_id.empty() ? "job-" + std::to_string(job_id)
+                                         : info.trace_id;
+  trace.job_id = job_id;
+  trace.tenant = info.tenant;
+  const std::uint64_t root_span = trace.alloc();
+  const auto emit_span = [&](obs::SpanEvent event, std::uint64_t span_id,
+                             std::uint64_t parent_id) {
+    event.trace_id = trace.trace_id;
+    event.job_id = job_id;
+    event.tenant = info.tenant;
+    event.span_id = span_id;
+    event.parent_id = parent_id;
+    spans_sink_->span(std::move(event));
+  };
+  if (spans_sink_ != nullptr) {
+    obs::SpanEvent queue_span;
+    queue_span.name = obs::names::kSpanQueue;
+    queue_span.attrs_int.emplace_back(
+        "dispatch_seq", static_cast<std::int64_t>(info.dispatch_seq));
+    queue_span.attrs_int.emplace_back(
+        "depth_at_submit", static_cast<std::int64_t>(info.depth_at_submit));
+    emit_span(std::move(queue_span), trace.alloc(), root_span);
+
+    obs::SpanEvent dispatch_span;
+    dispatch_span.name = obs::names::kSpanDispatch;
+    trace.parent_span = trace.alloc();
+    emit_span(std::move(dispatch_span), trace.parent_span, root_span);
+  }
 
   // Fresh scheduler + fresh simulated cluster per job: job results are a
   // pure function of (config, workload), independent of queue history.
@@ -293,8 +375,20 @@ void Server::run_job(std::uint64_t job_id) {
   options.telemetry = &telemetry_;
   options.faults = config_.faults;
   options.retry = config_.retry;
+  if (spans_sink_ != nullptr) {
+    options.span_sink = spans_sink_.get();
+    options.trace_context = &trace;
+  }
+  options.decision_latency = decision_scratch_.get();
   const RunResult result =
       run_stream(stream, *scheduler, config_.cluster, options);
+
+  // One lock amortised over the whole job's scheduling decisions.
+  if (decision_scratch_ != nullptr) {
+    decision_scratch_->flush_into(telemetry_.registry.histogram(
+        obs::names::kSchedDecisionLatencyUs,
+        obs::names::decision_latency_bounds_us()));
+  }
 
   // Session aggregates for the serve-session report.
   ++jobs_run_;
@@ -336,20 +430,38 @@ void Server::run_job(std::uint64_t job_id) {
   }
   doc.set("per_vector", std::move(vectors));
 
-  double latency_ms = 0.0;
-  {
-    const MutexLock lock(state_mutex_);
-    const auto it = submit_ms_.find(job_id);
-    if (it != submit_ms_.end()) {
-      latency_ms = session_watch_.elapsed_ms() - it->second;
-      submit_ms_.erase(it);
+  doc.set("queue_latency_ms", queue_ms);
+
+  // Root span last: it carries the terminal state and the simulated
+  // makespan, and its id (1) is smaller than every child's, so the tree
+  // reassembles no matter the file order.
+  if (spans_sink_ != nullptr) {
+    obs::SpanEvent job_span;
+    job_span.name = obs::names::kSpanJob;
+    job_span.duration_ms = result.metrics.makespan_s * 1000.0;
+    job_span.attrs_int.emplace_back(
+        "vectors",
+        static_cast<std::int64_t>(result.per_vector_characteristics.size()));
+    if (result.tasks_reexecuted > 0) {
+      job_span.attrs_int.emplace_back(
+          "tasks_reexecuted",
+          static_cast<std::int64_t>(result.tasks_reexecuted));
     }
+    job_span.attrs_str.emplace_back(
+        "state", to_string(result.completed ? JobState::kDone
+                                            : JobState::kFailed));
+    emit_span(std::move(job_span), root_span, 0);
   }
-  doc.set("queue_latency_ms", latency_ms);
+
+  CompletionTiming timing;
+  timing.queue_latency_ms = queue_ms;
+  timing.e2e_latency_ms =
+      submit_ms >= 0.0 ? clock_->monotonic_ms() - submit_ms : 0.0;
+  timing.sim_makespan_ms = result.metrics.makespan_s * 1000.0;
   if (result.completed) {
-    jobs_.complete(job_id, std::move(doc), latency_ms);
+    jobs_.complete(job_id, std::move(doc), timing);
   } else {
-    jobs_.fail(job_id, result.error, std::move(doc), latency_ms);
+    jobs_.fail(job_id, result.error, std::move(doc), timing);
   }
 }
 
@@ -555,6 +667,7 @@ int Server::serve() {
   listener_ = -1;
 
   if (sink_ != nullptr) sink_->flush();
+  if (spans_sink_ != nullptr) spans_sink_->flush();
 
   if (!config_.report_path.empty()) {
     const obs::JsonValue report = session_report();
@@ -571,6 +684,7 @@ int Server::serve() {
 obs::JsonValue Server::session_report() const {
   obs::ReportInputs in;
   in.scheduler = scheduler_name_;
+  in.generated_at = started_at_utc_;
   in.num_devices = config_.cluster.num_devices;
   in.makespan_s = total_makespan_s_;
   in.gflops = total_makespan_s_ > 0.0

@@ -40,7 +40,9 @@
 #include "core/pipeline.hpp"
 #include "faults/fault_plan.hpp"
 #include "faults/retry.hpp"
+#include "obs/clock.hpp"
 #include "obs/events.hpp"
+#include "obs/span.hpp"
 #include "obs/telemetry.hpp"
 #include "service/job_manager.hpp"
 #include "service/protocol.hpp"
@@ -83,6 +85,16 @@ struct ServerConfig {
   std::string decisions_path;
   /// Optional session run report (validates against the obs report schema).
   std::string report_path;
+  /// Optional JSONL span-tree trace for the whole session (DESIGN.md §7):
+  /// every dispatched job emits queue/dispatch/sched/exec/recovery spans
+  /// under one root. Deterministic at io_lanes = 0 — two identical sessions
+  /// produce byte-identical trace files.
+  std::string spans_path;
+
+  /// Timestamp source for queue/end-to-end latency accounting, uptime and
+  /// the report's generated_at stamp. nullptr selects the process-wide
+  /// SystemClock; tests inject an obs::ManualClock to script latencies.
+  obs::Clock* clock = nullptr;
 
   /// Optional external stop request (the SIGTERM bridge): when the pointed-
   /// at flag becomes non-zero the server behaves as if a `drain` request
@@ -166,6 +178,11 @@ class Server {
   obs::Telemetry telemetry_;
   std::ofstream decisions_file_;
   std::unique_ptr<obs::BufferedJsonlEventSink> sink_;
+  std::ofstream spans_file_;
+  std::unique_ptr<obs::JsonlSpanSink> spans_sink_;
+  /// Dispatcher-thread-only decision-latency buffer, flushed into the
+  /// registry once per job (one lock amortised over the whole run).
+  std::unique_ptr<obs::HistogramScratch> decision_scratch_;
 
   int listener_ = -1;
   bool started_ = false;
@@ -174,7 +191,9 @@ class Server {
   std::unique_ptr<RegressionBoundsProvider> model_bounds_;
   std::unique_ptr<FixedBounds> static_bounds_;
 
-  Stopwatch session_watch_;  ///< wall clock for queue-latency accounting
+  obs::Clock* clock_ = nullptr;   ///< config_.clock or the process default
+  double session_start_ms_ = 0.0; ///< monotonic zero for latencies + uptime
+  std::string started_at_utc_;    ///< the one wall capture (report stamp)
 
   mutable Mutex state_mutex_;
   CondVar dispatch_ready_ MICCO_GUARDED_BY(state_mutex_);

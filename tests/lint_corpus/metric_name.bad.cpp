@@ -1,0 +1,9 @@
+// Fixture: dotted telemetry name literals outside obs/names.hpp. Each of
+// the three reserved roots fires; concatenation of a dotted prefix piece
+// fires on the prefix.
+#include <string>
+
+std::string decisions() { return "sched.decisions"; }
+std::string fetch() { return "cluster.fetch.bytes"; }
+std::string queued() { return "service.queued"; }
+std::string pieced() { return "service." "queued"; }

@@ -1,0 +1,14 @@
+// Fixture: literals that must NOT fire metric-name-literal — bare root
+// words without a dot, dotted names under an unreserved root, names with a
+// non-metric character set, dotted names in comments ("sched.decisions"
+// here is stripped before the rule runs), and a suppressed occurrence.
+#include <string>
+
+std::string bare() { return "sched"; }
+std::string other_root() { return "graph.nodes"; }
+std::string not_a_name() { return "sched.Decisions are logged"; }
+std::string version() { return "1.5"; }
+std::string suppressed() {
+  // micco-lint: allow(metric-name-literal) fixture pins the escape hatch
+  return "service.queued";
+}

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "service/job_manager.hpp"
 #include "workload/synthetic.hpp"
 
@@ -21,6 +22,13 @@ WorkloadStream tiny_stream(std::uint64_t seed = 1) {
   cfg.vector_size = 8;
   cfg.seed = seed;
   return generate_synthetic(cfg);
+}
+
+CompletionTiming queue_only(double queue_ms) {
+  CompletionTiming timing;
+  timing.queue_latency_ms = queue_ms;
+  timing.e2e_latency_ms = queue_ms;
+  return timing;
 }
 
 TEST(JobManager, LifecycleQueuedRunningDone) {
@@ -41,7 +49,7 @@ TEST(JobManager, LifecycleQueuedRunningDone) {
 
   obs::JsonValue result = obs::JsonValue::object();
   result.set("makespan_s", 0.5);
-  jobs.complete(1, std::move(result), 12.0);
+  jobs.complete(1, std::move(result), queue_only(12.0));
   EXPECT_EQ(jobs.status(1)->state, JobState::kDone);
   ASSERT_TRUE(jobs.result(1).has_value());
   EXPECT_DOUBLE_EQ(jobs.result(1)->at("makespan_s").as_double(), 0.5);
@@ -54,7 +62,7 @@ TEST(JobManager, FailedJobKeepsErrorAndResult) {
   ASSERT_TRUE(jobs.next_job().has_value());
   obs::JsonValue result = obs::JsonValue::object();
   result.set("completed", false);
-  jobs.fail(1, "device 0 lost", std::move(result), 3.0);
+  jobs.fail(1, "device 0 lost", std::move(result), queue_only(3.0));
   EXPECT_EQ(jobs.status(1)->state, JobState::kFailed);
   EXPECT_EQ(jobs.status(1)->error, "device 0 lost");
   EXPECT_TRUE(jobs.result(1).has_value());
@@ -104,7 +112,7 @@ TEST(JobManager, DrainRejectsNewWorkButFinishesBacklog) {
   EXPECT_EQ(rejected.reject_code, "draining");
   // The queued job still dispatches.
   ASSERT_TRUE(jobs.next_job().has_value());
-  jobs.complete(1, obs::JsonValue::object(), 1.0);
+  jobs.complete(1, obs::JsonValue::object(), queue_only(1.0));
   EXPECT_TRUE(jobs.idle());
 }
 
@@ -116,7 +124,7 @@ TEST(JobManager, CancelQueuedEmptiesBacklog) {
   EXPECT_EQ(jobs.cancel_queued(), 1u);       // job 2 cancelled
   EXPECT_EQ(jobs.status(2)->state, JobState::kCancelled);
   EXPECT_FALSE(jobs.idle());  // job 1 still in flight
-  jobs.complete(1, obs::JsonValue::object(), 1.0);
+  jobs.complete(1, obs::JsonValue::object(), queue_only(1.0));
   EXPECT_TRUE(jobs.idle());
   EXPECT_FALSE(jobs.next_job().has_value());
 }
@@ -137,7 +145,7 @@ TEST(JobManager, FairShareFollowsWeights) {
     const auto id = jobs.next_job();
     ASSERT_TRUE(id.has_value());
     ++dispatched[jobs.status(*id)->tenant];
-    jobs.complete(*id, obs::JsonValue::object(), 0.0);
+    jobs.complete(*id, obs::JsonValue::object(), queue_only(0.0));
   }
   EXPECT_EQ(dispatched["alice"], 6);
   EXPECT_EQ(dispatched["bob"], 2);
@@ -152,7 +160,7 @@ TEST(JobManager, EqualWeightsAlternate) {
   std::vector<std::string> order;
   while (const auto id = jobs.next_job()) {
     order.push_back(jobs.status(*id)->tenant);
-    jobs.complete(*id, obs::JsonValue::object(), 0.0);
+    jobs.complete(*id, obs::JsonValue::object(), queue_only(0.0));
   }
   const std::vector<std::string> expected{"a", "b", "a", "b", "a", "b"};
   EXPECT_EQ(order, expected);
@@ -168,7 +176,7 @@ TEST(JobManager, IdleTenantCannotBankCredit) {
   for (int i = 0; i < 10; ++i) {
     const auto id = jobs.next_job();
     ASSERT_TRUE(id.has_value());
-    jobs.complete(*id, obs::JsonValue::object(), 0.0);
+    jobs.complete(*id, obs::JsonValue::object(), queue_only(0.0));
   }
   // Now b joins with a backlog, a refills too.
   for (int i = 0; i < 4; ++i) {
@@ -180,7 +188,7 @@ TEST(JobManager, IdleTenantCannotBankCredit) {
     const auto id = jobs.next_job();
     ASSERT_TRUE(id.has_value());
     order.push_back(jobs.status(*id)->tenant);
-    jobs.complete(*id, obs::JsonValue::object(), 0.0);
+    jobs.complete(*id, obs::JsonValue::object(), queue_only(0.0));
   }
   // Alternation, not a b-burst. Tie at re-entry breaks by name: a first.
   const std::vector<std::string> expected{"a", "b", "a", "b"};
@@ -197,7 +205,7 @@ TEST(JobManager, StatsAndMetricsAccounting) {
   ASSERT_TRUE(jobs.submit("a", "", tiny_stream()).admitted);
   ASSERT_FALSE(jobs.submit("a", "", tiny_stream()).admitted);
   ASSERT_TRUE(jobs.next_job().has_value());
-  jobs.complete(1, obs::JsonValue::object(), 7.0);
+  jobs.complete(1, obs::JsonValue::object(), queue_only(7.0));
 
   const obs::JsonValue stats = jobs.stats();
   EXPECT_EQ(stats.at("submitted").as_int(), 2);
@@ -241,7 +249,7 @@ TEST(JobManager, ConcurrentSubmitsKeepAccountingExact) {
     while (drained_rounds < 100) {
       if (const auto id = jobs.next_job()) {
         (void)jobs.take_stream(*id);
-        jobs.complete(*id, obs::JsonValue::object(), 0.0);
+        jobs.complete(*id, obs::JsonValue::object(), queue_only(0.0));
         drained_rounds = 0;
       } else {
         ++drained_rounds;
@@ -254,7 +262,7 @@ TEST(JobManager, ConcurrentSubmitsKeepAccountingExact) {
   // Finish anything still queued after the dispatcher gave up.
   while (const auto id = jobs.next_job()) {
     (void)jobs.take_stream(*id);
-    jobs.complete(*id, obs::JsonValue::object(), 0.0);
+    jobs.complete(*id, obs::JsonValue::object(), queue_only(0.0));
   }
 
   const obs::JsonValue stats = jobs.stats();
@@ -274,6 +282,127 @@ TEST(JobManager, JobIdsAreMonotoneFromOne) {
     ASSERT_TRUE(outcome.admitted);
     EXPECT_EQ(outcome.job_id, i);
   }
+}
+
+TEST(JobManager, StatusWithResultIsOneConsistentSnapshot) {
+  JobManager jobs;
+  ASSERT_TRUE(jobs.submit("alice", "job", tiny_stream()).admitted);
+  EXPECT_FALSE(jobs.status_with_result(42).has_value());
+
+  auto snap = jobs.status_with_result(1);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->status.state, JobState::kQueued);
+  EXPECT_FALSE(snap->result.has_value());
+
+  ASSERT_TRUE(jobs.next_job().has_value());
+  obs::JsonValue result = obs::JsonValue::object();
+  result.set("makespan_s", 0.25);
+  jobs.complete(1, std::move(result), queue_only(1.0));
+
+  snap = jobs.status_with_result(1);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->status.state, JobState::kDone);
+  ASSERT_TRUE(snap->result.has_value());
+  EXPECT_DOUBLE_EQ(snap->result->at("makespan_s").as_double(), 0.25);
+}
+
+TEST(JobManager, DispatchInfoCarriesTraceIdentityAndProvenance) {
+  JobManager jobs;
+  ASSERT_TRUE(
+      jobs.submit("alice", "first", tiny_stream(), "t-abc-0").admitted);
+  ASSERT_TRUE(jobs.submit("alice", "second", tiny_stream()).admitted);
+
+  ASSERT_TRUE(jobs.next_job().has_value());
+  const DispatchInfo first = jobs.dispatch_info(1);
+  EXPECT_EQ(first.trace_id, "t-abc-0");
+  EXPECT_EQ(first.tenant, "alice");
+  EXPECT_EQ(first.name, "first");
+  EXPECT_EQ(first.dispatch_seq, 1u);
+  EXPECT_EQ(first.depth_at_submit, 0u);  // queue was empty at submit
+
+  obs::JsonValue result = obs::JsonValue::object();
+  jobs.complete(1, std::move(result), queue_only(1.0));
+  ASSERT_TRUE(jobs.next_job().has_value());
+  const DispatchInfo second = jobs.dispatch_info(2);
+  EXPECT_TRUE(second.trace_id.empty());  // client sent no trace
+  EXPECT_EQ(second.dispatch_seq, 2u);
+  EXPECT_EQ(second.depth_at_submit, 1u);  // "first" was queued ahead of it
+}
+
+TEST(JobManager, CompletionTimingFeedsLatencyHistograms) {
+  obs::MetricsRegistry registry;
+  JobManager jobs;
+  jobs.set_registry(&registry);
+  ASSERT_TRUE(jobs.submit("alice", "job", tiny_stream()).admitted);
+  ASSERT_TRUE(jobs.next_job().has_value());
+
+  CompletionTiming timing;
+  timing.queue_latency_ms = 12.0;
+  timing.e2e_latency_ms = 120.0;
+  timing.sim_makespan_ms = 500.0;
+  jobs.complete(1, obs::JsonValue::object(), timing);
+
+  const auto histogram_sum = [&registry](const std::string& name) {
+    const obs::Histogram* h = registry.find_histogram(name);
+    return h == nullptr ? -1.0 : h->sum();
+  };
+  EXPECT_DOUBLE_EQ(histogram_sum(obs::names::kServiceQueueLatencyMs), 12.0);
+  EXPECT_DOUBLE_EQ(histogram_sum(obs::names::tenant_metric(
+                       "alice", obs::names::kTenantQueueLatencyMs)),
+                   12.0);
+  EXPECT_DOUBLE_EQ(histogram_sum(obs::names::tenant_metric(
+                       "alice", obs::names::kTenantE2eLatencyMs)),
+                   120.0);
+  EXPECT_DOUBLE_EQ(histogram_sum(obs::names::tenant_metric(
+                       "alice", obs::names::kTenantJobSimMs)),
+                   500.0);
+}
+
+TEST(JobManager, SloCountersJudgeE2eLatencyWhenConfigured) {
+  AdmissionConfig config;
+  config.slo_ms = 100.0;
+  obs::MetricsRegistry registry;
+  JobManager jobs(config);
+  jobs.set_registry(&registry);
+
+  const auto finish_with_e2e = [&jobs](std::uint64_t id, double e2e_ms) {
+    ASSERT_TRUE(jobs.next_job().has_value());
+    CompletionTiming timing;
+    timing.e2e_latency_ms = e2e_ms;
+    jobs.complete(id, obs::JsonValue::object(), timing);
+  };
+  ASSERT_TRUE(jobs.submit("alice", "fast", tiny_stream()).admitted);
+  finish_with_e2e(1, 50.0);  // within SLO
+  ASSERT_TRUE(jobs.submit("alice", "slow", tiny_stream()).admitted);
+  finish_with_e2e(2, 250.0);  // miss
+  ASSERT_TRUE(jobs.submit("alice", "edge", tiny_stream()).admitted);
+  finish_with_e2e(3, 100.0);  // boundary counts as ok
+
+  const obs::JsonValue stats = jobs.stats();
+  const obs::JsonValue& alice = stats.at("tenants").at("alice");
+  EXPECT_EQ(alice.at("slo_ok").as_int(), 2);
+  EXPECT_EQ(alice.at("slo_miss").as_int(), 1);
+  const obs::Counter* ok = registry.find_counter(
+      obs::names::tenant_metric("alice", obs::names::kTenantSloOk));
+  const obs::Counter* miss = registry.find_counter(
+      obs::names::tenant_metric("alice", obs::names::kTenantSloMiss));
+  ASSERT_NE(ok, nullptr);
+  ASSERT_NE(miss, nullptr);
+  EXPECT_EQ(ok->value(), 2u);
+  EXPECT_EQ(miss->value(), 1u);
+}
+
+TEST(JobManager, SloCountersStayZeroWithoutAnSlo) {
+  JobManager jobs;  // slo_ms defaults to 0 = disabled
+  ASSERT_TRUE(jobs.submit("alice", "job", tiny_stream()).admitted);
+  ASSERT_TRUE(jobs.next_job().has_value());
+  CompletionTiming timing;
+  timing.e2e_latency_ms = 1e9;  // would miss any real SLO
+  jobs.complete(1, obs::JsonValue::object(), timing);
+  const obs::JsonValue stats = jobs.stats();
+  const obs::JsonValue& alice = stats.at("tenants").at("alice");
+  EXPECT_EQ(alice.at("slo_ok").as_int(), 0);
+  EXPECT_EQ(alice.at("slo_miss").as_int(), 0);
 }
 
 }  // namespace

@@ -120,6 +120,21 @@ TEST(MiccoLintRules, AnnotatedWrappersAreClean) {
   EXPECT_EQ(result.exit_code, 0) << format_text(result);
 }
 
+TEST(MiccoLintRules, MetricNameLiteralFiresPerDottedLiteral) {
+  const LintResult result = lint_fixture("metric_name.bad.cpp");
+  EXPECT_EQ(result.exit_code, 17);
+  // One per reserved root plus the concatenated-prefix piece.
+  EXPECT_EQ(count_rule(result, "metric-name-literal"), 4);
+  for (const Finding& finding : result.findings) {
+    EXPECT_NE(finding.message.find("obs/names.hpp"), std::string::npos);
+  }
+}
+
+TEST(MiccoLintRules, MetricNameLookalikesAndSuppressionsAreClean) {
+  const LintResult result = lint_fixture("metric_name.good.cpp");
+  EXPECT_EQ(result.exit_code, 0) << format_text(result);
+}
+
 TEST(MiccoLintRules, FindingsAreSortedByFileLineRule) {
   const LintResult result = lint_paths(
       {corpus("det_rng.bad.cpp"), corpus("stdout.bad.cpp")});

@@ -120,6 +120,35 @@ TEST(ObsReport, ValidationCatchesMissingFields) {
   EXPECT_NE(obs::validate_report(obs::JsonValue(1)), "");
 }
 
+TEST(ObsReport, GeneratedAtOmittedOnTheBatchPath) {
+  // Batch runs leave ReportInputs::generated_at empty, so the field is
+  // absent entirely — a wall stamp here would break the fault-recovery
+  // suite's byte comparison of reports across identical runs.
+  EXPECT_EQ(make_report().find("generated_at"), nullptr);
+}
+
+TEST(ObsReport, GeneratedAtPresentWhenStamped) {
+  obs::ReportInputs in;
+  in.scheduler = "test";
+  in.num_devices = 1;
+  in.metrics.set("makespan_s", 1.0);
+  obs::DeviceRollup d0;
+  d0.device = 0;
+  d0.busy_s = 1.0;
+  d0.utilization = 1.0;
+  in.devices.push_back(d0);
+  in.makespan_s = 1.0;
+  const obs::MetricsRegistry registry;
+
+  const obs::JsonValue unstamped = obs::build_report(in, registry);
+  EXPECT_EQ(unstamped.find("generated_at"), nullptr);
+
+  in.generated_at = "2026-02-03T04:05:06Z";
+  const obs::JsonValue stamped = obs::build_report(in, registry);
+  EXPECT_EQ(stamped.at("generated_at").as_string(), "2026-02-03T04:05:06Z");
+  EXPECT_EQ(obs::validate_report(stamped), "");
+}
+
 TEST(ObsReport, BuildReportDirectWithEmptyRegistry) {
   obs::ReportInputs in;
   in.scheduler = "test";

@@ -1,0 +1,142 @@
+// Tests for the tracing primitives (obs/span.hpp, obs/clock.hpp): trace-
+// context id allocation, span serialization (field omission, determinism),
+// the JSONL sink's sequence stamping, and the injectable clock.
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/json.hpp"
+#include "obs/names.hpp"
+
+namespace micco::obs {
+namespace {
+
+TEST(ObsSpan, TraceContextAllocatesEagerMonotonicIds) {
+  TraceContext ctx;
+  ctx.trace_id = "t-1";
+  EXPECT_EQ(ctx.alloc(), 1u);  // root id is always 1
+  EXPECT_EQ(ctx.alloc(), 2u);
+  ctx.parent_span = 2;
+  // A child allocated under span 2 always gets a larger id than its parent,
+  // so trees reassemble regardless of emission order.
+  EXPECT_GT(ctx.alloc(), ctx.parent_span);
+}
+
+TEST(ObsSpan, ToJsonOmitsUnsetOptionalFields) {
+  SpanEvent event;
+  event.trace_id = "t-abc-0";
+  event.span_id = 2;
+  event.parent_id = 1;
+  event.name = names::kSpanQueue;
+  event.job_id = 7;
+
+  const JsonValue doc = event.to_json(0);
+  EXPECT_EQ(doc.at("seq").as_int(), 0);
+  EXPECT_EQ(doc.at("trace").as_string(), "t-abc-0");
+  EXPECT_EQ(doc.at("span").as_int(), 2);
+  EXPECT_EQ(doc.at("parent").as_int(), 1);
+  EXPECT_EQ(doc.at("name").as_string(), names::kSpanQueue);
+  EXPECT_EQ(doc.at("job").as_int(), 7);
+  EXPECT_EQ(doc.find("tenant"), nullptr);
+  EXPECT_EQ(doc.find("vector"), nullptr);
+  EXPECT_EQ(doc.find("sim_time_s"), nullptr);
+  EXPECT_EQ(doc.find("duration_ms"), nullptr);
+}
+
+TEST(ObsSpan, ToJsonCarriesOptionalFieldsAndAttrsInOrder) {
+  SpanEvent event;
+  event.trace_id = "t";
+  event.span_id = 5;
+  event.parent_id = 3;
+  event.name = names::kSpanExec;
+  event.job_id = 1;
+  event.tenant = "alice";
+  event.vector_index = 4;
+  event.sim_time_s = 0.25;
+  event.duration_ms = 250.0;
+  event.attrs_int.emplace_back("pairs", 12);
+  event.attrs_str.emplace_back("state", "DONE");
+
+  const JsonValue doc = event.to_json(9);
+  EXPECT_EQ(doc.at("tenant").as_string(), "alice");
+  EXPECT_EQ(doc.at("vector").as_int(), 4);
+  EXPECT_DOUBLE_EQ(doc.at("sim_time_s").as_double(), 0.25);
+  EXPECT_DOUBLE_EQ(doc.at("duration_ms").as_double(), 250.0);
+  EXPECT_EQ(doc.at("pairs").as_int(), 12);
+  EXPECT_EQ(doc.at("state").as_string(), "DONE");
+  // Serialization is deterministic: same event, same bytes.
+  EXPECT_EQ(doc.dump(), event.to_json(9).dump());
+}
+
+TEST(ObsSpan, JsonlSinkStampsContiguousSequenceNumbers) {
+  std::ostringstream out;
+  JsonlSpanSink sink(out);
+  SpanEvent event;
+  event.trace_id = "t";
+  event.name = names::kSpanSched;
+  for (int i = 0; i < 3; ++i) {
+    event.span_id = static_cast<std::uint64_t>(i + 1);
+    sink.span(event);
+  }
+  sink.flush();
+
+  std::istringstream lines(out.str());
+  std::string line;
+  int expected = 0;
+  while (std::getline(lines, line)) {
+    const auto doc = parse_json(line);
+    ASSERT_TRUE(doc.has_value()) << line;
+    EXPECT_EQ(doc->at("seq").as_int(), expected++);
+  }
+  EXPECT_EQ(expected, 3);
+}
+
+TEST(ObsSpan, MemorySinkBuffersAndClears) {
+  MemorySpanSink sink;
+  SpanEvent event;
+  event.name = names::kSpanRecovery;
+  sink.span(event);
+  sink.span(event);
+  ASSERT_EQ(sink.spans().size(), 2u);
+  EXPECT_EQ(sink.spans()[0].name, names::kSpanRecovery);
+  sink.clear();
+  EXPECT_TRUE(sink.spans().empty());
+}
+
+// -- clocks -----------------------------------------------------------------
+
+TEST(ObsClock, ManualClockIsScripted) {
+  ManualClock clock;
+  EXPECT_DOUBLE_EQ(clock.monotonic_ms(), 0.0);
+  EXPECT_EQ(clock.wall_time_utc(), "1970-01-01T00:00:00Z");
+  clock.advance_ms(123.5);
+  EXPECT_DOUBLE_EQ(clock.monotonic_ms(), 123.5);
+  clock.set_wall("2026-01-01T00:00:00Z");
+  EXPECT_EQ(clock.wall_time_utc(), "2026-01-01T00:00:00Z");
+}
+
+TEST(ObsClock, SystemClockIsMonotoneAndStampsUtc) {
+  SystemClock clock;
+  const double a = clock.monotonic_ms();
+  const double b = clock.monotonic_ms();
+  EXPECT_GE(b, a);
+  const std::string stamp = clock.wall_time_utc();
+  // "YYYY-MM-DDTHH:MM:SSZ"
+  ASSERT_EQ(stamp.size(), 20u);
+  EXPECT_EQ(stamp[4], '-');
+  EXPECT_EQ(stamp[10], 'T');
+  EXPECT_EQ(stamp.back(), 'Z');
+}
+
+TEST(ObsClock, DefaultClockIsAStableSingleton) {
+  EXPECT_NE(default_clock(), nullptr);
+  EXPECT_EQ(default_clock(), default_clock());
+}
+
+}  // namespace
+}  // namespace micco::obs

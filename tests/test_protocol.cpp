@@ -168,12 +168,50 @@ TEST(Protocol, ParseDefaultsSubmitTenant) {
 TEST(Protocol, MessageTypeNamesRoundTrip) {
   for (const MessageType type :
        {MessageType::kSubmit, MessageType::kStatus, MessageType::kResult,
-        MessageType::kDrain, MessageType::kShutdown, MessageType::kStats}) {
+        MessageType::kDrain, MessageType::kShutdown, MessageType::kStats,
+        MessageType::kMetrics}) {
     const auto parsed = parse_message_type(to_string(type));
     ASSERT_TRUE(parsed.has_value()) << to_string(type);
     EXPECT_EQ(*parsed, type);
   }
   EXPECT_FALSE(parse_message_type("nope").has_value());
+}
+
+TEST(Protocol, MetricsRequestRoundTrips) {
+  const obs::JsonValue doc = make_plain_request(MessageType::kMetrics);
+  obs::JsonValue error_reply;
+  const auto request = parse_request(doc, &error_reply);
+  ASSERT_TRUE(request.has_value()) << error_reply.dump();
+  EXPECT_EQ(request->type, MessageType::kMetrics);
+}
+
+TEST(Protocol, SubmitCarriesOptionalTraceId) {
+  const obs::JsonValue doc =
+      make_submit_request("alice", "job", "micco-workload v1\n", "t-abc-0");
+  EXPECT_EQ(doc.at("trace").as_string(), "t-abc-0");
+  obs::JsonValue error_reply;
+  const auto request = parse_request(doc, &error_reply);
+  ASSERT_TRUE(request.has_value()) << error_reply.dump();
+  EXPECT_EQ(request->trace_id, "t-abc-0");
+}
+
+TEST(Protocol, SubmitWithoutTraceParsesToEmptyId) {
+  const obs::JsonValue doc =
+      make_submit_request("alice", "job", "micco-workload v1\n");
+  EXPECT_EQ(doc.find("trace"), nullptr);  // omitted, not empty
+  obs::JsonValue error_reply;
+  const auto request = parse_request(doc, &error_reply);
+  ASSERT_TRUE(request.has_value()) << error_reply.dump();
+  EXPECT_TRUE(request->trace_id.empty());
+}
+
+TEST(Protocol, SubmitRejectsNonStringTrace) {
+  obs::JsonValue doc =
+      make_submit_request("alice", "job", "micco-workload v1\n");
+  doc.set("trace", 42);
+  obs::JsonValue error_reply;
+  EXPECT_FALSE(parse_request(doc, &error_reply).has_value());
+  EXPECT_EQ(error_reply.at("code").as_string(), "bad_request");
 }
 
 }  // namespace

@@ -1,7 +1,9 @@
 // End-to-end tests of the scheduling daemon: a real Server on a Unix-domain
 // socket, driven through the Client library — submit/status/result/stats/
-// drain, deterministic serving (byte-identical decision logs across
-// sessions), concurrent submits from many client threads, oversized-frame
+// drain, deterministic serving (byte-identical decision logs and span
+// traces across sessions), trace-id propagation into the span file, the
+// metrics verb against offline trace recomputation, injected-clock latency
+// accounting, concurrent submits from many client threads, oversized-frame
 // handling over the wire, and fault-tolerant serving.
 #include <gtest/gtest.h>
 
@@ -14,11 +16,15 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "obs/report.hpp"
 #include "parallel/parallel.hpp"
 #include "service/client.hpp"
@@ -188,18 +194,23 @@ TEST(Service, EndToEndSubmitStatusResultDrain) {
 
 TEST(Service, DeterministicDecisionLogsAcrossSessions) {
   // Two serial (--threads=1 equivalent) sessions fed the same submission
-  // sequence must produce byte-identical decision logs.
+  // sequence must produce byte-identical decision logs AND byte-identical
+  // span traces (the client mints trace ids as a pure function of the
+  // submit arguments, and spans record only deterministic data).
   std::vector<std::string> logs;
+  std::vector<std::string> traces;
   for (int round = 0; round < 2; ++round) {
     const std::string tag = "det" + std::to_string(round);
     const std::string socket = test_socket_path(tag);
     const std::string decisions = tmp_file_path(tag + ".jsonl");
+    const std::string spans = tmp_file_path(tag + "_spans.jsonl");
     ServerConfig config;
     config.socket_path = socket;
     config.cluster.num_devices = 4;
     config.seed = 7;
     config.io_lanes = 0;  // serial: I/O and dispatch share one thread
     config.decisions_path = decisions;
+    config.spans_path = spans;
 
     ServeSession session(std::move(config));
     std::string error;
@@ -221,10 +232,198 @@ TEST(Service, DeterministicDecisionLogsAcrossSessions) {
     EXPECT_EQ(session.join(), 0);
 
     logs.push_back(read_file(decisions));
+    traces.push_back(read_file(spans));
     std::remove(decisions.c_str());
+    std::remove(spans.c_str());
   }
   ASSERT_FALSE(logs[0].empty());
   EXPECT_EQ(logs[0], logs[1]) << "decision logs diverged across sessions";
+  ASSERT_FALSE(traces[0].empty());
+  EXPECT_EQ(traces[0], traces[1]) << "span traces diverged across sessions";
+}
+
+TEST(Service, TraceIdPropagatesFromClientToSpanFile) {
+  const std::string socket = test_socket_path("trace");
+  const std::string spans = tmp_file_path("trace_spans.jsonl");
+  ServerConfig config;
+  config.socket_path = socket;
+  config.cluster.num_devices = 4;
+  config.spans_path = spans;
+
+  ServeSession session(std::move(config));
+  std::string error;
+  ASSERT_TRUE(session.begin(&error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.connect(socket, &error)) << error;
+  const auto reply =
+      client.submit("alice", "traced-job", workload_text(41, 2, 8), &error);
+  ASSERT_TRUE(reply.has_value()) << error;
+  ASSERT_TRUE(reply->at("ok").as_bool()) << reply->dump();
+  // The daemon echoes the client-minted trace id on the submit reply, and
+  // the id is a pure function of (tenant, job name, submit sequence).
+  const std::string trace_id = reply->at("trace").as_string();
+  EXPECT_EQ(trace_id, Client::mint_trace_id("alice", "traced-job", 0));
+  wait_for_job(client,
+               static_cast<std::uint64_t>(reply->at("job_id").as_int()));
+  ASSERT_TRUE(client.drain(&error).has_value()) << error;
+  client.close();
+  EXPECT_EQ(session.join(), 0);
+
+  // Every span in the session trace carries that id, sequence numbers are
+  // contiguous from 0, and the root "job" span is emitted last so it can
+  // carry the job outcome.
+  std::istringstream lines(read_file(spans));
+  std::string line;
+  std::set<std::string> span_names;
+  std::int64_t expected_seq = 0;
+  std::int64_t root_seq = -1;
+  while (std::getline(lines, line)) {
+    const auto doc = obs::parse_json(line, &error);
+    ASSERT_TRUE(doc.has_value()) << error << ": " << line;
+    EXPECT_EQ(doc->at("trace").as_string(), trace_id);
+    EXPECT_EQ(doc->at("seq").as_int(), expected_seq++);
+    span_names.insert(doc->at("name").as_string());
+    if (doc->at("parent").as_int() == 0) {
+      EXPECT_EQ(doc->at("name").as_string(), obs::names::kSpanJob);
+      EXPECT_EQ(doc->at("span").as_int(), 1);
+      EXPECT_EQ(doc->at("tenant").as_string(), "alice");
+      root_seq = doc->at("seq").as_int();
+    }
+  }
+  ASSERT_GT(expected_seq, 0);
+  EXPECT_EQ(root_seq, expected_seq - 1) << "root span must be emitted last";
+  for (const char* name :
+       {obs::names::kSpanJob, obs::names::kSpanQueue,
+        obs::names::kSpanDispatch, obs::names::kSpanSched,
+        obs::names::kSpanExec}) {
+    EXPECT_EQ(span_names.count(name), 1u) << name;
+  }
+  std::remove(spans.c_str());
+}
+
+TEST(Service, MetricsVerbQuantilesMatchOfflineTraceRecomputation) {
+  // The served per-tenant job_sim_ms summary must be exactly reproducible
+  // offline from the trace file: root job spans record the simulated
+  // makespan, and the offline histogram shares bounds and interpolation
+  // code with the one the daemon serves.
+  const std::string socket = test_socket_path("metrics");
+  const std::string spans = tmp_file_path("metrics_spans.jsonl");
+  ServerConfig config;
+  config.socket_path = socket;
+  config.cluster.num_devices = 4;
+  config.spans_path = spans;
+
+  ServeSession session(std::move(config));
+  std::string error;
+  ASSERT_TRUE(session.begin(&error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.connect(socket, &error)) << error;
+  std::uint64_t last_job = 0;
+  for (const std::uint64_t seed : {51u, 52u, 53u, 54u}) {
+    const auto reply = client.submit(
+        "alice", "", workload_text(seed, /*vectors=*/2, /*vector_size=*/10),
+        &error);
+    ASSERT_TRUE(reply.has_value()) << error;
+    ASSERT_TRUE(reply->at("ok").as_bool()) << reply->dump();
+    last_job = static_cast<std::uint64_t>(reply->at("job_id").as_int());
+  }
+  wait_for_job(client, last_job);
+
+  const auto metrics_reply = client.metrics(&error);
+  ASSERT_TRUE(metrics_reply.has_value()) << error;
+  ASSERT_TRUE(metrics_reply->at("ok").as_bool()) << metrics_reply->dump();
+  const obs::JsonValue& served =
+      metrics_reply->at("metrics").at("histograms").at(
+          obs::names::tenant_metric("alice", obs::names::kTenantJobSimMs));
+  EXPECT_EQ(served.at("count").as_int(), 4);
+  // The Prometheus exposition carries the same series.
+  const std::string prom = metrics_reply->at("prometheus").as_string();
+  EXPECT_NE(prom.find("micco_service_tenant_alice_job_sim_ms_bucket"),
+            std::string::npos)
+      << prom;
+
+  ASSERT_TRUE(client.drain(&error).has_value()) << error;
+  client.close();
+  EXPECT_EQ(session.join(), 0);
+
+  // Offline recomputation from the root job spans, through the shared
+  // fixed-boundary quantile code: sums and quantiles match the served
+  // values exactly (json_number doubles round-trip shortest).
+  obs::Histogram offline(obs::names::job_sim_ms_bounds());
+  std::istringstream lines(read_file(spans));
+  std::string line;
+  while (std::getline(lines, line)) {
+    const auto doc = obs::parse_json(line, &error);
+    ASSERT_TRUE(doc.has_value()) << error << ": " << line;
+    if (doc->at("parent").as_int() == 0) {
+      offline.observe(doc->at("duration_ms").as_double());
+    }
+  }
+  EXPECT_EQ(offline.count(), 4u);
+  EXPECT_EQ(served.at("sum").as_double(), offline.sum());
+  EXPECT_EQ(served.at("mean").as_double(), offline.mean());
+  EXPECT_EQ(served.at("p50").as_double(), offline.quantile(0.5));
+  EXPECT_EQ(served.at("p90").as_double(), offline.quantile(0.9));
+  EXPECT_EQ(served.at("p99").as_double(), offline.quantile(0.99));
+  std::remove(spans.c_str());
+}
+
+TEST(Service, InjectedManualClockScriptsLatenciesAndUptime) {
+  // All scripting happens before the server thread exists (thread creation
+  // orders it), and the clock never moves afterwards — so every wall
+  // latency the daemon records is scripted to exactly zero, uptime is
+  // exactly zero, and the session stamp is the scripted wall time. A
+  // system clock could not produce this reply.
+  obs::ManualClock manual;
+  manual.set_wall("2026-02-03T04:05:06Z");
+  manual.advance_ms(1000.0);
+
+  const std::string socket = test_socket_path("clock");
+  ServerConfig config;
+  config.socket_path = socket;
+  config.cluster.num_devices = 2;
+  config.clock = &manual;
+
+  ServeSession session(std::move(config));
+  std::string error;
+  ASSERT_TRUE(session.begin(&error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.connect(socket, &error)) << error;
+  const auto reply = client.submit("alice", "", workload_text(61), &error);
+  ASSERT_TRUE(reply.has_value()) << error;
+  ASSERT_TRUE(reply->at("ok").as_bool()) << reply->dump();
+  wait_for_job(client,
+               static_cast<std::uint64_t>(reply->at("job_id").as_int()));
+
+  const auto metrics_reply = client.metrics(&error);
+  ASSERT_TRUE(metrics_reply.has_value()) << error;
+  ASSERT_TRUE(metrics_reply->at("ok").as_bool()) << metrics_reply->dump();
+  EXPECT_EQ(metrics_reply->at("uptime_s").as_double(), 0.0);
+  EXPECT_EQ(metrics_reply->at("started_at").as_string(),
+            "2026-02-03T04:05:06Z");
+
+  const obs::JsonValue& hists = metrics_reply->at("metrics").at("histograms");
+  const obs::JsonValue& queue =
+      hists.at(obs::names::kServiceQueueLatencyMs);
+  EXPECT_EQ(queue.at("count").as_int(), 1);
+  EXPECT_EQ(queue.at("sum").as_double(), 0.0);
+  const obs::JsonValue& e2e = hists.at(
+      obs::names::tenant_metric("alice", obs::names::kTenantE2eLatencyMs));
+  EXPECT_EQ(e2e.at("count").as_int(), 1);
+  EXPECT_EQ(e2e.at("sum").as_double(), 0.0);
+  // Simulated makespan does not come from the wall clock: it stays nonzero
+  // even with time frozen.
+  const obs::JsonValue& sim = hists.at(
+      obs::names::tenant_metric("alice", obs::names::kTenantJobSimMs));
+  EXPECT_EQ(sim.at("count").as_int(), 1);
+  EXPECT_GT(sim.at("sum").as_double(), 0.0);
+
+  ASSERT_TRUE(client.drain(&error).has_value()) << error;
+  client.close();
+  EXPECT_EQ(session.join(), 0);
 }
 
 TEST(Service, ConcurrentSubmitsFromEightThreads) {

@@ -10,6 +10,7 @@
 //   serve      run the multi-tenant scheduling daemon on a Unix socket
 //   submit     send a workload file to a running daemon
 //   status     query a job (or the daemon's stats) from a running daemon
+//   top        live telemetry dashboard for a running daemon
 //   drain      ask a running daemon to finish its backlog and exit
 //
 // Examples:
@@ -21,17 +22,22 @@
 //   micco faults faults.txt --gpus=4
 //   micco inspect w.mw
 //   micco serve --socket=/tmp/micco.sock --gpus=8 --model=model.mm
-//       --decisions=d.jsonl --report=serve.json
+//       --decisions=d.jsonl --report=serve.json --spans=spans.jsonl
 //   micco submit w.mw --socket=/tmp/micco.sock --tenant=alice --wait
 //   micco status 3 --socket=/tmp/micco.sock
+//   micco top --socket=/tmp/micco.sock --once
+//   micco report --spans=spans.jsonl        (offline trace summary)
 //   micco drain --socket=/tmp/micco.sock
 #include <chrono>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -47,6 +53,8 @@
 #include "graph/graph_stats.hpp"
 #include "ml/serialize.hpp"
 #include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "obs/report.hpp"
 #include "parallel/parallel.hpp"
 #include "obs/telemetry.hpp"
@@ -68,7 +76,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: micco "
                "<generate|run|train|inspect|report|faults|serve|submit|"
-               "status|drain> [flags]\n"
+               "status|top|drain> [flags]\n"
                "  generate --out=FILE [--vectors=10 --vector-size=64 "
                "--tensor=384 --batch=32 --repeat=0.5 --gaussian --seed=N]\n"
                "  run FILE [--scheduler=groute|dmda|micco|roundrobin] "
@@ -81,16 +89,21 @@ int usage() {
                "         [--fault-plan=FILE --retry-max=N --retry-backoff=S]\n"
                "         (no FILE: a small deterministic synthetic stream, "
                "--seed=N --vectors=N --vector-size=N)\n"
+               "  report --spans=FILE [--pretty]   (summarise a span-tree "
+               "trace file instead of running)\n"
                "  faults PLANFILE [--gpus=8]   (validate and summarise a "
                "fault plan)\n"
                "  serve --socket=PATH [--scheduler=NAME --gpus=8 "
                "--model=FILE --seed=N --threads=N]\n"
-               "        [--decisions=FILE --report=FILE] [--max-queue=N "
-               "--max-total=N --weights=tenant:w,...]\n"
+               "        [--decisions=FILE --report=FILE --spans=FILE] "
+               "[--max-queue=N --max-total=N --slo-ms=N "
+               "--weights=tenant:w,...]\n"
                "        [--fault-plan=FILE --retry-max=N --retry-backoff=S]\n"
                "  submit FILE --socket=PATH [--tenant=NAME --name=LABEL "
                "--wait]\n"
                "  status [JOB_ID] --socket=PATH   (no JOB_ID: daemon stats)\n"
+               "  top --socket=PATH [--interval-ms=1000 --iterations=N "
+               "--once]   (live telemetry dashboard)\n"
                "  drain --socket=PATH [--shutdown]   (--shutdown cancels "
                "queued jobs)\n");
   return 2;
@@ -359,7 +372,139 @@ int cmd_inspect(const CliArgs& args) {
   return 1;
 }
 
+/// `micco report --spans=FILE`: offline summary of a span-tree trace file
+/// (the JSONL written by `serve --spans`), instead of running a workload.
+/// Validates well-formedness — one root job span per trace, every parent id
+/// resolving inside its trace, contiguous sink sequence numbers — and
+/// recomputes per-tenant simulated-makespan quantiles from the root spans
+/// with the same bucket bounds and interpolation the daemon's `metrics`
+/// verb uses, so the offline numbers match the served ones exactly.
+int cmd_report_spans(const CliArgs& args) {
+  const std::string path = args.get("spans", "");
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "report: cannot open %s\n", path.c_str());
+    return 1;
+  }
+
+  struct TraceInfo {
+    std::set<std::uint64_t> span_ids;
+    /// (span, parent) pairs for non-root spans, checked after the pass.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> edges;
+    int roots = 0;
+  };
+  std::map<std::string, TraceInfo> traces;
+  std::map<std::string, std::uint64_t> span_counts;
+  std::map<std::string, obs::Histogram> tenant_sim_ms;
+  std::vector<std::string> problems;
+  const auto complain = [&problems](const std::string& what) {
+    if (problems.size() < 8) problems.push_back(what);
+  };
+
+  std::string line;
+  std::uint64_t lineno = 0;
+  std::uint64_t spans = 0;
+  for (; std::getline(in, line); ++lineno) {
+    const std::string where = "line " + std::to_string(lineno + 1);
+    std::string parse_error;
+    const std::optional<obs::JsonValue> doc =
+        obs::parse_json(line, &parse_error);
+    if (!doc.has_value()) {
+      complain(where + ": unparseable: " + parse_error);
+      continue;
+    }
+    const obs::JsonValue* seq = doc->find("seq");
+    const obs::JsonValue* trace = doc->find("trace");
+    const obs::JsonValue* span = doc->find("span");
+    const obs::JsonValue* parent = doc->find("parent");
+    const obs::JsonValue* name = doc->find("name");
+    if (seq == nullptr || trace == nullptr || span == nullptr ||
+        parent == nullptr || name == nullptr || !seq->is_number() ||
+        !span->is_number() || !parent->is_number() ||
+        trace->kind() != obs::JsonValue::Kind::kString ||
+        name->kind() != obs::JsonValue::Kind::kString) {
+      complain(where + ": not a span record");
+      continue;
+    }
+    // The sink stamps 0-based write order; a gap means lost or reordered
+    // records.
+    if (static_cast<std::uint64_t>(seq->as_int()) != lineno) {
+      complain(where + ": sequence gap (seq " +
+               std::to_string(seq->as_int()) + ")");
+    }
+    ++spans;
+    ++span_counts[name->as_string()];
+    TraceInfo& info = traces[trace->as_string()];
+    const auto span_id = static_cast<std::uint64_t>(span->as_int());
+    const auto parent_id = static_cast<std::uint64_t>(parent->as_int());
+    if (!info.span_ids.insert(span_id).second) {
+      complain(where + ": duplicate span id in trace " + trace->as_string());
+    }
+    if (parent_id != 0) {
+      info.edges.emplace_back(span_id, parent_id);
+      continue;
+    }
+    if (name->as_string() != obs::names::kSpanJob) {
+      complain(where + ": parentless span is not a root job span");
+    }
+    ++info.roots;
+    const obs::JsonValue* tenant = doc->find("tenant");
+    const obs::JsonValue* duration = doc->find("duration_ms");
+    if (tenant != nullptr && duration != nullptr) {
+      auto [it, inserted] = tenant_sim_ms.try_emplace(
+          tenant->as_string(), obs::names::job_sim_ms_bounds());
+      (void)inserted;
+      it->second.observe(duration->as_double());
+    }
+  }
+
+  for (const auto& [id, info] : traces) {
+    if (info.roots != 1) {
+      complain("trace " + id + ": " + std::to_string(info.roots) +
+               " root spans (want 1)");
+    }
+    for (const auto& [span_id, parent_id] : info.edges) {
+      if (info.span_ids.count(parent_id) == 0) {
+        complain("trace " + id + ": span " + std::to_string(span_id) +
+                 " has unknown parent " + std::to_string(parent_id));
+        break;
+      }
+    }
+  }
+
+  obs::JsonValue out = obs::JsonValue::object();
+  out.set("well_formed", problems.empty());
+  out.set("spans", spans);
+  out.set("traces", static_cast<std::uint64_t>(traces.size()));
+  obs::JsonValue counts = obs::JsonValue::object();
+  for (const auto& [name, count] : span_counts) counts.set(name, count);
+  out.set("span_counts", std::move(counts));
+  obs::JsonValue tenants = obs::JsonValue::object();
+  for (const auto& [tenant, h] : tenant_sim_ms) {
+    obs::JsonValue entry = obs::JsonValue::object();
+    entry.set("count", h.count());
+    entry.set("sum", h.sum());
+    entry.set("mean", h.mean());
+    entry.set("p50", h.quantile(0.5));
+    entry.set("p90", h.quantile(0.9));
+    entry.set("p99", h.quantile(0.99));
+    tenants.set(tenant, std::move(entry));
+  }
+  out.set("tenant_job_sim_ms", std::move(tenants));
+  if (!problems.empty()) {
+    obs::JsonValue list = obs::JsonValue::array();
+    for (const std::string& problem : problems) list.push_back(problem);
+    out.set("problems", std::move(list));
+  }
+  const bool pretty = args.get_bool("pretty", true);
+  std::printf("%s\n", pretty ? out.dump_pretty().c_str() : out.dump().c_str());
+  return problems.empty() ? 0 : 1;
+}
+
 int cmd_report(const CliArgs& args) {
+  // --spans selects the offline trace-summary mode: no workload is run.
+  if (args.has("spans")) return cmd_report_spans(args);
+
   // Workload: a file when given, otherwise a small deterministic synthetic
   // stream so the telemetry path can be exercised with no setup.
   std::optional<WorkloadStream> stream;
@@ -550,8 +695,10 @@ int cmd_serve(const CliArgs& args) {
                  "serve: --weights wants tenant:w,tenant:w with w > 0\n");
     return 2;
   }
+  cfg.admission.slo_ms = args.get_double("slo-ms", 0.0);
   cfg.decisions_path = args.get("decisions", "");
   cfg.report_path = args.get("report", "");
+  cfg.spans_path = args.get("spans", "");
 
   // --threads=1 (the default) is the deterministic serial configuration:
   // one thread alternates between socket I/O and job dispatch.
@@ -578,6 +725,10 @@ int cmd_serve(const CliArgs& args) {
   if (!report_path.empty() && rc == 0) {
     std::fprintf(stderr, "session report written to %s\n",
                  report_path.c_str());
+  }
+  const std::string spans_path = args.get("spans", "");
+  if (!spans_path.empty() && rc == 0) {
+    std::fprintf(stderr, "span trace written to %s\n", spans_path.c_str());
   }
   return rc;
 }
@@ -689,6 +840,97 @@ int cmd_status(const CliArgs& args) {
   return reply->at("ok").as_bool() ? 0 : 1;
 }
 
+/// Renders one `metrics` reply as a dashboard frame: session header, job
+/// counters, per-tenant admission/SLO table, histogram quantile table. The
+/// metric names come straight from the reply, so the dashboard needs no
+/// knowledge of the telemetry vocabulary.
+void render_top(const obs::JsonValue& reply) {
+  std::printf("micco top — uptime %.1f s", reply.at("uptime_s").as_double());
+  if (const obs::JsonValue* started = reply.find("started_at")) {
+    std::printf(", started %s", started->as_string().c_str());
+  }
+  std::printf("\n");
+
+  const obs::JsonValue& stats = reply.at("stats");
+  const auto stat = [&stats](const char* key) {
+    return static_cast<long long>(stats.at(key).as_int());
+  };
+  std::printf("jobs: queued %lld running %lld | submitted %lld "
+              "admitted %lld rejected %lld | completed %lld failed %lld "
+              "cancelled %lld\n",
+              stat("queued"), stat("running"), stat("submitted"),
+              stat("admitted"), stat("rejected"), stat("completed"),
+              stat("failed"), stat("cancelled"));
+
+  const obs::JsonValue& tenants = stats.at("tenants");
+  if (!tenants.members().empty()) {
+    std::printf("\n%-16s %6s %6s %9s %9s %7s %9s\n", "tenant", "queued",
+                "weight", "admitted", "rejected", "slo_ok", "slo_miss");
+    for (const auto& [name, t] : tenants.members()) {
+      std::printf("%-16s %6lld %6lld %9lld %9lld %7lld %9lld\n", name.c_str(),
+                  static_cast<long long>(t.at("queued").as_int()),
+                  static_cast<long long>(t.at("weight").as_int()),
+                  static_cast<long long>(t.at("admitted").as_int()),
+                  static_cast<long long>(t.at("rejected").as_int()),
+                  static_cast<long long>(t.at("slo_ok").as_int()),
+                  static_cast<long long>(t.at("slo_miss").as_int()));
+    }
+  }
+
+  const obs::JsonValue& histograms = reply.at("metrics").at("histograms");
+  if (!histograms.members().empty()) {
+    std::printf("\n%-38s %9s %11s %11s %11s %11s\n", "histogram", "count",
+                "mean", "p50", "p90", "p99");
+    for (const auto& [name, h] : histograms.members()) {
+      std::printf("%-38s %9lld %11.3f %11.3f %11.3f %11.3f\n", name.c_str(),
+                  static_cast<long long>(h.at("count").as_int()),
+                  h.at("mean").as_double(), h.at("p50").as_double(),
+                  h.at("p90").as_double(), h.at("p99").as_double());
+    }
+  }
+}
+
+int cmd_top(const CliArgs& args) {
+  const std::string socket = args.get("socket", "");
+  if (socket.empty()) {
+    std::fprintf(stderr, "top: --socket is required\n");
+    return 2;
+  }
+  const bool once = args.get_bool("once", false);
+  const long long iterations =
+      once ? 1 : static_cast<long long>(args.get_int("iterations", 0));
+  const long long interval_ms =
+      static_cast<long long>(args.get_int("interval-ms", 1000));
+  service::Client client;
+  std::string error;
+  if (!client.connect(socket, &error)) {
+    std::fprintf(stderr, "top: %s\n", error.c_str());
+    return 1;
+  }
+  // --iterations=0 (the default without --once) refreshes until the daemon
+  // goes away or the user interrupts.
+  for (long long i = 0; iterations == 0 || i < iterations; ++i) {
+    if (i > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    const auto reply = client.metrics(&error);
+    if (!reply.has_value()) {
+      std::fprintf(stderr, "top: %s\n", error.c_str());
+      return 1;
+    }
+    if (!reply->at("ok").as_bool()) {
+      std::fprintf(stderr, "top: [%s] %s\n",
+                   reply->at("code").as_string().c_str(),
+                   reply->at("message").as_string().c_str());
+      return 1;
+    }
+    if (!once) std::printf("\x1b[2J\x1b[H");  // clear + home between frames
+    render_top(*reply);
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 int cmd_drain(const CliArgs& args) {
   const std::string socket = args.get("socket", "");
   if (socket.empty()) {
@@ -724,6 +966,7 @@ int dispatch(int argc, char** argv) {
   if (command == "serve") return cmd_serve(args);
   if (command == "submit") return cmd_submit(args);
   if (command == "status") return cmd_status(args);
+  if (command == "top") return cmd_top(args);
   if (command == "drain") return cmd_drain(args);
   return usage();
 }

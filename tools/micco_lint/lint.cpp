@@ -22,6 +22,7 @@ const char* const kNoStdout = "no-stdout";
 const char* const kPragmaOnce = "pragma-once";
 const char* const kThreadAnnotation = "thread-annotation";
 const char* const kBadSuppression = "bad-suppression";
+const char* const kMetricNameLiteral = "metric-name-literal";
 const char* const kIoError = "io-error";
 
 /// Headers whose include closure marks a TU as output-affecting: anything
@@ -59,6 +60,11 @@ const std::vector<RuleInfo>& rule_catalog() {
       {kBadSuppression, 16,
        "a '// micco-lint: allow(<rule>) <reason>' comment must name a known "
        "rule and give a non-empty reason"},
+      {kMetricNameLiteral, 17,
+       "bans dotted telemetry-name string literals (a reserved root -- "
+       "sched, cluster or service -- followed by a dot) outside "
+       "obs/names.hpp; instrumentation sites reference the constants "
+       "declared there so a renamed metric cannot fork into two series"},
   };
   return kCatalog;
 }
@@ -233,6 +239,8 @@ void FileSet::add_file(const std::string& path, const std::string& content) {
   int comment_line = 0;
   std::string comment_text;
   std::string raw_delim;
+  int literal_line = 0;
+  std::string literal_text;
   const auto finish_comment = [&]() {
     std::vector<std::string> rules;
     std::string error;
@@ -284,6 +292,8 @@ void FileSet::add_file(const std::string& path, const std::string& content) {
           i = j;  // at '(' (or end)
         } else if (c == '"') {
           state = State::kString;
+          literal_line = line;
+          literal_text.clear();
         } else if (c == '\'') {
           state = State::kChar;
         } else {
@@ -302,9 +312,15 @@ void FileSet::add_file(const std::string& path, const std::string& content) {
       case State::kString:
         if (c == '\\') {
           ++i;
-          if (i < content.size() && content[i] == '\n') ++line;
+          if (i < content.size()) {
+            if (content[i] == '\n') ++line;
+            literal_text += content[i];
+          }
         } else if (c == '"') {
           state = State::kCode;
+          info.string_literals.emplace_back(literal_line, literal_text);
+        } else {
+          literal_text += c;
         }
         break;
       case State::kChar:
@@ -538,6 +554,38 @@ std::vector<Finding> FileSet::lint_file(const std::string& path) const {
       info->content.find("#pragma once") == std::string::npos) {
     raw.push_back(Finding{path, 1, kPragmaOnce,
                           "header is missing '#pragma once'"});
+  }
+
+  // metric-name-literal -----------------------------------------------------
+  // A string literal spelling a dotted telemetry name belongs in
+  // obs/names.hpp, the vocabulary's single home. The reserved roots are
+  // assembled from bare words at runtime so this scanner's own source never
+  // contains a dotted literal and cannot trip itself.
+  if (!path_suffix_match(path, "obs/names.hpp")) {
+    const char* const kRootWords[] = {"sched", "cluster", "service"};
+    for (const auto& [line, literal] : info->string_literals) {
+      bool metric_charset = !literal.empty();
+      for (const char c : literal) {
+        if (std::islower(static_cast<unsigned char>(c)) == 0 &&
+            std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '_' &&
+            c != '.') {
+          metric_charset = false;
+          break;
+        }
+      }
+      if (!metric_charset) continue;
+      for (const char* const word : kRootWords) {
+        const std::string root = std::string(word) + '.';
+        if (literal.compare(0, root.size(), root) == 0) {
+          raw.push_back(Finding{
+              path, line, kMetricNameLiteral,
+              "dotted telemetry name literal \"" + literal +
+                  "\" outside obs/names.hpp; reference a constant from "
+                  "obs/names.hpp instead"});
+          break;
+        }
+      }
+    }
   }
 
   const std::vector<Token> tokens = tokenize(text);

@@ -22,6 +22,10 @@
 //                       std::atomic carries a MICCO_* annotation
 //   bad-suppression     a suppression comment must name a known rule and
 //                       give a non-empty reason
+//   metric-name-literal a dotted metric/span name literal (a reserved
+//                       telemetry root followed by '.') anywhere outside
+//                       obs/names.hpp; instrumentation sites must reference
+//                       the constants in that header
 //
 // Findings are suppressible inline with
 //   // micco-lint: allow(<rule>) <reason>
@@ -103,6 +107,10 @@ class FileSet {
     /// Findings produced while parsing suppressions (bad-suppression).
     std::vector<Finding> suppression_findings;
     std::set<std::string> unordered_decls;
+    /// (line, text) of every ordinary string literal, harvested while the
+    /// stripper blanks them (raw strings excluded). Feeds the
+    /// metric-name-literal rule, which alone sees literal contents.
+    std::vector<std::pair<int, std::string>> string_literals;
   };
 
   const FileInfo* find(const std::string& path) const;
