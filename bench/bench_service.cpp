@@ -15,6 +15,9 @@
 // Flags: the shared bench set (--gpus --seed --threads ...), plus
 //   --tenants=N  client threads, one tenant each (default 4)
 //   --jobs=M     jobs per tenant (default 25)
+//   --journal=FILE         run with the durable job journal enabled, to
+//   --journal-fsync=POLICY measure the WAL's cost (never|interval|always;
+//                          default always, matching the daemon)
 //   --smoke      shrink for CI
 //   --out=FILE   JSON destination (default BENCH_service.json)
 //
@@ -121,6 +124,16 @@ int run(const CliArgs& args) {
   config.admission.max_queue_per_tenant = static_cast<std::size_t>(jobs) + 1;
   config.admission.max_queued_total =
       static_cast<std::size_t>(tenants) * static_cast<std::size_t>(jobs) + 1;
+  config.journal.path = args.get("journal", "");
+  const std::string fsync_name = args.get("journal-fsync", "always");
+  if (const auto policy = service::parse_fsync_policy(fsync_name)) {
+    config.journal.fsync = *policy;
+  } else {
+    std::fprintf(stderr, "FAIL: --journal-fsync wants never|interval|always, "
+                         "got '%s'\n",
+                 fsync_name.c_str());
+    return 1;
+  }
 
   Server server(std::move(config));
   std::string error;

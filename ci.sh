@@ -7,9 +7,13 @@
 # scheduling daemon end to end: submit/wait/drain over a Unix socket with
 # byte-identical decision logs AND byte-identical span traces across
 # sessions, a `micco top --once` dashboard frame, and an offline
-# `micco report --spans` well-formedness pass), an ASan+UBSan-instrumented
-# build + test pass, a TSan pass over the parallel-layer, observability and
-# service tests at 8 worker threads, a Release-mode bench_sched_micro smoke
+# `micco report --spans` well-formedness pass), a chaos smoke test
+# (tools/chaos_smoke.sh: kill -9 the daemon at every scripted journal crash
+# point, restart on the same journal, and require byte-identical recovered
+# decision logs plus exactly-once idempotent resubmits), an
+# ASan+UBSan-instrumented build + test pass (which covers the protocol fuzz
+# and journal torn-write suites under ASan), a TSan pass over the
+# parallel-layer, observability and service tests at 8 worker threads, a Release-mode bench_sched_micro smoke
 # run (decision throughput + cross-thread-count tuner label identity), the
 # Release-mode tracing-overhead gate (bench_overhead --gate: full tracing
 # must cost < 2 % end to end), and — when LLVM tooling is on
@@ -143,6 +147,12 @@ grep -q '"well_formed": true' "${SMOKE_DIR}/trace_summary.json"
 echo "serve smoke test OK: deterministic decision logs + span traces," \
   "top frame rendered, trace summary well-formed"
 
+echo "== chaos smoke test (kill -9 + journal recovery) =="
+# DESIGN.md §8: SIGKILL the daemon at each journal crash point, restart on
+# the same journal, and require byte-identical recovered decision logs and
+# exactly-once idempotent resubmission.
+sh tools/chaos_smoke.sh "${BUILD_DIR}/tools/micco" "${SMOKE_DIR}/chaos"
+
 echo "== configure (${SAN_BUILD_DIR}, ASan+UBSan) =="
 cmake -B "${SAN_BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=Debug \
@@ -176,7 +186,7 @@ cmake --build "${TSAN_BUILD_DIR}" -j "$(nproc 2>/dev/null || echo 4)" \
 
 echo "== test (TSan, parallel + service suites, 8 threads) =="
 MICCO_THREADS=8 "${TSAN_BUILD_DIR}/tests/micco_tests" \
-  --gtest_filter='Parallel*:Service*:JobManager*:Protocol*'
+  --gtest_filter='Parallel*:Service*:JobManager*:Protocol*:Journal*:Recovery*'
 
 echo "== configure (${REL_BUILD_DIR}, Release) =="
 cmake -B "${REL_BUILD_DIR}" -S . \

@@ -69,6 +69,26 @@ inline constexpr const char* kServiceCancelled = "service.cancelled";
 /// Submit → dispatch wall time across all tenants.
 inline constexpr const char* kServiceQueueLatencyMs =
     "service.queue_latency_ms";
+/// A submit carrying an already-journaled (tenant, idempotency token) pair
+/// answered from the dedup table instead of admitting a second run.
+inline constexpr const char* kServiceDuplicateSubmits =
+    "service.duplicate_submits";
+
+// -- service.journal.* / service.recovery.* --------------------------------
+inline constexpr const char* kServiceJournalRecords = "service.journal.records";
+inline constexpr const char* kServiceJournalBytes = "service.journal.bytes";
+/// Wall latency of each policy-required fsync on the journal append path.
+inline constexpr const char* kServiceJournalFsyncMs =
+    "service.journal.fsync_ms";
+/// Jobs whose finished record replayed from the journal at startup (they
+/// answer status/result without re-running).
+inline constexpr const char* kServiceReplayedFinished =
+    "service.recovery.replayed_finished";
+/// Jobs re-admitted at startup because they were QUEUED or RUNNING at crash
+/// time.
+inline constexpr const char* kServiceRequeued = "service.recovery.requeued";
+/// Journal recoveries that dropped a torn or corrupt tail before replay.
+inline constexpr const char* kServiceTornTail = "service.recovery.torn_tail";
 
 // -- service.tenant.<T>.* --------------------------------------------------
 inline constexpr const char* kTenantPrefix = "service.tenant.";
@@ -94,6 +114,9 @@ inline constexpr const char* kSpanDispatch = "dispatch";///< execution container
 inline constexpr const char* kSpanSched = "sched";      ///< one vector's decisions
 inline constexpr const char* kSpanExec = "exec";        ///< one vector's execution
 inline constexpr const char* kSpanRecovery = "recovery";///< re-enqueue after loss
+/// Root span (own trace "journal-replay") a recovering daemon emits once,
+/// after the re-run jobs' trees, summarizing the startup journal replay.
+inline constexpr const char* kSpanJournalReplay = "journal_replay";
 
 // -- shared histogram bounds ----------------------------------------------
 /// Wall-latency bounds (ms) for queue/e2e histograms: 1ms … 10s, log decades.
@@ -111,6 +134,12 @@ inline std::vector<double> job_sim_ms_bounds() {
 /// Per-decision latency bounds (µs) for the hot-path scratch histogram.
 inline std::vector<double> decision_latency_bounds_us() {
   return {0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 1000.0};
+}
+
+/// Journal fsync latency bounds (ms): SSDs land around 0.1–1 ms, spinning
+/// disks and contended CI machines in the upper decades.
+inline std::vector<double> journal_fsync_bounds_ms() {
+  return {0.01, 0.1, 1.0, 10.0, 100.0};
 }
 
 }  // namespace micco::obs::names

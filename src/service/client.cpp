@@ -1,17 +1,32 @@
 #include "service/client.hpp"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "common/stopwatch.hpp"
+#include "service/journal.hpp"
 
 #ifndef MSG_NOSIGNAL
 #define MSG_NOSIGNAL 0
 #endif
 
 namespace micco::service {
+
+namespace {
+
+void sleep_backoff(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
 
 Client::~Client() { close(); }
 
@@ -20,6 +35,8 @@ void Client::close() {
     ::close(fd_);
     fd_ = -1;
   }
+  // Drop any half-read reply so a reconnected session starts in lockstep.
+  reader_ = FrameReader{};
 }
 
 bool Client::connect(const std::string& socket_path, std::string* error) {
@@ -46,7 +63,22 @@ bool Client::connect(const std::string& socket_path, std::string* error) {
                 "): " + std::string(strerror(err)) +
                 " (is the daemon running?)");
   }
+  socket_path_ = socket_path;
   return true;
+}
+
+bool Client::connect_retry(const std::string& socket_path,
+                           const RetryPolicy& policy, std::string* error) {
+  std::string last_error;
+  const int attempts = policy.max_attempts > 0 ? policy.max_attempts : 1;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (connect(socket_path, &last_error)) return true;
+    if (attempt < attempts) sleep_backoff(policy.backoff(attempt));
+  }
+  if (error != nullptr) {
+    *error = last_error + " (after " + std::to_string(attempts) + " attempts)";
+  }
+  return false;
 }
 
 std::optional<obs::JsonValue> Client::call(const obs::JsonValue& request,
@@ -81,6 +113,17 @@ std::optional<obs::JsonValue> Client::read_reply(std::string* error) {
   };
   if (fd_ < 0) return fail("not connected");
 
+  // Deadline expiry is a *structured* outcome, not a transport failure: the
+  // caller gets {"ok": false, "code": "timeout"} and the connection is
+  // closed so the daemon's eventual reply cannot answer a later request.
+  const auto expire = [&]() -> std::optional<obs::JsonValue> {
+    close();
+    return make_error_response(
+        error_code::kTimeout,
+        "no reply within " + std::to_string(deadline_ms_) + " ms");
+  };
+
+  Stopwatch waited;
   for (;;) {
     if (const std::optional<std::string> line = reader_.next_frame()) {
       std::string parse_error;
@@ -90,6 +133,23 @@ std::optional<obs::JsonValue> Client::read_reply(std::string* error) {
       }
       return doc;
     }
+
+    if (deadline_ms_ > 0.0) {
+      const double remaining_ms = deadline_ms_ - waited.elapsed_ms();
+      if (remaining_ms <= 0.0) return expire();
+      pollfd pfd{};
+      pfd.fd = fd_;
+      pfd.events = POLLIN;
+      // Round up so a sub-millisecond remainder still polls once.
+      const int timeout_ms = static_cast<int>(remaining_ms) + 1;
+      const int ready = ::poll(&pfd, 1, timeout_ms);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return fail("poll(): " + std::string(strerror(errno)));
+      }
+      if (ready == 0) return expire();
+    }
+
     char buf[64 * 1024];
     const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
     if (n > 0) {
@@ -107,25 +167,8 @@ std::string Client::mint_trace_id(const std::string& tenant,
                                   std::uint64_t sequence) {
   // FNV-1a 64-bit over tenant + unit separator + job name: stable across
   // platforms, no RNG involved.
-  std::uint64_t hash = 14695981039346656037ull;
-  const auto mix = [&hash](const std::string& text) {
-    for (const char c : text) {
-      hash ^= static_cast<unsigned char>(c);
-      hash *= 1099511628211ull;
-    }
-  };
-  mix(tenant);
-  hash ^= 0x1f;
-  hash *= 1099511628211ull;
-  mix(job_name);
-
-  std::string id = "t-";
-  for (int nibble = 15; nibble >= 0; --nibble) {
-    id += "0123456789abcdef"[(hash >> (nibble * 4)) & 0xf];
-  }
-  id += '-';
-  id += std::to_string(sequence);
-  return id;
+  return "t-" + fnv1a64_hex(tenant + '\x1f' + job_name) + '-' +
+         std::to_string(sequence);
 }
 
 std::optional<obs::JsonValue> Client::submit(const std::string& tenant,
@@ -136,6 +179,68 @@ std::optional<obs::JsonValue> Client::submit(const std::string& tenant,
       mint_trace_id(tenant, job_name, submit_seq_++);
   return call(make_submit_request(tenant, job_name, workload_text, trace_id),
               error);
+}
+
+std::optional<obs::JsonValue> Client::submit_idempotent(
+    const std::string& tenant, const std::string& job_name,
+    const std::string& workload_text, const std::string& idem,
+    std::string* error) {
+  const std::string trace_id =
+      mint_trace_id(tenant, job_name, submit_seq_++);
+  return call(
+      make_submit_request(tenant, job_name, workload_text, trace_id, idem),
+      error);
+}
+
+std::optional<obs::JsonValue> Client::submit_retrying(
+    const std::string& tenant, const std::string& job_name,
+    const std::string& workload_text, const std::string& idem,
+    const RetryPolicy& policy, std::string* error) {
+  const auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return std::optional<obs::JsonValue>{};
+  };
+  if (socket_path_.empty()) {
+    return fail("submit_retrying: connect() first (socket path unknown)");
+  }
+
+  // One identity for the whole loop: every wire attempt carries the same
+  // trace and the same idempotency token, so however many times the request
+  // is resent the daemon runs the job exactly once.
+  const std::string trace_id =
+      mint_trace_id(tenant, job_name, submit_seq_++);
+  const std::string token = idem.empty() ? trace_id : idem;
+  const std::string frame = encode_frame(
+      make_submit_request(tenant, job_name, workload_text, trace_id, token));
+
+  std::string last_error = "submit_retrying: no attempt made";
+  const int attempts = policy.max_attempts > 0 ? policy.max_attempts : 1;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) sleep_backoff(policy.backoff(attempt - 1));
+    if (!connected() && !connect(socket_path_, &last_error)) continue;
+    if (!send_raw(frame, &last_error)) {
+      close();
+      continue;
+    }
+    std::optional<obs::JsonValue> reply = read_reply(&last_error);
+    if (!reply.has_value()) {
+      close();
+      continue;
+    }
+    // A client-side deadline expiry is structured but retryable: the daemon
+    // may or may not have seen the submit, which is exactly what the
+    // idempotency token exists for. Every other reply — accepted or a
+    // structured rejection — is final.
+    const obs::JsonValue* code = reply->find("code");
+    if (code != nullptr && code->kind() == obs::JsonValue::Kind::kString &&
+        code->as_string() == error_code::kTimeout) {
+      last_error = "deadline expired waiting for submit reply";
+      continue;
+    }
+    return reply;
+  }
+  return fail(last_error + " (after " + std::to_string(attempts) +
+              " attempts)");
 }
 
 std::optional<obs::JsonValue> Client::status(std::uint64_t job_id,

@@ -5,12 +5,21 @@
 // frames until a full line arrives, parse it. Used by the `micco submit /
 // status / drain` CLI verbs and by the service tests/benches; it is not
 // thread-safe — use one Client per thread.
+//
+// Robustness (DESIGN.md §8): an optional per-request deadline bounds every
+// reply wait (poll before recv; expiry surfaces as a structured "timeout"
+// error document, and the connection is closed so a late reply cannot
+// desynchronize the request/reply lockstep), connect_retry() reconnects
+// with faults::RetryPolicy backoff, and submit_retrying() combines both
+// with an idempotency token so a retried submit after a lost reply never
+// double-runs the job.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
 
+#include "faults/retry.hpp"
 #include "obs/json.hpp"
 #include "service/protocol.hpp"
 
@@ -27,8 +36,21 @@ class Client {
   /// Connects to the daemon socket. Returns false with a diagnostic when the
   /// daemon is not reachable.
   bool connect(const std::string& socket_path, std::string* error);
+  /// connect() with RetryPolicy backoff between attempts (wall-clock
+  /// sleeps): a client racing daemon startup — or a daemon restarting after
+  /// a crash — connects as soon as the socket answers.
+  bool connect_retry(const std::string& socket_path,
+                     const RetryPolicy& policy, std::string* error);
   bool connected() const { return fd_ >= 0; }
   void close();
+
+  /// Per-request reply deadline in wall milliseconds; 0 (the default)
+  /// blocks indefinitely. On expiry read_reply() returns a structured
+  /// {"ok": false, "code": "timeout"} document — not a transport failure —
+  /// and closes the connection, so a late reply from a wedged daemon can
+  /// never be mistaken for the answer to the next request.
+  void set_deadline_ms(double deadline_ms) { deadline_ms_ = deadline_ms; }
+  double deadline_ms() const { return deadline_ms_; }
 
   /// Sends `request` as one frame and blocks for the reply document.
   /// nullopt with a diagnostic on transport failure (daemon gone, reply
@@ -51,6 +73,24 @@ class Client {
                                        const std::string& job_name,
                                        const std::string& workload_text,
                                        std::string* error);
+  /// submit() carrying a client-minted idempotency token: the daemon runs
+  /// the job at most once per (tenant, token), so the call is safe to
+  /// repeat after a lost reply. A duplicate answers with the original job
+  /// id and "duplicate": true.
+  std::optional<obs::JsonValue> submit_idempotent(
+      const std::string& tenant, const std::string& job_name,
+      const std::string& workload_text, const std::string& idem,
+      std::string* error);
+  /// The crash-safe submit loop: one trace id and one idempotency token are
+  /// minted up front, then the request is retried across timeouts and
+  /// transport failures (reconnecting with backoff between attempts).
+  /// Structured rejections (queue_full, draining, ...) are final and
+  /// returned as-is. Requires a prior successful connect() so the socket
+  /// path is known. `idem` may be empty to mint one from the trace id.
+  std::optional<obs::JsonValue> submit_retrying(
+      const std::string& tenant, const std::string& job_name,
+      const std::string& workload_text, const std::string& idem,
+      const RetryPolicy& policy, std::string* error);
   std::optional<obs::JsonValue> status(std::uint64_t job_id,
                                        std::string* error);
   std::optional<obs::JsonValue> result(std::uint64_t job_id,
@@ -72,6 +112,8 @@ class Client {
   int fd_ = -1;
   FrameReader reader_;
   std::uint64_t submit_seq_ = 0;  ///< submits sent over this client
+  std::string socket_path_;       ///< last connect() target (for reconnects)
+  double deadline_ms_ = 0.0;      ///< 0: block indefinitely
 };
 
 }  // namespace micco::service

@@ -54,14 +54,61 @@ SubmitOutcome JobManager::reject_locked(const std::string& tenant_name,
   return outcome;
 }
 
+void JobManager::register_idem_locked(const std::string& tenant,
+                                      const std::string& idem,
+                                      std::uint64_t job_id) {
+  if (idem.empty()) return;
+  dedup_.emplace(tenant + '\x1f' + idem, job_id);
+}
+
+void JobManager::enqueue_locked(Job job) {
+  Tenant& tenant = tenants_[job.tenant];
+  // Stride re-entry: a tenant going from idle to busy starts at the current
+  // virtual time instead of the credit it banked while idle.
+  if (tenant.queue.empty()) {
+    tenant.pass = std::max(tenant.pass, global_pass_);
+  }
+  tenant.weight = config_.weight_for(job.tenant);
+  tenant.queue.push_back(job.id);
+  tenant.admitted += 1;
+  job.depth_at_submit = queued_;  // backlog ahead of this job at admission
+  register_idem_locked(job.tenant, job.idem, job.id);
+  jobs_.emplace(job.id, std::move(job));
+  ++queued_;
+  ++admitted_;
+  if (registry_ != nullptr) {
+    registry_->counter(obs::names::kServiceAdmitted).add();
+  }
+  refresh_gauges_locked();
+}
+
 SubmitOutcome JobManager::submit(const std::string& tenant_name,
                                  const std::string& name,
                                  WorkloadStream stream,
-                                 const std::string& trace_id) {
+                                 const std::string& trace_id,
+                                 const std::string& idem) {
   const MutexLock lock(mutex_);
   ++submitted_;
   if (registry_ != nullptr) {
     registry_->counter(obs::names::kServiceSubmitted).add();
+  }
+
+  // Idempotent resubmit: an already-known (tenant, token) pair answers with
+  // the original job — before the draining check, so a client retrying a
+  // lost reply still succeeds while the daemon winds down.
+  if (!idem.empty()) {
+    const auto dup = dedup_.find(tenant_name + '\x1f' + idem);
+    if (dup != dedup_.end()) {
+      ++duplicates_;
+      if (registry_ != nullptr) {
+        registry_->counter(obs::names::kServiceDuplicateSubmits).add();
+      }
+      SubmitOutcome outcome;
+      outcome.admitted = true;
+      outcome.duplicate = true;
+      outcome.job_id = dup->second;
+      return outcome;
+    }
   }
 
   if (draining_) {
@@ -87,30 +134,92 @@ SubmitOutcome JobManager::submit(const std::string& tenant_name,
   job.tenant = tenant_name;
   job.name = name;
   job.trace_id = trace_id;
+  job.idem = idem;
   job.stream = std::move(stream);
   job.state = JobState::kQueued;
-  job.depth_at_submit = queued_;  // backlog ahead of this job at admission
-  jobs_.emplace(id, std::move(job));
-
-  // Stride re-entry: a tenant going from idle to busy starts at the current
-  // virtual time instead of the credit it banked while idle.
-  if (tenant.queue.empty()) {
-    tenant.pass = std::max(tenant.pass, global_pass_);
-  }
-  tenant.weight = config_.weight_for(tenant_name);
-  tenant.queue.push_back(id);
-  tenant.admitted += 1;
-  ++queued_;
-  ++admitted_;
-  if (registry_ != nullptr) {
-    registry_->counter(obs::names::kServiceAdmitted).add();
-  }
-  refresh_gauges_locked();
+  enqueue_locked(std::move(job));
 
   SubmitOutcome outcome;
   outcome.admitted = true;
   outcome.job_id = id;
   return outcome;
+}
+
+void JobManager::restore_finished(std::uint64_t job_id,
+                                  const std::string& tenant_name,
+                                  const std::string& name,
+                                  const std::string& trace_id,
+                                  const std::string& idem, JobState state,
+                                  const std::string& error,
+                                  std::optional<obs::JsonValue> result) {
+  MICCO_EXPECTS_MSG(state == JobState::kDone || state == JobState::kFailed ||
+                        state == JobState::kCancelled,
+                    "restore_finished needs a terminal state");
+  const MutexLock lock(mutex_);
+  if (jobs_.count(job_id) != 0) return;  // duplicate journal record
+  Job job;
+  job.id = job_id;
+  job.tenant = tenant_name;
+  job.name = name;
+  job.trace_id = trace_id;
+  job.idem = idem;
+  job.state = state;
+  job.error = error;
+  job.replayed = true;
+  if (result.has_value()) {
+    job.result = std::move(*result);
+    job.has_result = true;
+  }
+  register_idem_locked(tenant_name, idem, job_id);
+  jobs_.emplace(job_id, std::move(job));
+  next_id_ = std::max(next_id_, job_id + 1);
+
+  // The restored book keeps the session accounting invariants: a replayed
+  // finished job counts as submitted, admitted and finished here too.
+  ++submitted_;
+  ++admitted_;
+  ++replayed_;
+  Tenant& tenant = tenants_[tenant_name];
+  tenant.weight = config_.weight_for(tenant_name);
+  tenant.admitted += 1;
+  switch (state) {
+    case JobState::kDone: ++completed_; break;
+    case JobState::kFailed: ++failed_; break;
+    default: ++cancelled_; break;
+  }
+  if (registry_ != nullptr) {
+    registry_->counter(obs::names::kServiceSubmitted).add();
+    registry_->counter(obs::names::kServiceAdmitted).add();
+    registry_->counter(obs::names::kServiceReplayedFinished).add();
+  }
+  refresh_gauges_locked();
+}
+
+void JobManager::restore_queued(std::uint64_t job_id,
+                                const std::string& tenant_name,
+                                const std::string& name,
+                                const std::string& trace_id,
+                                const std::string& idem,
+                                WorkloadStream stream) {
+  const MutexLock lock(mutex_);
+  if (jobs_.count(job_id) != 0) return;  // duplicate journal record
+  Job job;
+  job.id = job_id;
+  job.tenant = tenant_name;
+  job.name = name;
+  job.trace_id = trace_id;
+  job.idem = idem;
+  job.stream = std::move(stream);
+  job.state = JobState::kQueued;
+  job.interrupted = true;
+  ++submitted_;
+  ++requeued_;
+  if (registry_ != nullptr) {
+    registry_->counter(obs::names::kServiceSubmitted).add();
+    registry_->counter(obs::names::kServiceRequeued).add();
+  }
+  enqueue_locked(std::move(job));
+  next_id_ = std::max(next_id_, job_id + 1);
 }
 
 std::optional<std::uint64_t> JobManager::next_job() {
@@ -232,27 +341,51 @@ bool JobManager::draining() const {
   return draining_;
 }
 
-std::size_t JobManager::cancel_queued() {
+std::vector<std::uint64_t> JobManager::cancel_queued() {
   const MutexLock lock(mutex_);
-  std::size_t cancelled = 0;
+  std::vector<std::uint64_t> cancelled;
   for (auto& [name, tenant] : tenants_) {
     for (const std::uint64_t id : tenant.queue) {
       Job& job = jobs_.at(id);
       MICCO_ASSERT(job.state == JobState::kQueued);
       job.state = JobState::kCancelled;
       job.stream = WorkloadStream{};  // drop the payload
-      ++cancelled;
+      cancelled.push_back(id);
     }
     tenant.queue.clear();
   }
-  MICCO_ASSERT(cancelled == queued_);
+  MICCO_ASSERT(cancelled.size() == queued_);
   queued_ = 0;
-  cancelled_ += cancelled;
-  if (registry_ != nullptr && cancelled > 0) {
-    registry_->counter(obs::names::kServiceCancelled).add(cancelled);
+  cancelled_ += cancelled.size();
+  if (registry_ != nullptr && !cancelled.empty()) {
+    registry_->counter(obs::names::kServiceCancelled).add(cancelled.size());
   }
   refresh_gauges_locked();
   return cancelled;
+}
+
+bool JobManager::cancel_queued_job(std::uint64_t job_id) {
+  const MutexLock lock(mutex_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end() || it->second.state != JobState::kQueued) return false;
+  Job& job = it->second;
+  Tenant& tenant = tenants_.at(job.tenant);
+  const auto pos = std::find(tenant.queue.begin(), tenant.queue.end(), job_id);
+  MICCO_ASSERT(pos != tenant.queue.end());
+  tenant.queue.erase(pos);
+  job.state = JobState::kCancelled;
+  job.stream = WorkloadStream{};
+  if (!job.idem.empty()) {
+    dedup_.erase(job.tenant + '\x1f' + job.idem);
+  }
+  MICCO_ASSERT(queued_ > 0);
+  --queued_;
+  ++cancelled_;
+  if (registry_ != nullptr) {
+    registry_->counter(obs::names::kServiceCancelled).add();
+  }
+  refresh_gauges_locked();
+  return true;
 }
 
 JobStatus JobManager::status_locked(const Job& job) const {
@@ -262,6 +395,8 @@ JobStatus JobManager::status_locked(const Job& job) const {
   out.name = job.name;
   out.state = job.state;
   out.error = job.error;
+  out.interrupted = job.interrupted;
+  out.replayed = job.replayed;
   if (job.state == JobState::kQueued) {
     const auto tenant_it = tenants_.find(job.tenant);
     MICCO_ASSERT(tenant_it != tenants_.end());
@@ -333,6 +468,9 @@ obs::JsonValue JobManager::stats() const {
   doc.set("completed", completed_);
   doc.set("failed", failed_);
   doc.set("cancelled", cancelled_);
+  doc.set("duplicates", duplicates_);
+  doc.set("replayed", replayed_);
+  doc.set("requeued", requeued_);
   doc.set("draining", draining_);
   obs::JsonValue tenants = obs::JsonValue::object();
   for (const auto& [name, tenant] : tenants_) {

@@ -10,12 +10,20 @@
 // smallest pass dispatches next, ties broken by tenant name so dispatch
 // order is a pure function of the submission sequence).
 //
+// Crash recovery (DESIGN.md §8): the server replays its journal through
+// restore_finished() / restore_queued() before serving, so the book of
+// record survives a restart — finished jobs answer status/result again
+// (marked replayed), interrupted jobs re-enter their tenant queue in the
+// original admission order. Submits may carry a client-minted idempotency
+// token; a (tenant, token) pair already in the dedup table answers with the
+// original job id (duplicate = true) instead of admitting a second run.
+//
 // Thread safety: every public method locks the internal annotated mutex, so
 // I/O lanes may submit/query concurrently with the dispatcher thread.
 // Dispatch order — and therefore the decision log — is deterministic for a
 // fixed submission order; concurrent submitters only make the *arrival*
-// order nondeterministic, never the accounting (admitted + rejected ==
-// submitted always holds).
+// order nondeterministic, never the accounting (admitted + rejected +
+// duplicates == submitted always holds).
 #pragma once
 
 #include <cstdint>
@@ -68,6 +76,9 @@ struct AdmissionConfig {
 /// Outcome of one submit() call.
 struct SubmitOutcome {
   bool admitted = false;
+  /// The (tenant, idempotency token) pair was already admitted: job_id is
+  /// the original job, no new work was enqueued, nothing new to journal.
+  bool duplicate = false;
   std::uint64_t job_id = 0;    ///< valid when admitted
   std::string reject_code;     ///< protocol error code when rejected
   std::string reject_reason;   ///< human-readable reason when rejected
@@ -82,6 +93,12 @@ struct JobStatus {
   /// 0-based position in the tenant queue while QUEUED, else -1.
   std::int64_t queue_position = -1;
   std::string error;  ///< FAILED only
+  /// Crash recovery re-admitted this job (it was QUEUED or RUNNING when the
+  /// previous daemon incarnation died and has been re-run from scratch).
+  bool interrupted = false;
+  /// This job finished in a previous incarnation; its state and result were
+  /// replayed from the journal.
+  bool replayed = false;
 };
 
 /// Status and (when finished) result in one consistent capture — the
@@ -121,9 +138,30 @@ class JobManager {
   /// fresh job id (monotone from 1) is returned; on rejection the outcome
   /// carries a protocol error code + reason and nothing is stored.
   /// `trace_id` is the client-minted trace identity (empty when the client
-  /// sent none; the server then falls back to "job-<id>").
+  /// sent none; the server then falls back to "job-<id>"). `idem` is the
+  /// client-minted idempotency token: when non-empty and already known for
+  /// this tenant, the outcome is admitted + duplicate with the original job
+  /// id and nothing is enqueued. The dedup check precedes the draining
+  /// check so a resubmit for an already-admitted job succeeds during drain.
   SubmitOutcome submit(const std::string& tenant, const std::string& name,
-                       WorkloadStream stream, const std::string& trace_id = "");
+                       WorkloadStream stream, const std::string& trace_id = "",
+                       const std::string& idem = "");
+
+  // -- Journal replay (server startup, before serving) ----------------------
+  /// Restores a job whose finished record replayed from the journal: it
+  /// answers status/result immediately (marked replayed), is never re-run,
+  /// and re-registers its idempotency token. `state` must be terminal.
+  void restore_finished(std::uint64_t job_id, const std::string& tenant,
+                        const std::string& name, const std::string& trace_id,
+                        const std::string& idem, JobState state,
+                        const std::string& error,
+                        std::optional<obs::JsonValue> result);
+  /// Re-admits a job that was QUEUED or RUNNING at crash time (marked
+  /// interrupted). Admission is unconditional — the work was already
+  /// accepted in a previous incarnation, so queue limits do not re-apply.
+  void restore_queued(std::uint64_t job_id, const std::string& tenant,
+                      const std::string& name, const std::string& trace_id,
+                      const std::string& idem, WorkloadStream stream);
 
   /// Weighted-fair-share pick: pops the next job and marks it RUNNING.
   /// nullopt when no job is queued.
@@ -151,8 +189,15 @@ class JobManager {
   bool draining() const;
 
   /// Cancels every queued job (shutdown semantics: in-flight work finishes,
-  /// the backlog does not). Returns how many jobs were cancelled.
-  std::size_t cancel_queued();
+  /// the backlog does not). Returns the cancelled job ids in tenant-map /
+  /// queue order so the server can journal each cancellation.
+  std::vector<std::uint64_t> cancel_queued();
+
+  /// Cancels one QUEUED job (the server's rollback when the admission
+  /// record could not be journaled): removed from its tenant queue, marked
+  /// CANCELLED, idempotency token released. False when the job is unknown
+  /// or not QUEUED.
+  bool cancel_queued_job(std::uint64_t job_id);
 
   // -- Queries --------------------------------------------------------------
   std::optional<JobStatus> status(std::uint64_t job_id) const;
@@ -177,11 +222,14 @@ class JobManager {
     std::string tenant;
     std::string name;
     std::string trace_id;
+    std::string idem;  ///< idempotency token, empty when none
     WorkloadStream stream;
     JobState state = JobState::kQueued;
     std::string error;
     obs::JsonValue result;
     bool has_result = false;
+    bool interrupted = false;  ///< re-admitted by crash recovery
+    bool replayed = false;     ///< finished state replayed from the journal
     std::uint64_t dispatch_seq = 0;     ///< assigned by next_job()
     std::uint64_t depth_at_submit = 0;  ///< queued_ total when admitted
   };
@@ -205,6 +253,13 @@ class JobManager {
   SubmitOutcome reject_locked(const std::string& tenant, const char* code,
                               const std::string& reason)
       MICCO_REQUIRES(mutex_);
+  /// Shared enqueue tail of submit() and restore_queued(): stride re-entry,
+  /// queue push, admission counters.
+  void enqueue_locked(Job job) MICCO_REQUIRES(mutex_);
+  /// Registers a (tenant, token) pair in the dedup table (no-op for empty
+  /// tokens; first writer wins so replayed registrations cannot clobber).
+  void register_idem_locked(const std::string& tenant, const std::string& idem,
+                            std::uint64_t job_id) MICCO_REQUIRES(mutex_);
   JobStatus status_locked(const Job& job) const MICCO_REQUIRES(mutex_);
   /// Shared terminal-transition tail: latency histograms + SLO accounting.
   void record_finish_locked(const Job& job, const CompletionTiming& timing)
@@ -215,6 +270,9 @@ class JobManager {
   obs::MetricsRegistry* registry_ MICCO_GUARDED_BY(mutex_) = nullptr;
   std::map<std::uint64_t, Job> jobs_ MICCO_GUARDED_BY(mutex_);
   std::map<std::string, Tenant> tenants_ MICCO_GUARDED_BY(mutex_);
+  /// tenant + '\x1f' + idempotency token → original job id. Rebuilt from
+  /// the journal's admitted records on replay.
+  std::map<std::string, std::uint64_t> dedup_ MICCO_GUARDED_BY(mutex_);
   std::uint64_t next_id_ MICCO_GUARDED_BY(mutex_) = 1;
   std::uint64_t dispatch_seq_ MICCO_GUARDED_BY(mutex_) = 0;
   std::size_t queued_ MICCO_GUARDED_BY(mutex_) = 0;
@@ -231,6 +289,9 @@ class JobManager {
   std::uint64_t completed_ MICCO_GUARDED_BY(mutex_) = 0;
   std::uint64_t failed_ MICCO_GUARDED_BY(mutex_) = 0;
   std::uint64_t cancelled_ MICCO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t duplicates_ MICCO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t replayed_ MICCO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t requeued_ MICCO_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace micco::service

@@ -42,11 +42,13 @@ obs::JsonValue request_skeleton(MessageType type) {
 obs::JsonValue make_submit_request(const std::string& tenant,
                                    const std::string& job_name,
                                    const std::string& workload_text,
-                                   const std::string& trace_id) {
+                                   const std::string& trace_id,
+                                   const std::string& idem) {
   obs::JsonValue doc = request_skeleton(MessageType::kSubmit);
   doc.set("tenant", tenant);
   if (!job_name.empty()) doc.set("job_name", job_name);
   if (!trace_id.empty()) doc.set("trace", trace_id);
+  if (!idem.empty()) doc.set("idem", idem);
   doc.set("workload", workload_text);
   return doc;
 }
@@ -141,6 +143,13 @@ std::optional<Request> parse_request(const obs::JsonValue& doc,
           return fail(error_code::kBadRequest, "'trace' must be a string");
         }
         req.trace_id = trace->as_string();
+      }
+      const obs::JsonValue* idem = doc.find("idem");
+      if (idem != nullptr) {
+        if (idem->kind() != obs::JsonValue::Kind::kString) {
+          return fail(error_code::kBadRequest, "'idem' must be a string");
+        }
+        req.idem = idem->as_string();
       }
       break;
     }

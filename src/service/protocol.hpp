@@ -13,7 +13,14 @@
 // Request types (v1): submit, status, result, drain, shutdown, stats,
 // metrics. Every response carries "ok" (bool); failures add "code" and
 // "message". Submit optionally carries a client-minted "trace" id that the
-// daemon threads through the job's whole span tree (DESIGN.md §7).
+// daemon threads through the job's whole span tree (DESIGN.md §7) and a
+// client-minted "idem" idempotency token (DESIGN.md §8): a resubmit with
+// the same (tenant, token) answers from the daemon's journaled dedup table
+// — marked "duplicate": true with the original job id — instead of running
+// the job again. Further optional reply fields: "interrupted" (the job was
+// re-admitted by crash recovery), "replayed" (a finished job answering from
+// the replayed journal) and "retry_after" (seconds; advisory backoff on
+// draining / queue_full / journal_error rejections).
 #pragma once
 
 #include <cstddef>
@@ -60,6 +67,7 @@ struct Request {
   std::string job_name;       ///< submit; optional label, may be empty
   std::string workload_text;  ///< submit; micco-workload v1 text
   std::string trace_id;       ///< submit; optional client-minted trace id
+  std::string idem;           ///< submit; optional idempotency token
   std::uint64_t job_id = 0;   ///< status / result
 };
 
@@ -76,13 +84,19 @@ inline constexpr const char* kQueueFull = "queue_full";
 inline constexpr const char* kDraining = "draining";
 inline constexpr const char* kUnknownJob = "unknown_job";
 inline constexpr const char* kNotFinished = "not_finished";
+/// Client-side: the per-request deadline expired before a reply arrived.
+inline constexpr const char* kTimeout = "timeout";
+/// The daemon could not make the admission durable (journal append/fsync
+/// failure); the job was not accepted.
+inline constexpr const char* kJournalError = "journal_error";
 }  // namespace error_code
 
 /// Builds the request document for each message type (the client half).
 obs::JsonValue make_submit_request(const std::string& tenant,
                                    const std::string& job_name,
                                    const std::string& workload_text,
-                                   const std::string& trace_id = "");
+                                   const std::string& trace_id = "",
+                                   const std::string& idem = "");
 obs::JsonValue make_job_request(MessageType type, std::uint64_t job_id);
 obs::JsonValue make_plain_request(MessageType type);
 

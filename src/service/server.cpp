@@ -34,6 +34,10 @@ bool set_nonblocking(int fd) {
   return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
+/// Advisory backoff (seconds) on transient submit rejections (draining,
+/// queue_full, journal_error).
+constexpr double kRetryAfterHintS = 1.0;
+
 }  // namespace
 
 Server::Server(ServerConfig config)
@@ -123,6 +127,31 @@ bool Server::start(std::string* error) {
   device_busy_s_.assign(
       static_cast<std::size_t>(config_.cluster.num_devices), 0.0);
 
+  // Replay + reopen the journal before accepting connections, so the first
+  // client already sees the recovered book of record.
+  if (!recover_from_journal(error)) return false;
+
+  // A crashed daemon leaves its socket file behind, and a restart must not
+  // need manual cleanup — but a live daemon must never have its socket
+  // yanked out from under it either. Probe with a connect first: an answer
+  // means another instance is serving; no answer means the file is stale
+  // and safe to unlink.
+  {
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe >= 0) {
+      const bool alive = ::connect(probe,
+                                   reinterpret_cast<const sockaddr*>(&addr),
+                                   sizeof(addr)) == 0;
+      ::close(probe);
+      if (alive) {
+        return fail("another daemon is already serving on " +
+                    config_.socket_path +
+                    " (probe connect answered); refusing to start");
+      }
+    }
+    ::unlink(config_.socket_path.c_str());  // stale leftover, or ENOENT
+  }
+
   listener_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listener_ < 0) return fail("socket(): " + std::string(strerror(errno)));
   if (::bind(listener_, reinterpret_cast<const sockaddr*>(&addr),
@@ -131,10 +160,7 @@ bool Server::start(std::string* error) {
     ::close(listener_);
     listener_ = -1;
     return fail("bind(" + config_.socket_path +
-                "): " + std::string(strerror(err)) +
-                (err == EADDRINUSE ? " (daemon already running, or stale "
-                                     "socket file — remove it first)"
-                                   : ""));
+                "): " + std::string(strerror(err)));
   }
   if (::listen(listener_, 64) != 0 || !set_nonblocking(listener_)) {
     const int err = errno;
@@ -160,6 +186,129 @@ BoundsProvider* Server::bounds_provider() {
   return static_bounds_.get();
 }
 
+// ---------------------------------------------------------------------------
+// Crash safety
+
+bool Server::recover_from_journal(std::string* error) {
+  const auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  if (config_.journal.path.empty()) return true;
+
+  const JournalReadResult read = read_journal_file(config_.journal.path);
+  if (read.truncated) {
+    recovered_torn_tail_ = true;
+    telemetry_.registry.counter(obs::names::kServiceTornTail).add();
+    log_warn() << "journal " << config_.journal.path << ": " << read.note
+               << "; keeping " << read.bytes_consumed << " intact bytes";
+    std::string truncate_error;
+    if (!truncate_journal_file(config_.journal.path, read.bytes_consumed,
+                               &truncate_error)) {
+      return fail(truncate_error);
+    }
+  }
+
+  // Last finished record per job wins (a re-run after an unjournaled crash
+  // may finish a job twice; the results are deterministic either way).
+  std::map<std::uint64_t, const JournalRecord*> finished;
+  for (const JournalRecord& record : read.records) {
+    if (record.kind == RecordKind::kFinished) {
+      finished[record.job_id] = &record;
+    }
+  }
+
+  // Replay admitted records in journal order. Recovery order equals journal
+  // order, so the re-run jobs dispatch exactly as a fresh session would and
+  // the --threads=1 decision log stays byte-identical.
+  for (const JournalRecord& record : read.records) {
+    if (record.kind != RecordKind::kAdmitted) continue;
+    const auto fin = finished.find(record.job_id);
+    if (fin != finished.end()) {
+      const JournalRecord& f = *fin->second;
+      const JobState state = f.state == "DONE"     ? JobState::kDone
+                             : f.state == "FAILED" ? JobState::kFailed
+                                                   : JobState::kCancelled;
+      jobs_.restore_finished(record.job_id, record.tenant, record.name,
+                             record.trace_id, record.idem, state, f.error,
+                             f.has_result
+                                 ? std::optional<obs::JsonValue>(f.result)
+                                 : std::nullopt);
+      ++recovered_finished_;
+      continue;
+    }
+    std::istringstream in(record.workload_text);
+    std::string load_error;
+    std::optional<WorkloadStream> stream = load_stream(in, &load_error);
+    if (!stream.has_value()) {
+      // Admission validated this workload, so an unreadable one here is a
+      // serialization regression; surface it as a FAILED job that answers
+      // status instead of silently vanishing from the book.
+      jobs_.restore_finished(record.job_id, record.tenant, record.name,
+                             record.trace_id, record.idem, JobState::kFailed,
+                             "workload unreadable after recovery: " +
+                                 load_error,
+                             std::nullopt);
+      ++recovered_finished_;
+      continue;
+    }
+    jobs_.restore_queued(record.job_id, record.tenant, record.name,
+                         record.trace_id, record.idem, std::move(*stream));
+    ++recovered_requeued_;
+  }
+  if (recovered_finished_ + recovered_requeued_ > 0) {
+    log_info() << "journal " << config_.journal.path << ": replayed "
+               << recovered_finished_ << " finished, re-admitted "
+               << recovered_requeued_ << " interrupted job(s)";
+  }
+
+  journal_.set_telemetry(
+      &telemetry_.registry.counter(obs::names::kServiceJournalRecords),
+      &telemetry_.registry.counter(obs::names::kServiceJournalBytes),
+      &telemetry_.registry.histogram(obs::names::kServiceJournalFsyncMs,
+                                     obs::names::journal_fsync_bounds_ms()));
+  return journal_.open(config_.journal, error);
+}
+
+std::size_t Server::cancel_backlog() {
+  const std::vector<std::uint64_t> cancelled = jobs_.cancel_queued();
+  if (journal_.is_open()) {
+    for (const std::uint64_t id : cancelled) {
+      JournalRecord record;
+      record.kind = RecordKind::kFinished;
+      record.job_id = id;
+      record.state = to_string(JobState::kCancelled);
+      std::string journal_error;
+      if (!journal_.append(record, &journal_error)) {
+        log_error() << "shutdown: " << journal_error;
+        break;
+      }
+    }
+  }
+  return cancelled.size();
+}
+
+void Server::journal_finished(std::uint64_t job_id, JobState state,
+                              const std::string& error_text,
+                              const obs::JsonValue* result) {
+  if (!journal_.is_open()) return;
+  JournalRecord record;
+  record.kind = RecordKind::kFinished;
+  record.job_id = job_id;
+  record.state = to_string(state);
+  record.error = error_text;
+  if (result != nullptr) {
+    record.result = *result;
+    record.has_result = true;
+  }
+  std::string journal_error;
+  if (!journal_.append(record, &journal_error)) {
+    // Not fatal: the job still finishes in memory; losing the record only
+    // means a restart re-runs the job, which is deterministic.
+    log_error() << "job " << job_id << ": " << journal_error;
+  }
+}
+
 void Server::request_drain() {
   jobs_.begin_drain();
   const MutexLock lock(state_mutex_);
@@ -169,7 +318,7 @@ void Server::request_drain() {
 
 void Server::request_shutdown() {
   jobs_.begin_drain();
-  jobs_.cancel_queued();
+  cancel_backlog();
   const MutexLock lock(state_mutex_);
   phase_ = Phase::kDraining;
   dispatch_ready_.notify_all();
@@ -225,6 +374,8 @@ obs::JsonValue Server::handle_request(const Request& request) {
       reply.set("tenant", status.tenant);
       if (!status.name.empty()) reply.set("job_name", status.name);
       reply.set("state", to_string(status.state));
+      if (status.interrupted) reply.set("interrupted", true);
+      if (status.replayed) reply.set("replayed", true);
       if (status.state == JobState::kQueued) {
         reply.set("queue_position", status.queue_position);
       }
@@ -254,7 +405,7 @@ obs::JsonValue Server::handle_request(const Request& request) {
     }
     case MessageType::kShutdown: {
       jobs_.begin_drain();
-      const std::size_t cancelled = jobs_.cancel_queued();
+      const std::size_t cancelled = cancel_backlog();
       {
         const MutexLock lock(state_mutex_);
         phase_ = Phase::kDraining;
@@ -294,10 +445,57 @@ obs::JsonValue Server::handle_submit(const Request& request) {
     return make_error_response(error_code::kBadWorkload,
                                "workload rejected: " + load_error);
   }
-  const SubmitOutcome outcome = jobs_.submit(
-      request.tenant, request.job_name, std::move(*stream), request.trace_id);
+  const SubmitOutcome outcome =
+      jobs_.submit(request.tenant, request.job_name, std::move(*stream),
+                   request.trace_id, request.idem);
   if (!outcome.admitted) {
-    return make_error_response(outcome.reject_code, outcome.reject_reason);
+    obs::JsonValue reply =
+        make_error_response(outcome.reject_code, outcome.reject_reason);
+    // Both rejection causes are transient: tell the client when to retry.
+    if (outcome.reject_code == error_code::kDraining ||
+        outcome.reject_code == error_code::kQueueFull) {
+      reply.set("retry_after", kRetryAfterHintS);
+    }
+    return reply;
+  }
+  if (outcome.duplicate) {
+    // Idempotent resubmit: answer with the original job, run nothing,
+    // journal nothing.
+    obs::JsonValue reply = make_ok_response();
+    reply.set("job_id", outcome.job_id);
+    reply.set("tenant", request.tenant);
+    reply.set("duplicate", true);
+    if (const std::optional<JobStatus> status = jobs_.status(outcome.job_id)) {
+      reply.set("state", to_string(status->state));
+      if (status->interrupted) reply.set("interrupted", true);
+      if (status->replayed) reply.set("replayed", true);
+    }
+    return reply;
+  }
+  // Write-ahead: the admission record must be durable before the job can
+  // dispatch or the accepting reply leave. A journal failure rolls the
+  // admission back — the client sees a structured, retryable error and the
+  // book of record never acknowledges work it could lose.
+  if (journal_.is_open()) {
+    JournalRecord record;
+    record.kind = RecordKind::kAdmitted;
+    record.job_id = outcome.job_id;
+    record.tenant = request.tenant;
+    record.name = request.job_name;
+    record.trace_id = request.trace_id;
+    record.idem = request.idem;
+    record.workload_text = request.workload_text;
+    std::string journal_error;
+    if (!journal_.append(record, &journal_error)) {
+      jobs_.cancel_queued_job(outcome.job_id);
+      log_error() << "submit: " << journal_error << "; job "
+                  << outcome.job_id << " rolled back";
+      obs::JsonValue reply = make_error_response(
+          error_code::kJournalError,
+          "admission could not be journaled: " + journal_error);
+      reply.set("retry_after", kRetryAfterHintS);
+      return reply;
+    }
   }
   {
     const MutexLock lock(state_mutex_);
@@ -318,6 +516,18 @@ obs::JsonValue Server::handle_submit(const Request& request) {
 void Server::run_job(std::uint64_t job_id) {
   const WorkloadStream stream = jobs_.take_stream(job_id);
   const DispatchInfo info = jobs_.dispatch_info(job_id);
+
+  if (journal_.is_open()) {
+    JournalRecord record;
+    record.kind = RecordKind::kDispatched;
+    record.job_id = job_id;
+    std::string journal_error;
+    if (!journal_.append(record, &journal_error)) {
+      // Not fatal: without the dispatched record a restart re-runs the job
+      // from its admitted record, which is exactly what happens anyway.
+      log_error() << "dispatch of job " << job_id << ": " << journal_error;
+    }
+  }
 
   double submit_ms = -1.0;
   {
@@ -458,6 +668,12 @@ void Server::run_job(std::uint64_t job_id) {
   timing.e2e_latency_ms =
       submit_ms >= 0.0 ? clock_->monotonic_ms() - submit_ms : 0.0;
   timing.sim_makespan_ms = result.metrics.makespan_s * 1000.0;
+  // The finished record goes durable BEFORE the in-memory terminal
+  // transition: once a client can observe DONE, no restart may un-finish
+  // (and re-run) the job.
+  journal_finished(job_id,
+                   result.completed ? JobState::kDone : JobState::kFailed,
+                   result.error, &doc);
   if (result.completed) {
     jobs_.complete(job_id, std::move(doc), timing);
   } else {
@@ -666,6 +882,26 @@ int Server::serve() {
   ::close(listener_);
   listener_ = -1;
 
+  // Recovery summary span, emitted after every job's tree: the re-run jobs
+  // keep the same span sequence numbers as an uninterrupted session would
+  // produce, and log consumers (the chaos harness) can strip the final line
+  // before byte-comparing.
+  if (spans_sink_ != nullptr &&
+      recovered_finished_ + recovered_requeued_ > 0) {
+    obs::SpanEvent replay;
+    replay.trace_id = "journal-replay";
+    replay.span_id = 1;
+    replay.parent_id = 0;
+    replay.name = obs::names::kSpanJournalReplay;
+    replay.attrs_int.emplace_back(
+        "replayed_finished", static_cast<std::int64_t>(recovered_finished_));
+    replay.attrs_int.emplace_back(
+        "requeued", static_cast<std::int64_t>(recovered_requeued_));
+    if (recovered_torn_tail_) replay.attrs_int.emplace_back("torn_tail", 1);
+    spans_sink_->span(std::move(replay));
+  }
+
+  journal_.close();
   if (sink_ != nullptr) sink_->flush();
   if (spans_sink_ != nullptr) spans_sink_->flush();
 

@@ -22,6 +22,15 @@
 // backlog; a `shutdown` request additionally cancels queued jobs. Either
 // way the daemon finishes in-flight work, flushes the decision log, writes
 // the session run report (same schema as batch reports) and exits 0.
+//
+// Crash safety (DESIGN.md §8). With a journal configured, every admission
+// is made durable before the submit reply leaves (write-ahead), dispatch
+// and terminal transitions are journaled as they happen, and start()
+// replays an existing journal before serving: finished jobs answer again,
+// interrupted jobs re-enter the queue in admission order. Replay order
+// equals journal order, so a recovering `--threads=1` session's decision
+// log is byte-identical to an uninterrupted session running the same
+// remaining jobs.
 #pragma once
 
 #include <csignal>
@@ -45,6 +54,7 @@
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
 #include "service/job_manager.hpp"
+#include "service/journal.hpp"
 #include "service/protocol.hpp"
 
 namespace micco::service {
@@ -80,6 +90,10 @@ struct ServerConfig {
 
   AdmissionConfig admission;
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  /// Durable job journal (path empty: journaling + recovery disabled). An
+  /// existing journal at the configured path is replayed at start().
+  JournalConfig journal;
 
   /// Optional JSONL decision/cluster event log for the whole session.
   std::string decisions_path;
@@ -173,6 +187,18 @@ class Server {
   BoundsProvider* bounds_provider();
   bool should_stop() MICCO_EXCLUDES(state_mutex_);
 
+  // -- crash safety ----------------------------------------------------------
+  /// Replays an existing journal (torn tail dropped + truncated first) and
+  /// opens the writer for append. False with a diagnostic on I/O failure.
+  bool recover_from_journal(std::string* error);
+  /// cancel_queued + a journaled CANCELLED record per job (shutdown path).
+  std::size_t cancel_backlog();
+  /// Journals a terminal transition; failures are logged, not fatal (the
+  /// job still finishes in memory; a restart would re-run it).
+  void journal_finished(std::uint64_t job_id, JobState state,
+                        const std::string& error_text,
+                        const obs::JsonValue* result);
+
   ServerConfig config_;
   JobManager jobs_;
   obs::Telemetry telemetry_;
@@ -187,6 +213,12 @@ class Server {
   int listener_ = -1;
   bool started_ = false;
   std::string scheduler_name_;
+
+  JournalWriter journal_;
+  // Replay outcome (set by start(), read by serve() for the replay span).
+  std::uint64_t recovered_finished_ = 0;
+  std::uint64_t recovered_requeued_ = 0;
+  bool recovered_torn_tail_ = false;
 
   std::unique_ptr<RegressionBoundsProvider> model_bounds_;
   std::unique_ptr<FixedBounds> static_bounds_;

@@ -1,0 +1,10 @@
+// Fixture: raw POSIX durability calls in library scope. Both must fire
+// raw-durability-io — durable bytes belong behind the EINTR-retrying
+// wrappers in service/journal.cpp. (Corpus files are scanned, never
+// compiled.)
+#include <unistd.h>
+
+bool persist(int fd, const char* data, unsigned long size) {
+  if (::write(fd, data, size) < 0) return false;  // raw-durability-io
+  return ::fsync(fd) == 0;                        // raw-durability-io
+}

@@ -1,0 +1,25 @@
+// Fixture: calls that must NOT fire raw-durability-io — class-qualified and
+// member functions that happen to be named write/fsync, stream I/O, a
+// banned name inside a string, and a suppressed raw call. (Corpus files are
+// scanned, never compiled, so the declarations are loose.)
+#include <fstream>
+#include <string>
+
+struct Sink {
+  void write(const std::string& bytes);
+  bool fsync();
+};
+
+void buffered(Sink& sink, std::ofstream& out, const std::string& bytes) {
+  sink.write(bytes);       // member access, not the POSIX call
+  Sink::write;             // class-qualified name, not global scope
+  (&sink)->fsync();
+  out.write(bytes.data(), static_cast<long>(bytes.size()));
+  const char* doc = "never call ::write or ::fsync directly";
+  (void)doc;
+}
+
+bool escape_hatch(int fd) {
+  // micco-lint: allow(raw-durability-io) fixture pins the escape hatch
+  return ::fdatasync(fd) == 0;
+}

@@ -121,7 +121,7 @@ TEST(JobManager, CancelQueuedEmptiesBacklog) {
   ASSERT_TRUE(jobs.submit("a", "", tiny_stream()).admitted);
   ASSERT_TRUE(jobs.submit("b", "", tiny_stream()).admitted);
   ASSERT_TRUE(jobs.next_job().has_value());  // job 1 now RUNNING
-  EXPECT_EQ(jobs.cancel_queued(), 1u);       // job 2 cancelled
+  EXPECT_EQ(jobs.cancel_queued().size(), 1u);  // job 2 cancelled
   EXPECT_EQ(jobs.status(2)->state, JobState::kCancelled);
   EXPECT_FALSE(jobs.idle());  // job 1 still in flight
   jobs.complete(1, obs::JsonValue::object(), queue_only(1.0));

@@ -135,6 +135,20 @@ TEST(MiccoLintRules, MetricNameLookalikesAndSuppressionsAreClean) {
   EXPECT_EQ(result.exit_code, 0) << format_text(result);
 }
 
+TEST(MiccoLintRules, RawDurabilityIoFiresOnGlobalWriteAndFsync) {
+  const LintResult result = lint_fixture("durability_io.bad.cpp");
+  EXPECT_EQ(result.exit_code, 18);
+  EXPECT_EQ(count_rule(result, "raw-durability-io"), 2);
+  for (const Finding& finding : result.findings) {
+    EXPECT_NE(finding.message.find("service/journal.cpp"), std::string::npos);
+  }
+}
+
+TEST(MiccoLintRules, DurabilityLookalikesAndSuppressionsAreClean) {
+  const LintResult result = lint_fixture("durability_io.good.cpp");
+  EXPECT_EQ(result.exit_code, 0) << format_text(result);
+}
+
 TEST(MiccoLintRules, FindingsAreSortedByFileLineRule) {
   const LintResult result = lint_paths(
       {corpus("det_rng.bad.cpp"), corpus("stdout.bad.cpp")});

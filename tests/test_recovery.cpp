@@ -1,0 +1,416 @@
+// Restart recovery of the scheduling daemon (DESIGN.md §8): a second
+// Server session replaying the journal of a first one. Finished jobs answer
+// status/result again, interrupted jobs re-run with a byte-identical
+// decision log and span trace, idempotent resubmits dedupe across the
+// restart, and a torn journal tail is dropped and truncated before serving
+// continues.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/names.hpp"
+#include "service/client.hpp"
+#include "service/journal.hpp"
+#include "service/server.hpp"
+#include "workload/serialize.hpp"
+#include "workload/synthetic.hpp"
+
+namespace micco::service {
+namespace {
+
+std::string test_socket_path(const std::string& tag) {
+  const std::string path =
+      "/tmp/micco_rec_" + std::to_string(::getpid()) + "_" + tag + ".sock";
+  ::unlink(path.c_str());
+  return path;
+}
+
+std::string tmp_file_path(const std::string& tag) {
+  const std::string path =
+      "/tmp/micco_rec_" + std::to_string(::getpid()) + "_" + tag;
+  ::unlink(path.c_str());
+  return path;
+}
+
+std::string workload_text(std::uint64_t seed, int vectors = 1,
+                          int vector_size = 8) {
+  SyntheticConfig cfg;
+  cfg.num_vectors = vectors;
+  cfg.vector_size = vector_size;
+  cfg.seed = seed;
+  std::ostringstream out;
+  save_stream(generate_synthetic(cfg), out);
+  return out.str();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Runs serve() on a background thread once start() succeeded.
+class ServeSession {
+ public:
+  explicit ServeSession(ServerConfig config) : server_(std::move(config)) {}
+
+  ~ServeSession() {
+    if (thread_.joinable()) {
+      server_.request_shutdown();
+      thread_.join();
+    }
+  }
+
+  bool begin(std::string* error) {
+    if (!server_.start(error)) return false;
+    thread_ = std::thread([this] { exit_code_ = server_.serve(); });
+    return true;
+  }
+
+  int join() {
+    thread_.join();
+    return exit_code_;
+  }
+
+  Server& server() { return server_; }
+
+ private:
+  Server server_;
+  std::thread thread_;
+  int exit_code_ = -1;
+};
+
+obs::JsonValue wait_for_job(Client& client, std::uint64_t job_id) {
+  for (;;) {
+    std::string error;
+    const auto reply = client.status(job_id, &error);
+    EXPECT_TRUE(reply.has_value()) << error;
+    if (!reply.has_value()) return obs::JsonValue();
+    const std::string& state = reply->at("state").as_string();
+    if (state != "QUEUED" && state != "RUNNING") return *reply;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+/// Kinds of the records currently in a journal file, in order.
+std::vector<RecordKind> journal_kinds(const std::string& path) {
+  std::vector<RecordKind> kinds;
+  for (const JournalRecord& record : read_journal_file(path).records) {
+    kinds.push_back(record.kind);
+  }
+  return kinds;
+}
+
+TEST(Recovery, FinishedJobsAnswerAfterRestart) {
+  const std::string journal = tmp_file_path("fin.journal");
+  std::string error;
+
+  // Session 1: run one job to completion under the journal.
+  {
+    const std::string socket = test_socket_path("fin1");
+    ServerConfig config;
+    config.socket_path = socket;
+    config.cluster.num_devices = 4;
+    config.journal.path = journal;
+    ServeSession session(std::move(config));
+    ASSERT_TRUE(session.begin(&error)) << error;
+    Client client;
+    ASSERT_TRUE(client.connect(socket, &error)) << error;
+    const auto submitted =
+        client.submit("alice", "one", workload_text(11), &error);
+    ASSERT_TRUE(submitted.has_value()) << error;
+    ASSERT_TRUE(submitted->at("ok").as_bool()) << submitted->dump();
+    EXPECT_EQ(wait_for_job(client, 1).at("state").as_string(), "DONE");
+    ASSERT_TRUE(client.drain(&error).has_value()) << error;
+    client.close();
+    EXPECT_EQ(session.join(), 0);
+  }
+
+  // The journal recorded the whole lifecycle, write-ahead first.
+  const std::vector<RecordKind> kinds = journal_kinds(journal);
+  ASSERT_EQ(kinds.size(), 3u);
+  EXPECT_EQ(kinds[0], RecordKind::kAdmitted);
+  EXPECT_EQ(kinds[1], RecordKind::kDispatched);
+  EXPECT_EQ(kinds[2], RecordKind::kFinished);
+
+  // Session 2: replay. The finished job answers status and result without
+  // re-running, flagged as replayed.
+  {
+    const std::string socket = test_socket_path("fin2");
+    ServerConfig config;
+    config.socket_path = socket;
+    config.cluster.num_devices = 4;
+    config.journal.path = journal;
+    ServeSession session(std::move(config));
+    ASSERT_TRUE(session.begin(&error)) << error;
+    Client client;
+    ASSERT_TRUE(client.connect(socket, &error)) << error;
+
+    const auto status = client.status(1, &error);
+    ASSERT_TRUE(status.has_value()) << error;
+    ASSERT_TRUE(status->at("ok").as_bool()) << status->dump();
+    EXPECT_EQ(status->at("state").as_string(), "DONE");
+    EXPECT_TRUE(status->at("replayed").as_bool()) << status->dump();
+
+    const auto result = client.result(1, &error);
+    ASSERT_TRUE(result.has_value()) << error;
+    ASSERT_TRUE(result->at("ok").as_bool()) << result->dump();
+    EXPECT_TRUE(result->at("result").at("completed").as_bool());
+    EXPECT_GT(result->at("result").at("makespan_s").as_double(), 0.0);
+
+    const auto stats = client.stats(&error);
+    ASSERT_TRUE(stats.has_value()) << error;
+    EXPECT_EQ(stats->at("stats").at("completed").as_int(), 1);
+    EXPECT_EQ(stats->at("stats").at("replayed").as_int(), 1);
+
+    ASSERT_TRUE(client.drain(&error).has_value()) << error;
+    client.close();
+    EXPECT_EQ(session.join(), 0);
+  }
+}
+
+TEST(Recovery, InterruptedJobRerunsByteIdentically) {
+  // Reference: an uninterrupted session running the job, logging decisions
+  // and spans.
+  const std::string ref_decisions = tmp_file_path("ref.decisions");
+  const std::string ref_spans = tmp_file_path("ref.spans");
+  const std::string trace = Client::mint_trace_id("alice", "redo", 0);
+  const std::string workload = workload_text(21, 2);
+  std::string error;
+  {
+    const std::string socket = test_socket_path("ref");
+    ServerConfig config;
+    config.socket_path = socket;
+    config.cluster.num_devices = 4;
+    config.decisions_path = ref_decisions;
+    config.spans_path = ref_spans;
+    ServeSession session(std::move(config));
+    ASSERT_TRUE(session.begin(&error)) << error;
+    Client client;
+    ASSERT_TRUE(client.connect(socket, &error)) << error;
+    const auto submitted = client.submit("alice", "redo", workload, &error);
+    ASSERT_TRUE(submitted.has_value()) << error;
+    ASSERT_TRUE(submitted->at("ok").as_bool()) << submitted->dump();
+    EXPECT_EQ(wait_for_job(client, 1).at("state").as_string(), "DONE");
+    ASSERT_TRUE(client.drain(&error).has_value()) << error;
+    client.close();
+    EXPECT_EQ(session.join(), 0);
+  }
+
+  // Crash simulation: a journal holding the admitted (and dispatched)
+  // records but no finished one — the daemon died mid-run.
+  const std::string journal = tmp_file_path("redo.journal");
+  {
+    JournalRecord admitted;
+    admitted.kind = RecordKind::kAdmitted;
+    admitted.job_id = 1;
+    admitted.tenant = "alice";
+    admitted.name = "redo";
+    admitted.trace_id = trace;
+    admitted.workload_text = workload;
+    JournalRecord dispatched;
+    dispatched.kind = RecordKind::kDispatched;
+    dispatched.job_id = 1;
+    std::ofstream out(journal, std::ios::binary);
+    out << encode_journal_line(admitted) << encode_journal_line(dispatched);
+  }
+
+  const std::string rec_decisions = tmp_file_path("rec.decisions");
+  const std::string rec_spans = tmp_file_path("rec.spans");
+  {
+    const std::string socket = test_socket_path("rec");
+    ServerConfig config;
+    config.socket_path = socket;
+    config.cluster.num_devices = 4;
+    config.journal.path = journal;
+    config.decisions_path = rec_decisions;
+    config.spans_path = rec_spans;
+    ServeSession session(std::move(config));
+    ASSERT_TRUE(session.begin(&error)) << error;
+    Client client;
+    ASSERT_TRUE(client.connect(socket, &error)) << error;
+
+    // The replayed job is visible immediately, flagged interrupted, and
+    // runs to completion.
+    const obs::JsonValue done = wait_for_job(client, 1);
+    EXPECT_EQ(done.at("state").as_string(), "DONE");
+    EXPECT_TRUE(done.at("interrupted").as_bool()) << done.dump();
+    ASSERT_TRUE(client.drain(&error).has_value()) << error;
+    client.close();
+    EXPECT_EQ(session.join(), 0);
+  }
+
+  // Decision log: byte-identical to the uninterrupted session.
+  const std::string ref_log = read_file(ref_decisions);
+  ASSERT_FALSE(ref_log.empty());
+  EXPECT_EQ(read_file(rec_decisions), ref_log);
+
+  // Span trace: identical prefix plus exactly one journal-replay root span.
+  const std::string ref_trace = read_file(ref_spans);
+  const std::string rec_trace = read_file(rec_spans);
+  ASSERT_GT(rec_trace.size(), ref_trace.size());
+  EXPECT_EQ(rec_trace.compare(0, ref_trace.size(), ref_trace), 0);
+  const std::string extra = rec_trace.substr(ref_trace.size());
+  EXPECT_NE(extra.find(obs::names::kSpanJournalReplay), std::string::npos);
+  EXPECT_EQ(extra.find('\n'), extra.size() - 1);
+
+  // The journal now closes the story: ... dispatched, finished(DONE).
+  const JournalReadResult replayed = read_journal_file(journal);
+  EXPECT_FALSE(replayed.truncated) << replayed.note;
+  ASSERT_GE(replayed.records.size(), 4u);
+  EXPECT_EQ(replayed.records.back().kind, RecordKind::kFinished);
+  EXPECT_EQ(replayed.records.back().state, "DONE");
+}
+
+TEST(Recovery, IdempotentResubmitRunsExactlyOnceAcrossRestart) {
+  const std::string journal = tmp_file_path("idem.journal");
+  std::string error;
+
+  // Session 1: idempotent submit, then a same-session duplicate.
+  {
+    const std::string socket = test_socket_path("idem1");
+    ServerConfig config;
+    config.socket_path = socket;
+    config.cluster.num_devices = 4;
+    config.journal.path = journal;
+    ServeSession session(std::move(config));
+    ASSERT_TRUE(session.begin(&error)) << error;
+    Client client;
+    ASSERT_TRUE(client.connect(socket, &error)) << error;
+
+    const auto first = client.submit_idempotent("alice", "once",
+                                                workload_text(31), "tok-1",
+                                                &error);
+    ASSERT_TRUE(first.has_value()) << error;
+    ASSERT_TRUE(first->at("ok").as_bool()) << first->dump();
+    EXPECT_EQ(first->at("job_id").as_int(), 1);
+    EXPECT_EQ(first->find("duplicate"), nullptr);
+
+    const auto again = client.submit_idempotent("alice", "once",
+                                                workload_text(31), "tok-1",
+                                                &error);
+    ASSERT_TRUE(again.has_value()) << error;
+    ASSERT_TRUE(again->at("ok").as_bool()) << again->dump();
+    EXPECT_EQ(again->at("job_id").as_int(), 1);
+    EXPECT_TRUE(again->at("duplicate").as_bool());
+
+    // Same token, different tenant → an independent job, not a duplicate.
+    const auto other = client.submit_idempotent("bob", "once",
+                                                workload_text(31), "tok-1",
+                                                &error);
+    ASSERT_TRUE(other.has_value()) << error;
+    ASSERT_TRUE(other->at("ok").as_bool()) << other->dump();
+    EXPECT_EQ(other->at("job_id").as_int(), 2);
+
+    EXPECT_EQ(wait_for_job(client, 1).at("state").as_string(), "DONE");
+    EXPECT_EQ(wait_for_job(client, 2).at("state").as_string(), "DONE");
+    ASSERT_TRUE(client.drain(&error).has_value()) << error;
+    client.close();
+    EXPECT_EQ(session.join(), 0);
+  }
+
+  // Session 2: the dedup table is rebuilt from the journal, so the token
+  // answers with the original, already-finished job — nothing re-runs.
+  {
+    const std::string socket = test_socket_path("idem2");
+    ServerConfig config;
+    config.socket_path = socket;
+    config.cluster.num_devices = 4;
+    config.journal.path = journal;
+    ServeSession session(std::move(config));
+    ASSERT_TRUE(session.begin(&error)) << error;
+    Client client;
+    ASSERT_TRUE(client.connect(socket, &error)) << error;
+
+    const auto resubmit = client.submit_idempotent("alice", "once",
+                                                   workload_text(31), "tok-1",
+                                                   &error);
+    ASSERT_TRUE(resubmit.has_value()) << error;
+    ASSERT_TRUE(resubmit->at("ok").as_bool()) << resubmit->dump();
+    EXPECT_EQ(resubmit->at("job_id").as_int(), 1);
+    EXPECT_TRUE(resubmit->at("duplicate").as_bool());
+    EXPECT_EQ(resubmit->at("state").as_string(), "DONE");
+    EXPECT_TRUE(resubmit->at("replayed").as_bool());
+
+    const auto stats = client.stats(&error);
+    ASSERT_TRUE(stats.has_value()) << error;
+    EXPECT_EQ(stats->at("stats").at("duplicates").as_int(), 1);
+    ASSERT_TRUE(client.drain(&error).has_value()) << error;
+    client.close();
+    EXPECT_EQ(session.join(), 0);
+  }
+
+  // Exactly-once across both sessions: one dispatch of job 1, one DONE
+  // finished record for it, in the whole journal.
+  int dispatched_job1 = 0;
+  int finished_job1 = 0;
+  for (const JournalRecord& record : read_journal_file(journal).records) {
+    if (record.job_id != 1) continue;
+    if (record.kind == RecordKind::kDispatched) ++dispatched_job1;
+    if (record.kind == RecordKind::kFinished) ++finished_job1;
+  }
+  EXPECT_EQ(dispatched_job1, 1);
+  EXPECT_EQ(finished_job1, 1);
+}
+
+TEST(Recovery, TornTailIsDroppedAndServingContinues) {
+  const std::string journal = tmp_file_path("torn.journal");
+  std::string error;
+
+  // An admitted record followed by a torn half-append.
+  JournalRecord admitted;
+  admitted.kind = RecordKind::kAdmitted;
+  admitted.job_id = 1;
+  admitted.tenant = "alice";
+  admitted.name = "torn";
+  admitted.workload_text = workload_text(41);
+  const std::string intact = encode_journal_line(admitted);
+  {
+    std::ofstream out(journal, std::ios::binary);
+    JournalRecord half;
+    half.kind = RecordKind::kDispatched;
+    half.job_id = 1;
+    out << intact << encode_journal_line(half).substr(0, 20);
+  }
+
+  {
+    const std::string socket = test_socket_path("torn");
+    ServerConfig config;
+    config.socket_path = socket;
+    config.cluster.num_devices = 4;
+    config.journal.path = journal;
+    ServeSession session(std::move(config));
+    ASSERT_TRUE(session.begin(&error)) << error;
+    Client client;
+    ASSERT_TRUE(client.connect(socket, &error)) << error;
+    const obs::JsonValue done = wait_for_job(client, 1);
+    EXPECT_EQ(done.at("state").as_string(), "DONE");
+    EXPECT_TRUE(done.at("interrupted").as_bool()) << done.dump();
+    ASSERT_TRUE(client.drain(&error).has_value()) << error;
+    client.close();
+    EXPECT_EQ(session.join(), 0);
+  }
+
+  // The tail was truncated before appending: the journal reads back clean,
+  // with the re-run's records following the intact prefix directly.
+  const JournalReadResult read = read_journal_file(journal);
+  EXPECT_FALSE(read.truncated) << read.note;
+  ASSERT_EQ(read.records.size(), 3u);
+  EXPECT_EQ(read.records[0].kind, RecordKind::kAdmitted);
+  EXPECT_EQ(read.records[1].kind, RecordKind::kDispatched);
+  EXPECT_EQ(read.records[2].kind, RecordKind::kFinished);
+  EXPECT_EQ(read.records[2].state, "DONE");
+}
+
+}  // namespace
+}  // namespace micco::service

@@ -636,11 +636,16 @@ TEST(Service, StartFailsCleanlyOnBadConfig) {
   std::string error;
   ASSERT_TRUE(session.begin(&error)) << error;
 
+  // The probe-connect check refuses while the first daemon answers — and
+  // must NOT unlink the live daemon's socket.
   ServerConfig second;
   second.socket_path = socket;
   Server duplicate(std::move(second));
   EXPECT_FALSE(duplicate.start(&error));
-  EXPECT_NE(error.find("bind"), std::string::npos) << error;
+  EXPECT_NE(error.find("another daemon"), std::string::npos) << error;
+  Client still_there;
+  ASSERT_TRUE(still_there.connect(socket, &error)) << error;
+  still_there.close();
 
   session.server().request_shutdown();
   EXPECT_EQ(session.join(), 0);
@@ -652,6 +657,42 @@ TEST(Service, StartFailsCleanlyOnBadConfig) {
   Server no_model(std::move(bad_model));
   EXPECT_FALSE(no_model.start(&error));
   EXPECT_NE(error.find("model"), std::string::npos) << error;
+}
+
+TEST(Service, ClientDeadlineExpiresAsStructuredTimeout) {
+  // A listener that accepts connections but never replies: the deadline
+  // must surface as a structured {"ok": false, "code": "timeout"} reply —
+  // not a hang, not a transport error — and close the connection so a late
+  // reply can never answer a later request.
+  const std::string socket = test_socket_path("deadline");
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket.c_str(), socket.size() + 1);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 4), 0);
+
+  Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect(socket, &error)) << error;
+  client.set_deadline_ms(40.0);
+  const auto reply = client.stats(&error);
+  ASSERT_TRUE(reply.has_value()) << error;
+  EXPECT_FALSE(reply->at("ok").as_bool());
+  EXPECT_EQ(reply->at("code").as_string(), error_code::kTimeout);
+  EXPECT_FALSE(client.connected());
+
+  // Reconnect with backoff succeeds against the same listener.
+  RetryPolicy policy;
+  policy.base_backoff_s = 1e-3;
+  ASSERT_TRUE(client.connect_retry(socket, policy, &error)) << error;
+  EXPECT_TRUE(client.connected());
+  client.close();
+  ::close(listener);
+  ::unlink(socket.c_str());
 }
 
 }  // namespace

@@ -28,6 +28,7 @@
 //   micco top --socket=/tmp/micco.sock --once
 //   micco report --spans=spans.jsonl        (offline trace summary)
 //   micco drain --socket=/tmp/micco.sock
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdint>
@@ -99,8 +100,16 @@ int usage() {
                "[--max-queue=N --max-total=N --slo-ms=N "
                "--weights=tenant:w,...]\n"
                "        [--fault-plan=FILE --retry-max=N --retry-backoff=S]\n"
+               "        [--journal=FILE --journal-fsync=never|interval|always"
+               " --journal-fsync-interval=N]\n"
+               "        (an existing --journal is replayed: finished jobs "
+               "answer again, interrupted jobs re-run)\n"
                "  submit FILE --socket=PATH [--tenant=NAME --name=LABEL "
                "--wait]\n"
+               "         [--idem=TOKEN --deadline-ms=N --retry-max=N "
+               "--retry-backoff=S]\n"
+               "         (--idem dedupes server-side; --retry-max>0 "
+               "reconnects and resends under one token)\n"
                "  status [JOB_ID] --socket=PATH   (no JOB_ID: daemon stats)\n"
                "  top --socket=PATH [--interval-ms=1000 --iterations=N "
                "--once]   (live telemetry dashboard)\n"
@@ -444,7 +453,10 @@ int cmd_report_spans(const CliArgs& args) {
       info.edges.emplace_back(span_id, parent_id);
       continue;
     }
-    if (name->as_string() != obs::names::kSpanJob) {
+    // Two legitimate roots: per-job spans and the one journal-replay span a
+    // recovering daemon emits (DESIGN.md §8).
+    if (name->as_string() != obs::names::kSpanJob &&
+        name->as_string() != obs::names::kSpanJournalReplay) {
       complain(where + ": parentless span is not a root job span");
     }
     ++info.roots;
@@ -700,6 +712,24 @@ int cmd_serve(const CliArgs& args) {
   cfg.report_path = args.get("report", "");
   cfg.spans_path = args.get("spans", "");
 
+  cfg.journal.path = args.get("journal", "");
+  const std::string fsync_name = args.get("journal-fsync", "always");
+  const auto fsync_policy = service::parse_fsync_policy(fsync_name);
+  if (!fsync_policy.has_value()) {
+    std::fprintf(stderr,
+                 "serve: --journal-fsync wants never|interval|always, got "
+                 "'%s'\n",
+                 fsync_name.c_str());
+    return 2;
+  }
+  cfg.journal.fsync = *fsync_policy;
+  cfg.journal.fsync_interval =
+      static_cast<std::uint64_t>(args.get_int("journal-fsync-interval", 16));
+  // Chaos-harness hook (tools/chaos_smoke.sh): SIGKILL after the Nth
+  // durable record.
+  cfg.journal.crash_after_records =
+      static_cast<std::uint64_t>(args.get_int("journal-crash-after", 0));
+
   // --threads=1 (the default) is the deterministic serial configuration:
   // one thread alternates between socket I/O and job dispatch.
   parallel::set_threads(static_cast<int>(args.get_int("threads", 1)));
@@ -769,13 +799,34 @@ int cmd_submit(const CliArgs& args) {
   text << in.rdbuf();
 
   service::Client client;
+  client.set_deadline_ms(args.get_double("deadline-ms", 0.0));
+  const std::string tenant = args.get("tenant", "default");
+  const std::string name = args.get("name", path);
+  const std::string idem = args.get("idem", "");
+  const auto retry_max = static_cast<int>(args.get_int("retry-max", 0));
   std::string error;
-  if (!client.connect(socket, &error)) {
+
+  RetryPolicy policy;
+  policy.max_attempts = retry_max > 0 ? retry_max : 1;
+  policy.base_backoff_s = args.get_double("retry-backoff", 0.05);
+  policy.max_backoff_s = std::max(policy.base_backoff_s, 1.0);
+  if (retry_max > 0
+          ? !client.connect_retry(socket, policy, &error)
+          : !client.connect(socket, &error)) {
     std::fprintf(stderr, "submit: %s\n", error.c_str());
     return 1;
   }
-  const auto reply = client.submit(args.get("tenant", "default"),
-                                  args.get("name", path), text.str(), &error);
+  // --retry-max selects the crash-safe loop (reconnect + resend under one
+  // idempotency token); --idem alone sends once but dedupes server-side.
+  std::optional<obs::JsonValue> reply;
+  if (retry_max > 0) {
+    reply =
+        client.submit_retrying(tenant, name, text.str(), idem, policy, &error);
+  } else if (!idem.empty()) {
+    reply = client.submit_idempotent(tenant, name, text.str(), idem, &error);
+  } else {
+    reply = client.submit(tenant, name, text.str(), &error);
+  }
   if (!reply.has_value()) {
     std::fprintf(stderr, "submit: %s\n", error.c_str());
     return 1;
@@ -787,9 +838,15 @@ int cmd_submit(const CliArgs& args) {
     return 1;
   }
   const auto job_id = static_cast<std::uint64_t>(reply->at("job_id").as_int());
-  std::printf("job %llu queued (tenant %s)\n",
-              static_cast<unsigned long long>(job_id),
-              reply->at("tenant").as_string().c_str());
+  const obs::JsonValue* duplicate = reply->find("duplicate");
+  if (duplicate != nullptr && duplicate->as_bool()) {
+    std::printf("job %llu duplicate (idempotency token already submitted)\n",
+                static_cast<unsigned long long>(job_id));
+  } else {
+    std::printf("job %llu queued (tenant %s)\n",
+                static_cast<unsigned long long>(job_id),
+                reply->at("tenant").as_string().c_str());
+  }
   if (!args.get_bool("wait", false)) return 0;
 
   for (;;) {

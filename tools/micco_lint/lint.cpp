@@ -23,6 +23,7 @@ const char* const kPragmaOnce = "pragma-once";
 const char* const kThreadAnnotation = "thread-annotation";
 const char* const kBadSuppression = "bad-suppression";
 const char* const kMetricNameLiteral = "metric-name-literal";
+const char* const kRawDurabilityIo = "raw-durability-io";
 const char* const kIoError = "io-error";
 
 /// Headers whose include closure marks a TU as output-affecting: anything
@@ -65,6 +66,11 @@ const std::vector<RuleInfo>& rule_catalog() {
        "sched, cluster or service -- followed by a dot) outside "
        "obs/names.hpp; instrumentation sites reference the constants "
        "declared there so a renamed metric cannot fork into two series"},
+      {kRawDurabilityIo, 18,
+       "bans global-scope ::write/::fsync/::fdatasync calls in src/ outside "
+       "service/journal.cpp; durable bytes go through the journal's "
+       "EINTR-retrying write_all/fsync wrappers so crash-safety guarantees "
+       "have one auditable home (tools/ and bench/ are exempt)"},
   };
   return kCatalog;
 }
@@ -521,6 +527,22 @@ bool preceded_by_std(const std::string& text, std::size_t begin) {
                     text[p - 4] != '_'));
 }
 
+/// True when the token at `begin` is written `::<token>` with the `::`
+/// anchored at global scope — not `Foo::`, `std::` or `Foo<T>::`. Used by
+/// the raw-durability-io rule to tell the POSIX ::write from member
+/// functions named write.
+bool globally_qualified(const std::string& text, std::size_t begin) {
+  const std::size_t p = prev_nonspace_pos(text, begin);
+  if (p < 2 || text[p - 1] != ':' || text[p - 2] != ':') return false;
+  // A qualifying name sits flush against its `::` (Foo::write,
+  // Foo<T>::write); whitespace before the `::` means global scope
+  // (`return ::write(...)`).
+  if (p == 2) return true;
+  const char before = text[p - 3];
+  return std::isalnum(static_cast<unsigned char>(before)) == 0 &&
+         before != '_' && before != ':' && before != '>';
+}
+
 /// True when the call at `begin` is a member access (obj.time(...)), which
 /// the det-rng rule must not confuse with the C library function.
 bool member_access(const std::string& text, std::size_t begin) {
@@ -718,6 +740,20 @@ std::vector<Finding> FileSet::lint_file(const std::string& path) const {
                                 "' in src/; return strings or use "
                                 "common/log.hpp (tools/ and bench/ own "
                                 "stdout)"});
+    }
+
+    // raw-durability-io -----------------------------------------------------
+    if (!tool_scope && !path_suffix_match(path, "service/journal.cpp") &&
+        (tok.text == "write" || tok.text == "fsync" ||
+         tok.text == "fdatasync") &&
+        next_nonspace(text, tok.end) == '(' &&
+        globally_qualified(text, tok.begin)) {
+      raw.push_back(Finding{
+          path, tok.line, kRawDurabilityIo,
+          "raw ::" + tok.text +
+              " in src/; durable bytes go through the EINTR-retrying "
+              "wrappers in service/journal.cpp so crash-safety lives in "
+              "one place"});
     }
 
     // thread-annotation -----------------------------------------------------
