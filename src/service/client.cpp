@@ -5,12 +5,14 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <thread>
 
 #include "common/stopwatch.hpp"
+#include "common/thread_annotations.hpp"
 #include "service/journal.hpp"
 
 #ifndef MSG_NOSIGNAL
@@ -24,6 +26,29 @@ namespace {
 void sleep_backoff(double seconds) {
   if (seconds <= 0.0) return;
   std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+/// Entropy for auto-minted idempotency tokens. The trace id is a pure
+/// function of (tenant, job name, sequence) by design, so a token derived
+/// from it alone would be identical across independent client processes —
+/// and a genuinely new submit would be silently answered as a duplicate of
+/// an old job. Mixing pid, monotonic ticks, the client's address and a
+/// process-wide counter makes each client's tokens unique without touching
+/// the deterministic trace identity (this entropy never reaches decision
+/// logs or span traces, only the dedup key).
+std::string idem_entropy_nonce(const void* client) {
+  // MICCO_LOCK_FREE: monotone uniqueness counter; relaxed fetch_add is
+  // enough because only distinctness matters, never ordering.
+  static std::atomic<std::uint64_t> counter MICCO_LOCK_FREE{0};
+  const std::uint64_t bits[4] = {
+      static_cast<std::uint64_t>(::getpid()),
+      static_cast<std::uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count()),
+      static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(client)),
+      counter.fetch_add(1) + 1,
+  };
+  return fnv1a64_hex(std::string_view(
+      reinterpret_cast<const char*>(bits), sizeof(bits)));
 }
 
 }  // namespace
@@ -206,10 +231,18 @@ std::optional<obs::JsonValue> Client::submit_retrying(
 
   // One identity for the whole loop: every wire attempt carries the same
   // trace and the same idempotency token, so however many times the request
-  // is resent the daemon runs the job exactly once.
+  // is resent the daemon runs the job exactly once. An auto-minted token is
+  // the deterministic trace id *plus* per-client entropy (minted once per
+  // Client, reused across its submits): dedup must span the retries of one
+  // call, never two independent client sessions submitting the same
+  // (tenant, name).
   const std::string trace_id =
       mint_trace_id(tenant, job_name, submit_seq_++);
-  const std::string token = idem.empty() ? trace_id : idem;
+  if (idem.empty() && idem_nonce_.empty()) {
+    idem_nonce_ = idem_entropy_nonce(this);
+  }
+  const std::string token =
+      idem.empty() ? trace_id + '-' + idem_nonce_ : idem;
   const std::string frame = encode_frame(
       make_submit_request(tenant, job_name, workload_text, trace_id, token));
 

@@ -86,7 +86,10 @@ class Client {
   /// transport failures (reconnecting with backoff between attempts).
   /// Structured rejections (queue_full, draining, ...) are final and
   /// returned as-is. Requires a prior successful connect() so the socket
-  /// path is known. `idem` may be empty to mint one from the trace id.
+  /// path is known. `idem` may be empty to auto-mint a token from the
+  /// trace id plus per-client entropy — unique across client processes, so
+  /// an independent submit of the same (tenant, name) is never mistaken
+  /// for a retry.
   std::optional<obs::JsonValue> submit_retrying(
       const std::string& tenant, const std::string& job_name,
       const std::string& workload_text, const std::string& idem,
@@ -114,6 +117,9 @@ class Client {
   std::uint64_t submit_seq_ = 0;  ///< submits sent over this client
   std::string socket_path_;       ///< last connect() target (for reconnects)
   double deadline_ms_ = 0.0;      ///< 0: block indefinitely
+  /// Per-client entropy suffix for auto-minted idempotency tokens, minted
+  /// lazily on the first token-less submit_retrying() and reused after.
+  std::string idem_nonce_;
 };
 
 }  // namespace micco::service

@@ -86,7 +86,7 @@ SubmitOutcome JobManager::submit(const std::string& tenant_name,
                                  const std::string& name,
                                  WorkloadStream stream,
                                  const std::string& trace_id,
-                                 const std::string& idem) {
+                                 const std::string& idem, bool hold) {
   const MutexLock lock(mutex_);
   ++submitted_;
   if (registry_ != nullptr) {
@@ -137,12 +137,21 @@ SubmitOutcome JobManager::submit(const std::string& tenant_name,
   job.idem = idem;
   job.stream = std::move(stream);
   job.state = JobState::kQueued;
+  job.held = hold;
   enqueue_locked(std::move(job));
 
   SubmitOutcome outcome;
   outcome.admitted = true;
   outcome.job_id = id;
   return outcome;
+}
+
+bool JobManager::release_job(std::uint64_t job_id) {
+  const MutexLock lock(mutex_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end() || it->second.state != JobState::kQueued) return false;
+  it->second.held = false;
+  return true;
 }
 
 void JobManager::restore_finished(std::uint64_t job_id,
@@ -225,10 +234,13 @@ void JobManager::restore_queued(std::uint64_t job_id,
 std::optional<std::uint64_t> JobManager::next_job() {
   const MutexLock lock(mutex_);
   // Smallest pass wins; ties break by tenant name (map iteration order), so
-  // dispatch is a pure function of the submission sequence.
+  // dispatch is a pure function of the submission sequence. A tenant whose
+  // front job is still held (admission record not yet durable) is skipped
+  // whole: overtaking the held job would break per-tenant FIFO order.
   Tenant* best = nullptr;
   for (auto& [name, tenant] : tenants_) {
     if (tenant.queue.empty()) continue;
+    if (jobs_.at(tenant.queue.front()).held) continue;
     if (best == nullptr || tenant.pass < best->pass) best = &tenant;
   }
   if (best == nullptr) return std::nullopt;

@@ -143,9 +143,19 @@ class JobManager {
   /// this tenant, the outcome is admitted + duplicate with the original job
   /// id and nothing is enqueued. The dedup check precedes the draining
   /// check so a resubmit for an already-admitted job succeeds during drain.
+  /// `hold` admits the job invisible to next_job() until release_job() —
+  /// the server's write-ahead gate: a journaling server holds every
+  /// admission until its `admitted` record is durable, so the dispatcher
+  /// can never run (and journal the finish of) a job whose admission a
+  /// crash could forget.
   SubmitOutcome submit(const std::string& tenant, const std::string& name,
                        WorkloadStream stream, const std::string& trace_id = "",
-                       const std::string& idem = "");
+                       const std::string& idem = "", bool hold = false);
+
+  /// Makes a held submit dispatchable (its admission record went durable).
+  /// True when the job exists and is still QUEUED; false when it is unknown
+  /// or already left QUEUED (e.g. a concurrent shutdown cancelled it).
+  bool release_job(std::uint64_t job_id);
 
   // -- Journal replay (server startup, before serving) ----------------------
   /// Restores a job whose finished record replayed from the journal: it
@@ -164,7 +174,9 @@ class JobManager {
                       const std::string& idem, WorkloadStream stream);
 
   /// Weighted-fair-share pick: pops the next job and marks it RUNNING.
-  /// nullopt when no job is queued.
+  /// nullopt when no job is queued. A tenant whose front job is held (see
+  /// submit's `hold`) is skipped entirely — queue order within a tenant is
+  /// FIFO, so a held admission must not be overtaken by its queue neighbor.
   std::optional<std::uint64_t> next_job();
 
   /// The stored workload of a RUNNING job (moved out; call exactly once per
@@ -230,6 +242,9 @@ class JobManager {
     bool has_result = false;
     bool interrupted = false;  ///< re-admitted by crash recovery
     bool replayed = false;     ///< finished state replayed from the journal
+    /// Admission not yet durable: invisible to next_job() until
+    /// release_job() clears it (the server's write-ahead dispatch gate).
+    bool held = false;
     std::uint64_t dispatch_seq = 0;     ///< assigned by next_job()
     std::uint64_t depth_at_submit = 0;  ///< queued_ total when admitted
   };

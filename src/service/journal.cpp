@@ -60,6 +60,30 @@ bool fsync_retry(int fd, int* err_out) {
   }
 }
 
+/// fsyncs the directory containing `path` — the classic WAL directory-sync
+/// step. A newly created journal file (or a truncation's new size) is only
+/// durable once the directory entry itself is; without this, a power loss
+/// can forget the file existed, or resurrect a torn tail that recovery
+/// believed it removed.
+bool fsync_parent_dir(const std::string& path, int* err_out) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? "."
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  int fd = -1;
+  for (;;) {
+    fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd >= 0 || errno != EINTR) break;
+  }
+  if (fd < 0) {
+    *err_out = errno;
+    return false;
+  }
+  const bool ok = fsync_retry(fd, err_out);
+  ::close(fd);
+  return ok;
+}
+
 }  // namespace
 
 std::string fnv1a64_hex(std::string_view bytes) {
@@ -301,14 +325,37 @@ JournalReadResult read_journal_file(const std::string& path) {
 
 bool truncate_journal_file(const std::string& path, std::size_t bytes,
                            std::string* error) {
-  for (;;) {
-    if (::truncate(path.c_str(), static_cast<off_t>(bytes)) == 0) return true;
-    if (errno == EINTR) continue;
+  const auto fail = [&](const std::string& op, int err) {
     if (error != nullptr) {
-      *error = "truncate(" + path + "): " + std::string(strerror(errno));
+      *error = op + "(" + path + "): " + std::string(strerror(err));
     }
     return false;
+  };
+  int fd = -1;
+  for (;;) {
+    fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+    if (fd >= 0 || errno != EINTR) break;
   }
+  if (fd < 0) return fail("open", errno);
+  for (;;) {
+    if (::ftruncate(fd, static_cast<off_t>(bytes)) == 0) break;
+    if (errno == EINTR) continue;
+    const int err = errno;
+    ::close(fd);
+    return fail("ftruncate", err);
+  }
+  // The dropped tail must stay dropped across a power cut: the new size is
+  // durable only after the file fsync, and the directory sync closes the
+  // remaining metadata gap. Otherwise a crash could resurrect the corrupt
+  // tail recovery believed it removed.
+  int err = 0;
+  if (!fsync_retry(fd, &err)) {
+    ::close(fd);
+    return fail("fsync", err);
+  }
+  ::close(fd);
+  if (!fsync_parent_dir(path, &err)) return fail("fsync-dir", err);
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -334,6 +381,15 @@ bool JournalWriter::open(const JournalConfig& config, std::string* error) {
   if (fd < 0) {
     return fail("cannot open journal " + config_.path + ": " +
                 std::string(strerror(errno)));
+  }
+  // The O_CREAT above may have just created the file; its directory entry
+  // must be durable before any appended record can claim to be, so sync
+  // the parent directory once per open.
+  int dir_err = 0;
+  if (!fsync_parent_dir(config_.path, &dir_err)) {
+    ::close(fd);
+    return fail("cannot fsync journal directory of " + config_.path + ": " +
+                std::string(strerror(dir_err)));
   }
   fd_ = fd;
   return true;

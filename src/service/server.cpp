@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <poll.h>
+#include <sys/file.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -51,6 +52,9 @@ Server::~Server() {
   if (started_ && !config_.socket_path.empty()) {
     ::unlink(config_.socket_path.c_str());
   }
+  // Closing the fd releases the flock; the lock file itself stays on disk
+  // (see lock_fd_ in server.hpp).
+  if (lock_fd_ >= 0) ::close(lock_fd_);
 }
 
 bool Server::start(std::string* error) {
@@ -127,15 +131,44 @@ bool Server::start(std::string* error) {
   device_busy_s_.assign(
       static_cast<std::size_t>(config_.cluster.num_devices), 0.0);
 
+  // Startup serialization: an exclusive flock on a sidecar lock file,
+  // acquired before journal recovery and held until this server is
+  // destroyed. Two daemons racing the same socket path would otherwise
+  // both replay/truncate the journal, and the probe-then-unlink takeover
+  // below has a TOCTOU window (between a failed probe and the unlink, a
+  // concurrent starter could bind — and lose its live socket to our
+  // unlink). flock serializes all of it and dies with the process, so a
+  // SIGKILLed daemon never wedges restarts.
+  {
+    const std::string lock_path = config_.socket_path + ".lock";
+    int fd = -1;
+    for (;;) {
+      fd = ::open(lock_path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+      if (fd >= 0 || errno != EINTR) break;
+    }
+    if (fd < 0) {
+      return fail("cannot open lock file " + lock_path + ": " +
+                  std::string(strerror(errno)));
+    }
+    if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+      ::close(fd);
+      return fail("another daemon is starting or serving on " +
+                  config_.socket_path + " (lock " + lock_path +
+                  " is held); refusing to start");
+    }
+    lock_fd_ = fd;
+  }
+
   // Replay + reopen the journal before accepting connections, so the first
   // client already sees the recovered book of record.
   if (!recover_from_journal(error)) return false;
 
   // A crashed daemon leaves its socket file behind, and a restart must not
   // need manual cleanup — but a live daemon must never have its socket
-  // yanked out from under it either. Probe with a connect first: an answer
-  // means another instance is serving; no answer means the file is stale
-  // and safe to unlink.
+  // yanked out from under it either. The probe backs up the flock above
+  // (e.g. against a manually deleted lock file): an answer means another
+  // instance is serving; no answer means the file is stale and — under the
+  // lock — safe to unlink.
   {
     const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (probe >= 0) {
@@ -209,13 +242,27 @@ bool Server::recover_from_journal(std::string* error) {
     }
   }
 
-  // Last finished record per job wins (a re-run after an unjournaled crash
-  // may finish a job twice; the results are deterministic either way).
-  std::map<std::uint64_t, const JournalRecord*> finished;
-  for (const JournalRecord& record : read.records) {
-    if (record.kind == RecordKind::kFinished) {
-      finished[record.job_id] = &record;
+  // A finished record settles a job only when it *follows* that job's
+  // admitted record in the journal. An orphaned finished record — one with
+  // no admitted record before it, e.g. a crash wedged between a shutdown-
+  // cancel append and the admission append it raced — must never attach to
+  // a job id that a later incarnation re-issues, or replay would hand one
+  // job another job's result. Within the eligible records, the last
+  // finished one wins (a re-run after an unjournaled crash may finish a
+  // job twice; the results are deterministic either way).
+  std::map<std::uint64_t, std::size_t> admitted_at;
+  for (std::size_t i = 0; i < read.records.size(); ++i) {
+    if (read.records[i].kind == RecordKind::kAdmitted) {
+      admitted_at.emplace(read.records[i].job_id, i);  // first admit wins
     }
+  }
+  std::map<std::uint64_t, const JournalRecord*> finished;
+  for (std::size_t i = 0; i < read.records.size(); ++i) {
+    const JournalRecord& record = read.records[i];
+    if (record.kind != RecordKind::kFinished) continue;
+    const auto adm = admitted_at.find(record.job_id);
+    if (adm == admitted_at.end() || i < adm->second) continue;  // orphan
+    finished[record.job_id] = &record;
   }
 
   // Replay admitted records in journal order. Recovery order equals journal
@@ -445,9 +492,16 @@ obs::JsonValue Server::handle_submit(const Request& request) {
     return make_error_response(error_code::kBadWorkload,
                                "workload rejected: " + load_error);
   }
+  // With a journal open the job is admitted *held*: present in the book of
+  // record (and the dedup table) but invisible to the dispatcher until its
+  // admitted record is durable. Without the hold, a parallel-mode
+  // dispatcher could pop, run and journal the finish of a job whose
+  // admission a crash then forgets — leaving an orphaned finished record a
+  // re-issued job id could later collide with.
   const SubmitOutcome outcome =
       jobs_.submit(request.tenant, request.job_name, std::move(*stream),
-                   request.trace_id, request.idem);
+                   request.trace_id, request.idem,
+                   /*hold=*/journal_.is_open());
   if (!outcome.admitted) {
     obs::JsonValue reply =
         make_error_response(outcome.reject_code, outcome.reject_reason);
@@ -473,9 +527,11 @@ obs::JsonValue Server::handle_submit(const Request& request) {
     return reply;
   }
   // Write-ahead: the admission record must be durable before the job can
-  // dispatch or the accepting reply leave. A journal failure rolls the
-  // admission back — the client sees a structured, retryable error and the
-  // book of record never acknowledges work it could lose.
+  // dispatch or the accepting reply leave. The hold above keeps the job
+  // out of next_job() across this append; only a successful append
+  // releases it. A journal failure rolls the admission back — the client
+  // sees a structured, retryable error and the book of record never
+  // acknowledges work it could lose.
   if (journal_.is_open()) {
     JournalRecord record;
     record.kind = RecordKind::kAdmitted;
@@ -487,15 +543,45 @@ obs::JsonValue Server::handle_submit(const Request& request) {
     record.workload_text = request.workload_text;
     std::string journal_error;
     if (!journal_.append(record, &journal_error)) {
-      jobs_.cancel_queued_job(outcome.job_id);
+      if (jobs_.cancel_queued_job(outcome.job_id)) {
+        log_error() << "submit: " << journal_error << "; job "
+                    << outcome.job_id << " rolled back";
+        obs::JsonValue reply = make_error_response(
+            error_code::kJournalError,
+            "admission could not be journaled: " + journal_error);
+        reply.set("retry_after", kRetryAfterHintS);
+        return reply;
+      }
+      // The rollback found the job no longer QUEUED. Dispatch is gated on
+      // durability, so it cannot be RUNNING; the one legitimate path here
+      // is a concurrent shutdown cancelling the backlog — report the
+      // journal failure, the admission is void either way. Anything else
+      // means the job ran without a durable admitted record: accept the
+      // admission (the work is real) and log loudly, because a restart
+      // will not remember it.
+      const std::optional<JobStatus> status = jobs_.status(outcome.job_id);
+      if (!status.has_value() || status->state == JobState::kCancelled) {
+        log_error() << "submit: " << journal_error << "; job "
+                    << outcome.job_id << " cancelled by concurrent shutdown";
+        obs::JsonValue reply = make_error_response(
+            error_code::kJournalError,
+            "admission could not be journaled: " + journal_error);
+        reply.set("retry_after", kRetryAfterHintS);
+        return reply;
+      }
       log_error() << "submit: " << journal_error << "; job "
-                  << outcome.job_id << " rolled back";
-      obs::JsonValue reply = make_error_response(
-          error_code::kJournalError,
-          "admission could not be journaled: " + journal_error);
-      reply.set("retry_after", kRetryAfterHintS);
+                  << outcome.job_id << " already "
+                  << to_string(status->state)
+                  << " despite the dispatch gate; accepting un-journaled "
+                     "admission (a restart will not recover this job)";
+      obs::JsonValue reply = make_ok_response();
+      reply.set("job_id", outcome.job_id);
+      reply.set("tenant", request.tenant);
+      if (!request.trace_id.empty()) reply.set("trace", request.trace_id);
+      reply.set("state", to_string(status->state));
       return reply;
     }
+    jobs_.release_job(outcome.job_id);
   }
   {
     const MutexLock lock(state_mutex_);

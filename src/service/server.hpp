@@ -211,6 +211,12 @@ class Server {
   std::unique_ptr<obs::HistogramScratch> decision_scratch_;
 
   int listener_ = -1;
+  /// Exclusive flock on "<socket_path>.lock", acquired by start() and held
+  /// for the daemon's lifetime: serializes startup on a socket path (the
+  /// probe-then-unlink takeover alone is a TOCTOU window) and is released
+  /// by the kernel even on SIGKILL. The lock *file* is deliberately never
+  /// unlinked — deleting it would reopen the race it exists to close.
+  int lock_fd_ = -1;
   bool started_ = false;
   std::string scheduler_name_;
 

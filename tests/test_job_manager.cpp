@@ -392,6 +392,56 @@ TEST(JobManager, SloCountersJudgeE2eLatencyWhenConfigured) {
   EXPECT_EQ(miss->value(), 1u);
 }
 
+TEST(JobManager, HeldSubmitIsInvisibleUntilReleased) {
+  // The server's write-ahead dispatch gate: a held admission is in the book
+  // of record (queued, counted, deduped) but next_job() must not pick it —
+  // or even skip past it to a later job of the same tenant — until the
+  // admitted record went durable and release_job() clears the hold.
+  JobManager jobs;
+  const SubmitOutcome held = jobs.submit("alice", "wal", tiny_stream(), "",
+                                         "tok-held", /*hold=*/true);
+  ASSERT_TRUE(held.admitted);
+  EXPECT_EQ(jobs.queued_total(), 1u);
+  EXPECT_FALSE(jobs.next_job().has_value());
+
+  // A second tenant's releasable job dispatches around the held one.
+  const SubmitOutcome other =
+      jobs.submit("bob", "free", tiny_stream(), "", "");
+  ASSERT_TRUE(other.admitted);
+  const auto first = jobs.next_job();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, other.job_id);
+  EXPECT_FALSE(jobs.next_job().has_value());  // alice's is still held
+
+  EXPECT_TRUE(jobs.release_job(held.job_id));
+  const auto second = jobs.next_job();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, held.job_id);
+
+  // Not QUEUED any more: a late release reports false.
+  EXPECT_FALSE(jobs.release_job(held.job_id));
+  EXPECT_FALSE(jobs.release_job(999));
+}
+
+TEST(JobManager, HeldSubmitRollsBackLikeAnyQueuedJob) {
+  // A failed journal append cancels the held admission: the job leaves the
+  // queue, the idempotency token is released, and a resubmit with the same
+  // token admits a fresh job instead of answering duplicate.
+  JobManager jobs;
+  const SubmitOutcome held = jobs.submit("alice", "wal", tiny_stream(), "",
+                                         "tok-roll", /*hold=*/true);
+  ASSERT_TRUE(held.admitted);
+  EXPECT_TRUE(jobs.cancel_queued_job(held.job_id));
+  EXPECT_EQ(jobs.status(held.job_id)->state, JobState::kCancelled);
+  EXPECT_FALSE(jobs.next_job().has_value());
+
+  const SubmitOutcome retry = jobs.submit("alice", "wal", tiny_stream(), "",
+                                          "tok-roll", /*hold=*/true);
+  ASSERT_TRUE(retry.admitted);
+  EXPECT_FALSE(retry.duplicate);
+  EXPECT_NE(retry.job_id, held.job_id);
+}
+
 TEST(JobManager, SloCountersStayZeroWithoutAnSlo) {
   JobManager jobs;  // slo_ms defaults to 0 = disabled
   ASSERT_TRUE(jobs.submit("alice", "job", tiny_stream()).admitted);

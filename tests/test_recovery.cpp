@@ -363,6 +363,71 @@ TEST(Recovery, IdempotentResubmitRunsExactlyOnceAcrossRestart) {
   EXPECT_EQ(finished_job1, 1);
 }
 
+TEST(Recovery, OrphanedFinishedRecordNeverSettlesALaterAdmission) {
+  // A finished record positioned BEFORE its job's admitted record is an
+  // orphan (e.g. a crash wedged between a shutdown-cancel append and the
+  // admission append it raced, followed by the id being re-issued). Replay
+  // must not let it settle the admitted job: the job re-runs as
+  // interrupted instead of being answered with a state it never reached.
+  const std::string journal = tmp_file_path("orphan.journal");
+  {
+    JournalRecord orphan;
+    orphan.kind = RecordKind::kFinished;
+    orphan.job_id = 1;
+    orphan.state = "CANCELLED";
+    JournalRecord admitted;
+    admitted.kind = RecordKind::kAdmitted;
+    admitted.job_id = 1;
+    admitted.tenant = "alice";
+    admitted.name = "orphaned";
+    admitted.workload_text = workload_text(51);
+    std::ofstream out(journal, std::ios::binary);
+    out << encode_journal_line(orphan) << encode_journal_line(admitted);
+  }
+
+  std::string error;
+  {
+    const std::string socket = test_socket_path("orphan");
+    ServerConfig config;
+    config.socket_path = socket;
+    config.cluster.num_devices = 4;
+    config.journal.path = journal;
+    ServeSession session(std::move(config));
+    ASSERT_TRUE(session.begin(&error)) << error;
+    Client client;
+    ASSERT_TRUE(client.connect(socket, &error)) << error;
+    const obs::JsonValue done = wait_for_job(client, 1);
+    EXPECT_EQ(done.at("state").as_string(), "DONE") << done.dump();
+    EXPECT_TRUE(done.at("interrupted").as_bool()) << done.dump();
+    EXPECT_EQ(done.find("replayed"), nullptr) << done.dump();
+    ASSERT_TRUE(client.drain(&error).has_value()) << error;
+    client.close();
+    EXPECT_EQ(session.join(), 0);
+  }
+
+  // A finished record that FOLLOWS the admission settles it as usual: the
+  // re-run above appended dispatched + finished(DONE), so a second replay
+  // answers DONE without re-running.
+  {
+    const std::string socket = test_socket_path("orphan2");
+    ServerConfig config;
+    config.socket_path = socket;
+    config.cluster.num_devices = 4;
+    config.journal.path = journal;
+    ServeSession session(std::move(config));
+    ASSERT_TRUE(session.begin(&error)) << error;
+    Client client;
+    ASSERT_TRUE(client.connect(socket, &error)) << error;
+    const auto status = client.status(1, &error);
+    ASSERT_TRUE(status.has_value()) << error;
+    EXPECT_EQ(status->at("state").as_string(), "DONE") << status->dump();
+    EXPECT_TRUE(status->at("replayed").as_bool()) << status->dump();
+    ASSERT_TRUE(client.drain(&error).has_value()) << error;
+    client.close();
+    EXPECT_EQ(session.join(), 0);
+  }
+}
+
 TEST(Recovery, TornTailIsDroppedAndServingContinues) {
   const std::string journal = tmp_file_path("torn.journal");
   std::string error;

@@ -627,6 +627,61 @@ TEST(Service, ServesThroughInjectedDeviceFailure) {
   EXPECT_EQ(session.join(), 0);
 }
 
+TEST(Service, AutoMintedIdempotencyTokensAreDistinctAcrossClients) {
+  // Auto-minted tokens carry per-client entropy on top of the deterministic
+  // trace id: two independent clients submitting the same (tenant, name) —
+  // the shape of two separate CLI invocations — must admit two jobs, not
+  // have the second silently answered as a duplicate of the first.
+  const std::string socket = test_socket_path("autotok");
+  ServerConfig config;
+  config.socket_path = socket;
+  config.cluster.num_devices = 4;
+  ServeSession session(std::move(config));
+  std::string error;
+  ASSERT_TRUE(session.begin(&error)) << error;
+
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.base_backoff_s = 1e-4;
+
+  Client first;
+  ASSERT_TRUE(first.connect(socket, &error)) << error;
+  const auto a = first.submit_retrying("alice", "same-name",
+                                       workload_text(61), "", policy, &error);
+  ASSERT_TRUE(a.has_value()) << error;
+  ASSERT_TRUE(a->at("ok").as_bool()) << a->dump();
+  EXPECT_EQ(a->find("duplicate"), nullptr) << a->dump();
+
+  Client second;
+  ASSERT_TRUE(second.connect(socket, &error)) << error;
+  const auto b = second.submit_retrying("alice", "same-name",
+                                        workload_text(61), "", policy, &error);
+  ASSERT_TRUE(b.has_value()) << error;
+  ASSERT_TRUE(b->at("ok").as_bool()) << b->dump();
+  EXPECT_EQ(b->find("duplicate"), nullptr) << b->dump();
+  EXPECT_NE(a->at("job_id").as_int(), b->at("job_id").as_int());
+
+  // An explicit token still dedupes across clients — entropy only guards
+  // the auto-minted path.
+  const auto c1 = first.submit_retrying("alice", "pinned", workload_text(62),
+                                        "tok-x", policy, &error);
+  ASSERT_TRUE(c1.has_value()) << error;
+  ASSERT_TRUE(c1->at("ok").as_bool()) << c1->dump();
+  const auto c2 = second.submit_retrying("alice", "pinned", workload_text(62),
+                                         "tok-x", policy, &error);
+  ASSERT_TRUE(c2.has_value()) << error;
+  ASSERT_TRUE(c2->at("ok").as_bool()) << c2->dump();
+  EXPECT_NE(c2->find("duplicate"), nullptr) << c2->dump();
+  EXPECT_EQ(c1->at("job_id").as_int(), c2->at("job_id").as_int());
+
+  wait_for_job(first,
+               static_cast<std::uint64_t>(c1->at("job_id").as_int()));
+  ASSERT_TRUE(first.drain(&error).has_value()) << error;
+  first.close();
+  second.close();
+  EXPECT_EQ(session.join(), 0);
+}
+
 TEST(Service, StartFailsCleanlyOnBadConfig) {
   // Socket already bound by another server.
   const std::string socket = test_socket_path("busy");
