@@ -14,6 +14,16 @@
 //   --smoke     shrink both measurements for CI
 //   --passes=N  timed decision passes over the stream (default 40)
 //   --out=FILE  JSON destination (default BENCH_sched.json)
+//   --gate      fail (exit 1) when the hot path regressed:
+//                 * Groute/MICCO decisions-per-sec ratio above
+//                   --gate-max-ratio (checked-in default 1.8, the measured
+//                   post-incremental-scheduler ratio ~1.5 at 8 GPUs plus
+//                   headroom; ci.sh additionally gates 64 GPUs at 1.0,
+//                   where MICCO's data-centric tiers beat Groute's
+//                   all-device scan outright);
+//                 * tuner speedup at 4 threads below 1.0 (below 0.9 on
+//                   hosts with fewer than 4 cores, where the lane cap
+//                   serialises the sweep and only overhead is measurable).
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -85,6 +95,8 @@ int run(const CliArgs& args) {
   const bool smoke = args.get_bool("smoke", false);
   const int passes = static_cast<int>(args.get_int("passes", smoke ? 4 : 40));
   const std::string out = args.get("out", "BENCH_sched.json");
+  const bool gate = args.get_bool("gate", false);
+  const double gate_max_ratio = args.get_double("gate-max-ratio", 1.8);
   warn_unused(args);
   print_header("Scheduler & Tuner Micro-Throughput", "hot path");
 
@@ -114,14 +126,23 @@ int run(const CliArgs& args) {
   schedulers.push_back(std::make_unique<MiccoScheduler>(micco_options));
   schedulers.push_back(std::make_unique<GrouteScheduler>());
   schedulers.push_back(std::make_unique<DmdaScheduler>());
+  double micco_rate = 0.0;
+  double groute_rate = 0.0;
   for (const auto& scheduler : schedulers) {
     const double rate =
         decisions_per_sec(*scheduler, stream, env.cluster(), passes);
     table.add_row({scheduler->name(), stats::format(rate / 1e6, 3) + "M"});
     decisions.set(scheduler->name(), rate);
+    if (scheduler->name() == "MICCO") micco_rate = rate;
+    if (scheduler->name() == "Groute") groute_rate = rate;
   }
+  // How many times slower MICCO's richer decision (tier walk + Alg. 2
+  // policies) is than Groute's locality scoring; the gate bounds it.
+  const double ratio = micco_rate > 0.0 ? groute_rate / micco_rate : 0.0;
   report.set("decisions_per_sec", std::move(decisions));
+  report.set("groute_over_micco_ratio", ratio);
   std::printf("%s", table.render().c_str());
+  std::printf("Groute/MICCO ratio: %.3f\n", ratio);
 
   // -- 2. tuner sweep throughput ----------------------------------------
   TunerConfig tuner;
@@ -143,18 +164,34 @@ int run(const CliArgs& args) {
   std::vector<TrainingSample> reference;
   bool labels_identical = true;
   double base_rate = 0.0;
+  double speedup_4t = 0.0;
+  // Untimed warm-up pass: the first sweep pays one-off costs (page faults,
+  // lazy pool spin-up, cold caches) that used to land entirely on the 1-
+  // thread row and inflate every speedup below it.
+  parallel::set_threads(1);
+  (void)generate_tuning_data(tuner);
+  const int reps = smoke ? 2 : 3;
   for (const int threads : {1, 2, 4, 8}) {
     parallel::set_threads(threads);
-    Stopwatch sw;
-    const TuningData data = generate_tuning_data(tuner);
-    const double rate =
-        static_cast<double>(tuner.samples) / (sw.elapsed_ms() / 1e3);
+    // Best-of-N: the minimum elapsed time is the least-perturbed
+    // measurement on a shared host; means drag in scheduler noise.
+    double rate = 0.0;
+    std::vector<TrainingSample> samples;
+    for (int rep = 0; rep < reps; ++rep) {
+      Stopwatch sw;
+      TuningData data = generate_tuning_data(tuner);
+      const double r =
+          static_cast<double>(tuner.samples) / (sw.elapsed_ms() / 1e3);
+      if (r > rate) rate = r;
+      samples = std::move(data.samples);
+    }
     if (threads == 1) {
-      reference = data.samples;
+      reference = samples;
       base_rate = rate;
-    } else if (!same_labels(reference, data.samples)) {
+    } else if (!same_labels(reference, samples)) {
       labels_identical = false;
     }
+    if (threads == 4) speedup_4t = rate / base_rate;
     obs::JsonValue row = obs::JsonValue::object();
     row.set("threads", threads);
     row.set("samples_per_sec", rate);
@@ -176,9 +213,38 @@ int run(const CliArgs& args) {
   }
   std::printf("tuner labels bit-identical across 1/2/4/8 threads\n");
 
+  bool gate_failed = false;
+  if (gate) {
+    report.set("gate_max_ratio", gate_max_ratio);
+    if (ratio > gate_max_ratio) {
+      std::fprintf(stderr,
+                   "GATE FAIL: Groute/MICCO decisions-per-sec ratio %.3f "
+                   "exceeds threshold %.3f (MICCO hot path regressed)\n",
+                   ratio, gate_max_ratio);
+      gate_failed = true;
+    }
+    // Below 4 cores the lane cap serialises the 4-thread row, so only the
+    // cap's own overhead is measurable; 0.9 bounds that overhead at 10 %.
+    const unsigned hw = std::thread::hardware_concurrency();
+    const double min_speedup = hw >= 4 ? 1.0 : 0.9;
+    report.set("gate_min_speedup_4t", min_speedup);
+    if (speedup_4t < min_speedup) {
+      std::fprintf(stderr,
+                   "GATE FAIL: tuner speedup at 4 threads %.3f below %.3f "
+                   "(thread scaling regressed)\n",
+                   speedup_4t, min_speedup);
+      gate_failed = true;
+    }
+    if (!gate_failed) {
+      std::printf("gate passed: ratio %.3f <= %.3f, 4-thread speedup "
+                  "%.3f >= %.3f\n",
+                  ratio, gate_max_ratio, speedup_4t, min_speedup);
+    }
+  }
+
   obs::write_report_file(report, out);
   std::printf("results written to %s\n", out.c_str());
-  return 0;
+  return gate_failed ? 1 : 0;
 }
 
 }  // namespace

@@ -38,9 +38,16 @@ std::vector<std::size_t> visit_order(const VectorWorkload& vec,
     case PairOrdering::kAsGiven:
       break;
     case PairOrdering::kReuseTierFirst: {
+      // Classification from the incremental index when the view maintains
+      // one (bitmask intersections instead of holder-list scans; identical
+      // results either way).
+      const ClusterIndex* index =
+          sched_incremental() ? view.cluster_index() : nullptr;
       std::vector<int> tier(vec.tasks.size());
       for (std::size_t i = 0; i < vec.tasks.size(); ++i) {
-        tier[i] = static_cast<int>(classify_pair(vec.tasks[i], view));
+        tier[i] = static_cast<int>(
+            index != nullptr ? classify_pair(vec.tasks[i], *index)
+                             : classify_pair(vec.tasks[i], view));
       }
       std::stable_sort(order.begin(), order.end(),
                        [&](std::size_t a, std::size_t b) {

@@ -8,12 +8,13 @@
 namespace micco {
 
 ClusterSimulator::ClusterSimulator(ClusterConfig config)
-    : config_(config), cost_model_(config.cost) {
+    : config_(config), cost_model_(config.cost), index_(config.num_devices) {
   MICCO_EXPECTS(config_.num_devices >= 1);
   MICCO_EXPECTS(config_.device_capacity_bytes > 0);
   devices_.reserve(static_cast<std::size_t>(config_.num_devices));
   for (int i = 0; i < config_.num_devices; ++i) {
     devices_.emplace_back(config_.device_capacity_bytes);
+    index_.set_memory(i, 0, config_.device_capacity_bytes);
   }
 }
 
@@ -34,16 +35,14 @@ int ClusterSimulator::num_devices() const {
 
 const std::vector<DeviceId>& ClusterSimulator::devices_holding(
     TensorId id) const {
-  // Shared empty result for misses: the common empty-miss case (fresh
-  // tensors) must not allocate — this sits on every scheduler's per-decision
-  // path.
-  static const std::vector<DeviceId> kNoHolders;
-  const auto it = residency_.find(id);
-  return it == residency_.end() ? kNoHolders : it->second;
+  return index_.holders(id);
 }
 
 bool ClusterSimulator::resident_on(DeviceId dev, TensorId id) const {
-  return device(dev).memory.resident(id);
+  // The index's membership bit is kept in lockstep with DeviceMemory (every
+  // allocate/release pairs with a place/remove), so the O(1) bit test
+  // answers for the hash lookup.
+  return index_.holds(dev, id);
 }
 
 std::uint64_t ClusterSimulator::memory_used(DeviceId dev) const {
@@ -63,13 +62,7 @@ bool ClusterSimulator::device_alive(DeviceId dev) const {
   return device(dev).alive;
 }
 
-int ClusterSimulator::num_alive_devices() const {
-  int alive = 0;
-  for (const DeviceState& d : devices_) {
-    if (d.alive) ++alive;
-  }
-  return alive;
-}
+int ClusterSimulator::num_alive_devices() const { return index_.num_alive(); }
 
 const char* to_string(TaskOutcome outcome) {
   switch (outcome) {
@@ -87,8 +80,7 @@ int ClusterSimulator::node_of(DeviceId dev) const {
 }
 
 bool ClusterSimulator::resident_anywhere(TensorId id) const {
-  const auto it = residency_.find(id);
-  return it != residency_.end() && !it->second.empty();
+  return index_.resident_anywhere(id);
 }
 
 bool ClusterSimulator::host_resident(TensorId id) const {
@@ -99,20 +91,20 @@ bool ClusterSimulator::host_resident(TensorId id) const {
 }
 
 void ClusterSimulator::index_add(TensorId id, DeviceId dev) {
-  std::vector<DeviceId>& holders = residency_[id];
-  MICCO_ASSERT(std::find(holders.begin(), holders.end(), dev) ==
-               holders.end());
-  holders.push_back(dev);
+  index_.place(id, dev);
+  if (epoch_bumps_counter_ != nullptr) epoch_bumps_counter_->add();
 }
 
 void ClusterSimulator::index_remove(TensorId id, DeviceId dev) {
-  const auto it = residency_.find(id);
-  MICCO_ASSERT(it != residency_.end());
-  auto& holders = it->second;
-  const auto pos = std::find(holders.begin(), holders.end(), dev);
-  MICCO_ASSERT(pos != holders.end());
-  holders.erase(pos);
-  if (holders.empty()) residency_.erase(it);
+  index_.remove(id, dev);
+  if (epoch_bumps_counter_ != nullptr) epoch_bumps_counter_->add();
+}
+
+void ClusterSimulator::sync_device_mirror(DeviceId dev) {
+  const DeviceState& d = device(dev);
+  index_.set_busy(dev, std::max(d.compute_free_s, d.copy_free_s));
+  index_.set_memory(dev, d.memory.used(), d.memory.capacity());
+  index_.set_alive(dev, d.alive);
 }
 
 void ClusterSimulator::set_telemetry(obs::Telemetry* telemetry) {
@@ -121,9 +113,11 @@ void ClusterSimulator::set_telemetry(obs::Telemetry* telemetry) {
     fetch_bytes_hist_ = nullptr;
     victim_age_hist_ = nullptr;
     barrier_idle_hist_ = nullptr;
+    epoch_bumps_counter_ = nullptr;
     return;
   }
   obs::MetricsRegistry& reg = telemetry_->registry;
+  epoch_bumps_counter_ = &reg.counter(obs::names::kClusterEpochBumps);
   // Bucket bounds span hadron-node payloads (KiB..GiB) and simulated times
   // (us..minutes) on a log scale; the overflow bucket catches the rest.
   fetch_bytes_hist_ = &reg.histogram(
@@ -298,6 +292,13 @@ std::optional<double> ClusterSimulator::apply_capacity_faults(DeviceId dev,
 
 ExecuteResult ClusterSimulator::execute(const ContractionTask& task,
                                         DeviceId dev) {
+  ExecuteResult result = execute_impl(task, dev);
+  sync_device_mirror(dev);
+  return result;
+}
+
+ExecuteResult ClusterSimulator::execute_impl(const ContractionTask& task,
+                                             DeviceId dev) {
   MICCO_EXPECTS(task.a.valid() && task.b.valid() && task.out.valid());
   DeviceState& d = device(dev);
   ExecuteResult result;
@@ -493,6 +494,7 @@ std::vector<TensorId> ClusterSimulator::fail_device(DeviceId dev,
   std::sort(lost.begin(), lost.end());
 
   ++metrics_.devices_lost;
+  sync_device_mirror(dev);
   if (injector_ != nullptr) injector_->mark_failed(dev);
   if (trace_ != nullptr) {
     trace_->record(
@@ -611,6 +613,7 @@ void ClusterSimulator::barrier() {
     }
     d.compute_free_s = t_max;
     d.copy_free_s = t_max;
+    sync_device_mirror(dev);
   }
   metrics_.makespan_s = std::max(metrics_.makespan_s, t_max);
 }
@@ -626,6 +629,7 @@ void ClusterSimulator::discard(TensorId id) {
     const double start = std::max(d.compute_free_s, d.copy_free_s);
     d.compute_free_s = start + cost_model_.free_time();
     d.copy_free_s = d.compute_free_s;
+    sync_device_mirror(dev);
   }
 }
 

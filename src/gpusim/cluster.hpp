@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "faults/injector.hpp"
+#include "gpusim/cluster_index.hpp"
 #include "gpusim/cost_model.hpp"
 #include "gpusim/memory.hpp"
 #include "gpusim/trace.hpp"
@@ -23,9 +24,6 @@
 #include "workload/task.hpp"
 
 namespace micco {
-
-using DeviceId = int;
-constexpr DeviceId kNoDevice = -1;
 
 /// Read-only cluster state offered to schedulers. Doubles as the residency
 /// oracle for data-characteristics extraction.
@@ -60,6 +58,13 @@ class ClusterView : public ResidencyOracle {
   /// Devices still accepting work; the degradation path recomputes
   /// balanceNum over this count instead of num_devices().
   virtual int num_alive_devices() const { return num_devices(); }
+
+  /// The incremental cluster-state index, when this view maintains one
+  /// (ClusterSimulator does). Schedulers use it for the delta-maintained
+  /// hot path; a nullptr return sends them down the recompute-from-view
+  /// reference path, so lightweight views (tests, oracles' probes) need not
+  /// implement it.
+  virtual const ClusterIndex* cluster_index() const { return nullptr; }
 };
 
 /// Aggregated execution metrics for one simulated run.
@@ -190,6 +195,7 @@ class ClusterSimulator final : public ClusterView {
   bool resident_anywhere(TensorId id) const override;
   bool device_alive(DeviceId dev) const override;
   int num_alive_devices() const override;
+  const ClusterIndex* cluster_index() const override { return &index_; }
 
   // -- Execution --------------------------------------------------------
   /// Executes one contraction on the given device: fetches absent operands
@@ -307,6 +313,17 @@ class ClusterSimulator final : public ClusterView {
   void index_add(TensorId id, DeviceId dev);
   void index_remove(TensorId id, DeviceId dev);
 
+  /// Re-syncs the device's SoA mirror (busy time, memory, liveness) in the
+  /// index. Called at the end of every mutation entry point — execute,
+  /// barrier, fail_device, discard — which is sufficient because schedulers
+  /// only observe cluster state between those calls, never mid-task.
+  void sync_device_mirror(DeviceId dev);
+
+  /// execute() body; the public wrapper re-syncs the device mirror on every
+  /// return path (early failure exits included — a half-fetched task has
+  /// already moved memory).
+  ExecuteResult execute_impl(const ContractionTask& task, DeviceId dev);
+
   /// One priced memory operation of the in-flight task, kept so the trace
   /// and telemetry sink can assign exact start offsets once the task's
   /// window is known.
@@ -333,7 +350,10 @@ class ClusterSimulator final : public ClusterView {
   ClusterConfig config_;
   CostModel cost_model_;
   std::vector<DeviceState> devices_;
-  std::unordered_map<TensorId, std::vector<DeviceId>> residency_;
+  /// Incremental residency/load/headroom index, maintained as deltas by
+  /// index_add/index_remove and sync_device_mirror (replaces the old
+  /// residency hash map; holders keep the same insertion order).
+  ClusterIndex index_;
   /// Tensors ever produced by a kernel (everything else is an original).
   std::unordered_set<TensorId> produced_;
   /// Produced tensors with a live host copy (eviction write-backs).
@@ -347,6 +367,9 @@ class ClusterSimulator final : public ClusterView {
   obs::Histogram* fetch_bytes_hist_ = nullptr;
   obs::Histogram* victim_age_hist_ = nullptr;
   obs::Histogram* barrier_idle_hist_ = nullptr;
+  /// Residency-epoch bumps (one per place/remove) — the invalidation rate
+  /// the pattern cache pays for.
+  obs::Counter* epoch_bumps_counter_ = nullptr;
   std::vector<PendingOp> pending_ops_;
 };
 

@@ -1,0 +1,164 @@
+// Incremental cluster-state index (DESIGN.md §9).
+//
+// The scheduler hot path used to re-derive residency, load and headroom from
+// the simulator's hash maps for every tensor pair. ClusterIndex keeps that
+// state as O(1)-updated flat structures maintained *as deltas* by the
+// cluster's own mutation points (place on fetch/alloc, remove on
+// evict/failure/discard, device mirrors re-synced after every execute,
+// barrier, failure and discard):
+//
+//   * Per-tensor residency: the holder list in insertion order (candidate
+//     enumeration order is part of the decision-log byte-identity contract)
+//     plus a device bitmask for O(1) membership tests, and a **residency
+//     epoch** stamped from a global monotonic counter on every place and
+//     remove. Anything derived from a tensor's holder set (the reuse-pattern
+//     cache) is valid exactly as long as the tensor's epoch is unchanged —
+//     evictions, device failures and discards all bump it, which is the
+//     whole invalidation protocol.
+//   * Per-device SoA mirrors: busy time, memory used/capacity and an alive
+//     bitmask in parallel flat arrays, so candidate selection runs
+//     branch-light over contiguous doubles instead of virtual calls.
+//
+// The index stores ids densely (TensorIds are assigned sequentially from 0
+// by every generator) with a hash-map spill for pathological ids, and is
+// plain-copyable: the oracle clones whole simulators per candidate.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "workload/task.hpp"
+
+namespace micco {
+
+using DeviceId = int;
+constexpr DeviceId kNoDevice = -1;
+
+class ClusterIndex {
+ public:
+  /// Residency record of one tensor. Entries persist after the last replica
+  /// is removed (empty holders) so the epoch keeps counting across
+  /// re-placements — a cache keyed on (id, epoch) must never see an epoch
+  /// reset to a previously issued value.
+  struct Residency {
+    /// Holder devices in insertion (placement) order; schedulers enumerate
+    /// candidates in exactly this order.
+    std::vector<DeviceId> holders;
+    /// Value of the global epoch counter at this tensor's last residency
+    /// change; 0 only for tensors never placed.
+    std::uint64_t epoch = 0;
+    /// Membership bitmask over device ids: word 0 inline (the common
+    /// numGPU <= 64 case stays allocation-free), further words spilled.
+    std::uint64_t mask0 = 0;
+    std::vector<std::uint64_t> mask_ext;
+
+    bool holds(DeviceId dev) const {
+      const auto bit = static_cast<std::size_t>(dev);
+      if (bit < 64) return ((mask0 >> bit) & 1ULL) != 0;
+      const std::size_t word = bit / 64 - 1;
+      return word < mask_ext.size() &&
+             ((mask_ext[word] >> (bit % 64)) & 1ULL) != 0;
+    }
+  };
+
+  explicit ClusterIndex(int num_devices);
+
+  int num_devices() const { return num_devices_; }
+
+  // -- Residency deltas --------------------------------------------------
+  /// Records a new replica of `id` on `dev` (must not already hold it) and
+  /// bumps the tensor's epoch.
+  void place(TensorId id, DeviceId dev);
+
+  /// Drops the replica of `id` on `dev` (must hold it) and bumps the
+  /// tensor's epoch. The entry survives with an empty holder list.
+  void remove(TensorId id, DeviceId dev);
+
+  /// The tensor's residency record, or nullptr when it was never placed.
+  const Residency* find(TensorId id) const;
+
+  /// Holder list (empty static vector when never placed / not resident).
+  const std::vector<DeviceId>& holders(TensorId id) const;
+
+  bool holds(DeviceId dev, TensorId id) const {
+    MICCO_EXPECTS(dev >= 0 && dev < num_devices_);
+    const Residency* res = find(id);
+    return res != nullptr && res->holds(dev);
+  }
+
+  bool resident_anywhere(TensorId id) const {
+    const Residency* res = find(id);
+    return res != nullptr && !res->holders.empty();
+  }
+
+  /// Epoch of the tensor's last residency change (0: never placed). The
+  /// pattern cache keys on this.
+  std::uint64_t tensor_epoch(TensorId id) const {
+    const Residency* res = find(id);
+    return res == nullptr ? 0 : res->epoch;
+  }
+
+  /// Total residency changes ever applied; also the largest epoch issued.
+  /// Exported as the cluster.index.epoch_bumps counter.
+  std::uint64_t epoch_bumps() const { return global_epoch_; }
+
+  // -- Per-device mirrors (synced by the owning cluster) ------------------
+  void set_busy(DeviceId dev, double busy_s) {
+    busy_[checked(dev)] = busy_s;
+  }
+  void set_memory(DeviceId dev, std::uint64_t used, std::uint64_t capacity) {
+    mem_used_[checked(dev)] = used;
+    mem_capacity_[checked(dev)] = capacity;
+  }
+  void set_alive(DeviceId dev, bool alive);
+
+  double busy(DeviceId dev) const { return busy_[checked(dev)]; }
+  std::uint64_t memory_used(DeviceId dev) const {
+    return mem_used_[checked(dev)];
+  }
+  std::uint64_t memory_capacity(DeviceId dev) const {
+    return mem_capacity_[checked(dev)];
+  }
+  bool alive(DeviceId dev) const {
+    const auto bit = static_cast<std::size_t>(checked(dev));
+    return ((alive_mask_[bit / 64] >> (bit % 64)) & 1ULL) != 0;
+  }
+  int num_alive() const { return num_alive_; }
+
+  /// Raw flat arrays for the scheduler's SoA selection scan.
+  const double* busy_data() const { return busy_.data(); }
+  const std::uint64_t* memory_used_data() const { return mem_used_.data(); }
+  const std::uint64_t* memory_capacity_data() const {
+    return mem_capacity_.data();
+  }
+  /// Alive devices as bitmask words (bit d%64 of word d/64); iterating set
+  /// bits yields devices in ascending id order, matching the reference
+  /// path's `for (dev = 0; ...)` enumeration.
+  const std::vector<std::uint64_t>& alive_mask() const { return alive_mask_; }
+
+ private:
+  /// Ids below this are stored in the dense table (generators assign ids
+  /// sequentially from 0, so in practice everything lands here).
+  static constexpr std::uint64_t kDenseLimit = 1ULL << 20;
+
+  std::size_t checked(DeviceId dev) const {
+    MICCO_EXPECTS(dev >= 0 && dev < num_devices_);
+    return static_cast<std::size_t>(dev);
+  }
+
+  Residency& entry(TensorId id);
+
+  int num_devices_ = 0;
+  std::uint64_t global_epoch_ = 0;
+  std::vector<Residency> dense_;                    ///< ids < kDenseLimit
+  std::unordered_map<TensorId, Residency> sparse_;  ///< spill for huge ids
+  std::vector<double> busy_;
+  std::vector<std::uint64_t> mem_used_;
+  std::vector<std::uint64_t> mem_capacity_;
+  std::vector<std::uint64_t> alive_mask_;
+  int num_alive_ = 0;
+};
+
+}  // namespace micco

@@ -45,11 +45,26 @@ inline constexpr const char* kSchedTier[3] = {
     "sched.tier.two_repeated_same", "sched.tier.one_reused",
     "sched.tier.two_new"};
 
+/// Epoch-keyed reuse-pattern cache (incremental scheduler core): a hit
+/// answers classification from the cached (pair, epochs) entry, a miss
+/// recomputes it against the residency index. Registered only while the
+/// incremental path is active — the --sched-incremental=off escape hatch
+/// has no cache, and these two counters are the single intentional report
+/// difference between the two modes.
+inline constexpr const char* kSchedPatternCacheHits =
+    "sched.pattern_cache.hits";
+inline constexpr const char* kSchedPatternCacheMisses =
+    "sched.pattern_cache.misses";
+
 // -- cluster.* -------------------------------------------------------------
 inline constexpr const char* kClusterFetchBytes = "cluster.fetch.bytes";
 inline constexpr const char* kClusterEvictionVictimAgeS =
     "cluster.eviction.victim_age_s";
 inline constexpr const char* kClusterBarrierIdleS = "cluster.barrier.idle_s";
+/// Residency-epoch bumps in the incremental cluster index: one per tensor
+/// placement or removal (fetch, output alloc, eviction, discard, device
+/// failure). The pattern cache invalidates on these.
+inline constexpr const char* kClusterEpochBumps = "cluster.index.epoch_bumps";
 /// Per-device gauge prefix: "cluster.device.<N>." + {utilization, busy_s}.
 inline constexpr const char* kClusterDevicePrefix = "cluster.device.";
 inline constexpr const char* kDeviceUtilizationSuffix = "utilization";

@@ -22,6 +22,12 @@
 // Pool size comes from set_threads() (benches wire --threads to it) or the
 // MICCO_THREADS environment variable; the default is 1 (serial) so existing
 // tools and tests behave exactly as before unless parallelism is requested.
+// The pool silently caps its lane count at the hardware concurrency —
+// oversubscribing cores only adds context-switch overhead for these
+// CPU-bound loops (it showed up as sub-1.0 tuner speedups on small hosts).
+// configured_threads() still reports the requested width, and setting
+// MICCO_THREADS_OVERSUBSCRIBE=1 lifts the cap (the TSan CI stage does, to
+// keep its forced 8-lane interleavings on any runner).
 //
 // The pool's locking (thread_pool.cpp) is written against the annotated
 // micco::Mutex primitives from common/mutex.hpp, so Clang's thread-safety
@@ -51,6 +57,14 @@ void set_threads(int n);
 /// The resolved lane count (>= 1). First call latches MICCO_THREADS from the
 /// environment when set_threads was never called.
 int configured_threads();
+
+/// The lane count parallel_for actually runs: configured_threads() capped at
+/// the hardware concurrency (unless MICCO_THREADS_OVERSUBSCRIBE=1). Callers
+/// that use parallel_for as a *thread-spawn* primitive for loops that block
+/// (the daemon's I/O lanes) must size against this, not the configured
+/// width: lanes beyond it never run concurrently, so a blocking lane 0
+/// would starve the rest forever.
+int effective_threads();
 
 /// Invokes body(i) exactly once for every i in [0, n), spread across the
 /// configured lanes; returns after all n invocations completed. The first

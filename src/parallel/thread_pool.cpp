@@ -35,8 +35,12 @@ struct Loop {
   /// Claim/progress counters are intentionally lock-free: fetch_add is the
   /// whole work-distribution protocol and the only cross-thread ordering
   /// that matters (completion) is re-checked under `mutex` by the waiter.
-  MICCO_LOCK_FREE std::atomic<std::size_t> next{0};
-  MICCO_LOCK_FREE std::atomic<std::size_t> done{0};
+  /// Each sits on its own cache line: `next` is hammered by every claim and
+  /// `done` by every completion, and co-locating them made each fetch_add
+  /// steal the line the other counter's lanes were spinning on (the tuner
+  /// sweep's fine-grained inner loops showed it as negative scaling).
+  alignas(64) MICCO_LOCK_FREE std::atomic<std::size_t> next{0};
+  alignas(64) MICCO_LOCK_FREE std::atomic<std::size_t> done{0};
 
   Mutex mutex;      ///< guards error + pairs completion signalling
   CondVar drained;  ///< signalled when done reaches n
@@ -87,8 +91,13 @@ class Pool {
     for (std::thread& t : threads_) t.join();
   }
 
-  /// Announces the loop, participates until its indices run out, then waits
-  /// for stragglers on other threads and rethrows the first item error.
+  /// Announces the loop, participates until its indices run out, then —
+  /// instead of sleeping while stragglers finish — adopts whatever other
+  /// loops are open (typically nested loops those very stragglers
+  /// announced). Blocking here wasted the announcing lane for the whole
+  /// straggler tail: with nesting, the outer caller went idle exactly when
+  /// the inner loops had unclaimed indices. Only when nothing is adoptable
+  /// does it wait; then it rethrows the first item error.
   void run(std::size_t n, const std::function<void(std::size_t)>& body) {
     const auto loop = std::make_shared<Loop>(n, body);
     {
@@ -99,6 +108,17 @@ class Pool {
 
     loop->work();
     retire(loop);
+
+    while (!loop->complete()) {
+      std::shared_ptr<Loop> other;
+      {
+        const MutexLock lock(mutex_);
+        other = adopt_locked();
+      }
+      if (other == nullptr) break;
+      other->work();
+      retire(other);
+    }
 
     const MutexLock lock(loop->mutex);
     while (!loop->complete()) loop->drained.wait(loop->mutex);
@@ -183,6 +203,28 @@ int resolved_threads_locked() MICCO_REQUIRES(g_config_mutex) {
   return g_threads;
 }
 
+/// MICCO_THREADS_OVERSUBSCRIBE=1 lets the pool spawn more lanes than cores
+/// (TSan CI forces 8 lanes on small runners to widen the interleaving space).
+/// Latched once: flipping it mid-process would leave a stale cached pool.
+bool oversubscribe_allowed() {
+  static const bool allowed = [] {
+    const char* env = std::getenv("MICCO_THREADS_OVERSUBSCRIBE");
+    return env != nullptr && *env == '1';
+  }();
+  return allowed;
+}
+
+/// Lanes the pool actually runs: the configured width, capped at the core
+/// count. Requesting 8 lanes on a 1-core host (common in containers) made
+/// every fetch_add a context-switch lottery and the tuner sweep scaled
+/// *negatively*; configured_threads() still reports the requested width so
+/// callers' chunking decisions are unaffected.
+int effective_lanes_locked() MICCO_REQUIRES(g_config_mutex) {
+  const int threads = resolved_threads_locked();
+  if (oversubscribe_allowed()) return threads;
+  return threads < hardware_threads() ? threads : hardware_threads();
+}
+
 }  // namespace
 
 void set_threads(int n) {
@@ -199,15 +241,20 @@ int configured_threads() {
   return resolved_threads_locked();
 }
 
+int effective_threads() {
+  const MutexLock lock(g_config_mutex);
+  return effective_lanes_locked();
+}
+
 void parallel_for(std::size_t n,
                   const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
   Pool* pool = nullptr;
   {
     const MutexLock lock(g_config_mutex);
-    const int threads = resolved_threads_locked();
-    if (threads > 1 && n > 1) {
-      if (g_pool == nullptr) g_pool = std::make_unique<Pool>(threads - 1);
+    const int lanes = effective_lanes_locked();
+    if (lanes > 1 && n > 1) {
+      if (g_pool == nullptr) g_pool = std::make_unique<Pool>(lanes - 1);
       pool = g_pool.get();
     }
   }

@@ -1,11 +1,85 @@
 #include "sched/micco_scheduler.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 
 #include "obs/names.hpp"
 
 namespace micco {
+
+namespace {
+
+/// splitmix64 finalizer: full-avalanche slot hash for sequential TensorIds.
+std::uint64_t mix_id(TensorId id) {
+  std::uint64_t x = id + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr std::size_t kInitialTableSlots = 64;  // power of two (mask probing)
+
+}  // namespace
+
+void DistinctTensorCounts::reset(std::size_t num_devices) {
+  tables_.resize(num_devices);
+  for (Table& table : tables_) {
+    ++table.gen;
+    table.live = 0;
+  }
+}
+
+void DistinctTensorCounts::clear_device(DeviceId dev) {
+  const auto idx = static_cast<std::size_t>(dev);
+  if (idx >= tables_.size()) return;
+  ++tables_[idx].gen;
+  tables_[idx].live = 0;
+}
+
+void DistinctTensorCounts::grow(Table& table) {
+  const std::vector<TensorId> old_keys = std::move(table.keys);
+  const std::vector<std::uint64_t> old_gens = std::move(table.gens);
+  table.keys.assign(old_keys.size() * 2, 0);
+  table.gens.assign(old_gens.size() * 2, 0);
+  const std::size_t mask = table.keys.size() - 1;
+  for (std::size_t s = 0; s < old_keys.size(); ++s) {
+    if (old_gens[s] != table.gen) continue;
+    std::size_t slot = mix_id(old_keys[s]) & mask;
+    while (table.gens[slot] == table.gen) slot = (slot + 1) & mask;
+    table.keys[slot] = old_keys[s];
+    table.gens[slot] = table.gen;
+  }
+}
+
+bool DistinctTensorCounts::insert(DeviceId dev, TensorId id) {
+  MICCO_EXPECTS(dev >= 0 && static_cast<std::size_t>(dev) < tables_.size());
+  Table& table = tables_[static_cast<std::size_t>(dev)];
+  if (table.keys.empty()) {
+    table.keys.assign(kInitialTableSlots, 0);
+    table.gens.assign(kInitialTableSlots, 0);
+  }
+  const std::size_t mask = table.keys.size() - 1;
+  std::size_t slot = mix_id(id) & mask;
+  while (table.gens[slot] == table.gen) {
+    if (table.keys[slot] == id) return false;
+    slot = (slot + 1) & mask;
+  }
+  table.keys[slot] = id;
+  table.gens[slot] = table.gen;
+  ++table.live;
+  // Grow at 3/4 load: the table must never fill completely (linear probing
+  // needs a free slot to terminate misses).
+  if (static_cast<std::size_t>(table.live) * 4 > table.keys.size() * 3) {
+    grow(table);
+  }
+  return true;
+}
+
+std::int64_t DistinctTensorCounts::count(DeviceId dev) const {
+  MICCO_EXPECTS(dev >= 0 && static_cast<std::size_t>(dev) < tables_.size());
+  return tables_[static_cast<std::size_t>(dev)].live;
+}
 
 MiccoScheduler::MiccoScheduler(MiccoSchedulerOptions options)
     : options_(options), bounds_(options.bounds), rng_(options.seed) {}
@@ -24,7 +98,7 @@ void MiccoScheduler::set_telemetry(obs::Telemetry* telemetry) {
 void MiccoScheduler::begin_vector(const VectorWorkload& vec,
                                   const ClusterView& view) {
   const auto num_devices = static_cast<std::size_t>(view.num_devices());
-  vector_assigned_.assign(num_devices, {});
+  counts_.reset(num_devices);
   if (compute_cost_.size() != num_devices) {
     compute_cost_.assign(num_devices, 0.0);
   }
@@ -40,7 +114,13 @@ void MiccoScheduler::begin_vector(const VectorWorkload& vec,
   // whole stage onto the few devices holding the hot nodes. The divisor is
   // the number of *surviving* devices: after a failure the share is split
   // over the devices that can still take work.
-  vector_unique_inputs_ = static_cast<std::int64_t>(vec.unique_inputs().size());
+  unique_scratch_.reset(1);
+  std::int64_t unique = 0;
+  for (const ContractionTask& task : vec.tasks) {
+    if (unique_scratch_.insert(0, task.a.id)) ++unique;
+    if (unique_scratch_.insert(0, task.b.id)) ++unique;
+  }
+  vector_unique_inputs_ = unique;
   balance_num_ = std::max<std::int64_t>(
       1, vector_unique_inputs_ /
              std::max<std::int64_t>(1, view.num_alive_devices()));
@@ -50,7 +130,7 @@ void MiccoScheduler::on_device_failure(DeviceId dev, const ClusterView& view) {
   // The casualty's per-vector accounting is void (its tensors are gone and
   // its pending pairs will be re-assigned); survivors split the stage.
   const auto idx = static_cast<std::size_t>(dev);
-  if (idx < vector_assigned_.size()) vector_assigned_[idx].clear();
+  counts_.clear_device(dev);
   if (idx < compute_cost_.size()) compute_cost_[idx] = 0.0;
   balance_num_ = std::max<std::int64_t>(
       1, vector_unique_inputs_ /
@@ -58,10 +138,7 @@ void MiccoScheduler::on_device_failure(DeviceId dev, const ClusterView& view) {
 }
 
 std::int64_t MiccoScheduler::assigned_count(DeviceId dev) const {
-  MICCO_EXPECTS(dev >= 0 &&
-                static_cast<std::size_t>(dev) < vector_assigned_.size());
-  return static_cast<std::int64_t>(
-      vector_assigned_[static_cast<std::size_t>(dev)].size());
+  return counts_.count(dev);
 }
 
 bool MiccoScheduler::available(DeviceId dev, std::size_t bound_index) const {
@@ -78,17 +155,11 @@ void MiccoScheduler::push_unique(DeviceId dev) {
   }
 }
 
-DeviceId MiccoScheduler::assign(const ContractionTask& task,
-                                const ClusterView& view) {
-  MICCO_EXPECTS_MSG(!vector_assigned_.empty(),
-                    "begin_vector must run before assign");
+void MiccoScheduler::gather_candidates(const ContractionTask& task,
+                                       const ClusterView& view, int& tier,
+                                       bool& fallback) {
   const std::vector<DeviceId>& holders_a = view.devices_holding(task.a.id);
   const std::vector<DeviceId>& holders_b = view.devices_holding(task.b.id);
-
-  candidates_.clear();
-  std::fill(candidate_mask_.begin(), candidate_mask_.end(), 0);
-  int tier = -1;        ///< reuse-bound tier that produced the candidates
-  bool fallback = false;
 
   // Step I — data-centric, TwoRepeatedSame tier: devices holding BOTH
   // tensors, gated by reuse bound 0 (Alg. 1, lines 4-7).
@@ -97,45 +168,140 @@ DeviceId MiccoScheduler::assign(const ContractionTask& task,
         std::find(holders_b.begin(), holders_b.end(), dev) != holders_b.end();
     if (holds_both && available(dev, 0)) push_unique(dev);
   }
-  if (!candidates_.empty()) tier = 0;
+  if (!candidates_.empty()) {
+    tier = 0;
+    return;
+  }
 
   // Step II — one-reused tier: devices holding either tensor, gated by
   // reuse bound 1 (Alg. 1, lines 8-14). Entered both for the
   // TwoRepeatedDiff / OneRepeated patterns and when every TwoRepeatedSame
   // device failed its availability test.
-  if (candidates_.empty() && (!holders_a.empty() || !holders_b.empty())) {
+  if (!holders_a.empty() || !holders_b.empty()) {
     for (const DeviceId dev : holders_a) {
       if (available(dev, 1)) push_unique(dev);
     }
     for (const DeviceId dev : holders_b) {
       if (available(dev, 1)) push_unique(dev);
     }
-    if (!candidates_.empty()) tier = 1;
+    if (!candidates_.empty()) {
+      tier = 1;
+      return;
+    }
   }
 
   // Step II' — TwoNew tier: any alive device under reuse bound 2 (lines
   // 15-18). Tiers I/II need no filter: residency dies with a device, so
   // holder lists only ever name survivors.
-  if (candidates_.empty()) {
-    for (DeviceId dev = 0; dev < view.num_devices(); ++dev) {
-      if (view.device_alive(dev) && available(dev, 2)) {
-        push_unique(dev);
-      }
+  for (DeviceId dev = 0; dev < view.num_devices(); ++dev) {
+    if (view.device_alive(dev) && available(dev, 2)) {
+      push_unique(dev);
     }
-    if (!candidates_.empty()) tier = 2;
+  }
+  if (!candidates_.empty()) {
+    tier = 2;
+    return;
   }
 
   // Fallback the pseudocode leaves implicit: when every device exceeds even
   // the TwoNew bound (possible late in a vector with small bounds and an
   // uneven tensor count), consider all survivors so the pair is still placed.
-  if (candidates_.empty()) {
-    fallback = true;
-    for (DeviceId dev = 0; dev < view.num_devices(); ++dev) {
-      if (view.device_alive(dev)) candidates_.push_back(dev);
+  fallback = true;
+  for (DeviceId dev = 0; dev < view.num_devices(); ++dev) {
+    if (view.device_alive(dev)) candidates_.push_back(dev);
+  }
+}
+
+void MiccoScheduler::gather_candidates(const ContractionTask& task,
+                                       const ClusterIndex& index, int& tier,
+                                       bool& fallback) {
+  const ClusterIndex::Residency* res_a = index.find(task.a.id);
+  const ClusterIndex::Residency* res_b = index.find(task.b.id);
+  const bool a_resident = res_a != nullptr && !res_a->holders.empty();
+  const bool b_resident = res_b != nullptr && !res_b->holders.empty();
+
+  // Step I — the holders_a walk keeps the reference path's enumeration
+  // order; the membership scan over holders_b collapses to one bit test.
+  if (a_resident && b_resident) {
+    for (const DeviceId dev : res_a->holders) {
+      if (res_b->holds(dev) && available(dev, 0)) push_unique(dev);
+    }
+  }
+  if (!candidates_.empty()) {
+    tier = 0;
+    return;
+  }
+
+  // Step II — holders of either tensor, in holders_a-then-holders_b order
+  // exactly as the reference path enumerates them.
+  if (a_resident || b_resident) {
+    if (a_resident) {
+      for (const DeviceId dev : res_a->holders) {
+        if (available(dev, 1)) push_unique(dev);
+      }
+    }
+    if (b_resident) {
+      for (const DeviceId dev : res_b->holders) {
+        if (available(dev, 1)) push_unique(dev);
+      }
+    }
+    if (!candidates_.empty()) {
+      tier = 1;
+      return;
     }
   }
 
-  const DeviceId chosen = select_from_candidates(candidates_, task, view);
+  // Step II' — alive devices in ascending id order via the alive-mask word
+  // scan (bit position == device id, so set-bit order is ascending).
+  const std::vector<std::uint64_t>& alive = index.alive_mask();
+  for (std::size_t w = 0; w < alive.size(); ++w) {
+    std::uint64_t bits = alive[w];
+    while (bits != 0) {
+      const auto dev =
+          static_cast<DeviceId>(w * 64 + static_cast<std::size_t>(
+                                             std::countr_zero(bits)));
+      bits &= bits - 1;
+      if (available(dev, 2)) push_unique(dev);
+    }
+  }
+  if (!candidates_.empty()) {
+    tier = 2;
+    return;
+  }
+
+  // Fallback: all survivors, ascending.
+  fallback = true;
+  for (std::size_t w = 0; w < alive.size(); ++w) {
+    std::uint64_t bits = alive[w];
+    while (bits != 0) {
+      const auto dev =
+          static_cast<DeviceId>(w * 64 + static_cast<std::size_t>(
+                                             std::countr_zero(bits)));
+      bits &= bits - 1;
+      candidates_.push_back(dev);
+    }
+  }
+}
+
+DeviceId MiccoScheduler::assign(const ContractionTask& task,
+                                const ClusterView& view) {
+  MICCO_EXPECTS_MSG(counts_.size() > 0,
+                    "begin_vector must run before assign");
+  const ClusterIndex* index =
+      sched_incremental() ? view.cluster_index() : nullptr;
+
+  candidates_.clear();
+  std::fill(candidate_mask_.begin(), candidate_mask_.end(), 0);
+  int tier = -1;        ///< reuse-bound tier that produced the candidates
+  bool fallback = false;
+  DeviceId chosen = kNoDevice;
+  if (index != nullptr) {
+    gather_candidates(task, *index, tier, fallback);
+    chosen = select_from_candidates(candidates_, task, *index);
+  } else {
+    gather_candidates(task, view, tier, fallback);
+    chosen = select_from_candidates(candidates_, task, view);
+  }
 
   if (telemetry_ != nullptr) {
     // Slack the winner had already consumed beyond its balanced share when
@@ -148,12 +314,34 @@ DeviceId MiccoScheduler::assign(const ContractionTask& task,
   }
 
   // Step IV — update mapGPUTensor / mapGPUCom (Alg. 1, line 20).
-  auto& assigned = vector_assigned_[static_cast<std::size_t>(chosen)];
-  assigned.insert(task.a.id);
-  assigned.insert(task.b.id);
+  counts_.insert(chosen, task.a.id);
+  counts_.insert(chosen, task.b.id);
   compute_cost_[static_cast<std::size_t>(chosen)] +=
       static_cast<double>(task.flops());
   return chosen;
+}
+
+DeviceId MiccoScheduler::pick_best(const std::vector<DeviceId>& candidates) {
+  // Exact ties on both keys break randomly (Alg. 2, lines 9/15).
+  best_.clear();
+  double best_primary = std::numeric_limits<double>::infinity();
+  double best_secondary = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double primary = cand_primary_[i];
+    const double secondary = cand_secondary_[i];
+    if (primary < best_primary ||
+        (primary == best_primary && secondary < best_secondary)) {
+      best_primary = primary;
+      best_secondary = secondary;
+      best_.clear();
+      best_.push_back(candidates[i]);
+    } else if (primary == best_primary && secondary == best_secondary) {
+      best_.push_back(candidates[i]);
+    }
+  }
+
+  if (best_.size() == 1) return best_.front();
+  return best_[rng_.uniform_below(static_cast<std::uint32_t>(best_.size()))];
 }
 
 DeviceId MiccoScheduler::select_from_candidates(
@@ -177,37 +365,59 @@ DeviceId MiccoScheduler::select_from_candidates(
 
   // Primary/secondary keys swap between the computation-centric policy
   // (least-loaded device, then most free memory) and the memory-eviction-
-  // sensitive policy (most free memory, then least-loaded). Exact ties on
-  // both keys break randomly (Alg. 2, lines 9/15). Load is the device's
-  // accumulated timeline (mapGPUCom): kernels plus the memory operations
-  // earlier assignments induced — balancing on raw FLOPs alone would let
-  // transfer-heavy devices fall behind and waste the stage barrier.
-  const auto compute_key = [&](DeviceId dev) {
-    return view.busy_time(dev);
-  };
-  const auto memory_key = [&](DeviceId dev) {
-    return static_cast<double>(view.memory_used(dev));
-  };
+  // sensitive policy (most free memory, then least-loaded). Load is the
+  // device's accumulated timeline (mapGPUCom): kernels plus the memory
+  // operations earlier assignments induced — balancing on raw FLOPs alone
+  // would let transfer-heavy devices fall behind and waste the stage
+  // barrier.
+  const std::size_t n = candidates.size();
+  cand_primary_.resize(n);
+  cand_secondary_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double busy = view.busy_time(candidates[i]);
+    const double used = static_cast<double>(view.memory_used(candidates[i]));
+    cand_primary_[i] = evict_risk ? used : busy;
+    cand_secondary_[i] = evict_risk ? busy : used;
+  }
+  return pick_best(candidates);
+}
 
-  best_.clear();
-  double best_primary = std::numeric_limits<double>::infinity();
-  double best_secondary = std::numeric_limits<double>::infinity();
-  for (const DeviceId dev : candidates) {
-    const double primary = evict_risk ? memory_key(dev) : compute_key(dev);
-    const double secondary = evict_risk ? compute_key(dev) : memory_key(dev);
-    if (primary < best_primary ||
-        (primary == best_primary && secondary < best_secondary)) {
-      best_primary = primary;
-      best_secondary = secondary;
-      best_.clear();
-      best_.push_back(dev);
-    } else if (primary == best_primary && secondary == best_secondary) {
-      best_.push_back(dev);
+DeviceId MiccoScheduler::select_from_candidates(
+    const std::vector<DeviceId>& candidates, const ContractionTask& task,
+    const ClusterIndex& index) {
+  MICCO_EXPECTS(!candidates.empty());
+
+  const std::uint64_t* mem_used = index.memory_used_data();
+  const std::uint64_t* mem_capacity = index.memory_capacity_data();
+  const double* busy = index.busy_data();
+
+  bool evict_risk = false;
+  if (options_.eviction_sensitive) {
+    for (const DeviceId dev : candidates) {
+      const std::uint64_t needed = bytes_needed_on(task, dev, index);
+      const auto d = static_cast<std::size_t>(dev);
+      if (mem_used[d] + needed > mem_capacity[d]) {
+        evict_risk = true;
+        break;
+      }
     }
   }
+  last_evict_risk_ = evict_risk;
 
-  if (best_.size() == 1) return best_.front();
-  return best_[rng_.uniform_below(static_cast<std::uint32_t>(best_.size()))];
+  // SoA gather from the flat device mirrors — same doubles the view path
+  // reads through virtual calls, so comparisons (and tie sets) agree
+  // bit-for-bit.
+  const std::size_t n = candidates.size();
+  cand_primary_.resize(n);
+  cand_secondary_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto d = static_cast<std::size_t>(candidates[i]);
+    const double load = busy[d];
+    const double used = static_cast<double>(mem_used[d]);
+    cand_primary_[i] = evict_risk ? used : load;
+    cand_secondary_[i] = evict_risk ? load : used;
+  }
+  return pick_best(candidates);
 }
 
 }  // namespace micco

@@ -7,18 +7,65 @@
 //   * computation-centric — among candidates, pick the least-loaded device;
 //   * memory-eviction-sensitive — if any candidate would oversubscribe,
 //                         pick the device with the most free memory instead.
+//
+// Two equivalent hot paths implement the tier walk and Alg. 2 selection
+// (DESIGN.md §9): the incremental path reads the cluster's delta-maintained
+// ClusterIndex (holder bitmasks, alive-mask word scan, SoA key arrays over
+// flat busy/memory mirrors), the reference path recomputes everything from
+// ClusterView queries. Both enumerate candidates in the same order, compare
+// the same doubles and draw the same tie-break randomness, so decision logs
+// are byte-identical; sched_incremental() picks the path at run time (the
+// --sched-incremental=off escape hatch, kept for one release).
 #pragma once
 
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "gpusim/cluster_index.hpp"
 #include "sched/reuse_bounds.hpp"
 #include "sched/reuse_pattern.hpp"
 #include "sched/scheduler.hpp"
 
 namespace micco {
+
+/// Distinct-tensor counter per device for one vector (the paper's
+/// mapGPUTensor.at(dev).size(), the quantity the reuse-bound availability
+/// test compares against balanceNum + bound).
+///
+/// Open-addressing tables with generation-stamped slots: begin_vector bumps
+/// every device's generation (an O(devices) reset instead of freeing every
+/// node of an unordered_set), a device failure bumps only the casualty's.
+/// A slot whose stamp differs from the table's current generation is free.
+/// Both scheduler paths share this accounting — only the per-device counts
+/// are observable, so the container swap cannot perturb decisions.
+class DistinctTensorCounts {
+ public:
+  /// Starts a fresh vector over `num_devices` tables (capacity retained).
+  void reset(std::size_t num_devices);
+
+  /// Voids one device's counts mid-vector (device-failure degradation).
+  void clear_device(DeviceId dev);
+
+  /// Records `id` against `dev`; false when it was already counted.
+  bool insert(DeviceId dev, TensorId id);
+
+  std::int64_t count(DeviceId dev) const;
+
+  std::size_t size() const { return tables_.size(); }
+
+ private:
+  struct Table {
+    std::vector<TensorId> keys;
+    std::vector<std::uint64_t> gens;  ///< slot live iff gens[s] == gen
+    std::uint64_t gen = 0;            ///< 0 never marks a live slot
+    std::int64_t live = 0;
+  };
+
+  void grow(Table& table);
+
+  std::vector<Table> tables_;
+};
 
 struct MiccoSchedulerOptions {
   /// Initial reuse bounds; the driver typically overrides them per vector
@@ -65,11 +112,28 @@ class MiccoScheduler final : public Scheduler {
   /// Device passes the availability test for tier `bound_index`.
   bool available(DeviceId dev, std::size_t bound_index) const;
 
+  /// Alg. 1's tier walk: fills candidates_ and reports the admitting tier
+  /// (-1 with fallback when every tier ran dry). The two overloads must
+  /// enumerate identical candidates in identical order.
+  void gather_candidates(const ContractionTask& task, const ClusterView& view,
+                         int& tier, bool& fallback);
+  void gather_candidates(const ContractionTask& task,
+                         const ClusterIndex& index, int& tier, bool& fallback);
+
   /// Alg. 2: selects from the candidate queue, switching between the
-  /// computation-centric and memory-eviction-sensitive policies.
+  /// computation-centric and memory-eviction-sensitive policies. The index
+  /// overload gathers the primary/secondary keys into SoA scratch arrays
+  /// first and runs the argmin over flat doubles.
   DeviceId select_from_candidates(const std::vector<DeviceId>& candidates,
                                   const ContractionTask& task,
                                   const ClusterView& view);
+  DeviceId select_from_candidates(const std::vector<DeviceId>& candidates,
+                                  const ContractionTask& task,
+                                  const ClusterIndex& index);
+
+  /// Shared argmin tail of both select overloads: scans the key arrays,
+  /// collects exact ties and applies the random tie-break.
+  DeviceId pick_best(const std::vector<DeviceId>& candidates);
 
   MiccoSchedulerOptions options_;
   ReuseBounds bounds_;
@@ -86,7 +150,10 @@ class MiccoScheduler final : public Scheduler {
   /// on_device_failure can recompute the share over the survivors.
   std::int64_t vector_unique_inputs_ = 0;
   /// Per-device distinct input tensors assigned in the current vector.
-  std::vector<std::unordered_set<TensorId>> vector_assigned_;
+  DistinctTensorCounts counts_;
+  /// Scratch for begin_vector's distinct-input count (single-table reuse of
+  /// the same flat-set machinery; replaces an unordered_set built per call).
+  DistinctTensorCounts unique_scratch_;
   /// Per-device cumulative assigned kernel FLOPs (mapGPUCom).
   std::vector<double> compute_cost_;
 
@@ -96,6 +163,9 @@ class MiccoScheduler final : public Scheduler {
   /// Membership bitmask over device ids backing push_unique: one word for
   /// the common numGPU <= 64 case, more for larger clusters.
   std::vector<std::uint64_t> candidate_mask_;
+  /// SoA selection keys, parallel to candidates_ (index path).
+  std::vector<double> cand_primary_;
+  std::vector<double> cand_secondary_;
   /// Tie set of select_from_candidates.
   std::vector<DeviceId> best_;
 

@@ -34,6 +34,62 @@ LocalReusePattern classify_pair(const ContractionTask& task,
                  : LocalReusePattern::kTwoRepeatedDiff;
 }
 
+namespace {
+
+/// True when the two tensors share at least one holder device (bitmask
+/// intersection over the inline word and any spill words).
+bool masks_overlap(const ClusterIndex::Residency& a,
+                   const ClusterIndex::Residency& b) {
+  if ((a.mask0 & b.mask0) != 0) return true;
+  const std::size_t words = std::min(a.mask_ext.size(), b.mask_ext.size());
+  for (std::size_t w = 0; w < words; ++w) {
+    if ((a.mask_ext[w] & b.mask_ext[w]) != 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+LocalReusePattern classify_pair(const ContractionTask& task,
+                                const ClusterIndex& index) {
+  const ClusterIndex::Residency* res_a = index.find(task.a.id);
+  const ClusterIndex::Residency* res_b = index.find(task.b.id);
+  const bool a_empty = res_a == nullptr || res_a->holders.empty();
+  const bool b_empty = res_b == nullptr || res_b->holders.empty();
+  if (a_empty && b_empty) return LocalReusePattern::kTwoNew;
+  if (a_empty || b_empty) return LocalReusePattern::kOneRepeated;
+  return masks_overlap(*res_a, *res_b) ? LocalReusePattern::kTwoRepeatedSame
+                                       : LocalReusePattern::kTwoRepeatedDiff;
+}
+
+LocalReusePattern PatternCache::classify(const ContractionTask& task,
+                                         const ClusterIndex& index) {
+  const TensorId a = task.a.id;
+  const TensorId b = task.b.id;
+  const std::uint64_t epoch_a = index.tensor_epoch(a);
+  const std::uint64_t epoch_b = index.tensor_epoch(b);
+  // splitmix-style mix of the pair identity; asymmetric in (a, b) because
+  // classification is order-sensitive only in naming, not result — but two
+  // distinct pairs must land on distinct keys with high probability.
+  std::uint64_t key = a * 0x9e3779b97f4a7c15ULL;
+  key ^= (b + 0x517cc1b727220a95ULL) + (key << 6) + (key >> 2);
+  Entry& entry = entries_[key];
+  if (entry.a == a && entry.b == b && entry.epoch_a == epoch_a &&
+      entry.epoch_b == epoch_b && entry.a != kInvalidTensor) {
+    ++hits_;
+    if (hits_counter_ != nullptr) hits_counter_->add();
+    return entry.pattern;
+  }
+  ++misses_;
+  if (misses_counter_ != nullptr) misses_counter_->add();
+  entry.a = a;
+  entry.b = b;
+  entry.epoch_a = epoch_a;
+  entry.epoch_b = epoch_b;
+  entry.pattern = classify_pair(task, index);
+  return entry.pattern;
+}
+
 const char* to_string(MappingClass m) {
   switch (m) {
     case MappingClass::kBothReused: return "BothReused";
@@ -48,6 +104,16 @@ MappingClass classify_mapping(const ContractionTask& task, DeviceId dev,
                               const ClusterView& view) {
   const bool a_here = view.resident_on(dev, task.a.id);
   const bool b_here = view.resident_on(dev, task.b.id);
+  if (a_here && b_here) return MappingClass::kBothReused;
+  if (a_here) return MappingClass::kFirstReused;
+  if (b_here) return MappingClass::kSecondReused;
+  return MappingClass::kNoneReused;
+}
+
+MappingClass classify_mapping(const ContractionTask& task, DeviceId dev,
+                              const ClusterIndex& index) {
+  const bool a_here = index.holds(dev, task.a.id);
+  const bool b_here = index.holds(dev, task.b.id);
   if (a_here && b_here) return MappingClass::kBothReused;
   if (a_here) return MappingClass::kFirstReused;
   if (b_here) return MappingClass::kSecondReused;
@@ -70,6 +136,17 @@ std::uint64_t bytes_needed_on(const ContractionTask& task, DeviceId dev,
   if (!view.resident_on(dev, task.a.id)) bytes += task.a.bytes();
   const bool same_operand = task.a.id == task.b.id;
   if (!same_operand && !view.resident_on(dev, task.b.id)) {
+    bytes += task.b.bytes();
+  }
+  return bytes;
+}
+
+std::uint64_t bytes_needed_on(const ContractionTask& task, DeviceId dev,
+                              const ClusterIndex& index) {
+  std::uint64_t bytes = task.out.bytes();
+  if (!index.holds(dev, task.a.id)) bytes += task.a.bytes();
+  const bool same_operand = task.a.id == task.b.id;
+  if (!same_operand && !index.holds(dev, task.b.id)) {
     bytes += task.b.bytes();
   }
   return bytes;

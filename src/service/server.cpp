@@ -956,8 +956,11 @@ int Server::serve() {
   MICCO_EXPECTS_MSG(started_, "call start() before serve()");
 
   // The serial loop is the deterministic configuration; I/O fans out over
-  // the worker pool only when the pool actually has lanes to spare.
-  const int pool = parallel::configured_threads();
+  // the worker pool only when the pool actually has lanes to spare. Sized
+  // against the *effective* width: every lane here blocks in poll(), so a
+  // lane the capped pool would run serially (never concurrently) is not
+  // spare capacity — it would let dispatcher_loop starve the I/O lanes.
+  const int pool = parallel::effective_threads();
   const int lanes = std::min(config_.io_lanes, pool - 1);
   if (lanes >= 1) {
     serve_parallel(lanes);

@@ -1,0 +1,232 @@
+// ClusterIndex unit tests: residency deltas (holder order, bitmask,
+// epochs), wide clusters past the 64-bit inline mask word, the sparse id
+// spill, and — via a live ClusterSimulator — the contract that the
+// per-device mirrors and the residency sets always agree with the virtual
+// ClusterView getters at every scheduler observation point (after execute,
+// barrier, failure and discard).
+#include "gpusim/cluster_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/cluster.hpp"
+#include "workload/task.hpp"
+
+namespace micco {
+namespace {
+
+TensorDesc desc(TensorId id, std::int64_t extent = 16) {
+  return TensorDesc{id, 2, extent, 1};
+}
+
+ContractionTask task(TensorId a, TensorId b, TensorId out,
+                     std::int64_t extent = 16) {
+  return ContractionTask{desc(a, extent), desc(b, extent), desc(out, extent)};
+}
+
+// ------------------------------------------------------------ residency core
+
+TEST(ClusterIndex, HoldersKeepInsertionOrder) {
+  ClusterIndex index(8);
+  index.place(5, 3);
+  index.place(5, 0);
+  index.place(5, 6);
+  EXPECT_EQ(index.holders(5), (std::vector<DeviceId>{3, 0, 6}));
+  EXPECT_TRUE(index.holds(3, 5));
+  EXPECT_TRUE(index.holds(0, 5));
+  EXPECT_TRUE(index.holds(6, 5));
+  EXPECT_FALSE(index.holds(1, 5));
+
+  // Removing the middle holder preserves the relative order of the rest.
+  index.remove(5, 0);
+  EXPECT_EQ(index.holders(5), (std::vector<DeviceId>{3, 6}));
+  EXPECT_FALSE(index.holds(0, 5));
+}
+
+TEST(ClusterIndex, NeverPlacedTensorHasEmptyState) {
+  ClusterIndex index(4);
+  EXPECT_EQ(index.find(42), nullptr);
+  EXPECT_TRUE(index.holders(42).empty());
+  EXPECT_FALSE(index.resident_anywhere(42));
+  EXPECT_FALSE(index.holds(0, 42));
+  EXPECT_EQ(index.tensor_epoch(42), 0u);
+}
+
+TEST(ClusterIndex, EpochsAreMonotonicAndNeverReset) {
+  ClusterIndex index(4);
+  index.place(7, 1);
+  const std::uint64_t after_place = index.tensor_epoch(7);
+  EXPECT_GT(after_place, 0u);
+
+  index.remove(7, 1);
+  const std::uint64_t after_remove = index.tensor_epoch(7);
+  EXPECT_GT(after_remove, after_place);
+
+  // The entry survives the last removal with an empty holder list, so a
+  // re-placement continues the epoch sequence instead of restarting it —
+  // a cache keyed on (id, epoch) must never see a recycled value.
+  EXPECT_NE(index.find(7), nullptr);
+  EXPECT_FALSE(index.resident_anywhere(7));
+  index.place(7, 2);
+  EXPECT_GT(index.tensor_epoch(7), after_remove);
+}
+
+TEST(ClusterIndex, GlobalEpochCountsEveryResidencyChange) {
+  ClusterIndex index(4);
+  EXPECT_EQ(index.epoch_bumps(), 0u);
+  index.place(1, 0);
+  index.place(2, 0);
+  index.place(1, 3);
+  index.remove(1, 0);
+  EXPECT_EQ(index.epoch_bumps(), 4u);
+  // Interleaved tensors stamp distinct epochs from the shared counter.
+  EXPECT_EQ(index.tensor_epoch(1), 4u);
+  EXPECT_EQ(index.tensor_epoch(2), 2u);
+}
+
+TEST(ClusterIndex, SparseSpillHandlesHugeIds) {
+  ClusterIndex index(4);
+  const TensorId huge = (1ULL << 20) + 17;  // past the dense table
+  index.place(huge, 2);
+  EXPECT_TRUE(index.holds(2, huge));
+  EXPECT_EQ(index.holders(huge), (std::vector<DeviceId>{2}));
+  EXPECT_GT(index.tensor_epoch(huge), 0u);
+  index.remove(huge, 2);
+  EXPECT_FALSE(index.resident_anywhere(huge));
+  EXPECT_NE(index.find(huge), nullptr);
+}
+
+// ---------------------------------------------------------- wide clusters
+
+TEST(ClusterIndex, MaskExtendsPast64Devices) {
+  ClusterIndex index(70);
+  index.place(9, 63);   // last bit of the inline word
+  index.place(9, 64);   // first bit of the first spill word
+  index.place(9, 69);
+  EXPECT_TRUE(index.holds(63, 9));
+  EXPECT_TRUE(index.holds(64, 9));
+  EXPECT_TRUE(index.holds(69, 9));
+  EXPECT_FALSE(index.holds(65, 9));
+  EXPECT_EQ(index.holders(9), (std::vector<DeviceId>{63, 64, 69}));
+
+  index.remove(9, 64);
+  EXPECT_FALSE(index.holds(64, 9));
+  EXPECT_TRUE(index.holds(63, 9));
+  EXPECT_TRUE(index.holds(69, 9));
+}
+
+TEST(ClusterIndex, AliveMaskSpansMultipleWordsAscending) {
+  ClusterIndex index(130);
+  EXPECT_EQ(index.num_alive(), 130);
+  ASSERT_EQ(index.alive_mask().size(), 3u);  // ceil(130 / 64)
+  for (DeviceId dev = 0; dev < 130; ++dev) EXPECT_TRUE(index.alive(dev));
+  // The last word only carries bits for the two devices past 128.
+  EXPECT_EQ(index.alive_mask()[2], 0x3ULL);
+
+  index.set_alive(64, false);
+  index.set_alive(129, false);
+  EXPECT_EQ(index.num_alive(), 128);
+  EXPECT_FALSE(index.alive(64));
+  EXPECT_FALSE(index.alive(129));
+  EXPECT_TRUE(index.alive(63));
+  // Killing a dead device twice must not double-decrement.
+  index.set_alive(64, false);
+  EXPECT_EQ(index.num_alive(), 128);
+
+  // Ascending scan over the mask words enumerates exactly the alive set —
+  // this is the enumeration order of the scheduler's tier II' / fallback.
+  std::vector<DeviceId> scanned;
+  const std::vector<std::uint64_t>& words = index.alive_mask();
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    for (std::size_t bit = 0; bit < 64; ++bit) {
+      if (((words[w] >> bit) & 1ULL) != 0) {
+        scanned.push_back(static_cast<DeviceId>(w * 64 + bit));
+      }
+    }
+  }
+  EXPECT_EQ(scanned.size(), 128u);
+  EXPECT_FALSE(std::binary_search(scanned.begin(), scanned.end(), 64));
+  EXPECT_TRUE(std::is_sorted(scanned.begin(), scanned.end()));
+
+  // Revival flips the bit back on and restores the count.
+  index.set_alive(64, true);
+  EXPECT_EQ(index.num_alive(), 129);
+  EXPECT_TRUE(index.alive(64));
+}
+
+// ------------------------------------------------ mirrors track the cluster
+
+/// The index the simulator maintains must agree with the virtual getters at
+/// every point the scheduler can observe the cluster.
+void expect_index_consistent(const ClusterSimulator& sim,
+                             const std::vector<TensorId>& tensors) {
+  const ClusterIndex* index = sim.cluster_index();
+  ASSERT_NE(index, nullptr);
+  for (DeviceId dev = 0; dev < sim.num_devices(); ++dev) {
+    EXPECT_EQ(index->memory_used(dev), sim.memory_used(dev)) << "dev " << dev;
+    EXPECT_EQ(index->memory_capacity(dev), sim.memory_capacity(dev));
+    EXPECT_EQ(index->alive(dev), sim.device_alive(dev)) << "dev " << dev;
+    EXPECT_EQ(index->busy(dev), sim.busy_time(dev)) << "dev " << dev;
+  }
+  int alive = 0;
+  for (DeviceId dev = 0; dev < sim.num_devices(); ++dev) {
+    if (sim.device_alive(dev)) ++alive;
+  }
+  EXPECT_EQ(index->num_alive(), alive);
+  for (const TensorId id : tensors) {
+    EXPECT_EQ(index->holders(id), sim.devices_holding(id)) << "tensor " << id;
+    for (DeviceId dev = 0; dev < sim.num_devices(); ++dev) {
+      EXPECT_EQ(index->holds(dev, id), sim.resident_on(dev, id))
+          << "tensor " << id << " dev " << dev;
+    }
+  }
+}
+
+TEST(ClusterIndexMirror, TracksExecuteBarrierFailureAndDiscard) {
+  ClusterConfig config;
+  config.num_devices = 3;
+  config.device_capacity_bytes = 1ULL << 20;
+  ClusterSimulator sim(config);
+  const std::vector<TensorId> ids{1, 2, 3, 4, 5, 6};
+
+  expect_index_consistent(sim, ids);
+
+  ASSERT_TRUE(sim.execute(task(1, 2, 3), 0).ok());
+  expect_index_consistent(sim, ids);
+  ASSERT_TRUE(sim.execute(task(1, 4, 5), 1).ok());  // replica of 1 on dev 1
+  expect_index_consistent(sim, ids);
+
+  sim.barrier();
+  expect_index_consistent(sim, ids);
+
+  sim.fail_device(1, 0.0);
+  expect_index_consistent(sim, ids);
+  EXPECT_FALSE(sim.cluster_index()->alive(1));
+
+  sim.discard(1);
+  expect_index_consistent(sim, ids);
+  EXPECT_FALSE(sim.cluster_index()->resident_anywhere(1));
+}
+
+TEST(ClusterIndexMirror, FailureBumpsEpochOfEveryResidentTensor) {
+  ClusterConfig config;
+  config.num_devices = 2;
+  ClusterSimulator sim(config);
+  ASSERT_TRUE(sim.execute(task(10, 11, 12), 0).ok());
+
+  const ClusterIndex* index = sim.cluster_index();
+  const std::uint64_t epoch_a = index->tensor_epoch(10);
+  const std::uint64_t epoch_out = index->tensor_epoch(12);
+  ASSERT_GT(epoch_a, 0u);
+
+  sim.fail_device(0, 0.0);
+  // Every tensor the dead device held changed residency: epochs must move,
+  // which is what invalidates any cached classification involving them.
+  EXPECT_GT(index->tensor_epoch(10), epoch_a);
+  EXPECT_GT(index->tensor_epoch(12), epoch_out);
+}
+
+}  // namespace
+}  // namespace micco

@@ -59,6 +59,7 @@
 #include "obs/report.hpp"
 #include "parallel/parallel.hpp"
 #include "obs/telemetry.hpp"
+#include "sched/scheduler.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
 #include "workload/serialize.hpp"
@@ -114,7 +115,10 @@ int usage() {
                "  top --socket=PATH [--interval-ms=1000 --iterations=N "
                "--once]   (live telemetry dashboard)\n"
                "  drain --socket=PATH [--shutdown]   (--shutdown cancels "
-               "queued jobs)\n");
+               "queued jobs)\n"
+               "  global: --sched-incremental=on|off   (off: recompute-from-"
+               "view scheduler hot path, escape hatch for one release; "
+               "decisions are byte-identical either way)\n");
   return 2;
 }
 
@@ -934,6 +938,23 @@ void render_top(const obs::JsonValue& reply) {
     }
   }
 
+  // Scheduler hot-path counters (PR: incremental scheduler core). The cache
+  // pair is registered only on the incremental path, so the line doubles as
+  // a visual check of which mode the daemon runs in.
+  if (const obs::JsonValue* counters = reply.at("metrics").find("counters")) {
+    const auto counter = [counters](const char* key) -> long long {
+      const obs::JsonValue* v = counters->find(key);
+      return v == nullptr ? 0 : static_cast<long long>(v->as_int());
+    };
+    if (counters->find(obs::names::kClusterEpochBumps) != nullptr) {
+      std::printf("sched: pattern-cache hits %lld misses %lld | "
+                  "residency epoch bumps %lld\n",
+                  counter(obs::names::kSchedPatternCacheHits),
+                  counter(obs::names::kSchedPatternCacheMisses),
+                  counter(obs::names::kClusterEpochBumps));
+    }
+  }
+
   const obs::JsonValue& histograms = reply.at("metrics").at("histograms");
   if (!histograms.members().empty()) {
     std::printf("\n%-38s %9s %11s %11s %11s %11s\n", "histogram", "count",
@@ -1014,6 +1035,11 @@ int dispatch(int argc, char** argv) {
   if (argc < 2) return usage();
   const CliArgs args(argc, argv);
   const std::string command = argv[1];
+  // Global escape hatch, kept for one release (DESIGN.md §9): off reverts
+  // every scheduler to the recompute-from-view hot path. Decision logs are
+  // byte-identical either way; only the pattern-cache counters disappear
+  // from reports. Set here, before any scheduler exists — never mid-run.
+  set_sched_incremental(args.get_bool("sched-incremental", true));
   if (command == "generate") return cmd_generate(args);
   if (command == "run") return cmd_run(args);
   if (command == "train") return cmd_train(args);
