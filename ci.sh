@@ -1,6 +1,8 @@
 #!/usr/bin/env sh
-# Local CI: strict-warning Debug build, the micco-lint determinism &
-# concurrency gate (required), full test suite, a telemetry smoke test (the
+# Local CI: strict-warning Debug build with runtime lock-rank enforcement
+# compiled in, the micco-lint determinism & concurrency gate (required —
+# scope-aware lock-order/blocking/WAL rules, lock-graph export, and a stale-
+# suppression audit), full test suite, a telemetry smoke test (the
 # `report` subcommand must emit a valid, deterministic report + decision
 # log on a synthetic stream), a fault-injection smoke test (kill a device
 # mid-stream and require a clean recovery), a serve smoke test (the
@@ -30,20 +32,35 @@ TSAN_BUILD_DIR="${BUILD_DIR}-tsan"
 REL_BUILD_DIR="${BUILD_DIR}-rel"
 CLANG_BUILD_DIR="${BUILD_DIR}-clang"
 
-echo "== configure (${BUILD_DIR}, Debug, -Wall -Wextra -Werror) =="
+echo "== configure (${BUILD_DIR}, Debug, -Wall -Wextra -Werror, lock ranks) =="
+# -DMICCO_MUTEX_RANKS=1 makes the runtime lock-rank checks explicit (they
+# default on in Debug anyway): every ctest suite, smoke daemon and death
+# test below runs with rank-inversion enforcement live (DESIGN.md §10.4).
 cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=Debug \
+  -DMICCO_MUTEX_RANKS=1 \
   -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror"
 
 echo "== build =="
 cmake --build "${BUILD_DIR}" -j "$(nproc 2>/dev/null || echo 4)"
 
 echo "== lint (micco_lint, required) =="
-# The determinism & concurrency gate (DESIGN.md §5e). Non-zero exit fails
-# CI; the JSON invocation is what dashboards/scripts consume and doubles as
-# a schema smoke test.
-"${BUILD_DIR}/tools/micco_lint" --format=text src tools bench
+# The determinism & concurrency gate (DESIGN.md §5e, §10). Non-zero exit
+# fails CI — including lock-order cycles, blocking-under-lock and WAL-rule
+# findings from the scope-aware analysis; the JSON invocation is what
+# dashboards/scripts consume and doubles as a schema smoke test. The
+# tree-wide run also exports the extracted lock-order graph, which `micco
+# report --lock-graph` summarises into the CI log so the certified
+# concurrency surface is recorded alongside the build.
+"${BUILD_DIR}/tools/micco_lint" --format=text \
+  --lock-graph="${BUILD_DIR}/lock_graph.json" src tools bench
 "${BUILD_DIR}/tools/micco_lint" --format=json src > /dev/null
+"${BUILD_DIR}/tools/micco" report --lock-graph="${BUILD_DIR}/lock_graph.json"
+
+echo "== lint suppressions (no stale allow() directives) =="
+# Lists every in-tree allow() with its rule, reason and blame date; exits
+# 22 (failing CI) if any directive no longer suppresses anything.
+"${BUILD_DIR}/tools/micco_lint" --suppressions src tools bench
 
 echo "== test =="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"

@@ -9,14 +9,101 @@
 // to nothing. micco_lint's `thread-annotation` rule bans raw std::mutex /
 // std::condition_variable in src/ outside this header so new code cannot
 // dodge the analysis by accident.
+//
+// Runtime lock-rank enforcement (DESIGN.md §10.4): a Mutex constructed with
+// a name and a rank participates in a strictly-decreasing-rank discipline —
+// a thread may only acquire a ranked mutex whose rank is lower than every
+// ranked mutex it already holds. Inversions abort immediately with both
+// lock names, turning a some-schedules deadlock into an every-schedule
+// crash. Checks are on in debug builds (!NDEBUG) by default; define
+// MICCO_MUTEX_RANKS to 1/0 to force them on/off regardless of build type.
+// Default-constructed (unranked) mutexes are exempt and pay nothing.
 #pragma once
 
 #include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 #include "common/thread_annotations.hpp"
 
+#if defined(MICCO_MUTEX_RANKS)
+#if MICCO_MUTEX_RANKS
+#define MICCO_MUTEX_RANK_CHECKS 1
+#else
+#define MICCO_MUTEX_RANK_CHECKS 0
+#endif
+#elif !defined(NDEBUG)
+#define MICCO_MUTEX_RANK_CHECKS 1
+#else
+#define MICCO_MUTEX_RANK_CHECKS 0
+#endif
+
 namespace micco {
+
+#if MICCO_MUTEX_RANK_CHECKS
+namespace detail {
+
+/// Per-thread stack of ranked locks currently held, newest last. Fixed
+/// capacity: a thread holding this many locks at once is a bug in itself.
+struct LockRankStack {
+  static constexpr int kCapacity = 32;
+  struct Entry {
+    const void* mutex;
+    const char* name;
+    int rank;
+  };
+  Entry held[kCapacity];
+  int count = 0;
+};
+
+inline thread_local LockRankStack t_lock_ranks;
+
+/// Abort (before deadlocking) if acquiring `rank` would violate the
+/// strictly-decreasing discipline against any ranked lock already held.
+inline void lock_rank_check(const char* name, int rank) {
+  const LockRankStack& stack = t_lock_ranks;
+  for (int i = stack.count - 1; i >= 0; --i) {
+    if (stack.held[i].rank <= rank) {
+      std::fprintf(stderr,
+                   "micco: lock-rank inversion: acquiring '%s' (rank %d) "
+                   "while holding '%s' (rank %d); ranks must strictly "
+                   "decrease along every acquisition chain (DESIGN.md "
+                   "\xc2\xa7"
+                   "10.4)\n",
+                   name, rank, stack.held[i].name, stack.held[i].rank);
+      std::abort();
+    }
+  }
+}
+
+inline void lock_rank_push(const void* mutex, const char* name, int rank) {
+  LockRankStack& stack = t_lock_ranks;
+  if (stack.count >= LockRankStack::kCapacity) {
+    std::fprintf(stderr, "micco: lock-rank stack overflow acquiring '%s'\n",
+                 name);
+    std::abort();
+  }
+  stack.held[stack.count++] = {mutex, name, rank};
+}
+
+/// Drop `mutex` from the held stack. Searches from the top: releases are
+/// almost always LIFO (MutexLock), but manual unlock order is legal.
+inline void lock_rank_pop(const void* mutex) {
+  LockRankStack& stack = t_lock_ranks;
+  for (int i = stack.count - 1; i >= 0; --i) {
+    if (stack.held[i].mutex == mutex) {
+      for (int j = i; j + 1 < stack.count; ++j) {
+        stack.held[j] = stack.held[j + 1];
+      }
+      --stack.count;
+      return;
+    }
+  }
+}
+
+}  // namespace detail
+#endif  // MICCO_MUTEX_RANK_CHECKS
 
 /// std::mutex with Clang capability annotations. Lock it through MutexLock
 /// (RAII) wherever possible; lock()/unlock() exist for the rare manual
@@ -24,16 +111,46 @@ namespace micco {
 class MICCO_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  /// Ranked mutex (see header comment). `name` must outlive the mutex —
+  /// pass a string literal; the rank table lives in common/lock_ranks.hpp.
+  Mutex(const char* name, int rank) : name_(name), rank_(rank) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() MICCO_ACQUIRE() { m_.lock(); }
-  void unlock() MICCO_RELEASE() { m_.unlock(); }
-  bool try_lock() MICCO_TRY_ACQUIRE(true) { return m_.try_lock(); }
+  void lock() MICCO_ACQUIRE() {
+#if MICCO_MUTEX_RANK_CHECKS
+    // Check before blocking on m_: in a real inversion schedule the
+    // acquisition may deadlock, and an abort after it would never run.
+    if (rank_ >= 0) detail::lock_rank_check(name_, rank_);
+#endif
+    m_.lock();
+#if MICCO_MUTEX_RANK_CHECKS
+    if (rank_ >= 0) detail::lock_rank_push(this, name_, rank_);
+#endif
+  }
+
+  void unlock() MICCO_RELEASE() {
+#if MICCO_MUTEX_RANK_CHECKS
+    if (rank_ >= 0) detail::lock_rank_pop(this);
+#endif
+    m_.unlock();
+  }
+
+  bool try_lock() MICCO_TRY_ACQUIRE(true) {
+    // try_lock cannot deadlock, so it skips the rank check — but a success
+    // still pushes, so later blocking acquisitions see the full held set.
+    const bool acquired = m_.try_lock();
+#if MICCO_MUTEX_RANK_CHECKS
+    if (acquired && rank_ >= 0) detail::lock_rank_push(this, name_, rank_);
+#endif
+    return acquired;
+  }
 
  private:
   friend class CondVar;
   std::mutex m_;  // micco-lint: allow(thread-annotation) the one wrapped std::mutex
+  const char* name_ = nullptr;
+  int rank_ = -1;  ///< < 0 = unranked (exempt from rank checking)
 };
 
 /// RAII exclusive lock over a micco::Mutex (std::lock_guard shaped, but

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_ranks.hpp"
 #include "common/mutex.hpp"
 #include "obs/json.hpp"
 
@@ -141,7 +142,7 @@ class BufferedJsonlEventSink final : public EventSink {
 
   std::ostream& out_;
   std::size_t flush_bytes_;
-  Mutex mutex_;
+  Mutex mutex_{"BufferedJsonlEventSink::mutex_", kLockRankEventSink};
   std::string buffer_ MICCO_GUARDED_BY(mutex_);
 };
 

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_ranks.hpp"
 #include "common/mutex.hpp"
 #include "obs/json.hpp"
 
@@ -97,7 +98,7 @@ class Histogram {
 
  private:
   std::vector<double> bounds_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"Histogram::mutex_", kLockRankHistogram};
   std::vector<std::uint64_t> counts_ MICCO_GUARDED_BY(mutex_);
   std::uint64_t count_ MICCO_GUARDED_BY(mutex_) = 0;
   double sum_ MICCO_GUARDED_BY(mutex_) = 0.0;
@@ -173,7 +174,7 @@ class MetricsRegistry {
   std::string prometheus_text() const;
 
  private:
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"MetricsRegistry::mutex_", kLockRankMetrics};
   std::map<std::string, Counter> counters_ MICCO_GUARDED_BY(mutex_);
   std::map<std::string, Gauge> gauges_ MICCO_GUARDED_BY(mutex_);
   std::map<std::string, Histogram> histograms_ MICCO_GUARDED_BY(mutex_);

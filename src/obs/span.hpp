@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/lock_ranks.hpp"
 #include "common/mutex.hpp"
 #include "obs/json.hpp"
 
@@ -90,7 +91,7 @@ class JsonlSpanSink final : public SpanSink {
 
  private:
   std::ostream& out_;
-  Mutex mutex_;
+  Mutex mutex_{"JsonlSpanSink::mutex_", kLockRankSpanSink};
   std::uint64_t seq_ MICCO_GUARDED_BY(mutex_) = 0;
 };
 

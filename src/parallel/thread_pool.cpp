@@ -19,6 +19,7 @@
 #include <memory>
 #include <thread>
 
+#include "common/lock_ranks.hpp"
 #include "common/mutex.hpp"
 
 namespace micco::parallel {
@@ -42,7 +43,7 @@ struct Loop {
   alignas(64) MICCO_LOCK_FREE std::atomic<std::size_t> next{0};
   alignas(64) MICCO_LOCK_FREE std::atomic<std::size_t> done{0};
 
-  Mutex mutex;      ///< guards error + pairs completion signalling
+  Mutex mutex{"Loop::mutex", kLockRankLoop};  ///< guards error + pairs completion signalling
   CondVar drained;  ///< signalled when done reaches n
   std::exception_ptr error MICCO_GUARDED_BY(mutex);  ///< first item exception
 
@@ -171,7 +172,7 @@ class Pool {
     }
   }
 
-  Mutex mutex_;
+  Mutex mutex_{"Pool::mutex_", kLockRankPool};
   CondVar work_available_;
   std::deque<std::shared_ptr<Loop>> open_loops_ MICCO_GUARDED_BY(mutex_);
   bool stop_ MICCO_GUARDED_BY(mutex_) = false;
@@ -180,7 +181,7 @@ class Pool {
 
 // -- Global pool configuration ---------------------------------------------
 
-Mutex g_config_mutex;
+Mutex g_config_mutex{"parallel::g_config_mutex", kLockRankParallelConfig};
 int g_threads MICCO_GUARDED_BY(g_config_mutex) = 0;  ///< 0 = not yet resolved
 std::unique_ptr<Pool> g_pool MICCO_GUARDED_BY(g_config_mutex);
 

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_ranks.hpp"
 #include "common/mutex.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -281,7 +282,7 @@ class JobManager {
       MICCO_REQUIRES(mutex_);
 
   AdmissionConfig config_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"JobManager::mutex_", kLockRankJobManager};
   obs::MetricsRegistry* registry_ MICCO_GUARDED_BY(mutex_) = nullptr;
   std::map<std::uint64_t, Job> jobs_ MICCO_GUARDED_BY(mutex_);
   std::map<std::string, Tenant> tenants_ MICCO_GUARDED_BY(mutex_);

@@ -384,8 +384,11 @@ bool JournalWriter::open(const JournalConfig& config, std::string* error) {
   }
   // The O_CREAT above may have just created the file; its directory entry
   // must be durable before any appended record can claim to be, so sync
-  // the parent directory once per open.
+  // the parent directory once per open. This one-shot startup fsync stays
+  // under the lock: fd_ must not become visible to appenders until the
+  // entry is durable, and open() runs before any traffic exists to stall.
   int dir_err = 0;
+  // micco-lint: allow(blocking-under-lock) one-shot startup: directory entry must be durable before fd_ is published
   if (!fsync_parent_dir(config_.path, &dir_err)) {
     ::close(fd);
     return fail("cannot fsync journal directory of " + config_.path + ": " +
@@ -405,61 +408,96 @@ void JournalWriter::set_telemetry(obs::Counter* records, obs::Counter* bytes,
 
 bool JournalWriter::append(const JournalRecord& record, std::string* error) {
   const std::string line = encode_journal_line(record);
-  const MutexLock lock(mutex_);
-  if (fd_ < 0) {
-    if (error != nullptr) *error = "journal not open";
-    return false;
-  }
-  int err = 0;
-  if (!write_all(fd_, line.data(), line.size(), &err)) {
-    if (error != nullptr) {
-      *error = "journal write failed: " + std::string(strerror(err));
+  int fd = -1;
+  bool want_sync = false;
+  std::uint64_t appended = 0;
+  std::uint64_t crash_after = 0;
+  obs::Histogram* fsync_ms = nullptr;
+  {
+    const MutexLock lock(mutex_);
+    if (fd_ < 0) {
+      if (error != nullptr) *error = "journal not open";
+      return false;
     }
-    return false;
+    int err = 0;
+    // The write must stay under the lock: concurrent appends have to reach
+    // the O_APPEND fd one whole record at a time, or two half-records
+    // interleave and recovery sees a corrupt line.
+    // micco-lint: allow(blocking-under-lock) O_APPEND record framing requires serializing the write itself
+    if (!write_all(fd_, line.data(), line.size(), &err)) {
+      if (error != nullptr) {
+        *error = "journal write failed: " + std::string(strerror(err));
+      }
+      return false;
+    }
+    ++appended_;
+    ++since_sync_;
+    if (records_counter_ != nullptr) records_counter_->add();
+    if (bytes_counter_ != nullptr) bytes_counter_->add(line.size());
+    want_sync = config_.fsync == FsyncPolicy::kAlways ||
+                (config_.fsync == FsyncPolicy::kInterval &&
+                 config_.fsync_interval > 0 &&
+                 since_sync_ >= config_.fsync_interval);
+    // Reset the interval counter at decision time (not after the fsync
+    // lands) so a concurrent append cannot double-claim the same interval.
+    // If the fsync below fails, the append is reported failed anyway and
+    // callers treat the journal as gone.
+    if (want_sync) since_sync_ = 0;
+    fd = fd_;
+    appended = appended_;
+    crash_after = config_.crash_after_records;
+    fsync_ms = fsync_ms_;
   }
-  ++appended_;
-  ++since_sync_;
-  if (records_counter_ != nullptr) records_counter_->add();
-  if (bytes_counter_ != nullptr) bytes_counter_->add(line.size());
 
-  const bool want_sync =
-      config_.fsync == FsyncPolicy::kAlways ||
-      (config_.fsync == FsyncPolicy::kInterval && config_.fsync_interval > 0 &&
-       since_sync_ >= config_.fsync_interval);
+  // The durability fsync runs OFF the lock: it is the slowest operation in
+  // the hot path (milliseconds on real disks) and holding mutex_ across it
+  // stalled every concurrent append and is_open()/records_appended() probe
+  // for the full device round trip. An fsync covers every byte written to
+  // the fd before it started, so this thread's record — written above,
+  // earlier in program order — is durable when fsync_retry returns no
+  // matter how appends interleave. (close() only runs after appends
+  // quiesce, so the snapshot fd stays valid.)
   if (want_sync) {
     Stopwatch watch;
-    if (!fsync_retry(fd_, &err)) {
+    int err = 0;
+    if (!fsync_retry(fd, &err)) {
       if (error != nullptr) {
         *error = "journal fsync failed: " + std::string(strerror(err));
       }
       return false;
     }
-    if (fsync_ms_ != nullptr) fsync_ms_->observe(watch.elapsed_ms());
-    since_sync_ = 0;
+    if (fsync_ms != nullptr) fsync_ms->observe(watch.elapsed_ms());
   }
 
   // Chaos hook: die the instant the Nth record is durable, so the harness
   // can probe recovery at every boundary between journal records.
-  if (config_.crash_after_records > 0 &&
-      appended_ >= config_.crash_after_records) {
+  if (crash_after > 0 && appended >= crash_after) {
     ::raise(SIGKILL);
   }
   return true;
 }
 
 bool JournalWriter::sync(std::string* error) {
-  const MutexLock lock(mutex_);
-  if (fd_ < 0) return true;
+  int fd = -1;
+  obs::Histogram* fsync_ms = nullptr;
+  {
+    const MutexLock lock(mutex_);
+    if (fd_ < 0) return true;
+    fd = fd_;
+    fsync_ms = fsync_ms_;
+    since_sync_ = 0;
+  }
+  // Same shape as append(): the fsync itself runs off the lock (see there
+  // for why that is safe for the durability contract).
   int err = 0;
   Stopwatch watch;
-  if (!fsync_retry(fd_, &err)) {
+  if (!fsync_retry(fd, &err)) {
     if (error != nullptr) {
       *error = "journal fsync failed: " + std::string(strerror(err));
     }
     return false;
   }
-  if (fsync_ms_ != nullptr) fsync_ms_->observe(watch.elapsed_ms());
-  since_sync_ = 0;
+  if (fsync_ms != nullptr) fsync_ms->observe(watch.elapsed_ms());
   return true;
 }
 
@@ -468,6 +506,10 @@ void JournalWriter::close() {
   if (fd_ < 0) return;
   if (config_.fsync != FsyncPolicy::kNever && since_sync_ > 0) {
     int err = 0;
+    // The shutdown fsync stays under the lock deliberately: it orders
+    // against the ::close below — releasing between them would let another
+    // close() race the fd away mid-sync.
+    // micco-lint: allow(blocking-under-lock) fd lifecycle: final fsync must complete before this very scope closes the fd
     fsync_retry(fd_, &err);  // best effort on the way out
   }
   ::close(fd_);

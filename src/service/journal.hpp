@@ -37,6 +37,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/lock_ranks.hpp"
 #include "common/mutex.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -170,7 +171,7 @@ class JournalWriter {
   std::uint64_t records_appended() const;
 
  private:
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"JournalWriter::mutex_", kLockRankJournal};
   JournalConfig config_;
   int fd_ MICCO_GUARDED_BY(mutex_) = -1;
   std::uint64_t appended_ MICCO_GUARDED_BY(mutex_) = 0;

@@ -42,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_ranks.hpp"
 #include "common/mutex.hpp"
 #include "common/stopwatch.hpp"
 #include "core/bounds_model.hpp"
@@ -233,7 +234,7 @@ class Server {
   double session_start_ms_ = 0.0; ///< monotonic zero for latencies + uptime
   std::string started_at_utc_;    ///< the one wall capture (report stamp)
 
-  mutable Mutex state_mutex_;
+  mutable Mutex state_mutex_{"Server::state_mutex_", kLockRankServerState};
   CondVar dispatch_ready_ MICCO_GUARDED_BY(state_mutex_);
   Phase phase_ MICCO_GUARDED_BY(state_mutex_) = Phase::kServing;
   bool stopped_ MICCO_GUARDED_BY(state_mutex_) = false;

@@ -1,0 +1,29 @@
+// lint corpus: blocking-under-lock must fire (exit 20) — once for the
+// direct ::send under the guard, once for the call into drain(), which
+// transitively blocks on ::send.
+#include "common/mutex.hpp"
+
+namespace corpus {
+
+void drain(int fd) {
+  char byte = 0;
+  ::send(fd, &byte, 1, 0);
+}
+
+class Pusher {
+ public:
+  void push();
+
+ private:
+  int fd_ = -1;
+  micco::Mutex mutex_;
+};
+
+void Pusher::push() {
+  const micco::MutexLock lock(mutex_);
+  char byte = 0;
+  ::send(fd_, &byte, 1, 0);
+  drain(fd_);
+}
+
+}  // namespace corpus

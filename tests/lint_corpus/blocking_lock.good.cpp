@@ -1,0 +1,27 @@
+// lint corpus: the blocking-under-lock-clean shape — snapshot the shared
+// state under the guard, release, then block on the network outside the
+// critical section.
+#include "common/mutex.hpp"
+
+namespace corpus {
+
+class Pusher {
+ public:
+  void push();
+
+ private:
+  int fd_ = -1;
+  micco::Mutex mutex_;
+};
+
+void Pusher::push() {
+  int fd = -1;
+  {
+    const micco::MutexLock lock(mutex_);
+    fd = fd_;
+  }
+  char byte = 0;
+  ::send(fd, &byte, 1, 0);
+}
+
+}  // namespace corpus

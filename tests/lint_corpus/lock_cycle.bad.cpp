@@ -1,0 +1,48 @@
+// lint corpus: lock-order-cycle must fire (exit 19).
+//
+// Alpha::poke holds Alpha::mutex_ while calling into Beta::prod, which
+// takes Beta::mutex_; Beta::bump holds Beta::mutex_ while calling back
+// into Alpha::tick, which takes Alpha::mutex_. The extracted lock graph
+// has both edges, so some schedule deadlocks: one thread in poke, one in
+// bump, each holding the lock the other wants.
+#include "common/mutex.hpp"
+
+namespace corpus {
+
+class Beta;
+
+class Alpha {
+ public:
+  void poke();
+  void tick();
+
+ private:
+  Beta* beta_ = nullptr;
+  micco::Mutex mutex_;
+};
+
+class Beta {
+ public:
+  void prod();
+  void bump();
+
+ private:
+  Alpha* alpha_ = nullptr;
+  micco::Mutex mutex_;
+};
+
+void Alpha::poke() {
+  const micco::MutexLock lock(mutex_);
+  beta_->prod();
+}
+
+void Alpha::tick() { const micco::MutexLock lock(mutex_); }
+
+void Beta::prod() { const micco::MutexLock lock(mutex_); }
+
+void Beta::bump() {
+  const micco::MutexLock lock(mutex_);
+  alpha_->tick();
+}
+
+}  // namespace corpus

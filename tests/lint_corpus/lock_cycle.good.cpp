@@ -1,0 +1,38 @@
+// lint corpus: consistent lock nesting — same two classes as
+// lock_cycle.bad.cpp, but every path acquires Alpha::mutex_ strictly
+// before Beta::mutex_. The graph has one edge and no cycle: clean.
+#include "common/mutex.hpp"
+
+namespace corpus {
+
+class Beta {
+ public:
+  void prod();
+
+ private:
+  micco::Mutex mutex_;
+};
+
+class Alpha {
+ public:
+  void poke();
+  void tick();
+
+ private:
+  Beta* beta_ = nullptr;
+  micco::Mutex mutex_;
+};
+
+void Beta::prod() { const micco::MutexLock lock(mutex_); }
+
+void Alpha::poke() {
+  const micco::MutexLock lock(mutex_);
+  beta_->prod();
+}
+
+void Alpha::tick() {
+  const micco::MutexLock lock(mutex_);
+  beta_->prod();
+}
+
+}  // namespace corpus

@@ -1,0 +1,13 @@
+// lint corpus: a well-formed directive that no longer suppresses anything.
+// Normal lint mode stays clean (a stale allow() hides nothing today), but
+// the suppressions report must flag it so it gets deleted before it can
+// mask a future regression.
+namespace corpus {
+
+int quiet() {
+  // micco-lint: allow(no-stdout) once covered a printf that has since moved
+  int value = 0;
+  return value;
+}
+
+}  // namespace corpus

@@ -1,0 +1,26 @@
+// lint corpus: wal-release-before-durable must fire (exit 21) — the job
+// becomes visible (release_job) before any durable journal append in the
+// enclosing scope chain, so a crash between the two forgets an admitted
+// job.
+namespace corpus {
+
+class Ledger {
+ public:
+  bool append(int record);
+};
+
+class Admissions {
+ public:
+  void release_job(int job_id);
+  void admit(int job_id);
+
+ private:
+  Ledger journal_;
+};
+
+void Admissions::admit(int job_id) {
+  release_job(job_id);
+  journal_.append(job_id);
+}
+
+}  // namespace corpus

@@ -1,0 +1,25 @@
+// lint corpus: the write-ahead shape — the durable journal append
+// dominates release_job in the same scope chain, so recovery always
+// re-learns any job that became visible.
+namespace corpus {
+
+class Ledger {
+ public:
+  bool append(int record);
+};
+
+class Admissions {
+ public:
+  void release_job(int job_id);
+  void admit(int job_id);
+
+ private:
+  Ledger journal_;
+};
+
+void Admissions::admit(int job_id) {
+  if (!journal_.append(job_id)) return;
+  release_job(job_id);
+}
+
+}  // namespace corpus

@@ -149,6 +149,63 @@ TEST(MiccoLintRules, DurabilityLookalikesAndSuppressionsAreClean) {
   EXPECT_EQ(result.exit_code, 0) << format_text(result);
 }
 
+TEST(MiccoLintRules, LockOrderCycleFiresWithWitnessPath) {
+  const LintResult result = lint_fixture("lock_cycle.bad.cpp");
+  EXPECT_EQ(result.exit_code, 19);
+  ASSERT_EQ(count_rule(result, "lock-order-cycle"), 1);
+  // The finding spells out the whole cycle, rotated to a canonical start.
+  EXPECT_NE(result.findings[0].message.find(
+                "Alpha::mutex_ -> Beta::mutex_ -> Alpha::mutex_"),
+            std::string::npos)
+      << result.findings[0].message;
+  // Both directions were extracted as edges of the lock graph.
+  EXPECT_EQ(result.lock_graph.nodes.size(), 2u);
+  EXPECT_EQ(result.lock_graph.edges.size(), 2u);
+}
+
+TEST(MiccoLintRules, ConsistentLockNestingIsCleanWithOneEdge) {
+  const LintResult result = lint_fixture("lock_cycle.good.cpp");
+  EXPECT_EQ(result.exit_code, 0) << format_text(result);
+  // Both call sites nest the same way, so the deduplicated graph keeps a
+  // single Alpha-before-Beta edge (first witness wins) and never the
+  // reverse direction.
+  ASSERT_EQ(result.lock_graph.edges.size(), 1u);
+  EXPECT_EQ(result.lock_graph.edges[0].from, "Alpha::mutex_");
+  EXPECT_EQ(result.lock_graph.edges[0].to, "Beta::mutex_");
+}
+
+TEST(MiccoLintRules, BlockingUnderLockFiresDirectAndTransitive) {
+  const LintResult result = lint_fixture("blocking_lock.bad.cpp");
+  EXPECT_EQ(result.exit_code, 20);
+  ASSERT_EQ(count_rule(result, "blocking-under-lock"), 2);
+  // One finding for the raw primitive, one naming the call chain that
+  // reaches it.
+  EXPECT_NE(result.findings[0].message.find("::send"), std::string::npos);
+  EXPECT_NE(result.findings[1].message.find("drain -> ::send"),
+            std::string::npos);
+  for (const Finding& finding : result.findings) {
+    EXPECT_NE(finding.message.find("Pusher::mutex_"), std::string::npos);
+  }
+}
+
+TEST(MiccoLintRules, BlockingOutsideTheCriticalSectionIsClean) {
+  const LintResult result = lint_fixture("blocking_lock.good.cpp");
+  EXPECT_EQ(result.exit_code, 0) << format_text(result);
+}
+
+TEST(MiccoLintRules, WalReleaseBeforeDurableAppendFires) {
+  const LintResult result = lint_fixture("wal_release.bad.cpp");
+  EXPECT_EQ(result.exit_code, 21);
+  ASSERT_EQ(count_rule(result, "wal-release-before-durable"), 1);
+  EXPECT_NE(result.findings[0].message.find("Admissions::admit"),
+            std::string::npos);
+}
+
+TEST(MiccoLintRules, WalAppendDominatingReleaseIsClean) {
+  const LintResult result = lint_fixture("wal_release.good.cpp");
+  EXPECT_EQ(result.exit_code, 0) << format_text(result);
+}
+
 TEST(MiccoLintRules, FindingsAreSortedByFileLineRule) {
   const LintResult result = lint_paths(
       {corpus("det_rng.bad.cpp"), corpus("stdout.bad.cpp")});
@@ -180,6 +237,37 @@ TEST(MiccoLintSuppression, MalformedDirectivesAreFindingsAndSuppressNothing) {
   EXPECT_EQ(result.exit_code, 13);
 }
 
+TEST(MiccoLintSuppression, StaleDirectiveIsFlaggedInTheReport) {
+  const LintResult result = lint_fixture("suppression.stale.cpp");
+  // Normal mode stays clean — a stale allow() hides nothing today — but
+  // the report entry carries the stale bit that --suppressions exits on.
+  EXPECT_EQ(result.exit_code, 0) << format_text(result);
+  ASSERT_EQ(result.suppressions.size(), 1u);
+  EXPECT_TRUE(result.suppressions[0].stale);
+  ASSERT_EQ(result.suppressions[0].rules.size(), 1u);
+  EXPECT_EQ(result.suppressions[0].rules[0], "no-stdout");
+  EXPECT_NE(result.suppressions[0].reason.find("once covered"),
+            std::string::npos);
+}
+
+TEST(MiccoLintSuppression, LiveDirectivesAreNotStale) {
+  const LintResult result = lint_fixture("suppression.ok.cpp");
+  EXPECT_EQ(result.exit_code, 0) << format_text(result);
+  ASSERT_FALSE(result.suppressions.empty());
+  for (const SuppressionReportEntry& entry : result.suppressions) {
+    EXPECT_FALSE(entry.stale) << entry.file << ":" << entry.line;
+  }
+}
+
+TEST(MiccoLintSuppression, ConcurrencyFindingsAreSuppressible) {
+  // The in-tree journal allow() sites depend on this: a directive on the
+  // line above a blocking call must silence blocking-under-lock.
+  const LintResult result = lint_fixture("blocking_lock.allowed.good.cpp");
+  EXPECT_EQ(result.exit_code, 0) << format_text(result);
+  ASSERT_EQ(result.suppressions.size(), 1u);
+  EXPECT_FALSE(result.suppressions[0].stale);
+}
+
 TEST(MiccoLintSuppression, IoErrorOnMissingPath) {
   const LintResult result = lint_paths({corpus("does_not_exist.cpp")});
   EXPECT_EQ(result.exit_code, 1);
@@ -194,7 +282,7 @@ TEST(MiccoLintJson, ReportParsesAndMirrorsTheFindings) {
   std::string error;
   const auto parsed = obs::parse_json(format_json(result), &error);
   ASSERT_TRUE(parsed.has_value()) << error;
-  EXPECT_EQ(parsed->at("schema_version").as_int(), 1);
+  EXPECT_EQ(parsed->at("schema_version").as_int(), 2);
   EXPECT_EQ(parsed->at("files_scanned").as_int(), 1);
   EXPECT_FALSE(parsed->at("clean").as_bool());
   EXPECT_EQ(parsed->at("exit_code").as_int(), 13);
@@ -208,6 +296,34 @@ TEST(MiccoLintJson, ReportParsesAndMirrorsTheFindings) {
     EXPECT_GT(finding.at("line").as_int(), 0);
     EXPECT_FALSE(finding.at("message").as_string().empty());
   }
+  // Schema v2 additions: lock-graph size and suppression totals.
+  EXPECT_EQ(parsed->at("lock_graph").at("nodes").as_int(), 0);
+  EXPECT_EQ(parsed->at("lock_graph").at("edges").as_int(), 0);
+  EXPECT_EQ(parsed->at("suppressions").at("total").as_int(), 0);
+  EXPECT_EQ(parsed->at("suppressions").at("stale").as_int(), 0);
+}
+
+TEST(MiccoLintJson, LockGraphExportRoundTrips) {
+  const LintResult result = lint_fixture("lock_cycle.good.cpp");
+  std::string error;
+  const auto parsed = obs::parse_json(lock_graph_json(result.lock_graph),
+                                      &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->at("schema_version").as_int(), 1);
+  ASSERT_EQ(parsed->at("nodes").items().size(), 2u);
+  const auto& edges = parsed->at("edges").items();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].at("from").as_string(), "Alpha::mutex_");
+  EXPECT_EQ(edges[0].at("to").as_string(), "Beta::mutex_");
+  EXPECT_NE(edges[0].at("file").as_string().find("lock_cycle.good.cpp"),
+            std::string::npos);
+  EXPECT_GT(edges[0].at("line").as_int(), 0);
+  // The DOT flavour names the same nodes and the edge.
+  const std::string dot = lock_graph_dot(result.lock_graph);
+  EXPECT_NE(dot.find("digraph"), std::string::npos) << dot;
+  EXPECT_NE(dot.find("\"Alpha::mutex_\" -> \"Beta::mutex_\""),
+            std::string::npos)
+      << dot;
 }
 
 TEST(MiccoLintJson, CleanRunReportsClean) {

@@ -93,6 +93,8 @@ int usage() {
                "--seed=N --vectors=N --vector-size=N)\n"
                "  report --spans=FILE [--pretty]   (summarise a span-tree "
                "trace file instead of running)\n"
+               "  report --lock-graph=FILE [--pretty]   (summarise a "
+               "micco_lint lock-graph export)\n"
                "  faults PLANFILE [--gpus=8]   (validate and summarise a "
                "fault plan)\n"
                "  serve --socket=PATH [--scheduler=NAME --gpus=8 "
@@ -517,9 +519,64 @@ int cmd_report_spans(const CliArgs& args) {
   return problems.empty() ? 0 : 1;
 }
 
+/// `micco report --lock-graph=FILE`: offline summary of the lock-order
+/// graph JSON written by `micco_lint --lock-graph=FILE` — node and edge
+/// counts plus the edge list, so CI logs record the concurrency surface
+/// the linter certified cycle-free (DESIGN.md §10). A separate mode (not a
+/// field on the run report) on purpose: run reports stay byte-stable
+/// across lint-only changes.
+int cmd_report_lock_graph(const CliArgs& args) {
+  const std::string path = args.get("lock-graph", "");
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "report: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string parse_error;
+  const std::optional<obs::JsonValue> doc =
+      obs::parse_json(buffer.str(), &parse_error);
+  if (!doc.has_value()) {
+    std::fprintf(stderr, "report: %s: unparseable: %s\n", path.c_str(),
+                 parse_error.c_str());
+    return 1;
+  }
+  const obs::JsonValue* nodes = doc->find("nodes");
+  const obs::JsonValue* edges = doc->find("edges");
+  if (nodes == nullptr || edges == nullptr ||
+      nodes->kind() != obs::JsonValue::Kind::kArray ||
+      edges->kind() != obs::JsonValue::Kind::kArray) {
+    std::fprintf(stderr, "report: %s is not a lock-graph export\n",
+                 path.c_str());
+    return 1;
+  }
+
+  obs::JsonValue summary = obs::JsonValue::object();
+  summary.set("schema_version", 1);
+  summary.set("nodes", static_cast<std::int64_t>(nodes->items().size()));
+  summary.set("edges", static_cast<std::int64_t>(edges->items().size()));
+  obs::JsonValue order = obs::JsonValue::array();
+  for (const obs::JsonValue& edge : edges->items()) {
+    const obs::JsonValue* from = edge.find("from");
+    const obs::JsonValue* to = edge.find("to");
+    if (from == nullptr || to == nullptr) continue;
+    order.push_back(obs::JsonValue(from->as_string() + " -> " +
+                                   to->as_string()));
+  }
+  summary.set("lock_order", std::move(order));
+
+  const bool pretty = args.get_bool("pretty", false);
+  std::printf("%s\n",
+              (pretty ? summary.dump_pretty() : summary.dump()).c_str());
+  return 0;
+}
+
 int cmd_report(const CliArgs& args) {
-  // --spans selects the offline trace-summary mode: no workload is run.
+  // --spans / --lock-graph select the offline summary modes: no workload
+  // is run.
   if (args.has("spans")) return cmd_report_spans(args);
+  if (args.has("lock-graph")) return cmd_report_lock_graph(args);
 
   // Workload: a file when given, otherwise a small deterministic synthetic
   // stream so the telemetry path can be exercised with no setup.

@@ -24,6 +24,10 @@ const char* const kThreadAnnotation = "thread-annotation";
 const char* const kBadSuppression = "bad-suppression";
 const char* const kMetricNameLiteral = "metric-name-literal";
 const char* const kRawDurabilityIo = "raw-durability-io";
+const char* const kLockOrderCycle = "lock-order-cycle";
+const char* const kBlockingUnderLock = "blocking-under-lock";
+const char* const kWalReleaseBeforeDurable = "wal-release-before-durable";
+const char* const kStaleSuppression = "stale-suppression";
 const char* const kIoError = "io-error";
 
 /// Headers whose include closure marks a TU as output-affecting: anything
@@ -71,6 +75,24 @@ const std::vector<RuleInfo>& rule_catalog() {
        "service/journal.cpp; durable bytes go through the journal's "
        "EINTR-retrying write_all/fsync wrappers so crash-safety guarantees "
        "have one auditable home (tools/ and bench/ are exempt)"},
+      {kLockOrderCycle, 19,
+       "the tree-wide lock-order graph extracted from nested MutexLock "
+       "scopes and MICCO_REQUIRES contexts must be acyclic; a cycle is a "
+       "deadlock some schedule can reach, reported with its witness path"},
+      {kBlockingUnderLock, 20,
+       "bans POSIX blocking calls (::write/::fsync/::poll/::recv/::send/"
+       "::connect, sleep family) — made directly or through a resolved "
+       "callee — while a MutexLock scope or MICCO_REQUIRES context is open; "
+       "shrink the critical section or allow() with a reason"},
+      {kWalReleaseBeforeDurable, 21,
+       "release_job (the WAL held-admission gate, DESIGN.md §8) must be "
+       "preceded by a durable journal append in the same function body; "
+       "dispatching before the admission record is on disk reopens the "
+       "crash window recovery closed"},
+      {kStaleSuppression, 22,
+       "an inline allow() directive whose rules no longer fire on the "
+       "covered lines; stale suppressions hide future regressions and are "
+       "rejected by --suppressions"},
   };
   return kCatalog;
 }
@@ -158,9 +180,10 @@ std::string trim(const std::string& text) {
 }
 
 /// Parses one comment body. Returns true when the comment is (or claims to
-/// be) a suppression; fills `rules` / `error`.
+/// be) a suppression; fills `rules` / `reason` / `error`.
 bool parse_suppression(const std::string& comment,
-                       std::vector<std::string>* rules, std::string* error) {
+                       std::vector<std::string>* rules, std::string* reason,
+                       std::string* error) {
   const std::string body = trim(comment);
   const std::string kTag = "micco-lint:";
   if (body.compare(0, kTag.size(), kTag) != 0) return false;
@@ -191,8 +214,8 @@ bool parse_suppression(const std::string& comment,
     *error = "empty rule list in suppression";
     return true;
   }
-  const std::string reason = trim(rest.substr(close + 1));
-  if (reason.empty()) {
+  *reason = trim(rest.substr(close + 1));
+  if (reason->empty()) {
     *error = "suppression needs a reason after allow(" + rule_list + ")";
     return true;
   }
@@ -249,8 +272,9 @@ void FileSet::add_file(const std::string& path, const std::string& content) {
   std::string literal_text;
   const auto finish_comment = [&]() {
     std::vector<std::string> rules;
+    std::string reason;
     std::string error;
-    if (parse_suppression(comment_text, &rules, &error)) {
+    if (parse_suppression(comment_text, &rules, &reason, &error)) {
       if (!error.empty()) {
         info.suppression_findings.push_back(
             Finding{path, comment_line, kBadSuppression, error});
@@ -258,6 +282,8 @@ void FileSet::add_file(const std::string& path, const std::string& content) {
         for (const std::string& rule : rules) {
           info.allowed[comment_line].insert(rule);
         }
+        info.suppressions.push_back(
+            SuppressionSite{comment_line, rules, reason});
       }
     }
     comment_text.clear();
@@ -564,7 +590,7 @@ std::string source_line(const std::string& content, int line) {
 
 }  // namespace
 
-std::vector<Finding> FileSet::lint_file(const std::string& path) const {
+std::vector<Finding> FileSet::raw_findings(const std::string& path) const {
   const FileInfo* info = find(path);
   if (info == nullptr) return {};
   const std::string& text = info->stripped;
@@ -783,10 +809,16 @@ std::vector<Finding> FileSet::lint_file(const std::string& path) const {
     }
   }
 
+  return raw;
+}
+
+std::vector<Finding> FileSet::lint_file(const std::string& path) const {
+  const FileInfo* info = find(path);
+  if (info == nullptr) return {};
   // Apply suppressions, then append suppression-parse findings (which are
   // themselves not suppressible).
   std::vector<Finding> findings;
-  for (Finding& finding : raw) {
+  for (Finding& finding : raw_findings(path)) {
     if (!suppressed(*info, finding.line, finding.rule)) {
       findings.push_back(std::move(finding));
     }
@@ -799,6 +831,31 @@ std::vector<Finding> FileSet::lint_file(const std::string& path) const {
                      std::tie(b.line, b.rule, b.message);
             });
   return findings;
+}
+
+bool FileSet::allowed(const std::string& path, int line,
+                      const std::string& rule) const {
+  const FileInfo* info = find(path);
+  return info != nullptr && suppressed(*info, line, rule);
+}
+
+const std::vector<SuppressionSite>& FileSet::suppression_sites(
+    const std::string& path) const {
+  static const std::vector<SuppressionSite> kEmpty;
+  const FileInfo* info = find(path);
+  return info == nullptr ? kEmpty : info->suppressions;
+}
+
+const std::vector<Finding>& FileSet::parse_errors(
+    const std::string& path) const {
+  static const std::vector<Finding> kEmpty;
+  const FileInfo* info = find(path);
+  return info == nullptr ? kEmpty : info->suppression_findings;
+}
+
+const std::string* FileSet::stripped_text(const std::string& path) const {
+  const FileInfo* info = find(path);
+  return info == nullptr ? nullptr : &info->stripped;
 }
 
 // ---------------------------------------------------------------------------
@@ -847,9 +904,90 @@ LintResult lint_paths(const std::vector<std::string>& paths) {
     set.add_file(file, content.str());
     ++result.files_scanned;
   }
+  // Raw (pre-suppression) findings, per file. Kept separate from the
+  // filtered output because stale-suppression detection must see what WOULD
+  // fire where an allow() directive sits.
+  std::vector<Finding> raw;
   for (const std::string& file : set.paths()) {
-    const std::vector<Finding> found = set.lint_file(file);
-    result.findings.insert(result.findings.end(), found.begin(), found.end());
+    const std::vector<Finding> found = set.raw_findings(file);
+    raw.insert(raw.end(), found.begin(), found.end());
+  }
+
+  // Scope-aware concurrency pass (DESIGN.md §10). tools/ and bench/ are
+  // process-owning leaf code outside the daemon's lock graph, same scope
+  // split as the token rules.
+  std::vector<TuModel> models;
+  for (const std::string& file : set.paths()) {
+    if (is_tool_scope(file)) continue;
+    const std::string* stripped = set.stripped_text(file);
+    if (stripped != nullptr) models.push_back(build_tu_model(file, *stripped));
+  }
+  const ConcurrencyReport concurrency = analyze_concurrency(models);
+  result.lock_graph = concurrency.graph;
+  for (const CycleWitness& cycle : concurrency.cycles) {
+    std::string path_text;
+    for (const std::string& node : cycle.path) {
+      if (!path_text.empty()) path_text += " -> ";
+      path_text += node;
+    }
+    raw.push_back(Finding{cycle.file, cycle.line, kLockOrderCycle,
+                          "lock-order cycle " + path_text +
+                              "; some schedule deadlocks here — fix the "
+                              "acquisition order (witness edge at this "
+                              "site)"});
+  }
+  for (const BlockingSite& site : concurrency.blocking) {
+    raw.push_back(Finding{site.file, site.line, kBlockingUnderLock,
+                          "blocking call " + site.what + " while holding " +
+                              site.guard +
+                              "; shrink the critical section or allow() "
+                              "with a reason"});
+  }
+  for (const WalSite& site : concurrency.wal) {
+    raw.push_back(Finding{site.file, site.line, kWalReleaseBeforeDurable,
+                          "release_job in " + site.function +
+                              " has no preceding durable journal append in "
+                              "the same function; the WAL held-admission "
+                              "gate requires append-before-dispatch"});
+  }
+
+  // Stale-suppression report: a directive is live when any of its rules
+  // fires (pre-suppression) on a line it covers (its own or the next).
+  std::set<std::string> fired;  // "file\x1fline\x1frule"
+  for (const Finding& finding : raw) {
+    fired.insert(finding.file + '\x1f' + std::to_string(finding.line) +
+                 '\x1f' + finding.rule);
+  }
+  for (const std::string& file : set.paths()) {
+    for (const SuppressionSite& site : set.suppression_sites(file)) {
+      SuppressionReportEntry entry;
+      entry.file = file;
+      entry.line = site.line;
+      entry.rules = site.rules;
+      entry.reason = site.reason;
+      entry.stale = true;
+      for (const std::string& rule : site.rules) {
+        for (const int covered : {site.line, site.line + 1}) {
+          if (fired.count(file + '\x1f' + std::to_string(covered) + '\x1f' +
+                          rule) > 0) {
+            entry.stale = false;
+          }
+        }
+      }
+      result.suppressions.push_back(std::move(entry));
+    }
+  }
+
+  // Apply suppressions; append the (unsuppressible) directive parse errors.
+  for (Finding& finding : raw) {
+    if (!set.allowed(finding.file, finding.line, finding.rule)) {
+      result.findings.push_back(std::move(finding));
+    }
+  }
+  for (const std::string& file : set.paths()) {
+    const std::vector<Finding>& errors = set.parse_errors(file);
+    result.findings.insert(result.findings.end(), errors.begin(),
+                           errors.end());
   }
   std::sort(result.findings.begin(), result.findings.end(),
             [](const Finding& a, const Finding& b) {
@@ -887,10 +1025,28 @@ std::string format_text(const LintResult& result) {
 std::string format_json(const LintResult& result) {
   using obs::JsonValue;
   JsonValue out = JsonValue::object();
-  out.set("schema_version", 1);
+  out.set("schema_version", 2);
   out.set("files_scanned", static_cast<std::int64_t>(result.files_scanned));
   out.set("clean", result.findings.empty());
   out.set("exit_code", result.exit_code);
+  {
+    JsonValue graph = JsonValue::object();
+    graph.set("nodes",
+              static_cast<std::int64_t>(result.lock_graph.nodes.size()));
+    graph.set("edges",
+              static_cast<std::int64_t>(result.lock_graph.edges.size()));
+    out.set("lock_graph", std::move(graph));
+  }
+  {
+    std::int64_t stale = 0;
+    for (const SuppressionReportEntry& entry : result.suppressions) {
+      if (entry.stale) ++stale;
+    }
+    JsonValue sup = JsonValue::object();
+    sup.set("total", static_cast<std::int64_t>(result.suppressions.size()));
+    sup.set("stale", stale);
+    out.set("suppressions", std::move(sup));
+  }
   std::map<std::string, std::int64_t> counts;
   JsonValue findings = JsonValue::array();
   for (const Finding& finding : result.findings) {
@@ -906,6 +1062,26 @@ std::string format_json(const LintResult& result) {
   for (const auto& [rule, n] : counts) count_obj.set(rule, n);
   out.set("counts", std::move(count_obj));
   out.set("findings", std::move(findings));
+  return out.dump() + "\n";
+}
+
+std::string lock_graph_json(const LockGraph& graph) {
+  using obs::JsonValue;
+  JsonValue out = JsonValue::object();
+  out.set("schema_version", 1);
+  JsonValue nodes = JsonValue::array();
+  for (const std::string& node : graph.nodes) nodes.push_back(node);
+  out.set("nodes", std::move(nodes));
+  JsonValue edges = JsonValue::array();
+  for (const LockEdge& e : graph.edges) {
+    JsonValue entry = JsonValue::object();
+    entry.set("from", e.from);
+    entry.set("to", e.to);
+    entry.set("file", e.file);
+    entry.set("line", e.line);
+    edges.push_back(std::move(entry));
+  }
+  out.set("edges", std::move(edges));
   return out.dump() + "\n";
 }
 

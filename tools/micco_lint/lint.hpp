@@ -27,6 +27,23 @@
 //                       obs/names.hpp; instrumentation sites must reference
 //                       the constants in that header
 //
+// On top of the token rules sits the scope-aware concurrency analysis
+// (scope.hpp, DESIGN.md §10), which adds three tree-wide rule families:
+//
+//   lock-order-cycle    the global nested-acquisition graph extracted from
+//                       MutexLock scopes and MICCO_REQUIRES contexts must
+//                       be acyclic; a cycle is a deadlock schedule
+//   blocking-under-lock no POSIX blocking call (::write/::fsync/::poll/
+//                       ::recv/::send/::connect, sleep family) — directly
+//                       or through a resolved callee — while a guard scope
+//                       is open
+//   wal-release-before-durable
+//                       release_job (the WAL held-admission gate) must be
+//                       preceded by a durable journal append in the same
+//                       function body
+//   stale-suppression   an allow() directive whose rules no longer fire on
+//                       the surrounding code (reported by --suppressions)
+//
 // Findings are suppressible inline with
 //   // micco-lint: allow(<rule>) <reason>
 // on the offending line or the line directly above. Every rule has a fixed
@@ -43,6 +60,8 @@
 #include <set>
 #include <string>
 #include <vector>
+
+#include "micco_lint/scope.hpp"
 
 namespace micco::lint {
 
@@ -66,6 +85,13 @@ const std::vector<RuleInfo>& rule_catalog();
 
 /// True when `name` is a rule in the catalog.
 bool known_rule(const std::string& name);
+
+/// One inline '// micco-lint: allow(...)' directive.
+struct SuppressionSite {
+  int line = 0;
+  std::vector<std::string> rules;
+  std::string reason;
+};
 
 /// The set of files being linted, with the derived per-file state the rules
 /// need: stripped text, inline suppressions, quoted includes (for the
@@ -93,8 +119,29 @@ class FileSet {
   /// `path` or any file of its resolved include closure.
   std::set<std::string> unordered_names(const std::string& path) const;
 
-  /// Lints one previously added file.
+  /// Lints one previously added file (raw token/line rules, suppressions
+  /// applied, parse errors appended).
   std::vector<Finding> lint_file(const std::string& path) const;
+
+  /// Token/line-rule findings of one file BEFORE suppressions are applied.
+  /// Feeds stale-suppression detection, which must see what would fire.
+  std::vector<Finding> raw_findings(const std::string& path) const;
+
+  /// True when an allow(<rule>) directive covers `line` of `path` (directive
+  /// on the line itself or the line directly above).
+  bool allowed(const std::string& path, int line,
+               const std::string& rule) const;
+
+  /// All allow() directives of one file, in line order.
+  const std::vector<SuppressionSite>& suppression_sites(
+      const std::string& path) const;
+
+  /// bad-suppression findings produced while parsing `path`'s directives.
+  const std::vector<Finding>& parse_errors(const std::string& path) const;
+
+  /// Stripped text of one file (comments/strings blanked, newlines kept) —
+  /// the input the scope-aware concurrency model is built from.
+  const std::string* stripped_text(const std::string& path) const;
 
  private:
   struct FileInfo {
@@ -104,6 +151,8 @@ class FileSet {
     std::vector<std::string> resolved_includes; ///< ...resolved into the set
     /// line -> rules allowed on that line and the next.
     std::map<int, std::set<std::string>> allowed;
+    /// Every well-formed allow() directive, with its reason (line order).
+    std::vector<SuppressionSite> suppressions;
     /// Findings produced while parsing suppressions (bad-suppression).
     std::vector<Finding> suppression_findings;
     std::set<std::string> unordered_decls;
@@ -123,11 +172,27 @@ class FileSet {
                                     ///< the path walker for determinism)
 };
 
+/// One allow() site in the tree, with its liveness verdict (--suppressions).
+struct SuppressionReportEntry {
+  std::string file;
+  int line = 0;
+  std::vector<std::string> rules;
+  std::string reason;
+  /// True when none of the directive's rules fire (pre-suppression) on the
+  /// covered lines any more — the directive is dead weight and must go.
+  bool stale = false;
+};
+
 /// Result of linting a set of paths.
 struct LintResult {
   std::vector<Finding> findings;  ///< sorted by (file, line, rule)
   std::size_t files_scanned = 0;
   int exit_code = 0;  ///< 0 clean, else lowest exit code of a fired rule
+  /// Every allow() directive seen, sorted by (file, line) — the
+  /// --suppressions report.
+  std::vector<SuppressionReportEntry> suppressions;
+  /// The tree-wide lock-order graph (--lock-graph, report counters).
+  LockGraph lock_graph;
 };
 
 /// Expands files and directories (recursing over .hpp/.h/.cpp/.cc), loads
@@ -141,5 +206,9 @@ std::string format_text(const LintResult& result);
 
 /// Machine-readable report (schema documented in DESIGN.md §5e).
 std::string format_json(const LintResult& result);
+
+/// JSON rendering of the extracted lock graph (--lock-graph=FILE when the
+/// name does not end in .dot; lock_graph_dot in scope.hpp renders Graphviz).
+std::string lock_graph_json(const LockGraph& graph);
 
 }  // namespace micco::lint

@@ -1,11 +1,18 @@
 // CLI driver for micco-lint (see lint.hpp for the rule catalog).
 //
 // Usage:
-//   micco_lint [--format=text|json] <path>...
+//   micco_lint [--format=text|json] [--lock-graph=FILE] <path>...
+//   micco_lint [--format=text|json] --suppressions <path>...
 //   micco_lint [--format=text|json] --list-rules
 //
 // Exit codes: 0 clean, 1 I/O error, 2 usage error, otherwise the lowest
 // exit code among the rules that fired (rule codes start at 10).
+// --suppressions exits 22 (stale-suppression) when any allow() directive
+// is stale, 0 otherwise.
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -16,20 +23,105 @@
 namespace {
 
 void print_usage(std::ostream& out) {
-  out << "usage: micco_lint [--format=text|json] <path>...\n"
+  out << "usage: micco_lint [--format=text|json] [--lock-graph=FILE] "
+         "<path>...\n"
+         "       micco_lint [--format=text|json] --suppressions <path>...\n"
          "       micco_lint [--format=text|json] --list-rules\n"
          "\n"
          "Lints C++ sources (.hpp/.h/.cpp/.cc; directories recurse) against\n"
          "the MICCO determinism & concurrency rules. Suppress a finding\n"
          "with '// micco-lint: allow(<rule>) <reason>' on the offending\n"
-         "line or the line directly above.\n";
+         "line or the line directly above.\n"
+         "\n"
+         "  --lock-graph=FILE  write the extracted lock-order graph to FILE\n"
+         "                     (Graphviz when FILE ends in .dot, else JSON)\n"
+         "  --suppressions     report every allow() site with rule, reason\n"
+         "                     and last-touched date; exit 22 when any\n"
+         "                     directive no longer suppresses anything\n";
+}
+
+/// Commit date (YYYY-MM-DD, UTC) of the line an allow() directive sits on,
+/// via `git blame`; "-" when the file is untracked or git is unavailable.
+/// An absolute date keeps the report reproducible — the tool never reads
+/// the wall clock.
+std::string blame_date(const std::string& file, int line) {
+  const std::string cmd = "git blame --porcelain -L " + std::to_string(line) +
+                          "," + std::to_string(line) + " -- \"" + file +
+                          "\" 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return "-";
+  std::string out;
+  char buf[512];
+  while (fgets(buf, sizeof buf, pipe) != nullptr) out += buf;
+  pclose(pipe);
+  const std::string key = "author-time ";
+  const std::size_t pos = out.find(key);
+  if (pos == std::string::npos) return "-";
+  const std::time_t epoch = static_cast<std::time_t>(
+      std::atoll(out.c_str() + pos + key.size()));
+  std::tm tm{};
+  if (gmtime_r(&epoch, &tm) == nullptr) return "-";
+  char date[16];
+  if (std::strftime(date, sizeof date, "%Y-%m-%d", &tm) == 0) return "-";
+  return date;
+}
+
+std::string join_rules(const std::vector<std::string>& rules) {
+  std::string out;
+  for (const std::string& rule : rules) {
+    if (!out.empty()) out += ",";
+    out += rule;
+  }
+  return out;
+}
+
+int run_suppressions_report(const micco::lint::LintResult& result,
+                            const std::string& format) {
+  std::size_t stale = 0;
+  for (const micco::lint::SuppressionReportEntry& entry : result.suppressions) {
+    if (entry.stale) ++stale;
+  }
+  if (format == "json") {
+    micco::obs::JsonValue out = micco::obs::JsonValue::object();
+    out.set("schema_version", 1);
+    out.set("total", static_cast<std::int64_t>(result.suppressions.size()));
+    out.set("stale", static_cast<std::int64_t>(stale));
+    micco::obs::JsonValue sites = micco::obs::JsonValue::array();
+    for (const micco::lint::SuppressionReportEntry& entry :
+         result.suppressions) {
+      micco::obs::JsonValue site = micco::obs::JsonValue::object();
+      site.set("file", entry.file);
+      site.set("line", entry.line);
+      site.set("rules", join_rules(entry.rules));
+      site.set("reason", entry.reason);
+      site.set("since", blame_date(entry.file, entry.line));
+      site.set("stale", entry.stale);
+      sites.push_back(std::move(site));
+    }
+    out.set("sites", std::move(sites));
+    std::cout << out.dump() << "\n";
+  } else {
+    for (const micco::lint::SuppressionReportEntry& entry :
+         result.suppressions) {
+      std::cout << entry.file << ':' << entry.line << ": allow("
+                << join_rules(entry.rules) << ") since "
+                << blame_date(entry.file, entry.line) << ' '
+                << (entry.stale ? "STALE" : "live") << " -- " << entry.reason
+                << '\n';
+    }
+    std::cout << "micco_lint: " << result.suppressions.size()
+              << " suppression(s), " << stale << " stale\n";
+  }
+  return stale > 0 ? 22 : 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string format = "text";
+  std::string lock_graph_file;
   bool list_rules = false;
+  bool suppressions = false;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -39,6 +131,14 @@ int main(int argc, char** argv) {
     }
     if (arg == "--list-rules") {
       list_rules = true;
+    } else if (arg == "--suppressions") {
+      suppressions = true;
+    } else if (arg.rfind("--lock-graph=", 0) == 0) {
+      lock_graph_file = arg.substr(13);
+      if (lock_graph_file.empty()) {
+        std::cerr << "micco_lint: --lock-graph needs a file name\n";
+        return 2;
+      }
     } else if (arg.rfind("--format=", 0) == 0) {
       format = arg.substr(9);
       if (format != "text" && format != "json") {
@@ -81,6 +181,22 @@ int main(int argc, char** argv) {
   }
 
   const micco::lint::LintResult result = micco::lint::lint_paths(paths);
+
+  if (!lock_graph_file.empty()) {
+    std::ofstream out(lock_graph_file, std::ios::binary);
+    if (!out) {
+      std::cerr << "micco_lint: cannot write '" << lock_graph_file << "'\n";
+      return 1;
+    }
+    const bool dot = lock_graph_file.size() >= 4 &&
+                     lock_graph_file.compare(lock_graph_file.size() - 4, 4,
+                                             ".dot") == 0;
+    out << (dot ? micco::lint::lock_graph_dot(result.lock_graph)
+                : micco::lint::lock_graph_json(result.lock_graph));
+  }
+
+  if (suppressions) return run_suppressions_report(result, format);
+
   std::cout << (format == "json" ? micco::lint::format_json(result)
                                  : micco::lint::format_text(result));
   return result.exit_code;

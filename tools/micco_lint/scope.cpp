@@ -1,0 +1,957 @@
+// Scope model + concurrency analysis for micco-lint (see scope.hpp).
+//
+// Two passes. build_tu_model() is a single linear scan over the stripped
+// text that maintains a brace-scope stack, classifies each `{` by the
+// statement head in front of it (namespace / class / function / plain
+// block / brace initializer / lambda), tracks MutexLock RAII guard scopes
+// and records call sites together with the guards open around them.
+// analyze_concurrency() then merges the per-TU declaration tables, resolves
+// mutex expressions to lock-graph nodes and callees to function summaries,
+// propagates acquires/may-block facts to a fixed point, and extracts the
+// lock graph, its cycles, and the blocking/WAL findings.
+#include "micco_lint/scope.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+
+namespace micco::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_identifier(const std::string& s) {
+  return !s.empty() && is_ident_start(s[0]);
+}
+
+/// Keywords that look like callees when followed by '(' but never are.
+bool is_callee_keyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "if",       "for",      "while",    "switch",   "return",
+      "sizeof",   "alignof",  "alignas",  "decltype", "noexcept",
+      "catch",    "throw",    "new",      "delete",   "static_assert",
+      "defined",  "assert",   "co_await", "co_return",
+      // Type keywords: `std::function<void(...)>` heads would otherwise
+      // look like a call to / definition of `void`.
+      "void",     "bool",     "char",     "int",      "long",
+      "short",    "float",    "double",   "unsigned", "signed",
+      "auto"};
+  return kKeywords.count(s) > 0;
+}
+
+std::string lowercase(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+/// Lowercased, underscore-free stem used by the receiver-name heuristic.
+std::string name_stem(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '_') continue;
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+/// True when a receiver variable plausibly holds an instance of `cls`
+/// (e.g. `loop` / Loop, `journal_` / JournalWriter). Used only when the
+/// declared-type tables have no answer, and only accepted when unique.
+bool name_similar(const std::string& var, const std::string& cls) {
+  const std::string a = name_stem(var);
+  const std::string b = name_stem(cls);
+  if (a.size() < 3 || b.size() < 3) return false;
+  return a.find(b) != std::string::npos || b.find(a) != std::string::npos;
+}
+
+enum class ScopeKind { kGlobal, kNamespace, kClass, kFunction, kBlock, kInit, kLambda };
+
+struct Scope {
+  ScopeKind kind = ScopeKind::kBlock;
+  std::string name;          ///< class name for kClass
+  int prev_fn = -1;          ///< current function index to restore on pop
+  std::size_t head_mark = 0; ///< head_ length at open, restored for kInit
+};
+
+struct Tok {
+  std::string text;
+  int line = 0;
+};
+
+/// POSIX calls that block the calling thread. Matched only when written
+/// with explicit global qualification (`::write(...)`), the tree-wide
+/// convention for raw system calls.
+bool is_global_blocking(const std::string& name) {
+  static const std::set<std::string> kCalls = {
+      "write", "read",   "fsync", "fdatasync", "poll",  "select",
+      "recv",  "send",   "accept", "connect",  "flock", "sleep",
+      "usleep", "nanosleep"};
+  return kCalls.count(name) > 0;
+}
+
+/// Sleep-family calls that block regardless of qualification.
+bool is_sleep_call(const std::string& name) {
+  return name == "sleep_for" || name == "sleep_until" || name == "usleep" ||
+         name == "nanosleep";
+}
+
+class ModelBuilder {
+ public:
+  ModelBuilder(const std::string& path, const std::string& text)
+      : text_(text) {
+    model_.path = path;
+  }
+
+  TuModel build() {
+    scan();
+    return std::move(model_);
+  }
+
+ private:
+  struct ActiveGuard {
+    std::string expr;
+    std::size_t level = 0;  ///< scope-stack depth the guard lives in
+  };
+
+  const std::string& text_;
+  TuModel model_;
+  std::vector<Tok> head_;
+  std::vector<Scope> scopes_;
+  std::vector<ActiveGuard> guards_;
+  int current_fn_ = -1;
+  int paren_depth_ = 0;
+
+  // -- scope-stack helpers --------------------------------------------------
+
+  ScopeKind innermost_kind() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind != ScopeKind::kInit) return it->kind;
+    }
+    return ScopeKind::kGlobal;
+  }
+
+  /// Nearest enclosing class name, if any.
+  std::string enclosing_class() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == ScopeKind::kClass) return it->name;
+    }
+    return std::string();
+  }
+
+  /// Scope level just inside the innermost lambda, or 0 when none is open.
+  /// Guards living at shallower levels are masked: the closure body runs
+  /// later, when nothing proves those locks are still held.
+  std::size_t mask_floor() const {
+    for (std::size_t i = scopes_.size(); i > 0; --i) {
+      if (scopes_[i - 1].kind == ScopeKind::kLambda) return i;
+    }
+    return 0;
+  }
+
+  std::vector<std::string> active_guard_exprs() const {
+    const std::size_t floor = mask_floor();
+    std::vector<std::string> out;
+    if (floor == 0 && current_fn_ >= 0) {
+      const FunctionModel& fn = model_.functions[static_cast<std::size_t>(current_fn_)];
+      out.insert(out.end(), fn.requires_exprs.begin(), fn.requires_exprs.end());
+    }
+    for (const ActiveGuard& g : guards_) {
+      if (g.level > floor) out.push_back(g.expr);
+    }
+    return out;
+  }
+
+  // -- statement-head utilities ---------------------------------------------
+
+  bool head_contains(const std::string& tok) const {
+    for (const Tok& t : head_) {
+      if (t.text == tok) return true;
+    }
+    return false;
+  }
+
+  /// Captures the normalized expression between the '(' at `open` and its
+  /// matching ')': whitespace dropped, leading &/* and this-> stripped.
+  std::string capture_paren_expr(std::size_t open) const {
+    std::string out;
+    int depth = 0;
+    for (std::size_t i = open; i < text_.size(); ++i) {
+      const char c = text_[i];
+      if (c == '(') {
+        ++depth;
+        if (depth == 1) continue;
+      } else if (c == ')') {
+        --depth;
+        if (depth == 0) break;
+      }
+      if (std::isspace(static_cast<unsigned char>(c)) == 0) out.push_back(c);
+    }
+    while (!out.empty() && (out[0] == '&' || out[0] == '*')) out.erase(0, 1);
+    if (out.rfind("this->", 0) == 0) out.erase(0, 6);
+    return out;
+  }
+
+  // -- '{' classification ---------------------------------------------------
+
+  /// Class name from a `class`/`struct` head: the last identifier before the
+  /// base-clause ':' (or the '{'), skipping attribute-macro parens and
+  /// `final`.
+  std::string class_name_from_head() const {
+    std::string name;
+    int depth = 0;
+    bool seen_key = false;
+    for (const Tok& t : head_) {
+      if (t.text == "(" || t.text == "<") { ++depth; continue; }
+      if (t.text == ")" || t.text == ">") { --depth; continue; }
+      if (depth != 0) continue;
+      if (t.text == "class" || t.text == "struct" || t.text == "union") {
+        seen_key = true;
+        continue;
+      }
+      if (!seen_key) continue;
+      if (t.text == ":") break;  // base clause
+      if (t.text == "final") continue;
+      if (is_identifier(t.text)) name = t.text;
+    }
+    return name;
+  }
+
+  /// Collects the MICCO_REQUIRES operands from a function head.
+  std::vector<std::string> requires_from_head() const {
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i + 1 < head_.size(); ++i) {
+      if (head_[i].text != "MICCO_REQUIRES" || head_[i + 1].text != "(") continue;
+      int depth = 0;
+      std::string expr;
+      for (std::size_t j = i + 1; j < head_.size(); ++j) {
+        const std::string& t = head_[j].text;
+        if (t == "(") {
+          ++depth;
+          if (depth == 1) continue;
+        } else if (t == ")") {
+          --depth;
+          if (depth == 0) break;
+        } else if (t == "," && depth == 1) {
+          if (!expr.empty()) out.push_back(expr);
+          expr.clear();
+          continue;
+        }
+        expr += t;
+      }
+      if (!expr.empty()) out.push_back(expr);
+    }
+    return out;
+  }
+
+  /// Extracts function name (and qualifying class, when written `X::y`) from
+  /// the statement head of a function definition. Returns false when the
+  /// head does not look like one.
+  bool function_from_head(std::string* cls, std::string* name, int* line) const {
+    // Find the parameter-list '(' — the first '(' preceded by an identifier
+    // (or by `operator` + symbol tokens) that is not a macro or keyword.
+    for (std::size_t p = 1; p < head_.size(); ++p) {
+      if (head_[p].text != "(") continue;
+      std::size_t n = p - 1;
+      // operator foo: name is `operator` plus the symbol tokens before '('.
+      std::size_t op = n;
+      while (op > 0 && !is_identifier(head_[op].text)) --op;
+      if (head_[op].text == "operator") {
+        std::string sym;
+        for (std::size_t j = op + 1; j < p; ++j) sym += head_[j].text;
+        *name = "operator" + sym;
+        *line = head_[op].line;
+        n = op;
+      } else {
+        if (!is_identifier(head_[n].text)) continue;
+        if (is_callee_keyword(head_[n].text)) continue;
+        if (head_[n].text.rfind("MICCO_", 0) == 0) continue;
+        *name = head_[n].text;
+        *line = head_[n].line;
+      }
+      // `~X()` destructor.
+      if (n >= 1 && head_[n - 1].text == "~") {
+        *name = "~" + *name;
+        --n;
+      }
+      // `Cls::name` qualification (take the nearest qualifier).
+      if (n >= 2 && head_[n - 1].text == "::" && is_identifier(head_[n - 2].text)) {
+        *cls = head_[n - 2].text;
+      }
+      return true;
+    }
+    return false;
+  }
+
+  // -- declaration harvesting -----------------------------------------------
+
+  /// Member/global declaration harvest at ';' — fills member_types,
+  /// mutex_owners and mutex_globals. `cls` is empty at namespace scope.
+  void harvest_declaration(const std::string& cls) {
+    // Work on a cleaned copy: drop access-label prefixes, annotation macros
+    // with their parens, storage/cv keywords, and everything from '='.
+    std::vector<std::string> toks;
+    for (std::size_t i = 0; i < head_.size(); ++i) {
+      const std::string& t = head_[i].text;
+      if (t == "=") break;
+      if ((t == "public" || t == "private" || t == "protected" ||
+           t == "case" || t == "default") &&
+          i + 1 < head_.size() && head_[i + 1].text == ":") {
+        toks.clear();
+        ++i;
+        continue;
+      }
+      if (t.rfind("MICCO_", 0) == 0 || t == "alignas") {
+        if (i + 1 < head_.size() && head_[i + 1].text == "(") {
+          int depth = 0;
+          for (++i; i < head_.size(); ++i) {
+            if (head_[i].text == "(") ++depth;
+            if (head_[i].text == ")" && --depth == 0) break;
+          }
+        }
+        continue;
+      }
+      if (t == "mutable" || t == "static" || t == "const" || t == "constexpr" ||
+          t == "inline" || t == "explicit" || t == "volatile" || t == "extern") {
+        continue;
+      }
+      if (t == "using" || t == "typedef" || t == "friend" || t == "enum" ||
+          t == "return" || t == "namespace" || t == "template") {
+        return;  // not a data declaration
+      }
+      toks.push_back(t);
+    }
+    if (toks.size() < 2) return;
+    // Function declarations/prototypes carry a '(' — skip them.
+    for (const std::string& t : toks) {
+      if (t == "(") return;
+    }
+    // Declarator name: last identifier; declared type: last identifier
+    // before it (the template argument for wrapper types, e.g. the Pool in
+    // unique_ptr<Pool>, which is exactly the type member calls go through).
+    std::size_t name_idx = toks.size();
+    for (std::size_t i = toks.size(); i > 0; --i) {
+      if (is_identifier(toks[i - 1])) { name_idx = i - 1; break; }
+    }
+    if (name_idx == toks.size() || name_idx == 0) return;
+    std::string type;
+    for (std::size_t i = name_idx; i > 0; --i) {
+      if (is_identifier(toks[i - 1])) { type = toks[i - 1]; break; }
+    }
+    if (type.empty()) return;
+    const std::string& name = toks[name_idx];
+    model_.member_types[cls][name] = type;
+    if (type == "Mutex") {
+      if (cls.empty()) {
+        model_.mutex_globals.insert(name);
+      } else {
+        model_.mutex_owners[name].insert(cls);
+      }
+    }
+  }
+
+  // -- call-site / guard recording ------------------------------------------
+
+  /// Invoked when '(' follows the current head; `open` is its text offset.
+  void handle_open_paren(std::size_t open, int line) {
+    if (head_.empty()) return;
+    const Tok& prev = head_.back();
+    if (!is_identifier(prev.text) || is_callee_keyword(prev.text)) return;
+
+    // `MutexLock <var> (` — an RAII guard acquisition. The two-identifier
+    // shape excludes both the MutexLock constructor declaration and uses of
+    // the type name alone.
+    if (head_.size() >= 2 && head_[head_.size() - 2].text == "MutexLock" &&
+        current_fn_ >= 0) {
+      GuardSite site;
+      site.line = line;
+      site.expr = capture_paren_expr(open);
+      site.held = active_guard_exprs();
+      site.deferred = mask_floor() > 0;
+      if (!site.expr.empty()) {
+        model_.functions[static_cast<std::size_t>(current_fn_)].guards.push_back(site);
+        guards_.push_back({site.expr, scopes_.size()});
+      }
+      return;
+    }
+
+    if (current_fn_ < 0) return;  // class bodies, initializers, prototypes
+
+    CallSite call;
+    call.line = line;
+    call.callee = prev.text;
+    call.guards = active_guard_exprs();
+    call.deferred = mask_floor() > 0;
+
+    if (head_.size() >= 2) {
+      const std::string& before = head_[head_.size() - 2].text;
+      if (before == "." || before == "->") {
+        call.has_receiver = true;
+        if (head_.size() >= 3 && is_identifier(head_[head_.size() - 3].text)) {
+          // Simple receiver only: `a.b.c(...)` keeps receiver empty. A ')'
+          // before the receiver is NOT a chain — `if (cond) x.y(...)` puts
+          // the condition's ')' right before a genuinely simple receiver.
+          const bool chained =
+              head_.size() >= 4 && (head_[head_.size() - 4].text == "." ||
+                                    head_[head_.size() - 4].text == "->" ||
+                                    head_[head_.size() - 4].text == "::" ||
+                                    head_[head_.size() - 4].text == "]");
+          if (!chained) call.receiver = head_[head_.size() - 3].text;
+          if (call.receiver == "this") {
+            call.receiver.clear();
+            call.has_receiver = false;
+          }
+        }
+      } else if (before == "::") {
+        // Walk the qualifier chain back to its root.
+        std::size_t i = head_.size() - 2;
+        std::string root;
+        while (i >= 1 && head_[i].text == "::" && is_identifier(head_[i - 1].text)) {
+          root = head_[i - 1].text;
+          if (i < 2) { i = 0; break; }
+          i -= 2;
+        }
+        if (root.empty()) {
+          call.global_scope = true;  // written `::callee(...)`
+        } else if (root == "std") {
+          call.std_qualified = true;
+        } else {
+          call.receiver = root;  // `Cls::callee(...)` — resolved as class-qualified
+        }
+      }
+    }
+    model_.functions[static_cast<std::size_t>(current_fn_)].calls.push_back(call);
+  }
+
+  void open_brace() {
+    const ScopeKind outer = innermost_kind();
+    Scope scope;
+    scope.prev_fn = current_fn_;
+    scope.head_mark = head_.size();
+
+    const std::string prev = head_.empty() ? std::string() : head_.back().text;
+    const bool in_function = current_fn_ >= 0;
+
+    if (head_contains("namespace")) {
+      scope.kind = ScopeKind::kNamespace;
+    } else if (!in_function && (head_contains("class") || head_contains("struct") ||
+                                head_contains("union")) &&
+               !head_contains("(")) {
+      scope.kind = ScopeKind::kClass;
+      scope.name = class_name_from_head();
+    } else if (head_contains("enum")) {
+      scope.kind = ScopeKind::kInit;  // enumerator list: keep out of the model
+    } else if (prev == "=" || prev == "," || prev == "(" || prev == "{") {
+      scope.kind = ScopeKind::kInit;
+    } else if ((prev == "]" || prev == ")") && head_contains("[")) {
+      scope.kind = ScopeKind::kLambda;
+    } else if (in_function) {
+      scope.kind = (is_identifier(prev) && prev != "else" && prev != "do" &&
+                    prev != "try")
+                       ? ScopeKind::kInit  // `T x{...}` braced init
+                       : ScopeKind::kBlock;
+    } else if ((outer == ScopeKind::kGlobal || outer == ScopeKind::kNamespace ||
+                outer == ScopeKind::kClass) &&
+               head_contains("(")) {
+      std::string cls;
+      std::string name;
+      int line = 0;
+      if (function_from_head(&cls, &name, &line)) {
+        scope.kind = ScopeKind::kFunction;
+        FunctionModel fn;
+        fn.cls = cls.empty() ? enclosing_class() : cls;
+        fn.name = name;
+        fn.line = line;
+        fn.requires_exprs = requires_from_head();
+        current_fn_ = static_cast<int>(model_.functions.size());
+        model_.functions.push_back(std::move(fn));
+      } else {
+        scope.kind = ScopeKind::kBlock;
+      }
+    } else if (is_identifier(prev)) {
+      // `Mutex mutex_{...};` — a brace-initialized member/global: keep the
+      // statement head so the ';' harvest still sees the declaration.
+      scope.kind = ScopeKind::kInit;
+    } else {
+      scope.kind = ScopeKind::kBlock;
+    }
+
+    scopes_.push_back(scope);
+    if (scope.kind != ScopeKind::kInit) head_.clear();
+  }
+
+  void close_brace() {
+    if (scopes_.empty()) return;
+    const Scope scope = scopes_.back();
+    scopes_.pop_back();
+    current_fn_ = scope.prev_fn;
+    while (!guards_.empty() && guards_.back().level > scopes_.size()) {
+      guards_.pop_back();
+    }
+    if (scope.kind != ScopeKind::kInit) {
+      head_.clear();
+    } else if (head_.size() > scope.head_mark) {
+      // Drop the initializer's own tokens so `T x{"name", kRank};` still
+      // harvests `T x` at the ';' — without this, the last identifier
+      // inside the braces masquerades as the declared name.
+      head_.resize(scope.head_mark);
+    }
+  }
+
+  // -- main scan ------------------------------------------------------------
+
+  void scan() {
+    int line = 1;
+    std::size_t i = 0;
+    const std::size_t n = text_.size();
+    while (i < n) {
+      const char c = text_[i];
+      if (c == '\n') {
+        ++line;
+        ++i;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++i;
+        continue;
+      }
+      if (is_ident_start(c)) {
+        std::size_t j = i + 1;
+        while (j < n && is_ident_char(text_[j])) ++j;
+        head_.push_back({text_.substr(i, j - i), line});
+        i = j;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        std::size_t j = i + 1;
+        while (j < n && (is_ident_char(text_[j]) || text_[j] == '.')) ++j;
+        head_.push_back({text_.substr(i, j - i), line});
+        i = j;
+        continue;
+      }
+      switch (c) {
+        case '{':
+          open_brace();
+          ++i;
+          continue;
+        case '}':
+          close_brace();
+          ++i;
+          continue;
+        case ';':
+          if (paren_depth_ == 0) {
+            const ScopeKind kind = innermost_kind();
+            if (kind == ScopeKind::kClass) {
+              harvest_declaration(scopes_is_class_name());
+            } else if (kind == ScopeKind::kNamespace || kind == ScopeKind::kGlobal) {
+              harvest_declaration(std::string());
+            }
+            head_.clear();
+          }
+          ++i;
+          continue;
+        case '(':
+          handle_open_paren(i, line);
+          head_.push_back({"(", line});
+          ++paren_depth_;
+          ++i;
+          continue;
+        case ')':
+          head_.push_back({")", line});
+          if (paren_depth_ > 0) --paren_depth_;
+          ++i;
+          continue;
+        case ':':
+          if (i + 1 < n && text_[i + 1] == ':') {
+            head_.push_back({"::", line});
+            i += 2;
+          } else {
+            head_.push_back({":", line});
+            ++i;
+          }
+          continue;
+        case '-':
+          if (i + 1 < n && text_[i + 1] == '>') {
+            head_.push_back({"->", line});
+            i += 2;
+          } else {
+            head_.push_back({"-", line});
+            ++i;
+          }
+          continue;
+        default:
+          head_.push_back({std::string(1, c), line});
+          ++i;
+          continue;
+      }
+    }
+  }
+
+  /// Name of the innermost class scope (innermost_kind() == kClass).
+  std::string scopes_is_class_name() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == ScopeKind::kInit) continue;
+      if (it->kind == ScopeKind::kClass) return it->name;
+      break;
+    }
+    return std::string();
+  }
+};
+
+// -- cross-TU resolution ------------------------------------------------------
+
+struct Summary {
+  std::set<std::string> acquires;   ///< lock nodes (transitive, post fixed point)
+  std::string block_reason;         ///< "" when the function never blocks
+  std::set<std::string> callees;    ///< resolved summary keys
+};
+
+struct Tables {
+  std::map<std::string, std::set<std::string>> mutex_owners;
+  std::set<std::string> mutex_globals;
+  std::map<std::string, std::map<std::string, std::string>> member_types;
+
+  /// Declared type of `receiver` seen from class `cls` (members first, then
+  /// namespace-scope variables). Empty when unknown.
+  std::string receiver_type(const std::string& cls, const std::string& receiver) const {
+    auto by_class = member_types.find(cls);
+    if (by_class != member_types.end()) {
+      auto m = by_class->second.find(receiver);
+      if (m != by_class->second.end()) return m->second;
+    }
+    auto globals = member_types.find(std::string());
+    if (globals != member_types.end()) {
+      auto m = globals->second.find(receiver);
+      if (m != globals->second.end()) return m->second;
+    }
+    return std::string();
+  }
+
+  /// Resolves a mutex expression to its lock-graph node.
+  std::string lock_node(const std::string& expr, const std::string& cls) const {
+    std::string receiver;
+    std::string member = expr;
+    const std::size_t arrow = expr.rfind("->");
+    const std::size_t dot = expr.rfind('.');
+    std::size_t split = std::string::npos;
+    std::size_t skip = 0;
+    if (arrow != std::string::npos && (dot == std::string::npos || arrow > dot)) {
+      split = arrow;
+      skip = 2;
+    } else if (dot != std::string::npos) {
+      split = dot;
+      skip = 1;
+    }
+    if (split != std::string::npos) {
+      receiver = expr.substr(0, split);
+      member = expr.substr(split + skip);
+    }
+    auto owners = mutex_owners.find(member);
+    const std::set<std::string>* owner_set =
+        owners == mutex_owners.end() ? nullptr : &owners->second;
+    if (!receiver.empty() && receiver != "this") {
+      const std::string type = receiver_type(cls, receiver);
+      if (!type.empty() && owner_set != nullptr && owner_set->count(type) > 0) {
+        return type + "::" + member;
+      }
+      if (owner_set != nullptr && owner_set->size() == 1) {
+        return *owner_set->begin() + "::" + member;
+      }
+      if (owner_set != nullptr && !cls.empty() && owner_set->count(cls) > 0) {
+        return cls + "::" + member;
+      }
+      return member;
+    }
+    if (mutex_globals.count(member) > 0) return member;
+    if (owner_set != nullptr) {
+      if (!cls.empty() && owner_set->count(cls) > 0) return cls + "::" + member;
+      if (owner_set->size() == 1) return *owner_set->begin() + "::" + member;
+    }
+    return member;
+  }
+};
+
+/// Resolved key of the function a call lands in, or "" to drop the call.
+std::string resolve_callee(const CallSite& call, const std::string& cls,
+                           const Tables& tables,
+                           const std::map<std::string, Summary>& summaries) {
+  if (call.std_qualified || call.global_scope) return std::string();
+  const auto have = [&summaries](const std::string& key) {
+    return summaries.count(key) > 0;
+  };
+  if (call.has_receiver) {
+    if (call.receiver.empty()) return std::string();  // complex receiver
+    const std::string type = tables.receiver_type(cls, call.receiver);
+    if (!type.empty()) {
+      const std::string key = type + "::" + call.callee;
+      return have(key) ? key : std::string();
+    }
+    // Untyped receiver (locals, parameters): accept a unique name-similar
+    // class that defines the method; anything ambiguous is dropped.
+    std::string match;
+    for (const auto& entry : summaries) {
+      const std::size_t sep = entry.first.rfind("::");
+      if (sep == std::string::npos) continue;
+      if (entry.first.substr(sep + 2) != call.callee) continue;
+      const std::string owner = entry.first.substr(0, sep);
+      if (!name_similar(call.receiver, owner)) continue;
+      if (!match.empty()) return std::string();  // ambiguous
+      match = entry.first;
+    }
+    return match;
+  }
+  if (!call.receiver.empty()) {
+    // Class-qualified `Cls::callee(...)`.
+    const std::string key = call.receiver + "::" + call.callee;
+    if (have(key)) return key;
+    return have(call.callee) ? call.callee : std::string();
+  }
+  // Unqualified: a method of the enclosing class wins over a free function.
+  if (!cls.empty()) {
+    const std::string key = cls + "::" + call.callee;
+    if (have(key)) return key;
+  }
+  return have(call.callee) ? call.callee : std::string();
+}
+
+/// Human-readable description of a directly blocking call, or "".
+std::string direct_block_reason(const CallSite& call) {
+  if (call.global_scope && is_global_blocking(call.callee)) {
+    return "::" + call.callee;
+  }
+  if (is_sleep_call(call.callee)) return call.callee;
+  if (!call.has_receiver && !call.std_qualified && call.receiver.empty() &&
+      call.callee == "sleep") {
+    return "sleep";
+  }
+  return std::string();
+}
+
+}  // namespace
+
+TuModel build_tu_model(const std::string& path, const std::string& stripped) {
+  return ModelBuilder(path, stripped).build();
+}
+
+ConcurrencyReport analyze_concurrency(const std::vector<TuModel>& tus) {
+  ConcurrencyReport report;
+
+  Tables tables;
+  for (const TuModel& tu : tus) {
+    for (const auto& owner : tu.mutex_owners) {
+      tables.mutex_owners[owner.first].insert(owner.second.begin(),
+                                              owner.second.end());
+    }
+    tables.mutex_globals.insert(tu.mutex_globals.begin(), tu.mutex_globals.end());
+    for (const auto& by_class : tu.member_types) {
+      for (const auto& member : by_class.second) {
+        tables.member_types[by_class.first].insert(member);
+      }
+    }
+  }
+
+  // Function summaries: direct acquisitions and direct blocking calls.
+  // Lambda-deferred sites are excluded — the closure runs on some other
+  // thread's schedule, so its effects are not the enclosing function's.
+  std::map<std::string, Summary> summaries;
+  for (const TuModel& tu : tus) {
+    for (const FunctionModel& fn : tu.functions) {
+      Summary& s = summaries[fn.key()];
+      for (const GuardSite& g : fn.guards) {
+        if (g.deferred) continue;
+        s.acquires.insert(tables.lock_node(g.expr, fn.cls));
+      }
+      for (const CallSite& call : fn.calls) {
+        if (call.deferred) continue;
+        const std::string reason = direct_block_reason(call);
+        if (!reason.empty() && s.block_reason.empty()) s.block_reason = reason;
+      }
+    }
+  }
+  for (const TuModel& tu : tus) {
+    for (const FunctionModel& fn : tu.functions) {
+      Summary& s = summaries[fn.key()];
+      for (const CallSite& call : fn.calls) {
+        if (call.deferred) continue;
+        const std::string key = resolve_callee(call, fn.cls, tables, summaries);
+        if (!key.empty() && key != fn.key()) s.callees.insert(key);
+      }
+    }
+  }
+  // Fixed point: fold callee facts into callers until nothing changes.
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (auto& entry : summaries) {
+      Summary& s = entry.second;
+      for (const std::string& callee : s.callees) {
+        const Summary& c = summaries.at(callee);
+        for (const std::string& node : c.acquires) {
+          if (s.acquires.insert(node).second) changed = true;
+        }
+        if (s.block_reason.empty() && !c.block_reason.empty()) {
+          s.block_reason = callee + " -> " + c.block_reason;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Lock edges, blocking sites, WAL sites.
+  std::vector<LockEdge> edges;
+  for (const TuModel& tu : tus) {
+    for (const FunctionModel& fn : tu.functions) {
+      for (const GuardSite& g : fn.guards) {
+        const std::string to = tables.lock_node(g.expr, fn.cls);
+        for (const std::string& held : g.held) {
+          const std::string from = tables.lock_node(held, fn.cls);
+          if (from != to) edges.push_back({from, to, tu.path, g.line});
+        }
+      }
+      int last_append = -1;
+      for (std::size_t ci = 0; ci < fn.calls.size(); ++ci) {
+        const CallSite& call = fn.calls[ci];
+        if (call.callee == "append") {
+          const std::string type =
+              tables.receiver_type(fn.cls, call.receiver);
+          if (type == "JournalWriter" ||
+              lowercase(call.receiver).find("journal") != std::string::npos) {
+            last_append = static_cast<int>(ci);
+          }
+        }
+        if (call.callee == "release_job" && last_append < 0) {
+          report.wal.push_back({tu.path, call.line, fn.key()});
+        }
+        if (call.guards.empty()) continue;
+        const std::string key = resolve_callee(call, fn.cls, tables, summaries);
+        std::vector<std::string> held_nodes;
+        held_nodes.reserve(call.guards.size());
+        for (const std::string& g : call.guards) {
+          held_nodes.push_back(tables.lock_node(g, fn.cls));
+        }
+        if (!key.empty()) {
+          const Summary& callee = summaries.at(key);
+          for (const std::string& held : held_nodes) {
+            for (const std::string& acquired : callee.acquires) {
+              if (held != acquired) {
+                edges.push_back({held, acquired, tu.path, call.line});
+              }
+            }
+          }
+        }
+        std::string what = direct_block_reason(call);
+        if (what.empty() && !key.empty()) {
+          const std::string& reason = summaries.at(key).block_reason;
+          if (!reason.empty()) what = key + " -> " + reason;
+        }
+        if (!what.empty()) {
+          report.blocking.push_back({tu.path, call.line, held_nodes.back(), what});
+        }
+      }
+    }
+  }
+
+  // Dedup edges on (from, to), keeping the first witness in path order.
+  std::sort(edges.begin(), edges.end(), [](const LockEdge& a, const LockEdge& b) {
+    if (a.from != b.from) return a.from < b.from;
+    if (a.to != b.to) return a.to < b.to;
+    if (a.file != b.file) return a.file < b.file;
+    return a.line < b.line;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end(),
+                          [](const LockEdge& a, const LockEdge& b) {
+                            return a.from == b.from && a.to == b.to;
+                          }),
+              edges.end());
+  report.graph.edges = edges;
+
+  std::set<std::string> nodes;
+  for (const LockEdge& e : edges) {
+    nodes.insert(e.from);
+    nodes.insert(e.to);
+  }
+  report.graph.nodes.assign(nodes.begin(), nodes.end());
+
+  // Cycle detection: DFS in sorted-node order; every back edge closes a
+  // cycle whose path is canonicalized (rotated to its smallest node) and
+  // deduplicated, so the output is stable across runs.
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const LockEdge& e : edges) adj[e.from].push_back(e.to);
+  std::set<std::string> canonical_seen;
+  std::map<std::string, int> color;  // 0 = new, 1 = on stack, 2 = done
+  std::vector<std::string> stack;
+  const std::function<void(const std::string&)> dfs =
+      [&](const std::string& node) {
+        color[node] = 1;
+        stack.push_back(node);
+        auto it = adj.find(node);
+        if (it != adj.end()) {
+          for (const std::string& next : it->second) {
+            if (color[next] == 1) {
+              const auto begin =
+                  std::find(stack.begin(), stack.end(), next);
+              std::vector<std::string> cycle(begin, stack.end());
+              const auto min_it =
+                  std::min_element(cycle.begin(), cycle.end());
+              std::rotate(cycle.begin(), min_it, cycle.end());
+              cycle.push_back(cycle.front());
+              std::string joined;
+              for (const std::string& n : cycle) joined += n + "|";
+              if (canonical_seen.insert(joined).second) {
+                CycleWitness witness;
+                witness.path = cycle;
+                for (const LockEdge& e : edges) {
+                  if (e.from == cycle[0] && e.to == cycle[1]) {
+                    witness.file = e.file;
+                    witness.line = e.line;
+                    break;
+                  }
+                }
+                report.cycles.push_back(witness);
+              }
+            } else if (color[next] == 0) {
+              dfs(next);
+            }
+          }
+        }
+        stack.pop_back();
+        color[node] = 2;
+      };
+  for (const std::string& node : report.graph.nodes) {
+    if (color[node] == 0) dfs(node);
+  }
+
+  const auto by_site = [](const auto& a, const auto& b) {
+    if (a.file != b.file) return a.file < b.file;
+    return a.line < b.line;
+  };
+  std::sort(report.blocking.begin(), report.blocking.end(), by_site);
+  std::sort(report.wal.begin(), report.wal.end(), by_site);
+  std::sort(report.cycles.begin(), report.cycles.end(),
+            [](const CycleWitness& a, const CycleWitness& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.path < b.path;
+            });
+  return report;
+}
+
+std::string lock_graph_dot(const LockGraph& graph) {
+  std::string out = "digraph lock_order {\n";
+  for (const std::string& node : graph.nodes) {
+    out += "  \"" + node + "\";\n";
+  }
+  for (const LockEdge& e : graph.edges) {
+    out += "  \"" + e.from + "\" -> \"" + e.to + "\";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace micco::lint

@@ -1,0 +1,143 @@
+// Scope-aware concurrency model for micco-lint (DESIGN.md §10).
+//
+// The second analysis level on top of the token/line scanner in lint.cpp:
+// a lightweight per-TU scope/statement model — brace nesting, MutexLock
+// RAII guard scopes, MICCO_REQUIRES annotations and call sites by
+// identifier — built from the comment/string-stripped text, no libclang.
+// Three rule families consume it:
+//
+//   lock-order-cycle          every nested acquisition A -> B observed in
+//                             guard scopes (directly, or through a resolved
+//                             callee that itself acquires) feeds a global
+//                             lock graph; any cycle is a deadlock schedule
+//                             and fails the run with its witness path
+//   blocking-under-lock       POSIX blocking calls (::write/::fsync/::poll/
+//                             ::recv/::send/::connect/sleep family) and
+//                             calls into functions that transitively make
+//                             them, issued while a guard scope is open
+//   wal-release-before-durable release_job (the dispatch gate of the
+//                             write-ahead journal) must be preceded by a
+//                             journal append in the same function body
+//
+// Resolution is name-based and deliberately conservative: a mutex
+// expression resolves to "Class::member" through the tree-wide member
+// tables harvested from the same scan, a callee resolves through the
+// enclosing class, the receiver's declared member type, or a unique
+// name-similarity match — and when none of those apply, the call is
+// dropped rather than guessed, so the gate stays quiet on std:: calls.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace micco::lint {
+
+/// One MutexLock RAII acquisition inside a function body.
+struct GuardSite {
+  int line = 0;
+  std::string expr;               ///< raw mutex expression inside the parens
+  std::vector<std::string> held;  ///< guard exprs already open at this point
+  bool deferred = false;          ///< inside a lambda: runs on another schedule
+};
+
+/// One call-by-identifier inside a function body.
+struct CallSite {
+  int line = 0;
+  std::string callee;
+  std::string receiver;       ///< simple receiver identifier ("" when none)
+  bool has_receiver = false;  ///< written obj.callee / obj->callee
+  bool global_scope = false;  ///< written ::callee (POSIX style)
+  bool std_qualified = false; ///< written std::callee / std::x::callee
+  /// Guard exprs (RAII + REQUIRES) open around the call. Lambda bodies mask
+  /// the guards of their enclosing scope: the closure runs later, when
+  /// nothing proves the lock is still held.
+  std::vector<std::string> guards;
+  bool deferred = false;  ///< inside a lambda: not the enclosing fn's effect
+};
+
+/// One function body's concurrency-relevant structure.
+struct FunctionModel {
+  std::string cls;   ///< enclosing class ("" = free function)
+  std::string name;  ///< unqualified name
+  int line = 0;
+  std::vector<std::string> requires_exprs;  ///< MICCO_REQUIRES operands
+  std::vector<GuardSite> guards;
+  std::vector<CallSite> calls;  ///< textual order
+
+  std::string key() const { return cls.empty() ? name : cls + "::" + name; }
+};
+
+/// Per-TU model plus the declaration tables the resolver needs.
+struct TuModel {
+  std::string path;
+  std::vector<FunctionModel> functions;
+  /// Mutex member name -> classes declaring it.
+  std::map<std::string, std::set<std::string>> mutex_owners;
+  /// Mutex names declared at namespace scope (globals).
+  std::set<std::string> mutex_globals;
+  /// class -> member name -> final identifier of the declared type.
+  std::map<std::string, std::map<std::string, std::string>> member_types;
+};
+
+/// Builds the scope model of one file from its stripped text (same text the
+/// token rules scan: comments and string literals blanked, newlines kept).
+TuModel build_tu_model(const std::string& path, const std::string& stripped);
+
+/// One nested-acquisition edge with its first witness site.
+struct LockEdge {
+  std::string from;
+  std::string to;
+  std::string file;
+  int line = 0;
+};
+
+/// The global lock-order graph (nodes sorted, edges deduped by from/to).
+struct LockGraph {
+  std::vector<std::string> nodes;
+  std::vector<LockEdge> edges;
+};
+
+/// One lock-order cycle: the node path (first node repeated last) and the
+/// witness site of its first edge.
+struct CycleWitness {
+  std::vector<std::string> path;
+  std::string file;
+  int line = 0;
+};
+
+/// One blocking call made while a guard scope was open.
+struct BlockingSite {
+  std::string file;
+  int line = 0;
+  std::string guard;  ///< innermost lock node held
+  std::string what;   ///< e.g. "::fsync" or "JournalWriter::append (-> ::fsync)"
+};
+
+/// One release_job call with no preceding journal append in its function.
+struct WalSite {
+  std::string file;
+  int line = 0;
+  std::string function;
+};
+
+/// Everything the three scope-aware rules need, computed tree-wide.
+struct ConcurrencyReport {
+  LockGraph graph;
+  std::vector<CycleWitness> cycles;
+  std::vector<BlockingSite> blocking;
+  std::vector<WalSite> wal;
+};
+
+/// Cross-TU analysis: merges the declaration tables, resolves guard exprs
+/// to lock nodes and callees to function summaries, propagates
+/// acquires/may-block facts to a fixed point, then extracts the lock graph,
+/// its cycles, the blocking-under-lock sites and the WAL-invariant sites.
+/// Deterministic: all outputs are sorted.
+ConcurrencyReport analyze_concurrency(const std::vector<TuModel>& tus);
+
+/// Graphviz rendering of the lock graph (stable ordering).
+std::string lock_graph_dot(const LockGraph& graph);
+
+}  // namespace micco::lint
