@@ -12,11 +12,16 @@
 # `micco report --spans` well-formedness pass), a chaos smoke test
 # (tools/chaos_smoke.sh: kill -9 the daemon at every scripted journal crash
 # point, restart on the same journal, and require byte-identical recovered
-# decision logs plus exactly-once idempotent resubmits), an
+# decision logs plus exactly-once idempotent resubmits), an eviction-policy
+# smoke test (all three mem/ policies on an oversubscribed workload plus a
+# daemon session with the cross-tenant memory arbiter on), an
 # ASan+UBSan-instrumented build + test pass (which covers the protocol fuzz
 # and journal torn-write suites under ASan), a TSan pass over the
 # parallel-layer, observability and service tests at 8 worker threads, a Release-mode bench_sched_micro smoke
 # run (decision throughput + cross-thread-count tuner label identity), the
+# Release-mode eviction-policy gate (bench_oversubscription --gate:
+# reuse-distance must not pay more eviction-caused transfer bytes than LRU
+# on f0d2/f0d4), the
 # Release-mode tracing-overhead gate (bench_overhead --gate: full tracing
 # must cost < 2 % end to end), and — when LLVM tooling is on
 # PATH — a clang-tidy pass over the compilation database plus a Clang build
@@ -164,6 +169,41 @@ grep -q '"well_formed": true' "${SMOKE_DIR}/trace_summary.json"
 echo "serve smoke test OK: deterministic decision logs + span traces," \
   "top frame rendered, trace summary well-formed"
 
+echo "== eviction-policy smoke test =="
+# Memory co-design subsystem (DESIGN.md §11): every eviction policy must
+# complete the same oversubscribed meson workload via the CLI, and a daemon
+# session with the cross-tenant arbiter on must surface the memory section
+# in stats replies and the top dashboard.
+for policy in lru reuse-distance pin-until-last-use; do
+  "${BUILD_DIR}/tools/micco" run "${SMOKE_DIR}/w.mw" --gpus=4 --oversub=2 \
+    --evict-policy="${policy}" > "${SMOKE_DIR}/policy_${policy}.txt"
+  grep -q 'eviction policy' "${SMOKE_DIR}/policy_${policy}.txt"
+done
+rm -f "${SMOKE_DIR}/svc.sock"
+"${BUILD_DIR}/tools/micco" serve --socket="${SMOKE_DIR}/svc.sock" \
+  --gpus=4 --threads=1 --evict-policy=reuse-distance --mem-arbiter=on &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -S "${SMOKE_DIR}/svc.sock" ] && break
+  sleep 0.1
+done
+"${BUILD_DIR}/tools/micco" submit "${SMOKE_DIR}/w.mw" \
+  --socket="${SMOKE_DIR}/svc.sock" --tenant=alice --wait
+"${BUILD_DIR}/tools/micco" submit "${SMOKE_DIR}/w.mw" \
+  --socket="${SMOKE_DIR}/svc.sock" --tenant=bob --wait
+"${BUILD_DIR}/tools/micco" status --socket="${SMOKE_DIR}/svc.sock" \
+  > "${SMOKE_DIR}/arbiter_stats.txt"
+grep -q '"memory"' "${SMOKE_DIR}/arbiter_stats.txt"
+grep -q '"admissions"' "${SMOKE_DIR}/arbiter_stats.txt"
+"${BUILD_DIR}/tools/micco" top --socket="${SMOKE_DIR}/svc.sock" --once \
+  > "${SMOKE_DIR}/arbiter_top.txt"
+grep -q 'memory:' "${SMOKE_DIR}/arbiter_top.txt"
+grep -q 'resident_bytes' "${SMOKE_DIR}/arbiter_top.txt"
+"${BUILD_DIR}/tools/micco" drain --socket="${SMOKE_DIR}/svc.sock"
+wait "${SERVE_PID}"
+echo "eviction-policy smoke test OK: three policies ran, arbiter session" \
+  "surfaced per-tenant residency"
+
 echo "== chaos smoke test (kill -9 + journal recovery) =="
 # DESIGN.md §8: SIGKILL the daemon at each journal crash point, restart on
 # the same journal, and require byte-identical recovered decision logs and
@@ -214,9 +254,10 @@ cmake -B "${REL_BUILD_DIR}" -S . \
   -DMICCO_BUILD_TESTS=OFF \
   -DMICCO_BUILD_EXAMPLES=OFF
 
-echo "== build (Release, bench_sched_micro + bench_overhead) =="
+echo "== build (Release, bench_sched_micro + bench_overhead + bench_oversubscription) =="
 cmake --build "${REL_BUILD_DIR}" -j "$(nproc 2>/dev/null || echo 4)" \
-  --target bench_sched_micro --target bench_overhead
+  --target bench_sched_micro --target bench_overhead \
+  --target bench_oversubscription
 
 echo "== bench_sched_micro gate (Release) =="
 # Exits non-zero if tuner labels diverge across 1/2/4/8 threads, if the
@@ -234,6 +275,16 @@ echo "== bench_sched_micro gate, 64 GPUs (Release) =="
 # all-device scan; the gate pins that inversion: ratio must stay <= 1.0.
 "${REL_BUILD_DIR}/bench/bench_sched_micro" --smoke --gate --gpus=64 \
   --gate-max-ratio=1.0 --out="${SMOKE_DIR}/bench_sched_64.json"
+
+echo "== eviction-policy gate (Release) =="
+# Exits non-zero when ReuseDistancePolicy pays MORE eviction-caused
+# transfer bytes (write-backs + re-fetches of evicted tensors) than LRU on
+# the f0d2/f0d4 oversubscription benches, or when any policy materially
+# flips the Groute-vs-MICCO GFLOPS ranking. BENCH_mem.json is refreshed on
+# every run so the tracked numbers never go stale silently.
+"${REL_BUILD_DIR}/bench/bench_oversubscription" --quick --gate \
+  --out="BENCH_mem.json"
+grep -q '"gate_passed": true' "BENCH_mem.json"
 
 echo "== tracing overhead gate (Release) =="
 # Exits non-zero when full tracing (spans + decision-latency scratch) costs

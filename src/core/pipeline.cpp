@@ -92,6 +92,7 @@ RunResult run_stream(const WorkloadStream& stream, Scheduler& scheduler,
   if (injector.has_value()) sim.set_fault_injector(&*injector);
   sim.set_trace(options.trace);
   sim.set_telemetry(options.telemetry);
+  sim.set_eviction_policy(options.evict_policy);
   scheduler.set_telemetry(options.telemetry);
   result.per_vector_characteristics.reserve(stream.vectors.size());
 
@@ -102,9 +103,14 @@ RunResult run_stream(const WorkloadStream& stream, Scheduler& scheduler,
   // One unit of pending work. pair_index keeps the decision-log cursor:
   // the pair's position in the vector as given (stable across ordering
   // ablations), or -1 for a lineage re-execution after a device loss.
+  // policy_pos is the pair's position in the *visit order* — the coordinate
+  // the eviction policy's future-use tracker counts in — and also -1 for
+  // re-executions (the tracker treats those as no-ops: the original
+  // position was already retired, see mem/policy.hpp).
   struct QueueItem {
     ContractionTask task;
     std::int64_t pair_index = -1;
+    std::int64_t policy_pos = -1;
   };
   // Lineage map: the task that produced each intermediate, so tensors lost
   // with a device can be recomputed from surviving inputs (their operands
@@ -197,6 +203,12 @@ RunResult run_stream(const WorkloadStream& stream, Scheduler& scheduler,
         result.completed = false;
         return false;
       }
+      // Retire the pair's future-use positions before execute(): its own
+      // operands are pinned for the kernel anyway, so victim selection must
+      // rank them by their *next* use, not the one being served now.
+      if (options.evict_policy != nullptr) {
+        options.evict_policy->observe_use(item.task, item.policy_pos);
+      }
       const ExecuteResult exec = sim.execute(item.task, dev);
       switch (exec.outcome) {
         case TaskOutcome::kCompleted:
@@ -263,13 +275,18 @@ RunResult run_stream(const WorkloadStream& stream, Scheduler& scheduler,
     scheduler.begin_vector(vec, sim);
     const std::vector<std::size_t> order =
         visit_order(vec, sim, options.ordering);
+    if (options.evict_policy != nullptr) {
+      options.evict_policy->begin_vector(vec, order);
+    }
     overhead_us += watch.elapsed_us();
     result.per_vector_characteristics.push_back(characteristics);
 
     std::deque<QueueItem> queue;
+    std::int64_t policy_pos = 0;
     for (const std::size_t index : order) {
-      queue.push_back(
-          QueueItem{vec.tasks[index], static_cast<std::int64_t>(index)});
+      queue.push_back(QueueItem{vec.tasks[index],
+                                static_cast<std::int64_t>(index),
+                                policy_pos++});
     }
     if (!drain(queue)) break;
 
@@ -309,6 +326,12 @@ RunResult run_stream(const WorkloadStream& stream, Scheduler& scheduler,
 
   result.num_devices = sim.num_devices();
   result.device_utilization = sim.utilization();
+  result.device_resident_bytes.reserve(
+      static_cast<std::size_t>(result.num_devices));
+  for (int dev = 0; dev < result.num_devices; ++dev) {
+    result.device_resident_bytes.push_back(sim.memory_used(dev));
+  }
+  result.residency_epoch = sim.cluster_index()->epoch_bumps();
   result.device_busy_s.reserve(result.device_utilization.size());
   for (const double u : result.device_utilization) {
     result.device_busy_s.push_back(u * result.metrics.makespan_s);

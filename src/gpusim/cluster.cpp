@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "mem/policy.hpp"
 #include "obs/names.hpp"
 
 namespace micco {
@@ -79,6 +80,11 @@ int ClusterSimulator::node_of(DeviceId dev) const {
   return dev / config_.devices_per_node;
 }
 
+const DeviceMemory& ClusterSimulator::device_memory(DeviceId dev) const {
+  MICCO_EXPECTS(dev >= 0 && dev < num_devices());
+  return devices_[static_cast<std::size_t>(dev)].memory;
+}
+
 bool ClusterSimulator::resident_anywhere(TensorId id) const {
   return index_.resident_anywhere(id);
 }
@@ -129,6 +135,35 @@ void ClusterSimulator::set_telemetry(obs::Telemetry* telemetry) {
   barrier_idle_hist_ = &reg.histogram(
       obs::names::kClusterBarrierIdleS,
       {1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0});
+  resolve_mem_instruments();
+}
+
+void ClusterSimulator::set_eviction_policy(const mem::EvictionPolicy* policy) {
+  evict_policy_ = policy;
+  metrics_.evict_policy = policy != nullptr ? policy->name() : "";
+  resolve_mem_instruments();
+}
+
+void ClusterSimulator::resolve_mem_instruments() {
+  mem_evictions_counter_ = nullptr;
+  mem_evicted_bytes_counter_ = nullptr;
+  mem_reuse_distance_hist_ = nullptr;
+  // Registered only when BOTH a policy and telemetry are attached: the
+  // policy-free default must leave registry snapshots untouched (the
+  // byte-identity contract), and without a registry there is nowhere to
+  // count into.
+  if (telemetry_ == nullptr || evict_policy_ == nullptr) return;
+  obs::MetricsRegistry& reg = telemetry_->registry;
+  mem_evictions_counter_ = &reg.counter(obs::names::mem_policy_metric(
+      obs::names::kMemEvictionsPrefix, evict_policy_->name()));
+  mem_evicted_bytes_counter_ = &reg.counter(obs::names::mem_policy_metric(
+      obs::names::kMemEvictedBytesPrefix, evict_policy_->name()));
+  // Reuse distances exist only where future uses are tracked; the LRU
+  // policy would observe nothing, so it gets no histogram either.
+  if (evict_policy_->kind() != mem::EvictPolicyKind::kLru) {
+    mem_reuse_distance_hist_ = &reg.histogram(
+        obs::names::kMemReuseDistance, obs::names::reuse_distance_bounds());
+  }
 }
 
 std::optional<double> ClusterSimulator::make_room(DeviceId dev,
@@ -141,10 +176,35 @@ std::optional<double> ClusterSimulator::make_room(DeviceId dev,
   if (bytes > d.memory.capacity()) return std::nullopt;
   double cost = 0.0;
   while (!d.memory.fits(bytes)) {
-    const std::optional<Eviction> ev = d.memory.evict_lru();
-    if (!ev.has_value()) return std::nullopt;
+    // Victim selection: the attached policy's pick, or — on the policy-free
+    // default path — the legacy hard-coded LRU, untouched so default runs
+    // stay byte-identical to pre-policy builds.
+    std::optional<Eviction> ev;
+    std::uint64_t reuse_distance = mem::kNoFutureUse;
+    if (evict_policy_ != nullptr) {
+      const std::optional<mem::VictimChoice> victim =
+          evict_policy_->pick_victim(d.memory);
+      if (!victim.has_value()) return std::nullopt;
+      reuse_distance = victim->reuse_distance;
+      ev = d.memory.evict(victim->id);
+    } else {
+      ev = d.memory.evict_lru();
+      if (!ev.has_value()) return std::nullopt;
+    }
     index_remove(ev->id, dev);
     ++metrics_.evictions;
+    if (evict_policy_ != nullptr) {
+      d.evicted_ever.insert(ev->id);
+      if (mem_evictions_counter_ != nullptr) mem_evictions_counter_->add();
+      if (mem_evicted_bytes_counter_ != nullptr) {
+        mem_evicted_bytes_counter_->add(ev->bytes);
+      }
+      if (mem_reuse_distance_hist_ != nullptr &&
+          reuse_distance != mem::kNoFutureUse) {
+        mem_reuse_distance_hist_->observe(
+            static_cast<double>(reuse_distance));
+      }
+    }
     cost += cost_model_.free_time();
     // Oversubscribed executions run UVM-style: an evicted frame migrates to
     // host memory whether or not it is dirty (pages move, they are not
@@ -264,6 +324,12 @@ ClusterSimulator::FetchResult ClusterSimulator::fetch_operand(
   d.memory.pin(desc.id);
   index_add(desc.id, dev);
   if (telemetry_ != nullptr) d.alloc_time[desc.id] = busy_time(dev);
+  // Re-fetch of a tensor this run already evicted from this device: the
+  // avoidable half of the eviction-caused transfer bill (policy runs only;
+  // evicted_ever is not maintained on the legacy path).
+  if (evict_policy_ != nullptr && d.evicted_ever.contains(desc.id)) {
+    metrics_.eviction_refetch_bytes += bytes;
+  }
   ++metrics_.fetched_operands;
   result.cost_s = cost;
   return result;
@@ -280,14 +346,26 @@ std::optional<double> ClusterSimulator::apply_capacity_faults(DeviceId dev,
   // Clamp at one byte: a device that "lost" its whole memory fails on the
   // next allocation attempt (escalated to a device failure by execute()).
   const std::uint64_t new_cap = old_cap > lost ? old_cap - lost : 1;
-  d.memory.set_capacity(new_cap);
   if (observing()) {
     pending_ops_.push_back(PendingOp{TraceEventKind::kCapacityLoss,
                                      kInvalidTensor, 0.0, old_cap - new_cap});
   }
   // Squeeze out whatever no longer fits (nothing is pinned at task start,
   // so this can only fail if the shrink itself is unsatisfiable).
-  return make_room(dev, 0, EvictionCause::kCapacityLoss);
+  return shrink_to_capacity(dev, new_cap);
+}
+
+std::optional<double> ClusterSimulator::shrink_to_capacity(
+    DeviceId dev, std::uint64_t new_capacity) {
+  DeviceState& d = device(dev);
+  // set_capacity tolerates growth with live residents (a healed fault);
+  // make_room(0) is then a no-op and the extra bytes simply become
+  // allocatable again.
+  d.memory.set_capacity(new_capacity);
+  const std::optional<double> cost =
+      make_room(dev, 0, EvictionCause::kCapacityLoss);
+  sync_device_mirror(dev);
+  return cost;
 }
 
 ExecuteResult ClusterSimulator::execute(const ContractionTask& task,
@@ -542,7 +620,13 @@ void ClusterSimulator::emit_task_events(DeviceId dev,
       if (op.kind == TraceEventKind::kEviction) {
         victim_age_hist_->observe(op.victim_age_s);
         ev.kind = obs::ClusterEventKind::kEviction;
+        // With a policy attached, the event detail carries "<cause>/<policy>"
+        // so traces attribute every eviction to the policy that chose the
+        // victim; the policy-free default keeps the bare cause (byte-identity).
         ev.detail = to_string(op.cause);
+        if (evict_policy_ != nullptr) {
+          ev.detail += std::string("/") + evict_policy_->name();
+        }
         ev.victim_age_s = op.victim_age_s;
       } else if (op.kind == TraceEventKind::kTransferRetry) {
         ev.kind = obs::ClusterEventKind::kTransferRetry;
@@ -652,6 +736,13 @@ obs::JsonValue to_json(const ExecutionMetrics& m) {
   out.set("barrier_idle_s", m.barrier_idle_s);
   out.set("kernel_time_s", m.kernel_time_s);
   out.set("transfer_time_s", m.transfer_time_s);
+  // Eviction-policy fields appear only when a policy was attached: the
+  // policy-free default must serialise byte-identically to reports from
+  // before the mem/ subsystem existed.
+  if (!m.evict_policy.empty()) {
+    out.set("evict_policy", m.evict_policy);
+    out.set("eviction_refetch_bytes", m.eviction_refetch_bytes);
+  }
   // Fault counters appear only when a fault actually fired: fault-free runs
   // must serialise byte-identically to reports from before the fault model.
   if (m.any_faults()) {

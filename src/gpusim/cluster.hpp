@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -24,6 +25,10 @@
 #include "workload/task.hpp"
 
 namespace micco {
+
+namespace mem {
+class EvictionPolicy;  // mem/policy.hpp; attached via set_eviction_policy()
+}
 
 /// Read-only cluster state offered to schedulers. Doubles as the residency
 /// oracle for data-characteristics extraction.
@@ -83,6 +88,16 @@ struct ExecutionMetrics {
   std::uint64_t allocations = 0;
   std::uint64_t evictions = 0;
   std::uint64_t dirty_evictions = 0;
+
+  // -- Eviction-policy accounting (mem/, set only while a policy is
+  // -- attached; the policy-free default leaves both at their zero values
+  // -- and neither field is serialised) ----------------------------------
+  /// Metric-safe name of the attached eviction policy ("" = legacy path).
+  std::string evict_policy;
+  /// Bytes re-fetched for tensors this run had previously evicted from the
+  /// fetching device — the "came back after we threw it out" half of the
+  /// eviction-caused transfer bill (write-backs are the other half).
+  std::uint64_t eviction_refetch_bytes = 0;
 
   /// Reused operand slots: an operand that was already resident on the
   /// executing device (no fetch needed).
@@ -249,8 +264,35 @@ class ClusterSimulator final : public ClusterView {
   /// Attach before the first execute(); the simulator does not own it.
   void set_telemetry(obs::Telemetry* telemetry);
 
+  /// Attaches an eviction policy (mem/, nullptr detaches; not owned, must
+  /// outlive all execute() calls). Detached, make_room() runs the legacy
+  /// hard-coded LRU exactly as before the policy subsystem existed — zero
+  /// new state, byte-identical decisions, logs and reports. Attached, every
+  /// eviction victim is the policy's pick, evictions count into the
+  /// mem.evictions.<policy> / mem.evicted_bytes.<policy> counters, victim
+  /// reuse distances feed the mem.reuse_distance histogram (future-use-aware
+  /// policies only) and re-fetches of previously evicted tensors accrue into
+  /// metrics().eviction_refetch_bytes. The policy pointer is shared by
+  /// simulator copies (the oracle's candidate clones), which is safe because
+  /// pick_victim() is const — see mem/policy.hpp's determinism rules.
+  void set_eviction_policy(const mem::EvictionPolicy* policy);
+  const mem::EvictionPolicy* eviction_policy() const { return evict_policy_; }
+
+  /// Resizes a device to `new_capacity`, evicting (under the attached
+  /// policy, cause kCapacityLoss) until usage fits again. Growth — a healed
+  /// capacity fault restoring memory — is legal with live residents and
+  /// evicts nothing. Returns the eviction cost charged, or nullopt when the
+  /// shrink is unsatisfiable (everything left is pinned). Used by the
+  /// capacity-fault path and directly by tests.
+  std::optional<double> shrink_to_capacity(DeviceId dev,
+                                           std::uint64_t new_capacity);
+
   /// Node index of a device under the configured topology.
   int node_of(DeviceId dev) const;
+
+  /// Read-only view of one device's memory book-keeping (LRU order, pins,
+  /// residency) — what pick_victim() sees. Tests drive policies against it.
+  const DeviceMemory& device_memory(DeviceId dev) const;
 
   /// True when a host copy of the tensor exists: original inputs always
   /// (Redstar stages them in host memory), produced intermediates only
@@ -278,6 +320,9 @@ class ClusterSimulator final : public ClusterView {
     /// Allocation timestamp per resident tensor; maintained only while
     /// telemetry is attached (feeds the eviction-victim-age histogram).
     std::unordered_map<TensorId, double> alloc_time;
+    /// Tensors ever evicted from this device; maintained only while an
+    /// eviction policy is attached (feeds the eviction-refetch accounting).
+    std::unordered_set<TensorId> evicted_ever;
   };
 
   /// How one operand fetch ended (only kOk commits residency).
@@ -312,6 +357,10 @@ class ClusterSimulator final : public ClusterView {
 
   void index_add(TensorId id, DeviceId dev);
   void index_remove(TensorId id, DeviceId dev);
+
+  /// (Re-)resolves the mem.* registry instruments; called whenever the
+  /// telemetry bundle or the eviction policy changes (both are inputs).
+  void resolve_mem_instruments();
 
   /// Re-syncs the device's SoA mirror (busy time, memory, liveness) in the
   /// index. Called at the end of every mutation entry point — execute,
@@ -362,6 +411,8 @@ class ClusterSimulator final : public ClusterView {
   TraceRecorder* trace_ = nullptr;
   obs::Telemetry* telemetry_ = nullptr;
   FaultInjector* injector_ = nullptr;  ///< not owned; nullptr = fault-free
+  /// Attached eviction policy (not owned); nullptr = legacy LRU fast path.
+  const mem::EvictionPolicy* evict_policy_ = nullptr;
   BarrierFailures barrier_failures_;
   /// Registry instruments resolved once at set_telemetry (hot-path cheap).
   obs::Histogram* fetch_bytes_hist_ = nullptr;
@@ -370,6 +421,12 @@ class ClusterSimulator final : public ClusterView {
   /// Residency-epoch bumps (one per place/remove) — the invalidation rate
   /// the pattern cache pays for.
   obs::Counter* epoch_bumps_counter_ = nullptr;
+  /// mem.* instruments, resolved only while BOTH telemetry and an eviction
+  /// policy are attached (resolve_mem_instruments); the policy-free default
+  /// never registers them, keeping registry snapshots byte-identical.
+  obs::Counter* mem_evictions_counter_ = nullptr;
+  obs::Counter* mem_evicted_bytes_counter_ = nullptr;
+  obs::Histogram* mem_reuse_distance_hist_ = nullptr;
   std::vector<PendingOp> pending_ops_;
 };
 

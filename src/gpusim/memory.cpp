@@ -95,6 +95,15 @@ std::optional<Eviction> DeviceMemory::evict_lru() {
   return std::nullopt;
 }
 
+Eviction DeviceMemory::evict(TensorId id) {
+  const auto it = entries_.find(id);
+  MICCO_EXPECTS_MSG(it != entries_.end(), "eviction of a non-resident tensor");
+  MICCO_EXPECTS_MSG(!it->second.pinned, "eviction of a pinned tensor");
+  Eviction ev{id, it->second.bytes, it->second.dirty};
+  release(id);
+  return ev;
+}
+
 std::vector<TensorId> DeviceMemory::resident_ids() const {
   std::vector<TensorId> ids;
   ids.reserve(entries_.size());

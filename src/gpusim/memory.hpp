@@ -44,9 +44,12 @@ class DeviceMemory {
     return capacity_ > used_ ? capacity_ - used_ : 0;
   }
 
-  /// Shrinks/grows usable capacity (spurious capacity-loss faults). Usage
-  /// may transiently exceed the new capacity; the owner must evict until
-  /// fits() holds again before allocating.
+  /// Resizes usable capacity in either direction. Shrinking (spurious
+  /// capacity-loss faults) may leave usage transiently above the new
+  /// capacity; the owner must evict until fits() holds again before
+  /// allocating. Growing (a healed fault restoring memory) is always legal,
+  /// even with live residents from the shrunken era — residency, LRU order
+  /// and pins are untouched, the extra bytes simply become allocatable.
   void set_capacity(std::uint64_t capacity_bytes) {
     MICCO_EXPECTS(capacity_bytes > 0);
     capacity_ = capacity_bytes;
@@ -81,6 +84,19 @@ class DeviceMemory {
   /// every resident tensor is pinned (caller must treat this as a scheduling
   /// bug: a single task's working set exceeded device capacity).
   std::optional<Eviction> evict_lru();
+
+  /// Evicts a specific resident tensor — the victim an eviction policy
+  /// (src/mem/) selected. The tensor must be resident and unpinned.
+  Eviction evict(TensorId id);
+
+  // -- read-only views for eviction policies (src/mem/) -------------------
+  /// Residents in recency order, least recently used at the front. The
+  /// reference stays valid until the next mutation; policies read it within
+  /// one pick_victim() call. Iteration order is deterministic (a list
+  /// maintained by touch/allocate, never a hash map).
+  const std::list<TensorId>& lru_order() const { return lru_; }
+  bool pinned(TensorId id) const { return entries_.at(id).pinned; }
+  std::uint64_t bytes_of(TensorId id) const { return entries_.at(id).bytes; }
 
   /// All resident tensor ids in ascending id order (sorted at the emission
   /// point so the backing hash map's layout never leaks into lost-tensor

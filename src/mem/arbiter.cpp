@@ -1,0 +1,122 @@
+#include "mem/arbiter.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace micco::mem {
+
+MemoryArbiter::MemoryArbiter(int num_devices,
+                             std::uint64_t device_capacity_bytes)
+    : num_devices_(num_devices), device_capacity_(device_capacity_bytes) {
+  MICCO_EXPECTS(num_devices >= 1);
+  MICCO_EXPECTS(device_capacity_bytes > 0);
+}
+
+void MemoryArbiter::record_run(
+    const std::string& tenant,
+    const std::vector<std::uint64_t>& device_resident_bytes,
+    std::uint64_t residency_epoch) {
+  const MutexLock lock(mutex_);
+  TenantFootprint& fp = tenants_[tenant];
+  fp.device_bytes.assign(static_cast<std::size_t>(num_devices_), 0);
+  const std::size_t n = std::min(device_resident_bytes.size(),
+                                 fp.device_bytes.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    fp.device_bytes[i] = device_resident_bytes[i];
+  }
+  fp.epoch = residency_epoch;
+}
+
+ArbiterAdmission MemoryArbiter::admit(
+    const std::string& tenant, std::uint64_t estimated_bytes_per_device) {
+  const MutexLock lock(mutex_);
+  ++admissions_;
+  ArbiterAdmission result;
+
+  // Coldness order over the *other* tenants: lowest epoch (least recently
+  // refreshed footprint) first, ties by tenant name. Recomputed per
+  // admission — the tenant set is small (humans, not tensors).
+  std::vector<std::map<std::string, TenantFootprint>::iterator> cold;
+  for (auto it = tenants_.begin(); it != tenants_.end(); ++it) {
+    if (it->first != tenant) cold.push_back(it);
+  }
+  std::stable_sort(cold.begin(), cold.end(), [](const auto& a, const auto& b) {
+    if (a->second.epoch != b->second.epoch) {
+      return a->second.epoch < b->second.epoch;
+    }
+    return a->first < b->first;
+  });
+
+  const auto own = tenants_.find(tenant);
+  for (int dev = 0; dev < num_devices_; ++dev) {
+    const auto d = static_cast<std::size_t>(dev);
+    // The submitting tenant's own cold bytes are the job's to reuse; only
+    // cross-tenant bytes compete with the incoming estimate.
+    std::uint64_t own_bytes = 0;
+    if (own != tenants_.end() && d < own->second.device_bytes.size()) {
+      own_bytes = own->second.device_bytes[d];
+    }
+    std::uint64_t resident = own_bytes;
+    for (const auto& it : cold) {
+      if (d < it->second.device_bytes.size()) {
+        resident += it->second.device_bytes[d];
+      }
+    }
+    std::uint64_t need = estimated_bytes_per_device;
+    if (need > device_capacity_) need = device_capacity_;
+    for (const auto& it : cold) {
+      if (resident + need <= device_capacity_) break;
+      if (d >= it->second.device_bytes.size()) continue;
+      std::uint64_t& victim = it->second.device_bytes[d];
+      if (victim == 0) continue;
+      const std::uint64_t over = resident + need - device_capacity_;
+      const std::uint64_t taken = std::min(victim, over);
+      victim -= taken;
+      resident -= taken;
+      result.preevicted_bytes += taken;
+      if (std::find(result.evicted_tenants.begin(),
+                    result.evicted_tenants.end(),
+                    it->first) == result.evicted_tenants.end()) {
+        result.evicted_tenants.push_back(it->first);
+      }
+    }
+  }
+  preevicted_bytes_ += result.preevicted_bytes;
+  return result;
+}
+
+obs::JsonValue MemoryArbiter::stats_json() const {
+  const MutexLock lock(mutex_);
+  obs::JsonValue out = obs::JsonValue::object();
+  obs::JsonValue tenants = obs::JsonValue::object();
+  for (const auto& [name, fp] : tenants_) {
+    std::uint64_t total = 0;
+    for (const std::uint64_t b : fp.device_bytes) total += b;
+    obs::JsonValue entry = obs::JsonValue::object();
+    entry.set("resident_bytes", total);
+    entry.set("epoch", fp.epoch);
+    tenants.set(name, std::move(entry));
+  }
+  out.set("tenants", std::move(tenants));
+  out.set("preevicted_bytes", preevicted_bytes_);
+  out.set("admissions", admissions_);
+  return out;
+}
+
+std::uint64_t MemoryArbiter::tenant_resident_bytes(
+    const std::string& tenant) const {
+  const MutexLock lock(mutex_);
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return 0;
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : it->second.device_bytes) total += b;
+  return total;
+}
+
+std::uint64_t MemoryArbiter::preevicted_bytes_total() const {
+  const MutexLock lock(mutex_);
+  return preevicted_bytes_;
+}
+
+}  // namespace micco::mem

@@ -1,0 +1,92 @@
+// Cross-tenant memory arbiter (memory co-design subsystem, DESIGN.md §11).
+//
+// The daemon multiplexes tenants onto one simulated cluster, but every job
+// runs on a *fresh* ClusterSimulator — physical residency does not persist
+// across jobs. What does persist is the modeled footprint each tenant's
+// last runs would leave resident, and that is what admission arbitrates
+// over: the arbiter keeps per-tenant, per-device resident-byte accounting
+// (stamped with the finishing run's cluster-index epoch as its coldness
+// generation), and at job admission pre-evicts the *coldest cross-tenant*
+// footprints — lowest generation first, ties by tenant name — until the
+// incoming job's estimated per-device share fits. Pre-eviction is modeled
+// bookkeeping (TENSILE-style tensor-granularity arbitration across dynamic
+// workloads), never a rejection: admission always proceeds, the arbiter
+// only decides whose cold bytes notionally make way and surfaces the
+// accounting in `stats`, `micco top` and the mem.arbiter.* metrics.
+//
+// Thread safety: admit() runs on I/O lanes, record_run() on the dispatcher;
+// one internal mutex (rank kLockRankMemArbiter, below the service locks —
+// callers may hold JobManager/ServerState) serializes them. All outputs are
+// deterministic: tenants live in an ordered map and pre-eviction order is a
+// total order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/lock_ranks.hpp"
+#include "common/mutex.hpp"
+#include "obs/json.hpp"
+
+namespace micco::mem {
+
+/// Outcome of one admission arbitration.
+struct ArbiterAdmission {
+  /// Cold cross-tenant bytes pre-evicted (summed over devices) to make the
+  /// estimated share fit. Zero when everything already fit.
+  std::uint64_t preevicted_bytes = 0;
+  /// Tenants whose footprint was (partially) pre-evicted, deterministic
+  /// order (coldest first).
+  std::vector<std::string> evicted_tenants;
+};
+
+class MemoryArbiter {
+ public:
+  MemoryArbiter(int num_devices, std::uint64_t device_capacity_bytes);
+
+  /// Records the residual footprint a tenant's finished job left per device
+  /// (RunResult::device_resident_bytes), stamped with the run's residency
+  /// epoch (RunResult::residency_epoch) as its coldness generation. A
+  /// tenant's new run replaces its previous footprint.
+  void record_run(const std::string& tenant,
+                  const std::vector<std::uint64_t>& device_resident_bytes,
+                  std::uint64_t residency_epoch);
+
+  /// Arbitrates admission of a job estimated to need
+  /// `estimated_bytes_per_device` on every device: pre-evicts cold
+  /// cross-tenant footprints (coldest generation first, ties by tenant
+  /// name) until the estimate fits next to the surviving residents, or
+  /// until no cross-tenant bytes remain. Never rejects.
+  ArbiterAdmission admit(const std::string& tenant,
+                         std::uint64_t estimated_bytes_per_device);
+
+  /// Per-tenant residency + arbitration counters, for `stats` replies and
+  /// `micco top`: {"tenants": {<name>: {"resident_bytes", "epoch"}},
+  /// "preevicted_bytes", "admissions"}.
+  obs::JsonValue stats_json() const;
+
+  /// Total resident bytes currently booked for one tenant (0 if unknown).
+  std::uint64_t tenant_resident_bytes(const std::string& tenant) const;
+
+  std::uint64_t preevicted_bytes_total() const;
+
+ private:
+  struct TenantFootprint {
+    std::vector<std::uint64_t> device_bytes;
+    std::uint64_t epoch = 0;  ///< coldness generation (higher = warmer)
+  };
+
+  int num_devices_;
+  std::uint64_t device_capacity_;
+
+  mutable Mutex mutex_{"mem::MemoryArbiter::mutex_", kLockRankMemArbiter};
+  /// Ordered by tenant name: iteration feeds stats output and pre-eviction
+  /// tie-breaks, both part of the determinism contract.
+  std::map<std::string, TenantFootprint> tenants_ MICCO_GUARDED_BY(mutex_);
+  std::uint64_t preevicted_bytes_ MICCO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t admissions_ MICCO_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace micco::mem

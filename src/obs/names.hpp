@@ -12,6 +12,8 @@
 //   sched.*            scheduler decisions and their classification
 //   cluster.*          simulated-cluster events (fetches, evictions, barriers)
 //   cluster.device.N.* per-device rollups
+//   mem.*              eviction-policy and memory-arbiter accounting
+//   mem.tenant.T.*     per-tenant modeled residency gauges
 //   service.*          daemon lifecycle counters and queue gauges
 //   service.tenant.T.* per-tenant latency histograms and SLO counters
 // Histogram names carry their unit as the last suffix segment (_ms, _us,
@@ -69,6 +71,37 @@ inline constexpr const char* kClusterEpochBumps = "cluster.index.epoch_bumps";
 inline constexpr const char* kClusterDevicePrefix = "cluster.device.";
 inline constexpr const char* kDeviceUtilizationSuffix = "utilization";
 inline constexpr const char* kDeviceBusySSuffix = "busy_s";
+
+// -- mem.* (memory co-design subsystem, DESIGN.md §11) ---------------------
+/// Per-policy eviction counters: "mem.evictions.<policy>" /
+/// "mem.evicted_bytes.<policy>" with the policy's metric-safe name ("lru",
+/// "reuse_distance", "pin_until_last_use") appended via mem_policy_metric().
+/// Registered only while an eviction policy is attached — the policy-free
+/// default path keeps registry snapshots byte-identical to pre-policy runs.
+inline constexpr const char* kMemEvictionsPrefix = "mem.evictions.";
+inline constexpr const char* kMemEvictedBytesPrefix = "mem.evicted_bytes.";
+/// Victim next-use distance (pairs until reuse) observed at each eviction by
+/// the future-use-aware policies; victims with no known future use are not
+/// observed (they are the free wins, not part of the tradeoff).
+inline constexpr const char* kMemReuseDistance = "mem.reuse_distance";
+/// Cold cross-tenant bytes the arbiter pre-evicted at job admissions.
+inline constexpr const char* kMemArbiterPreevictedBytes =
+    "mem.arbiter.preevicted_bytes";
+/// Admissions the arbiter arbitrated (with or without pre-eviction).
+inline constexpr const char* kMemArbiterAdmissions = "mem.arbiter.admissions";
+/// Per-tenant modeled residency gauge: "mem.tenant.<T>." + suffix.
+inline constexpr const char* kMemTenantPrefix = "mem.tenant.";
+inline constexpr const char* kMemTenantResidentBytesSuffix = "resident_bytes";
+
+inline std::string mem_policy_metric(const char* prefix,
+                                     const char* policy_name) {
+  return std::string(prefix) + policy_name;
+}
+
+inline std::string mem_tenant_metric(const std::string& tenant,
+                                     const char* suffix) {
+  return std::string(kMemTenantPrefix) + tenant + "." + suffix;
+}
 
 // -- service.* -------------------------------------------------------------
 inline constexpr const char* kServiceQueued = "service.queued";
@@ -155,6 +188,13 @@ inline std::vector<double> decision_latency_bounds_us() {
 /// disks and contended CI machines in the upper decades.
 inline std::vector<double> journal_fsync_bounds_ms() {
   return {0.01, 0.1, 1.0, 10.0, 100.0};
+}
+
+/// Victim next-use distance bounds (pairs until reuse) for the
+/// mem.reuse_distance histogram: vectors run tens to a few thousand pairs,
+/// power-of-two decades.
+inline std::vector<double> reuse_distance_bounds() {
+  return {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 1024.0};
 }
 
 }  // namespace micco::obs::names

@@ -1,0 +1,114 @@
+#include "mem/arbiter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace micco {
+namespace {
+
+constexpr std::uint64_t kCap = 1000;
+
+TEST(MemoryArbiter, EmptyBooksAdmitWithoutPreeviction) {
+  mem::MemoryArbiter arbiter(2, kCap);
+  const mem::ArbiterAdmission admission = arbiter.admit("alice", 900);
+  EXPECT_EQ(admission.preevicted_bytes, 0u);
+  EXPECT_TRUE(admission.evicted_tenants.empty());
+}
+
+TEST(MemoryArbiter, RecordRunBooksResidency) {
+  mem::MemoryArbiter arbiter(2, kCap);
+  arbiter.record_run("alice", {400, 300}, 7);
+  EXPECT_EQ(arbiter.tenant_resident_bytes("alice"), 700u);
+  EXPECT_EQ(arbiter.tenant_resident_bytes("nobody"), 0u);
+  // A tenant's next run replaces its footprint, never accumulates.
+  arbiter.record_run("alice", {100, 100}, 9);
+  EXPECT_EQ(arbiter.tenant_resident_bytes("alice"), 200u);
+}
+
+TEST(MemoryArbiter, OwnFootprintIsNeverPreevicted) {
+  mem::MemoryArbiter arbiter(1, kCap);
+  arbiter.record_run("alice", {800}, 5);
+  const mem::ArbiterAdmission admission = arbiter.admit("alice", 900);
+  EXPECT_EQ(admission.preevicted_bytes, 0u);
+  EXPECT_EQ(arbiter.tenant_resident_bytes("alice"), 800u);
+}
+
+TEST(MemoryArbiter, ColdestCrossTenantFootprintGoesFirst) {
+  mem::MemoryArbiter arbiter(1, kCap);
+  arbiter.record_run("cold", {400}, 2);   // oldest generation
+  arbiter.record_run("warm", {400}, 9);
+  // carol needs 500; 800 resident -> 300 must go. The cold tenant pays.
+  const mem::ArbiterAdmission admission = arbiter.admit("carol", 500);
+  EXPECT_EQ(admission.preevicted_bytes, 300u);
+  ASSERT_EQ(admission.evicted_tenants.size(), 1u);
+  EXPECT_EQ(admission.evicted_tenants[0], "cold");
+  EXPECT_EQ(arbiter.tenant_resident_bytes("cold"), 100u);
+  EXPECT_EQ(arbiter.tenant_resident_bytes("warm"), 400u);
+}
+
+TEST(MemoryArbiter, EpochTiesBreakByTenantName) {
+  mem::MemoryArbiter arbiter(1, kCap);
+  arbiter.record_run("bravo", {300}, 4);
+  arbiter.record_run("alpha", {300}, 4);  // same generation, earlier name
+  const mem::ArbiterAdmission admission = arbiter.admit("carol", 600);
+  EXPECT_EQ(admission.preevicted_bytes, 200u);
+  ASSERT_FALSE(admission.evicted_tenants.empty());
+  EXPECT_EQ(admission.evicted_tenants[0], "alpha");
+}
+
+TEST(MemoryArbiter, DrainsEveryColdTenantUnderExtremePressure) {
+  mem::MemoryArbiter arbiter(1, kCap);
+  arbiter.record_run("a", {300}, 1);
+  arbiter.record_run("b", {300}, 2);
+  // Demands more than the device: estimate clamps at capacity, all cross-
+  // tenant bytes go, and admission still succeeds (never rejects).
+  const mem::ArbiterAdmission admission = arbiter.admit("carol", 5000);
+  EXPECT_EQ(admission.preevicted_bytes, 600u);
+  ASSERT_EQ(admission.evicted_tenants.size(), 2u);
+  EXPECT_EQ(admission.evicted_tenants[0], "a");
+  EXPECT_EQ(admission.evicted_tenants[1], "b");
+  EXPECT_EQ(arbiter.tenant_resident_bytes("a"), 0u);
+  EXPECT_EQ(arbiter.tenant_resident_bytes("b"), 0u);
+}
+
+TEST(MemoryArbiter, PerDeviceAccountingIsIndependent) {
+  mem::MemoryArbiter arbiter(2, kCap);
+  // Tenant skewed onto device 0; device 1 has room.
+  arbiter.record_run("alice", {900, 100}, 3);
+  const mem::ArbiterAdmission admission = arbiter.admit("bob", 500);
+  // Only device 0 is over: 900 + 500 > 1000 -> 400 pre-evicted there;
+  // device 1 (100 + 500) fits untouched.
+  EXPECT_EQ(admission.preevicted_bytes, 400u);
+  EXPECT_EQ(arbiter.tenant_resident_bytes("alice"), 600u);
+}
+
+TEST(MemoryArbiter, StatsJsonShapeAndCounters) {
+  mem::MemoryArbiter arbiter(1, kCap);
+  arbiter.record_run("alice", {400}, 6);
+  (void)arbiter.admit("bob", 800);
+  (void)arbiter.admit("bob", 100);
+
+  const obs::JsonValue stats = arbiter.stats_json();
+  EXPECT_EQ(stats.at("admissions").as_int(), 2);
+  EXPECT_EQ(static_cast<std::uint64_t>(stats.at("preevicted_bytes").as_int()),
+            arbiter.preevicted_bytes_total());
+  const obs::JsonValue& alice = stats.at("tenants").at("alice");
+  EXPECT_EQ(static_cast<std::uint64_t>(alice.at("resident_bytes").as_int()),
+            arbiter.tenant_resident_bytes("alice"));
+  EXPECT_EQ(alice.at("epoch").as_int(), 6);
+}
+
+TEST(MemoryArbiter, StatsAreDeterministicAcrossInsertionOrders) {
+  mem::MemoryArbiter forward(1, kCap);
+  forward.record_run("alice", {100}, 1);
+  forward.record_run("bob", {200}, 2);
+  mem::MemoryArbiter backward(1, kCap);
+  backward.record_run("bob", {200}, 2);
+  backward.record_run("alice", {100}, 1);
+  EXPECT_EQ(forward.stats_json().dump(), backward.stats_json().dump());
+}
+
+}  // namespace
+}  // namespace micco

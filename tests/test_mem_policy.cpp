@@ -1,0 +1,384 @@
+#include "mem/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "gpusim/cluster.hpp"
+#include "obs/events.hpp"
+#include "obs/telemetry.hpp"
+#include "sched/micco_scheduler.hpp"
+#include "workload/synthetic.hpp"
+
+namespace micco {
+namespace {
+
+TensorDesc make_desc(TensorId id, std::int64_t extent = 16,
+                     std::int64_t batch = 1) {
+  return TensorDesc{id, 2, extent, batch};
+}
+
+ContractionTask make_task(TensorId a, TensorId b, TensorId out,
+                          std::int64_t extent = 16, std::int64_t batch = 1) {
+  ContractionTask t;
+  t.a = make_desc(a, extent, batch);
+  t.b = make_desc(b, extent, batch);
+  t.out = make_desc(out, extent, batch);
+  return t;
+}
+
+/// Identity visit order for `vec` (the kAsGiven ordering).
+std::vector<std::size_t> identity_order(const VectorWorkload& vec) {
+  std::vector<std::size_t> order(vec.tasks.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  return order;
+}
+
+/// A small stream that oversubscribes device memory so every run evicts.
+WorkloadStream pressured_stream() {
+  SyntheticConfig cfg;
+  cfg.num_vectors = 3;
+  cfg.vector_size = 24;
+  cfg.tensor_extent = 64;
+  cfg.batch = 4;
+  cfg.repeated_rate = 0.5;
+  cfg.seed = 11;
+  return generate_synthetic(cfg);
+}
+
+ClusterConfig pressured_cluster(const WorkloadStream& stream) {
+  ClusterConfig cluster;
+  cluster.num_devices = 2;
+  const std::uint64_t floor_bytes = 8 * stream.vectors[0].tasks[0].a.bytes();
+  cluster.device_capacity_bytes = capacity_for_oversubscription(
+      stream, cluster.num_devices, 3.0, floor_bytes);
+  return cluster;
+}
+
+// ------------------------------------------------------------- name parsing
+
+TEST(EvictPolicyNames, RoundTripAndSpellings) {
+  using mem::EvictPolicyKind;
+  EXPECT_STREQ(mem::to_string(EvictPolicyKind::kLru), "lru");
+  EXPECT_STREQ(mem::to_string(EvictPolicyKind::kReuseDistance),
+               "reuse_distance");
+  EXPECT_STREQ(mem::to_string(EvictPolicyKind::kPinUntilLastUse),
+               "pin_until_last_use");
+  for (const EvictPolicyKind kind : mem::all_evict_policies()) {
+    const auto parsed = mem::parse_evict_policy(mem::to_string(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  // CLI hyphen spellings parse to the same kinds.
+  EXPECT_EQ(mem::parse_evict_policy("reuse-distance"),
+            EvictPolicyKind::kReuseDistance);
+  EXPECT_EQ(mem::parse_evict_policy("pin-until-last-use"),
+            EvictPolicyKind::kPinUntilLastUse);
+  EXPECT_FALSE(mem::parse_evict_policy("belady").has_value());
+  EXPECT_FALSE(mem::parse_evict_policy("").has_value());
+  EXPECT_EQ(mem::all_evict_policies().size(), 3u);
+}
+
+TEST(EvictPolicyNames, MetricSegmentsAreDotFree) {
+  for (const mem::EvictPolicyKind kind : mem::all_evict_policies()) {
+    EXPECT_EQ(std::string(mem::to_string(kind)).find('.'), std::string::npos);
+  }
+}
+
+// -------------------------------------------------------- FutureUseTracker
+
+TEST(FutureUseTracker, NextUseFollowsVisitOrder) {
+  VectorWorkload vec;
+  vec.tasks = {make_task(1, 2, 10), make_task(3, 4, 11), make_task(1, 3, 12)};
+  mem::FutureUseTracker tracker;
+  tracker.begin_vector(vec, identity_order(vec));
+
+  EXPECT_EQ(tracker.next_use(1), 0);
+  EXPECT_EQ(tracker.next_use(3), 1);
+  EXPECT_FALSE(tracker.next_use(99).has_value());
+
+  tracker.observe_use(vec.tasks[0], 0);
+  EXPECT_EQ(tracker.next_use(1), 2);  // retired pos 0; next use is pair 2
+  EXPECT_EQ(tracker.next_use(2), std::nullopt);
+  EXPECT_EQ(tracker.cursor(), 0);
+}
+
+TEST(FutureUseTracker, RecoveryReplayIsNoOp) {
+  VectorWorkload vec;
+  vec.tasks = {make_task(1, 2, 10), make_task(1, 3, 11)};
+  mem::FutureUseTracker tracker;
+  tracker.begin_vector(vec, identity_order(vec));
+  tracker.observe_use(vec.tasks[0], 0);
+  const auto before = tracker.next_use(1);
+  // A lineage re-execution after a device loss replays the same task with
+  // position -1: the books must not retire anything twice.
+  tracker.observe_use(vec.tasks[0], -1);
+  EXPECT_EQ(tracker.next_use(1), before);
+}
+
+TEST(FutureUseTracker, RespectsNonIdentityVisitOrder) {
+  VectorWorkload vec;
+  vec.tasks = {make_task(1, 2, 10), make_task(3, 4, 11), make_task(5, 6, 12)};
+  // Visit order 2,0,1: tensor 5 is used at position 0, tensor 1 at 1.
+  mem::FutureUseTracker tracker;
+  tracker.begin_vector(vec, {2, 0, 1});
+  EXPECT_EQ(tracker.next_use(5), 0);
+  EXPECT_EQ(tracker.next_use(1), 1);
+  EXPECT_EQ(tracker.next_use(3), 2);
+}
+
+// ------------------------------------------------------------ victim orders
+
+TEST(LruPolicy, MatchesEvictLruDecisions) {
+  mem::LruPolicy policy;
+  DeviceMemory mem(1000);
+  DeviceMemory shadow(1000);
+  for (TensorId id = 0; id < 5; ++id) {
+    mem.allocate(id, 100, false);
+    shadow.allocate(id, 100, false);
+  }
+  mem.touch(0);
+  shadow.touch(0);
+  while (true) {
+    const auto choice = policy.pick_victim(mem);
+    const auto legacy = shadow.evict_lru();
+    ASSERT_EQ(choice.has_value(), legacy.has_value());
+    if (!choice.has_value()) break;
+    EXPECT_EQ(choice->id, legacy->id);
+    EXPECT_EQ(choice->reuse_distance, mem::kNoFutureUse);
+    mem.release(choice->id);
+  }
+}
+
+TEST(LruPolicy, SkipsPinnedAndReportsNoVictimWhenAllPinned) {
+  mem::LruPolicy policy;
+  DeviceMemory mem(1000);
+  mem.allocate(1, 100, false);
+  mem.allocate(2, 100, false);
+  mem.pin(1);
+  const auto choice = policy.pick_victim(mem);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(choice->id, 2u);
+  mem.pin(2);
+  EXPECT_FALSE(policy.pick_victim(mem).has_value());
+}
+
+TEST(ReuseDistancePolicy, EvictsFarthestNextUse) {
+  // Pairs: (1,2) at 0, (3,4) at 1, (1,3) at 2 -> after executing pair 0,
+  // next uses are 3:1, 1:2, and 2/4 never again.
+  VectorWorkload vec;
+  vec.tasks = {make_task(1, 2, 10), make_task(3, 4, 11), make_task(1, 3, 12)};
+  mem::ReuseDistancePolicy policy;
+  policy.begin_vector(vec, identity_order(vec));
+  policy.observe_use(vec.tasks[0], 0);
+
+  DeviceMemory mem(1000);
+  mem.allocate(1, 100, false);
+  mem.allocate(3, 100, false);
+  mem.allocate(2, 100, false);  // never used again: wins outright
+  const auto choice = policy.pick_victim(mem);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(choice->id, 2u);
+  EXPECT_EQ(choice->reuse_distance, mem::kNoFutureUse);
+
+  mem.release(2);
+  // Both residents have future uses: tensor 1 (pos 2) is farther than
+  // tensor 3 (pos 1) from the cursor (0).
+  const auto next = policy.pick_victim(mem);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->id, 1u);
+  EXPECT_EQ(next->reuse_distance, 2u);
+}
+
+TEST(ReuseDistancePolicy, NeverUsedTiesBreakTowardLru) {
+  VectorWorkload vec;
+  vec.tasks = {make_task(1, 2, 10)};
+  mem::ReuseDistancePolicy policy;
+  policy.begin_vector(vec, identity_order(vec));
+
+  DeviceMemory mem(1000);
+  mem.allocate(7, 100, false);  // older
+  mem.allocate(8, 100, false);
+  // Neither 7 nor 8 has a future use: the LRU one goes first.
+  const auto choice = policy.pick_victim(mem);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(choice->id, 7u);
+}
+
+TEST(ReuseDistancePolicy, SkipsPinnedResidents) {
+  VectorWorkload vec;
+  vec.tasks = {make_task(1, 2, 10)};
+  mem::ReuseDistancePolicy policy;
+  policy.begin_vector(vec, identity_order(vec));
+
+  DeviceMemory mem(1000);
+  mem.allocate(5, 100, false);
+  mem.allocate(6, 100, false);
+  mem.pin(5);
+  const auto choice = policy.pick_victim(mem);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(choice->id, 6u);
+}
+
+TEST(PinUntilLastUsePolicy, PrefersConsumerFreeVictims) {
+  // Tensor 1 still has a pending consumer (pair 1); tensor 9 does not.
+  // Even though 1 is least recently used, the policy spares it.
+  VectorWorkload vec;
+  vec.tasks = {make_task(1, 2, 10), make_task(1, 3, 11)};
+  mem::PinUntilLastUsePolicy policy;
+  policy.begin_vector(vec, identity_order(vec));
+
+  DeviceMemory mem(1000);
+  mem.allocate(1, 100, false);
+  mem.allocate(9, 100, false);
+  const auto choice = policy.pick_victim(mem);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(choice->id, 9u);
+  EXPECT_EQ(choice->reuse_distance, mem::kNoFutureUse);
+}
+
+TEST(PinUntilLastUsePolicy, HardPressureSpillsInBeladyOrder) {
+  // Every resident has a pending consumer: the pressure spill must pick
+  // the farthest next use, not refuse.
+  VectorWorkload vec;
+  vec.tasks = {make_task(1, 2, 10), make_task(3, 4, 11), make_task(1, 3, 12)};
+  mem::PinUntilLastUsePolicy policy;
+  policy.begin_vector(vec, identity_order(vec));
+
+  DeviceMemory mem(1000);
+  mem.allocate(3, 100, false);  // next use: pos 1
+  mem.allocate(2, 100, false);  // next use: pos 0
+  const auto choice = policy.pick_victim(mem);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(choice->id, 3u);
+  EXPECT_EQ(choice->reuse_distance, 1u);
+}
+
+// -------------------------------------------------------- deep-copy safety
+
+TEST(EvictionPolicy, SimulatorClonesShareThePolicyWithoutCrosstalk) {
+  // The oracle scheduler copies whole simulators per candidate assignment;
+  // the clones share one policy pointer. pick_victim is const, so probe
+  // executions in a clone must not disturb the original's residency.
+  ClusterConfig cfg;
+  cfg.num_devices = 1;
+  cfg.device_capacity_bytes = 4 * make_desc(0).bytes();
+
+  mem::ReuseDistancePolicy policy;
+  VectorWorkload vec;
+  vec.tasks = {make_task(0, 1, 10), make_task(2, 3, 11), make_task(0, 2, 12)};
+  policy.begin_vector(vec, identity_order(vec));
+
+  ClusterSimulator sim(cfg);
+  sim.set_eviction_policy(&policy);
+  sim.execute(vec.tasks[0], 0);
+  const std::uint64_t used_before = sim.memory_used(0);
+
+  ClusterSimulator clone = sim;
+  clone.execute(vec.tasks[1], 0);  // forces an eviction in the clone only
+  EXPECT_EQ(sim.memory_used(0), used_before);
+  EXPECT_TRUE(sim.resident_on(0, 0));
+  EXPECT_TRUE(sim.resident_on(0, 1));
+
+  // The shared policy still answers consistently for both simulators.
+  const auto choice = policy.pick_victim(clone.device_memory(0));
+  EXPECT_TRUE(choice.has_value());
+}
+
+// ---------------------------------------------------- default byte-identity
+
+TEST(EvictionPolicy, ExplicitLruMatchesDefaultDecisions) {
+  const WorkloadStream stream = pressured_stream();
+  const ClusterConfig cluster = pressured_cluster(stream);
+
+  const auto run_with_sink = [&](mem::EvictionPolicy* policy,
+                                 std::ostringstream* log) {
+    obs::BufferedJsonlEventSink sink(*log);
+    obs::Telemetry telemetry;
+    telemetry.sink = &sink;
+    MiccoScheduler scheduler;
+    RunOptions options;
+    options.telemetry = &telemetry;
+    options.evict_policy = policy;
+    const RunResult result = run_stream(stream, scheduler, cluster, options);
+    sink.flush();
+    return result;
+  };
+
+  std::ostringstream default_log;
+  std::ostringstream lru_log;
+  const RunResult default_run = run_with_sink(nullptr, &default_log);
+  mem::LruPolicy lru;
+  const RunResult lru_run = run_with_sink(&lru, &lru_log);
+
+  ASSERT_TRUE(default_run.completed);
+  ASSERT_TRUE(lru_run.completed);
+  EXPECT_GT(default_run.metrics.evictions, 0u);
+  EXPECT_EQ(lru_run.metrics.evictions, default_run.metrics.evictions);
+  EXPECT_EQ(lru_run.metrics.fetched_operands,
+            default_run.metrics.fetched_operands);
+  EXPECT_EQ(lru_run.metrics.reused_operands,
+            default_run.metrics.reused_operands);
+  EXPECT_EQ(lru_run.metrics.writeback_bytes,
+            default_run.metrics.writeback_bytes);
+  EXPECT_DOUBLE_EQ(lru_run.metrics.makespan_s, default_run.metrics.makespan_s);
+
+  // The two event logs are byte-identical once the one deliberate policy
+  // annotation (the "/lru" eviction-detail suffix) is stripped.
+  std::string normalized = lru_log.str();
+  for (std::size_t pos = normalized.find("/lru"); pos != std::string::npos;
+       pos = normalized.find("/lru", pos)) {
+    normalized.erase(pos, 4);
+  }
+  EXPECT_EQ(normalized, default_log.str());
+  EXPECT_NE(lru_log.str(), default_log.str());  // the annotation is real
+}
+
+TEST(EvictionPolicy, DefaultRunReportCarriesNoPolicyKeys) {
+  const WorkloadStream stream = pressured_stream();
+  const ClusterConfig cluster = pressured_cluster(stream);
+
+  obs::Telemetry telemetry;
+  MiccoScheduler scheduler;
+  RunOptions options;
+  options.telemetry = &telemetry;
+  const RunResult result = run_stream(stream, scheduler, cluster, options);
+  ASSERT_TRUE(result.completed);
+  EXPECT_GT(result.metrics.evictions, 0u);
+  EXPECT_TRUE(result.metrics.evict_policy.empty());
+  EXPECT_EQ(result.metrics.eviction_refetch_bytes, 0u);
+
+  const std::string report =
+      make_run_report(result, telemetry).dump();
+  EXPECT_EQ(report.find("evict_policy"), std::string::npos);
+  EXPECT_EQ(report.find("mem."), std::string::npos);
+}
+
+TEST(EvictionPolicy, AttachedPolicySurfacesInMetricsAndReport) {
+  const WorkloadStream stream = pressured_stream();
+  const ClusterConfig cluster = pressured_cluster(stream);
+
+  obs::Telemetry telemetry;
+  MiccoScheduler scheduler;
+  mem::ReuseDistancePolicy policy;
+  RunOptions options;
+  options.telemetry = &telemetry;
+  options.evict_policy = &policy;
+  const RunResult result = run_stream(stream, scheduler, cluster, options);
+  ASSERT_TRUE(result.completed);
+  EXPECT_GT(result.metrics.evictions, 0u);
+  EXPECT_EQ(result.metrics.evict_policy, "reuse_distance");
+
+  const std::string report = make_run_report(result, telemetry).dump();
+  EXPECT_NE(report.find("\"evict_policy\":\"reuse_distance\""),
+            std::string::npos);
+  EXPECT_NE(report.find("mem.evictions.reuse_distance"), std::string::npos);
+  EXPECT_NE(report.find("mem.evicted_bytes.reuse_distance"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace micco

@@ -125,6 +125,49 @@ TEST(DeviceMemory, ReleaseUnknownAborts) {
   EXPECT_DEATH(mem.release(42), "non-resident");
 }
 
+TEST(DeviceMemory, EvictByIdReleasesAndReports) {
+  DeviceMemory mem(1000);
+  mem.allocate(1, 100, false);
+  mem.allocate(2, 200, true);
+  const auto ev = mem.evict(2);
+  EXPECT_EQ(ev.id, 2u);
+  EXPECT_EQ(ev.bytes, 200u);
+  EXPECT_TRUE(ev.dirty);
+  EXPECT_FALSE(mem.resident(2));
+  EXPECT_EQ(mem.used(), 100u);
+}
+
+TEST(DeviceMemory, EvictPinnedOrAbsentAborts) {
+  DeviceMemory mem(1000);
+  mem.allocate(1, 100, false);
+  mem.pin(1);
+  EXPECT_DEATH(mem.evict(1), "pinned");
+  EXPECT_DEATH(mem.evict(42), "");
+}
+
+TEST(DeviceMemory, GrowAfterShrinkWithLiveResidents) {
+  // A capacity fault shrinks the device; when the fault heals, capacity is
+  // restored *above* current usage while the shrunken era's residents are
+  // still live. That growth must not assert, and the extra bytes must be
+  // allocatable immediately.
+  DeviceMemory mem(1000);
+  mem.allocate(1, 300, false);
+  mem.allocate(2, 300, true);
+  mem.set_capacity(700);  // shrink; both residents still fit
+  EXPECT_FALSE(mem.fits(200));
+  mem.set_capacity(2000);  // the fault heals: grow past the original size
+  EXPECT_EQ(mem.used(), 600u);
+  EXPECT_TRUE(mem.resident(1));
+  EXPECT_TRUE(mem.resident(2));
+  EXPECT_TRUE(mem.fits(1400));
+  mem.allocate(3, 1400, false);
+  EXPECT_EQ(mem.used(), 2000u);
+  // LRU order survived the resize cycle untouched.
+  const auto ev = mem.evict_lru();
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->id, 1u);
+}
+
 TEST(DeviceMemory, EvictionSequenceFollowsLruOrder) {
   DeviceMemory mem(1000);
   for (TensorId id = 0; id < 5; ++id) mem.allocate(id, 100, false);

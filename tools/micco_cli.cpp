@@ -52,6 +52,7 @@
 #include "core/experiment.hpp"
 #include "core/verify.hpp"
 #include "graph/graph_stats.hpp"
+#include "mem/policy.hpp"
 #include "ml/serialize.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
@@ -84,11 +85,14 @@ int usage() {
                "  run FILE [--scheduler=groute|dmda|micco|roundrobin] "
                "[--model=FILE] [--gpus=8] [--oversub=R] [--trace=FILE]\n"
                "      [--fault-plan=FILE --retry-max=N --retry-backoff=S]\n"
+               "      [--evict-policy=lru|reuse-distance|pin-until-last-use]"
+               "   (unset: the byte-identical legacy LRU path)\n"
                "  train --out=FILE [--samples=120 --gpus=8 --seed=N --threads=N]\n"
                "  inspect FILE\n"
                "  report [FILE] [--scheduler=NAME] [--gpus=8] [--oversub=R] "
                "[--out=FILE] [--decisions=FILE] [--pretty]\n"
-               "         [--fault-plan=FILE --retry-max=N --retry-backoff=S]\n"
+               "         [--fault-plan=FILE --retry-max=N --retry-backoff=S] "
+               "[--evict-policy=NAME]\n"
                "         (no FILE: a small deterministic synthetic stream, "
                "--seed=N --vectors=N --vector-size=N)\n"
                "  report --spans=FILE [--pretty]   (summarise a span-tree "
@@ -105,6 +109,9 @@ int usage() {
                "        [--fault-plan=FILE --retry-max=N --retry-backoff=S]\n"
                "        [--journal=FILE --journal-fsync=never|interval|always"
                " --journal-fsync-interval=N]\n"
+               "        [--evict-policy=NAME --mem-arbiter=on]   "
+               "(cross-tenant residency arbitration; stats/top gain a "
+               "memory section)\n"
                "        (an existing --journal is replayed: finished jobs "
                "answer again, interrupted jobs re-run)\n"
                "  submit FILE --socket=PATH [--tenant=NAME --name=LABEL "
@@ -149,6 +156,24 @@ bool load_fault_flags(const CliArgs& args, const char* cmd, int num_devices,
   if (!problem.empty()) {
     std::fprintf(stderr, "%s: invalid fault plan %s: %s\n", cmd, path.c_str(),
                  problem.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Parses the optional --evict-policy flag shared by `run`, `report` and
+/// `serve`. A missing flag leaves `kind` unset — the legacy LRU path, whose
+/// logs and reports stay byte-identical to pre-policy builds.
+bool load_evict_policy_flag(const CliArgs& args, const char* cmd,
+                            std::optional<mem::EvictPolicyKind>* kind) {
+  const std::string name = args.get("evict-policy", "");
+  if (name.empty()) return true;
+  *kind = mem::parse_evict_policy(name);
+  if (!kind->has_value()) {
+    std::fprintf(stderr,
+                 "%s: unknown eviction policy '%s' (want lru, "
+                 "reuse-distance or pin-until-last-use)\n",
+                 cmd, name.c_str());
     return false;
   }
   return true;
@@ -287,12 +312,18 @@ int cmd_run(const CliArgs& args) {
         ml::MultiOutputRegressor::from_models(std::move(models)), 2);
   }
 
+  std::optional<mem::EvictPolicyKind> policy_kind;
+  if (!load_evict_policy_flag(args, "run", &policy_kind)) return 2;
+  std::unique_ptr<mem::EvictionPolicy> evict_policy;
+  if (policy_kind.has_value()) evict_policy = mem::make_policy(*policy_kind);
+
   TraceRecorder trace;
   RunOptions options;
   options.bounds = provider.get();
   options.trace = args.has("trace") ? &trace : nullptr;
   options.faults = plan.has_value() ? &*plan : nullptr;
   options.retry = retry;
+  options.evict_policy = evict_policy.get();
 
   const RunResult result = run_stream(*stream, *scheduler, cluster, options);
   const ExecutionMetrics& m = result.metrics;
@@ -303,6 +334,13 @@ int cmd_run(const CliArgs& args) {
               static_cast<unsigned long long>(m.fetched_operands),
               static_cast<unsigned long long>(m.evictions),
               result.scheduling_overhead_ms);
+  if (!m.evict_policy.empty()) {
+    std::printf("eviction policy %s: %llu eviction(s), %llu refetched "
+                "byte(s) of evicted tensors\n",
+                m.evict_policy.c_str(),
+                static_cast<unsigned long long>(m.evictions),
+                static_cast<unsigned long long>(m.eviction_refetch_bytes));
+  }
   print_fault_summary(result);
   if (!result.completed) {
     std::fprintf(stderr, "run: %s\n", result.error.c_str());
@@ -647,10 +685,16 @@ int cmd_report(const CliArgs& args) {
     return 1;
   }
 
+  std::optional<mem::EvictPolicyKind> policy_kind;
+  if (!load_evict_policy_flag(args, "report", &policy_kind)) return 2;
+  std::unique_ptr<mem::EvictionPolicy> evict_policy;
+  if (policy_kind.has_value()) evict_policy = mem::make_policy(*policy_kind);
+
   RunOptions options;
   options.telemetry = &telemetry;
   options.faults = plan.has_value() ? &*plan : nullptr;
   options.retry = retry;
+  options.evict_policy = evict_policy.get();
   const RunResult result = run_stream(*stream, *scheduler, cluster, options);
 
   const obs::JsonValue report = make_run_report(result, telemetry);
@@ -769,6 +813,8 @@ int cmd_serve(const CliArgs& args) {
     return 2;
   }
   cfg.admission.slo_ms = args.get_double("slo-ms", 0.0);
+  if (!load_evict_policy_flag(args, "serve", &cfg.evict_policy)) return 2;
+  cfg.mem_arbiter = args.get_bool("mem-arbiter", false);
   cfg.decisions_path = args.get("decisions", "");
   cfg.report_path = args.get("report", "");
   cfg.spans_path = args.get("spans", "");
@@ -1009,6 +1055,24 @@ void render_top(const obs::JsonValue& reply) {
                   counter(obs::names::kSchedPatternCacheHits),
                   counter(obs::names::kSchedPatternCacheMisses),
                   counter(obs::names::kClusterEpochBumps));
+    }
+  }
+
+  // Cross-tenant memory arbitration (mem/arbiter.hpp): present only when
+  // the daemon runs with --mem-arbiter=on.
+  if (const obs::JsonValue* memory = reply.find("memory")) {
+    std::printf("memory: %lld admission(s), %.1f MiB pre-evicted\n",
+                static_cast<long long>(memory->at("admissions").as_int()),
+                static_cast<double>(memory->at("preevicted_bytes").as_int()) /
+                    (1024.0 * 1024.0));
+    const obs::JsonValue& mem_tenants = memory->at("tenants");
+    if (!mem_tenants.members().empty()) {
+      std::printf("%-16s %14s %8s\n", "tenant", "resident_bytes", "epoch");
+      for (const auto& [name, t] : mem_tenants.members()) {
+        std::printf("%-16s %14lld %8lld\n", name.c_str(),
+                    static_cast<long long>(t.at("resident_bytes").as_int()),
+                    static_cast<long long>(t.at("epoch").as_int()));
+      }
     }
   }
 

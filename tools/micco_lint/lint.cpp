@@ -610,7 +610,7 @@ std::vector<Finding> FileSet::raw_findings(const std::string& path) const {
   // assembled from bare words at runtime so this scanner's own source never
   // contains a dotted literal and cannot trip itself.
   if (!path_suffix_match(path, "obs/names.hpp")) {
-    const char* const kRootWords[] = {"sched", "cluster", "service"};
+    const char* const kRootWords[] = {"sched", "cluster", "service", "mem"};
     for (const auto& [line, literal] : info->string_literals) {
       bool metric_charset = !literal.empty();
       for (const char c : literal) {
